@@ -1,0 +1,131 @@
+// Ablation (§II-A): the breakdown parameter delta and contamination.
+//
+// "The parameter delta controls the breakdown point where the estimate
+// explodes due to too much contamination of outliers."  This bench maps
+// that boundary empirically: for each delta, sweep the fraction of
+// randomly-directed gross outliers (the paper's own Figure-1 contamination
+// model) and report subspace affinity and the scale sigma^2.  Rejected
+// outliers still push sigma^2 up through eq. (11) (each contributes
+// rho ~= 1 against delta); once the contamination fraction passes delta the
+// scale has no fixed point and explodes, outliers stop being rejected, and
+// the eigensystem follows them — breakdown at epsilon ~ delta.
+//
+// (Contamination *along a direction already inside the fitted subspace* is
+// a different story: it is invisible to residual-based weighting at any
+// delta — a known limitation of this family of estimators; see
+// robust_pca.h and EXPERIMENTS.md.)
+
+#include <cstdio>
+#include <vector>
+
+#include "pca/robust_pca.h"
+#include "pca/subspace.h"
+#include "stats/rng.h"
+
+using namespace astro;
+
+namespace {
+
+struct Outcome {
+  double affinity = 0.0;
+  double sigma2 = 0.0;
+};
+
+Outcome run_engine(double delta, double contamination, std::uint64_t seed) {
+  constexpr std::size_t kDim = 30;
+  constexpr std::size_t kRank = 2;
+  stats::Rng rng(seed);
+  const linalg::Matrix truth = stats::random_orthonormal(rng, kDim, kRank);
+
+  pca::RobustPcaConfig cfg;
+  cfg.dim = kDim;
+  cfg.rank = kRank;
+  cfg.alpha = 1.0 - 1.0 / 1500.0;
+  cfg.delta = delta;
+  cfg.init_count = 40;
+  // The safety valve re-accepts data after long reject runs, deliberately
+  // trading breakdown purity for liveness; disable it to observe the pure
+  // estimator.
+  cfg.reject_reset_threshold = 0;
+  pca::RobustIncrementalPca engine(cfg);
+
+  for (int n = 0; n < 9000; ++n) {
+    linalg::Vector x(kDim);
+    if (rng.bernoulli(contamination)) {
+      // The paper's contamination model: gross outliers in random
+      // directions.
+      x = rng.gaussian_vector(kDim);
+      x.normalize();
+      x *= 25.0;
+    } else {
+      for (std::size_t k = 0; k < kRank; ++k) {
+        const double c = rng.gaussian(0.0, 3.0 / double(k + 1));
+        for (std::size_t i = 0; i < kDim; ++i) x[i] += c * truth(i, k);
+      }
+      for (auto& v : x) v += rng.gaussian(0.0, 0.1);
+    }
+    engine.observe(x);
+  }
+  Outcome out;
+  out.affinity = pca::subspace_affinity(engine.eigensystem().basis(), truth);
+  out.sigma2 = engine.sigma2();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<double> deltas{0.15, 0.30, 0.50};
+  const std::vector<double> fractions{0.0, 0.05, 0.10, 0.20, 0.30, 0.40, 0.45};
+
+  std::printf("=== Breakdown ablation: subspace affinity (and sigma^2) vs "
+              "contamination, per delta ===\n");
+  std::printf("(gross outliers in random directions, amplitude 25)\n\n");
+  std::printf("%14s", "contamination");
+  for (double d : deltas) std::printf("        delta=%.2f", d);
+  std::printf("\n");
+
+  // table[delta][fraction]
+  std::vector<std::vector<Outcome>> table(deltas.size());
+  for (std::size_t f = 0; f < fractions.size(); ++f) {
+    std::printf("%13.0f%%", 100.0 * fractions[f]);
+    for (std::size_t d = 0; d < deltas.size(); ++d) {
+      const Outcome o = run_engine(deltas[d], fractions[f], 777);
+      table[d].push_back(o);
+      std::printf("   %6.3f (%7.2g)", o.affinity, o.sigma2);
+    }
+    std::printf("\n");
+  }
+
+  // Checks: every delta survives contamination well below it; estimates
+  // collapse (or sigma^2 explodes) once contamination clearly exceeds
+  // delta; smaller delta breaks down no later than larger delta.
+  auto held = [&](std::size_t d, std::size_t f) {
+    return table[d][f].affinity > 0.95;
+  };
+  const bool all_hold_light = held(0, 1) && held(1, 1) && held(2, 1);
+  const bool big_delta_holds_heavy = held(2, 4);  // delta .5 at 30%
+  const bool small_delta_breaks = !held(0, 4);    // delta .15 at 30%
+  std::size_t first_break_small = fractions.size(), first_break_big = fractions.size();
+  for (std::size_t f = 0; f < fractions.size(); ++f) {
+    if (!held(0, f) && first_break_small == fractions.size()) first_break_small = f;
+    if (!held(2, f) && first_break_big == fractions.size()) first_break_big = f;
+  }
+  const bool ordering = first_break_small <= first_break_big;
+
+  std::printf("\n--- Checks ---\n");
+  std::printf("  all deltas survive 5%% contamination:            %s\n",
+              all_hold_light ? "yes" : "NO");
+  std::printf("  delta = 0.50 survives 30%% contamination:        %s\n",
+              big_delta_holds_heavy ? "yes" : "NO");
+  std::printf("  delta = 0.15 has broken down by 30%%:            %s\n",
+              small_delta_breaks ? "yes" : "NO");
+  std::printf("  smaller delta breaks down no later:              %s\n",
+              ordering ? "yes" : "NO");
+  const bool ok =
+      all_hold_light && big_delta_holds_heavy && small_delta_breaks && ordering;
+  std::printf("\nVERDICT: %s — delta sets the breakdown point, as §II-A "
+              "describes.\n",
+              ok ? "CONFIRMED" : "UNEXPECTED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,110 @@
+// E8 ablation (§II-D): missing-data handling.
+//
+// Streams redshift-gapped galaxy spectra through three engine variants:
+//   zero-fill  — masked pixels kept at 0, mask ignored (the naive baseline)
+//   patch      — eigenbasis gap filling, no residual correction (q = 0)
+//   patch+corr — gap filling plus the higher-order residual estimate (q = 2)
+// and reports subspace affinity against a complete-data batch reference
+// plus the false-outlier rate among clean-but-gappy spectra.
+
+#include <cstdio>
+#include <vector>
+
+#include "pca/batch_pca.h"
+#include "pca/robust_pca.h"
+#include "pca/subspace.h"
+#include "spectra/generator.h"
+#include "spectra/normalize.h"
+
+using namespace astro;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  bool use_mask;
+  std::size_t extra_rank;
+};
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kPixels = 300;
+  constexpr std::size_t kRank = 4;
+  constexpr int kSpectra = 15000;
+
+  spectra::SpectraConfig workload;
+  workload.pixels = kPixels;
+  workload.components = kRank;
+  workload.noise = 0.02;
+  workload.max_redshift = 0.15;
+
+  // Complete-data reference (template-normalized batch PCA).
+  spectra::GalaxySpectrumGenerator ref_gen(workload);
+  const linalg::Vector tmpl = ref_gen.mean_spectrum();
+  std::vector<linalg::Vector> ref_sample;
+  for (int i = 0; i < 2500; ++i) {
+    linalg::Vector flux = ref_gen.next_clean_flux();
+    spectra::normalize_to_template(flux, {}, tmpl);
+    ref_sample.push_back(std::move(flux));
+  }
+  const pca::EigenSystem reference = pca::batch_pca(ref_sample, kRank);
+
+  std::printf("=== E8: gap handling ablation (redshifted spectra, z_max = "
+              "%.2f) ===\n\n",
+              workload.max_redshift);
+  std::printf("%12s %12s %18s %18s\n", "variant", "affinity",
+              "false-outlier %", "mean |coeffs|");
+
+  const Variant variants[] = {
+      {"zero-fill", false, 0},
+      {"patch", true, 0},
+      {"patch+corr", true, 2},
+  };
+  std::vector<double> affinities;
+
+  for (const Variant& v : variants) {
+    pca::RobustPcaConfig cfg;
+    cfg.dim = kPixels;
+    cfg.rank = kRank;
+    cfg.extra_rank = v.extra_rank;
+    cfg.alpha = 1.0 - 1.0 / 2000.0;
+    cfg.init_count = 40;
+    pca::RobustIncrementalPca engine(cfg);
+
+    spectra::GalaxySpectrumGenerator gen(workload);  // same seed: same data
+    int gappy = 0, false_flags = 0;
+    double coeff_energy = 0.0;
+    for (int n = 0; n < kSpectra; ++n) {
+      auto s = gen.next();
+      spectra::normalize_to_template(s.flux, s.mask, tmpl);
+      pca::ObservationReport rep;
+      if (v.use_mask && !s.mask.empty()) {
+        rep = engine.observe(s.flux, s.mask);
+      } else {
+        rep = engine.observe(s.flux);  // zero-filled pixels look like data
+      }
+      if (!s.mask.empty()) {
+        ++gappy;
+        if (rep.outlier) ++false_flags;
+      }
+      coeff_energy += rep.squared_residual;
+    }
+
+    const linalg::Matrix basis = pca::truncate(engine.eigensystem(), kRank).basis();
+    const double affinity = pca::subspace_affinity(basis, reference.basis());
+    affinities.push_back(affinity);
+    std::printf("%12s %12.4f %17.2f%% %18.4f\n", v.name, affinity,
+                gappy > 0 ? 100.0 * false_flags / gappy : 0.0,
+                coeff_energy / double(kSpectra));
+  }
+
+  const bool patching_helps = affinities[1] > affinities[0] + 0.02;
+  const bool correction_no_worse = affinities[2] >= affinities[1] - 0.02;
+  std::printf("\nVERDICT: %s — eigenbasis patching beats zero-fill; the "
+              "residual correction preserves accuracy while fixing the "
+              "gappy-spectrum weighting.\n",
+              patching_helps && correction_no_worse ? "CONFIRMED"
+                                                    : "UNEXPECTED");
+  return patching_helps && correction_no_worse ? 0 : 1;
+}

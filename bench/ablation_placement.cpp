@@ -1,0 +1,68 @@
+// Ablation (§III-D): operator placement and the optimisation component.
+//
+// "In practice, the application's cluster configuration significantly
+// affects the overall performance.  The analysis graph can be partitioned
+// in many ways across the cluster nodes ... Several steps are usually
+// necessary to optimally layout the components."
+//
+// Compares, at several engine counts: all-fused single node, round-robin
+// distributed, a pathological layout (everything piled on one worker), and
+// the profile-and-move optimizer's result.
+
+#include <cstdio>
+#include <vector>
+
+#include "cluster/placement.h"
+
+using namespace astro::cluster;
+
+int main() {
+  const CostModel costs;
+  const ClusterConfig cluster;
+
+  std::printf("=== Placement ablation (d = 250, p = 10, 10-node cluster "
+              "model) ===\n\n");
+  std::printf("%8s %12s %12s %14s %12s %8s\n", "engines", "single",
+              "round-robin", "pathological", "optimized", "evals");
+
+  bool optimizer_ok = true;
+  for (std::size_t n : {4, 8, 12, 20}) {
+    SimPipelineConfig pc;
+    pc.engines = n;
+    pc.dim = 250;
+    pc.rank = 10;
+    pc.sim_seconds = 0.5;
+    pc.sync_rate_hz = 2.0;
+
+    pc.placement = Placement::kSingleNode;
+    const double single = simulate_streaming_pca(cluster, pc, costs).throughput;
+    pc.placement = Placement::kDistributed;
+    const double rr = simulate_streaming_pca(cluster, pc, costs).throughput;
+    pc.explicit_placement.assign(n, 5);  // pile everything on node 5
+    const double bad = simulate_streaming_pca(cluster, pc, costs).throughput;
+    pc.explicit_placement.clear();
+
+    OptimizeOptions opts;
+    opts.rounds = 25;
+    opts.restarts = 1;
+    opts.sim_seconds = 0.3;
+    const OptimizeResult best = optimize_placement(cluster, pc, costs, opts);
+    // Re-evaluate the winner at the full horizon for a fair row.
+    pc.explicit_placement = best.placement;
+    const double optimized =
+        simulate_streaming_pca(cluster, pc, costs).throughput;
+
+    std::printf("%8zu %12.0f %12.0f %14.0f %12.0f %8zu\n", n, single, rr, bad,
+                optimized, best.evaluations);
+    optimizer_ok = optimizer_ok && optimized >= 0.97 * rr;
+    // Piling n engines on one node only *hurts* once n exceeds its cores.
+    if (n > cluster.cores_per_node) {
+      optimizer_ok = optimizer_ok && optimized > 1.2 * bad;
+    }
+  }
+
+  std::printf("\nVERDICT: %s — the optimizer recovers (or beats) the best "
+              "heuristic layout and fixes pathological ones.\n",
+              optimizer_ok ? "CONFIRMED" : "UNEXPECTED");
+  return optimizer_ok ? 0 : 1;
+}

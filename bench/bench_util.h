@@ -1,0 +1,65 @@
+#pragma once
+
+// Shared helpers for the figure benches: optional CSV export so the plots
+// behind each reproduced figure can be regenerated with any plotting tool.
+//
+// Usage:  fig6_scaling --csv /tmp/figs   writes /tmp/figs/fig6.csv etc.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace astro::bench {
+
+/// Parses `--csv <dir>` from argv; empty string when absent.
+inline std::string csv_dir_from_args(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--csv") return argv[i + 1];
+  }
+  return {};
+}
+
+/// Accumulates rows and writes them as `<dir>/<name>.csv` on destruction
+/// (no-op when dir is empty).
+class CsvSeries {
+ public:
+  CsvSeries(std::string dir, std::string name, std::vector<std::string> header)
+      : dir_(std::move(dir)), name_(std::move(name)) {
+    if (dir_.empty()) return;
+    rows_.emplace_back();
+    for (std::size_t i = 0; i < header.size(); ++i) {
+      rows_.back() += (i ? "," : "") + header[i];
+    }
+  }
+
+  void row(const std::vector<double>& values) {
+    if (dir_.empty()) return;
+    std::string line;
+    char buf[64];
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%.10g", values[i]);
+      line += (i ? "," : "") + std::string(buf);
+    }
+    rows_.push_back(std::move(line));
+  }
+
+  ~CsvSeries() {
+    if (dir_.empty() || rows_.size() <= 1) return;
+    const std::string path = dir_ + "/" + name_ + ".csv";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    for (const auto& r : rows_) out << r << '\n';
+    std::printf("[csv] wrote %s (%zu rows)\n", path.c_str(), rows_.size() - 1);
+  }
+
+ private:
+  std::string dir_;
+  std::string name_;
+  std::vector<std::string> rows_;
+};
+
+}  // namespace astro::bench

@@ -1,0 +1,82 @@
+// E5: calibration of the simulator's per-tuple cost model against real
+// measurements of RobustIncrementalPca::observe on this machine.
+//
+// Times the streaming update across a (d, p) grid, fits
+//     t(d, p) = a + b * d * (p+1)^2
+// (the one-sided-Jacobi flop count of the low-rank SVD), prints the
+// residuals of the fit, and compares against the paper-era defaults the
+// Figure 6/7 simulations use.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "cluster/cost_model.h"
+#include "pca/robust_pca.h"
+#include "stats/rng.h"
+
+using namespace astro;
+
+namespace {
+
+double measure(std::size_t d, std::size_t p, std::size_t reps) {
+  pca::RobustPcaConfig cfg;
+  cfg.dim = d;
+  cfg.rank = p;
+  cfg.init_count = 4 * p;
+  cfg.reorthonormalize_every = 0;
+  pca::RobustIncrementalPca engine(cfg);
+  stats::Rng rng(d * 7 + p);
+  std::vector<linalg::Vector> data;
+  for (std::size_t i = 0; i < reps + cfg.init_count + 1; ++i) {
+    data.push_back(rng.gaussian_vector(d));
+  }
+  std::size_t i = 0;
+  while (!engine.initialized()) engine.observe(data[i++]);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < reps; ++r) engine.observe(data[i + r]);
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count() / double(reps);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E5: per-tuple cost calibration (robust update, this "
+              "machine) ===\n\n");
+
+  const cluster::CostModel fitted = cluster::calibrate(2.5);
+  std::printf("fit: t(d, p) = %.3g + %.3g * d * (p+1)^2  seconds\n\n",
+              fitted.update_base, fitted.update_per_flop);
+
+  std::printf("%6s %4s %14s %14s %10s\n", "d", "p", "measured (us)",
+              "fitted (us)", "error");
+  struct Point {
+    std::size_t d, p;
+  };
+  const Point grid[] = {{100, 5},  {250, 5},   {250, 10}, {500, 5},
+                        {500, 10}, {1000, 10}, {2000, 10}};
+  double worst_error = 0.0;
+  for (const Point& pt : grid) {
+    const double t = measure(pt.d, pt.p, 60);
+    const double f = fitted.update_seconds(pt.d, pt.p);
+    const double err = std::abs(f - t) / t;
+    worst_error = std::max(worst_error, err);
+    std::printf("%6zu %4zu %14.1f %14.1f %9.1f%%\n", pt.d, pt.p, 1e6 * t,
+                1e6 * f, 100.0 * err);
+  }
+
+  const cluster::CostModel paper;
+  std::printf("\npaper-era defaults (used by fig6/fig7): t(250,10) = %.0f us "
+              "vs this machine's %.0f us\n",
+              1e6 * paper.update_seconds(250, 10),
+              1e6 * fitted.update_seconds(250, 10));
+  std::printf("=> this machine is ~%.1fx faster per tuple than the 2012 "
+              "stack; pass --calibrate to fig6/fig7 to use local costs.\n",
+              paper.update_seconds(250, 10) / fitted.update_seconds(250, 10));
+
+  const bool ok = worst_error < 0.5;
+  std::printf("\nVERDICT: %s — the a + b*d*(p+1)^2 model fits within %.0f%%.\n",
+              ok ? "FIT OK" : "FIT POOR", 100.0 * worst_error);
+  return ok ? 0 : 1;
+}

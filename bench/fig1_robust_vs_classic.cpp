@@ -1,0 +1,162 @@
+// Figure 1 reproduction: eigenvalue traces of classical vs robust
+// incremental PCA on random test data with artificially generated outliers.
+//
+// The paper's claim: classical PCA's eigensystem cannot converge — each
+// outlier captures the top eigenvector ("rainbow effect"), eigenvalues stay
+// noisy — while robust PCA converges fast and flags the outliers (the black
+// points atop the plot).
+//
+// Output: a downsampled trace table (sample index, top-3 eigenvalues for
+// both engines, outlier flags in the window), then summary statistics:
+// trace noisiness (relative step-to-step variation late in the stream),
+// final subspace error, and outlier detection counts.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "pca/incremental_pca.h"
+#include "pca/robust_pca.h"
+#include "pca/subspace.h"
+#include "stats/descriptive.h"
+#include "stats/mscale.h"
+#include "stats/rng.h"
+
+using namespace astro;
+
+namespace {
+
+struct Trace {
+  std::vector<double> lambda1;
+  std::vector<double> affinity;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  astro::bench::CsvSeries csv(astro::bench::csv_dir_from_args(argc, argv),
+                              "fig1",
+                              {"sample", "classic_l1", "classic_affinity",
+                               "robust_l1", "robust_affinity", "flagged"});
+  constexpr std::size_t kDim = 100;
+  constexpr std::size_t kRank = 5;
+  constexpr int kSamples = 20000;
+  constexpr double kOutlierFraction = 0.05;
+  constexpr double kOutlierAmplitude = 60.0;
+  constexpr int kStride = 500;
+
+  stats::Rng rng(20120101);
+  const linalg::Matrix truth = stats::random_orthonormal(rng, kDim, kRank);
+  linalg::Vector scales(kRank);
+  for (std::size_t k = 0; k < kRank; ++k) scales[k] = 3.0 / double(k + 1);
+
+  pca::IncrementalPcaConfig classic_cfg;
+  classic_cfg.dim = kDim;
+  classic_cfg.rank = kRank;
+  classic_cfg.alpha = 1.0 - 1.0 / 2000.0;
+  pca::IncrementalPca classic(classic_cfg);
+
+  pca::RobustPcaConfig robust_cfg;
+  robust_cfg.dim = kDim;
+  robust_cfg.rank = kRank;
+  robust_cfg.alpha = 1.0 - 1.0 / 2000.0;
+  robust_cfg.delta =
+      stats::chi2_consistent_delta(stats::BisquareRho{}, kDim - kRank);
+  pca::RobustIncrementalPca robust(robust_cfg);
+
+  Trace classic_trace, robust_trace;
+  int planted = 0, flagged_true = 0, flagged_false = 0;
+
+  std::printf("=== Figure 1: classical vs robust incremental PCA under "
+              "%.0f%% outlier contamination ===\n",
+              100.0 * kOutlierFraction);
+  std::printf("d = %zu, p = %zu, outlier amplitude = %.0f, alpha = 1 - "
+              "1/2000\n\n",
+              kDim, kRank, kOutlierAmplitude);
+  std::printf("%8s | %12s %12s %9s | %12s %12s %9s | %s\n", "sample",
+              "classic l1", "classic l2", "cls aff", "robust l1", "robust l2",
+              "rob aff", "flagged");
+
+  for (int n = 1; n <= kSamples; ++n) {
+    linalg::Vector x(kDim);
+    bool is_outlier = false;
+    if (rng.bernoulli(kOutlierFraction)) {
+      is_outlier = true;
+      ++planted;
+      x = rng.gaussian_vector(kDim);
+      x.normalize();
+      x *= kOutlierAmplitude;
+    } else {
+      for (std::size_t k = 0; k < kRank; ++k) {
+        const double c = rng.gaussian(0.0, scales[k]);
+        for (std::size_t i = 0; i < kDim; ++i) x[i] += c * truth(i, k);
+      }
+      for (auto& v : x) v += rng.gaussian(0.0, 0.1);
+    }
+    classic.observe(x);
+    const auto rep = robust.observe(x);
+    if (rep.outlier && is_outlier) ++flagged_true;
+    if (rep.outlier && !is_outlier) ++flagged_false;
+
+    if (classic.initialized() && robust.initialized()) {
+      classic_trace.lambda1.push_back(classic.eigensystem().eigenvalues()[0]);
+      robust_trace.lambda1.push_back(robust.eigensystem().eigenvalues()[0]);
+      classic_trace.affinity.push_back(
+          pca::subspace_affinity(classic.eigensystem().basis(), truth));
+      robust_trace.affinity.push_back(
+          pca::subspace_affinity(robust.eigensystem().basis(), truth));
+    }
+    if (n % 100 == 0 && classic.initialized()) {
+      csv.row({double(n), classic.eigensystem().eigenvalues()[0],
+               classic_trace.affinity.back(),
+               robust.eigensystem().eigenvalues()[0],
+               robust_trace.affinity.back(),
+               double(robust.outliers_flagged())});
+    }
+    if (n % kStride == 0 && classic.initialized()) {
+      std::printf("%8d | %12.3f %12.3f %9.4f | %12.3f %12.3f %9.4f | %d\n", n,
+                  classic.eigensystem().eigenvalues()[0],
+                  classic.eigensystem().eigenvalues()[1],
+                  classic_trace.affinity.back(),
+                  robust.eigensystem().eigenvalues()[0],
+                  robust.eigensystem().eigenvalues()[1],
+                  robust_trace.affinity.back(),
+                  int(robust.outliers_flagged()));
+    }
+  }
+
+  // Trace noisiness over the second half: mean |step| / mean level of l1.
+  auto noisiness = [](const std::vector<double>& t) {
+    double step = 0.0, level = 0.0;
+    const std::size_t lo = t.size() / 2;
+    for (std::size_t i = lo + 1; i < t.size(); ++i) {
+      step += std::abs(t[i] - t[i - 1]);
+      level += std::abs(t[i]);
+    }
+    return level > 0.0 ? step / level * double(t.size() - lo) /
+                             double(t.size() - lo - 1)
+                       : 0.0;
+  };
+
+  std::printf("\n--- Summary (paper's qualitative claims) ---\n");
+  std::printf("classic: final affinity %.4f, l1 trace noisiness %.5f\n",
+              classic_trace.affinity.back(), noisiness(classic_trace.lambda1));
+  std::printf("robust : final affinity %.4f, l1 trace noisiness %.5f\n",
+              robust_trace.affinity.back(), noisiness(robust_trace.lambda1));
+  std::printf("robust true eigenvalue lambda1 = %.3f (truth 9.0); classic "
+              "lambda1 = %.3f (outlier-inflated)\n",
+              robust.eigensystem().eigenvalues()[0],
+              classic.eigensystem().eigenvalues()[0]);
+  std::printf("outliers: planted %d, detected %d (%.1f%%), false alarms %d\n",
+              planted, flagged_true,
+              planted > 0 ? 100.0 * flagged_true / planted : 0.0,
+              flagged_false);
+  const bool robust_wins =
+      robust_trace.affinity.back() > classic_trace.affinity.back() + 0.05 &&
+      flagged_true > planted * 8 / 10;
+  std::printf("\nVERDICT: %s — robust converges while classical does not, "
+              "and outliers are flagged.\n",
+              robust_wins ? "REPRODUCED" : "NOT reproduced");
+  return robust_wins ? 0 : 1;
+}

@@ -1,0 +1,190 @@
+// Figures 4-5 reproduction: convergence of galaxy eigenspectra.
+//
+// Figure 4: early in the stream the first four eigenvectors are noisy and
+// spectral lines are barely distinguishable.  Figure 5: after a significant
+// number of observations they are smooth and show physically meaningful
+// features; "we frequently see fast convergence way before getting to the
+// last galaxy ... the galaxy manifold is inherently low rank".
+//
+// We quantify what the paper shows visually: per-eigenspectrum roughness
+// (noise level), alignment with the generator's ground-truth basis, and the
+// contrast of line features (response at catalog line positions vs the
+// line-free continuum) — early (n = 200) vs converged (n = 20000).
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "pca/robust_pca.h"
+#include "pca/subspace.h"
+#include "spectra/generator.h"
+#include "spectra/line_catalog.h"
+
+using namespace astro;
+
+namespace {
+
+// Mean |response| of a spectrum at the catalog line positions divided by
+// mean |response| far from any line: > 1 means features stand out.
+double line_contrast(const linalg::Vector& spectrum,
+                     const linalg::Vector& wavelengths) {
+  double on = 0.0, off = 0.0;
+  std::size_t n_on = 0, n_off = 0;
+  for (std::size_t i = 0; i < spectrum.size(); ++i) {
+    double nearest = 1e9;
+    for (const auto& line : spectra::line_catalog()) {
+      nearest = std::min(nearest,
+                         std::abs(wavelengths[i] - line.rest_wavelength));
+    }
+    if (nearest < 10.0) {
+      on += std::abs(spectrum[i]);
+      ++n_on;
+    } else if (nearest > 60.0) {
+      off += std::abs(spectrum[i]);
+      ++n_off;
+    }
+  }
+  if (n_on == 0 || n_off == 0 || off == 0.0) return 0.0;
+  return (on / double(n_on)) / (off / double(n_off));
+}
+
+// Roughness restricted to line-free continuum pixels: real eigenspectra
+// are smooth *between* the lines ("the smoothness of these curves is a sign
+// of robustness"), while sharp line profiles are genuine features that a
+// global second-difference metric would wrongly punish.
+double continuum_roughness(const linalg::Vector& spectrum,
+                           const linalg::Vector& wavelengths) {
+  std::vector<double> continuum;
+  for (std::size_t i = 0; i < spectrum.size(); ++i) {
+    double nearest = 1e9;
+    for (const auto& line : spectra::line_catalog()) {
+      nearest = std::min(nearest,
+                         std::abs(wavelengths[i] - line.rest_wavelength));
+    }
+    if (nearest > 60.0) continuum.push_back(spectrum[i]);
+  }
+  return spectra::roughness(linalg::Vector(std::move(continuum)));
+}
+
+struct Snapshot {
+  std::vector<double> roughness;       // continuum-only
+  std::vector<double> noise_fraction;  // sin of the angle to the true vector
+  std::vector<double> contrast;
+};
+
+Snapshot snapshot(const pca::EigenSystem& system,
+                  const spectra::GalaxySpectrumGenerator& gen,
+                  std::size_t count) {
+  Snapshot s;
+  for (std::size_t k = 0; k < count; ++k) {
+    const linalg::Vector ek = system.basis().col(k);
+    s.roughness.push_back(continuum_roughness(ek, gen.wavelengths()));
+    const double a = pca::alignment(ek, gen.true_basis().col(k));
+    s.noise_fraction.push_back(std::sqrt(std::max(0.0, 1.0 - a * a)));
+    s.contrast.push_back(line_contrast(ek, gen.wavelengths()));
+  }
+  return s;
+}
+
+void print_snapshot(const char* label, const Snapshot& s) {
+  std::printf("%s\n", label);
+  std::printf("  %-16s", "eigenspectrum");
+  for (std::size_t k = 0; k < s.roughness.size(); ++k) {
+    std::printf("%12zu", k + 1);
+  }
+  std::printf("\n  %-16s", "cont. roughness");
+  for (double r : s.roughness) std::printf("%12.4f", r);
+  std::printf("\n  %-16s", "noise fraction");
+  for (double a : s.noise_fraction) std::printf("%12.4f", a);
+  std::printf("\n  %-16s", "line contrast");
+  for (double c : s.contrast) std::printf("%12.3f", c);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kPixels = 500;
+  constexpr std::size_t kComponents = 4;
+  constexpr int kEarly = 100;
+  constexpr int kConverged = 20000;
+
+  spectra::SpectraConfig workload;
+  workload.pixels = kPixels;
+  workload.components = kComponents;
+  workload.noise = 0.15;  // visibly noisy early eigenspectra, as in Fig. 4
+  spectra::GalaxySpectrumGenerator gen(workload);
+
+  pca::RobustPcaConfig cfg;
+  cfg.dim = kPixels;
+  cfg.rank = kComponents;
+  cfg.alpha = 1.0 - 1.0 / 5000.0;
+  cfg.init_count = 30;
+  pca::RobustIncrementalPca engine(cfg);
+
+  std::printf("=== Figures 4-5: convergence of the first %zu galaxy "
+              "eigenspectra (%zu pixels) ===\n\n",
+              kComponents, kPixels);
+
+  Snapshot early, converged;
+  for (int n = 1; n <= kConverged; ++n) {
+    engine.observe(gen.next().flux);
+    if (n == kEarly) early = snapshot(engine.eigensystem(), gen, kComponents);
+  }
+  converged = snapshot(engine.eigensystem(), gen, kComponents);
+
+  print_snapshot("Figure 4 (early, n = 100): noisy, weak features --", early);
+  std::printf("\n");
+  print_snapshot("Figure 5 (converged, n = 20000): smooth, clear features --",
+                 converged);
+
+  // Fast convergence: how many observations until affinity > 0.95?
+  spectra::GalaxySpectrumGenerator gen2(workload);
+  pca::RobustIncrementalPca engine2(cfg);
+  int convergence_n = -1;
+  for (int n = 1; n <= kConverged; ++n) {
+    engine2.observe(gen2.next().flux);
+    if (engine2.initialized() && n % 100 == 0 && convergence_n < 0) {
+      if (pca::subspace_affinity(engine2.eigensystem().basis(),
+                                 gen2.true_basis()) > 0.95) {
+        convergence_n = n;
+      }
+    }
+  }
+  std::printf("\n--- Summary ---\n");
+  std::printf("subspace affinity > 0.95 reached after %d observations "
+              "(fast convergence: low-rank galaxy manifold)\n",
+              convergence_n);
+
+  bool reproduced = convergence_n > 0;
+  double mean_rough_early = 0.0, mean_rough_late = 0.0;
+  double mean_noise_early = 0.0, mean_noise_late = 0.0;
+  double mean_contrast_early = 0.0, mean_contrast_late = 0.0;
+  for (std::size_t k = 0; k < kComponents; ++k) {
+    mean_rough_early += early.roughness[k] / double(kComponents);
+    mean_rough_late += converged.roughness[k] / double(kComponents);
+    mean_noise_early += early.noise_fraction[k] / double(kComponents);
+    mean_noise_late += converged.noise_fraction[k] / double(kComponents);
+    mean_contrast_early += early.contrast[k] / double(kComponents);
+    mean_contrast_late += converged.contrast[k] / double(kComponents);
+  }
+  // Continuum roughness is diagnostic for the continuum-shape component
+  // (the others are line features whose continuum segments hold no signal,
+  // only residual noise, so their ratio stays O(1) by construction).
+  std::printf("continuum component roughness: %.4f early -> %.4f converged "
+              "(the curve smooths out)\n",
+              early.roughness[0], converged.roughness[0]);
+  std::printf("mean noise fraction: %.4f early -> %.4f converged "
+              "(eigenvectors lock onto truth)\n",
+              mean_noise_early, mean_noise_late);
+  std::printf("mean line contrast: %.3f early -> %.3f converged (features "
+              "emerge)\n",
+              mean_contrast_early, mean_contrast_late);
+  reproduced = reproduced && converged.roughness[0] < 0.5 * early.roughness[0] &&
+               mean_noise_late < 0.5 * mean_noise_early &&
+               mean_contrast_late > mean_contrast_early;
+  std::printf("\nVERDICT: %s — eigenspectra smooth out and develop line "
+              "features as data accumulates.\n",
+              reproduced ? "REPRODUCED" : "NOT reproduced");
+  return reproduced ? 0 : 1;
+}

@@ -1,0 +1,95 @@
+// Capacity planning for the paper's motivating workload: "the Large
+// Synoptic Survey Telescope is expected to generate data at a sustained
+// rate of 160 MB per second, nearly a 40-fold increase over the 4.3 MB per
+// second generation rate for the Sloan Digital Sky Survey."
+//
+// Using the calibrated cluster model, find the smallest cluster (paper-era
+// nodes, distributed placement, 2 engines per node) that sustains the SDSS
+// and LSST ingest rates for a d = 2000, p = 10 spectral stream, and report
+// how throughput scales with node count — the paper's closing claim that
+// "further scaling can be achieved by increasing the number of nodes".
+
+#include <cstdio>
+#include <vector>
+
+#include "cluster/scaling_model.h"
+
+using namespace astro::cluster;
+
+int main() {
+  const CostModel costs;  // paper-era per-tuple constants
+  constexpr std::size_t kDim = 2000;
+  constexpr std::size_t kTupleBytes = 16 + kDim * 8;
+  const double sdss_rate = 4.3e6 / double(kTupleBytes);   // tuples/s
+  const double lsst_rate = 160.0e6 / double(kTupleBytes); // tuples/s
+
+  std::printf("=== LSST sizing study (d = %zu, %zu-byte tuples) ===\n\n",
+              kDim, kTupleBytes);
+  std::printf("SDSS ingest  = %7.0f tuples/s\n", sdss_rate);
+  std::printf("LSST ingest  = %7.0f tuples/s (the 37x the paper cites)\n\n",
+              lsst_rate);
+
+  std::printf("-- single splitter (the paper's topology) --\n");
+  std::printf("%8s %10s %14s %12s\n", "nodes", "engines", "throughput t/s",
+              "covers SDSS");
+
+  std::size_t sdss_nodes = 0;
+  double single_best = 0.0;
+  for (std::size_t nodes : {2u, 5u, 10u, 20u, 40u, 80u}) {
+    ClusterConfig cluster;
+    cluster.nodes = nodes;
+    SimPipelineConfig pc;
+    pc.engines = 2 * nodes;  // the paper's optimum: 2 engines per node
+    pc.dim = kDim;
+    pc.rank = 10;
+    pc.placement = Placement::kDistributed;
+    pc.sim_seconds = 1.0;
+    const SimResult r = simulate_streaming_pca(cluster, pc, costs);
+    if (r.throughput >= sdss_rate && sdss_nodes == 0) sdss_nodes = nodes;
+    single_best = std::max(single_best, r.throughput);
+    std::printf("%8zu %10zu %14.0f %12s\n", nodes, pc.engines, r.throughput,
+                r.throughput >= sdss_rate ? "yes" : "no");
+  }
+  std::printf("\nA single splitter tops out near %.0f t/s — its NIC (and the "
+              "per-connection\nfan-out cost) is the hard ceiling, so adding "
+              "nodes eventually *hurts*.\nLSST-rate processing therefore "
+              "needs sharded ingest: k independent\nsplitter+engine groups, "
+              "each at the paper's sweet spot (10 nodes,\n2 engines/node), "
+              "eigensystems merged across shards exactly like any\nother "
+              "synchronization round.\n\n",
+              single_best);
+
+  // One shard at the sweet spot; shards are independent, so k shards give
+  // k times the throughput (the merge traffic is negligible by comparison).
+  ClusterConfig shard_cluster;
+  SimPipelineConfig shard;
+  shard.engines = 20;
+  shard.dim = kDim;
+  shard.rank = 10;
+  shard.placement = Placement::kDistributed;
+  shard.sim_seconds = 1.0;
+  const double per_shard =
+      simulate_streaming_pca(shard_cluster, shard, costs).throughput;
+
+  std::printf("-- sharded ingest (10-node shards, 2 engines/node) --\n");
+  std::printf("%8s %10s %14s %12s\n", "shards", "nodes", "throughput t/s",
+              "covers LSST");
+  std::size_t lsst_shards = 0;
+  for (std::size_t shards : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    const double throughput = per_shard * double(shards);
+    if (throughput >= lsst_rate && lsst_shards == 0) lsst_shards = shards;
+    std::printf("%8zu %10zu %14.0f %12s\n", shards, 10 * shards, throughput,
+                throughput >= lsst_rate ? "yes" : "no");
+  }
+
+  std::printf("\nSDSS rates: ~%zu paper-era nodes.  LSST rates: ~%zu shards "
+              "= %zu nodes.\n",
+              sdss_nodes, lsst_shards, 10 * lsst_shards);
+
+  const bool ok = sdss_nodes > 0 && lsst_shards > 0;
+  std::printf("\nVERDICT: %s — SDSS is easy, LSST needs partitioned ingest; "
+              "\"increasing the\nnumber of nodes\" holds only once the "
+              "single-splitter topology is sharded.\n",
+              ok ? "CONFIRMED" : "UNEXPECTED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,151 @@
+// E10: PCA-kernel micro-benchmarks (google-benchmark): per-tuple streaming
+// updates (classic vs robust, with and without gaps), eigensystem merging,
+// and batch baselines.
+
+#include <benchmark/benchmark.h>
+
+#include "pca/batch_pca.h"
+#include "pca/incremental_pca.h"
+#include "pca/merge.h"
+#include "pca/robust_pca.h"
+#include "stats/rng.h"
+
+using namespace astro;
+
+namespace {
+
+std::vector<linalg::Vector> dataset(std::size_t n, std::size_t d,
+                                    std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<linalg::Vector> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(rng.gaussian_vector(d));
+  return out;
+}
+
+void BM_ClassicUpdate(benchmark::State& state) {
+  const auto d = std::size_t(state.range(0));
+  const auto p = std::size_t(state.range(1));
+  pca::IncrementalPcaConfig cfg;
+  cfg.dim = d;
+  cfg.rank = p;
+  pca::IncrementalPca engine(cfg);
+  const auto data = dataset(512, d, 11);
+  std::size_t i = 0;
+  while (!engine.initialized()) engine.observe(data[i++ % data.size()]);
+  for (auto _ : state) {
+    engine.observe(data[i++ % data.size()]);
+  }
+}
+BENCHMARK(BM_ClassicUpdate)->Args({250, 10})->Args({1000, 10})->Args({2000, 10});
+
+void BM_RobustUpdate(benchmark::State& state) {
+  const auto d = std::size_t(state.range(0));
+  const auto p = std::size_t(state.range(1));
+  pca::RobustPcaConfig cfg;
+  cfg.dim = d;
+  cfg.rank = p;
+  pca::RobustIncrementalPca engine(cfg);
+  const auto data = dataset(512, d, 13);
+  std::size_t i = 0;
+  while (!engine.initialized()) engine.observe(data[i++ % data.size()]);
+  for (auto _ : state) {
+    engine.observe(data[i++ % data.size()]);
+  }
+}
+BENCHMARK(BM_RobustUpdate)
+    ->Args({250, 5})
+    ->Args({250, 10})
+    ->Args({500, 10})
+    ->Args({1000, 10})
+    ->Args({2000, 10});
+
+void BM_RobustUpdateWithGaps(benchmark::State& state) {
+  const auto d = std::size_t(state.range(0));
+  pca::RobustPcaConfig cfg;
+  cfg.dim = d;
+  cfg.rank = 10;
+  cfg.extra_rank = 2;
+  pca::RobustIncrementalPca engine(cfg);
+  const auto data = dataset(512, d, 17);
+  pca::PixelMask mask(d, true);
+  for (std::size_t i = 0; i < d / 5; ++i) mask[d - 1 - i] = false;  // 20% gap
+  std::size_t i = 0;
+  while (!engine.initialized()) engine.observe(data[i++ % data.size()]);
+  for (auto _ : state) {
+    engine.observe(data[i++ % data.size()], mask);
+  }
+}
+BENCHMARK(BM_RobustUpdateWithGaps)->Arg(250)->Arg(1000);
+
+void BM_Merge(benchmark::State& state) {
+  const auto d = std::size_t(state.range(0));
+  const auto p = std::size_t(state.range(1));
+  stats::Rng rng(19);
+  auto make_system = [&](std::uint64_t seed) {
+    stats::Rng r(seed);
+    linalg::Matrix basis = stats::random_orthonormal(r, d, p);
+    linalg::Vector lambda(p);
+    for (std::size_t k = 0; k < p; ++k) lambda[k] = 1.0 / double(k + 1);
+    stats::RobustRunningSums sums(1.0);
+    sums.update(1.0, 1.0);
+    return pca::EigenSystem(r.gaussian_vector(d), std::move(basis),
+                            std::move(lambda), 0.1, sums, 100);
+  };
+  const pca::EigenSystem a = make_system(1), b = make_system(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pca::merge(a, b));
+  }
+}
+BENCHMARK(BM_Merge)->Args({250, 10})->Args({1000, 10})->Args({2000, 10});
+
+void BM_MergeEqualMeans(benchmark::State& state) {
+  // The eq. (16) fast path used by live synchronization.
+  const auto d = std::size_t(state.range(0));
+  constexpr std::size_t p = 10;
+  auto make_system = [&](std::uint64_t seed) {
+    stats::Rng r(seed);
+    linalg::Matrix basis = stats::random_orthonormal(r, d, p);
+    linalg::Vector lambda(p);
+    for (std::size_t k = 0; k < p; ++k) lambda[k] = 1.0 / double(k + 1);
+    stats::RobustRunningSums sums(1.0);
+    sums.update(1.0, 1.0);
+    return pca::EigenSystem(r.gaussian_vector(d), std::move(basis),
+                            std::move(lambda), 0.1, sums, 100);
+  };
+  const pca::EigenSystem a = make_system(3), b = make_system(4);
+  pca::MergeOptions opts;
+  opts.assume_equal_means = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pca::merge(a, b, opts));
+  }
+}
+BENCHMARK(BM_MergeEqualMeans)->Arg(250)->Arg(1000)->Arg(2000);
+
+void BM_BatchPca(benchmark::State& state) {
+  const auto n = std::size_t(state.range(0));
+  const auto data = dataset(n, 100, 23);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pca::batch_pca(data, 5));
+  }
+}
+BENCHMARK(BM_BatchPca)->Arg(100)->Arg(400);
+
+void BM_SquaredResidual(benchmark::State& state) {
+  const auto d = std::size_t(state.range(0));
+  stats::Rng rng(29);
+  linalg::Matrix basis = stats::random_orthonormal(rng, d, 10);
+  linalg::Vector lambda(10, 1.0);
+  pca::EigenSystem sys(rng.gaussian_vector(d), std::move(basis),
+                       std::move(lambda), 0.1, stats::RobustRunningSums(1.0),
+                       10);
+  const linalg::Vector x = rng.gaussian_vector(d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.squared_residual(x));
+  }
+}
+BENCHMARK(BM_SquaredResidual)->Arg(250)->Arg(2000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Stream-engine micro-benchmarks (google-benchmark): channel throughput,
+// splitter routing cost, tuple framing — the fixed per-tuple overheads the
+// cost model's split/serialization constants account for.
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "io/frame.h"
+#include "stream/queue.h"
+#include "stream/tuple.h"
+#include "stats/rng.h"
+
+using namespace astro;
+
+namespace {
+
+stream::DataTuple make_tuple(std::size_t d) {
+  stream::DataTuple t;
+  stats::Rng rng(d);
+  t.values = rng.gaussian_vector(d);
+  return t;
+}
+
+void BM_QueuePushPop_SingleThread(benchmark::State& state) {
+  stream::BoundedQueue<stream::DataTuple> q(1024);
+  stream::DataTuple t = make_tuple(std::size_t(state.range(0)));
+  stream::DataTuple out;
+  for (auto _ : state) {
+    stream::DataTuple copy = t;
+    q.push(std::move(copy));
+    q.pop(out);
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_QueuePushPop_SingleThread)->Arg(250)->Arg(2000);
+
+void BM_QueueProducerConsumer(benchmark::State& state) {
+  // Cross-thread hand-off cost: one producer, one consumer.
+  const std::size_t d = std::size_t(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    stream::BoundedQueue<stream::DataTuple> q(256);
+    constexpr int kItems = 2000;
+    state.ResumeTiming();
+    std::thread consumer([&] {
+      stream::DataTuple out;
+      int n = 0;
+      while (n < kItems && q.pop(out)) ++n;
+    });
+    stream::DataTuple t = make_tuple(d);
+    for (int i = 0; i < kItems; ++i) {
+      stream::DataTuple copy = t;
+      q.push(std::move(copy));
+    }
+    consumer.join();
+    state.SetItemsProcessed(state.items_processed() + kItems);
+  }
+}
+BENCHMARK(BM_QueueProducerConsumer)->Arg(250)->Unit(benchmark::kMillisecond);
+
+void BM_FrameEncode(benchmark::State& state) {
+  const stream::DataTuple t = make_tuple(std::size_t(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(io::encode_tuple(t));
+  }
+}
+BENCHMARK(BM_FrameEncode)->Arg(250)->Arg(2000);
+
+void BM_FrameDecode(benchmark::State& state) {
+  const auto frame = io::encode_tuple(make_tuple(std::size_t(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(io::decode_tuple(frame));
+  }
+}
+BENCHMARK(BM_FrameDecode)->Arg(250)->Arg(2000);
+
+void BM_TupleCopy(benchmark::State& state) {
+  const stream::DataTuple t = make_tuple(std::size_t(state.range(0)));
+  for (auto _ : state) {
+    stream::DataTuple copy = t;
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_TupleCopy)->Arg(250)->Arg(2000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

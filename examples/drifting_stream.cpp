@@ -1,0 +1,98 @@
+// Tracking a time-varying manifold (§II-B): exponential forgetting versus
+// the bucket-based sliding window, side by side, through an abrupt regime
+// change — e.g. an instrument change mid-survey, or a cluster workload
+// shift in the monitoring use case.
+//
+//   build/examples/drifting_stream
+//
+// Prints the affinity of each tracker to the *current* regime over time:
+// infinite memory never recovers, forgetting recovers smoothly with an
+// exponential tail, and the sliding window recovers completely once the
+// old regime has rolled out of its buckets.
+
+#include <cstdio>
+
+#include "pca/robust_pca.h"
+#include "pca/subspace.h"
+#include "pca/windowed.h"
+#include "stats/rng.h"
+
+using namespace astro;
+
+namespace {
+
+linalg::Vector draw(const linalg::Matrix& basis, stats::Rng& rng) {
+  linalg::Vector x(basis.rows());
+  for (std::size_t k = 0; k < basis.cols(); ++k) {
+    const double c = rng.gaussian(0.0, 2.5 / double(k + 1));
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] += c * basis(i, k);
+  }
+  for (auto& v : x) v += rng.gaussian(0.0, 0.05);
+  return x;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kDim = 30;
+  constexpr std::size_t kRank = 3;
+  constexpr int kSwitchAt = 6000;
+  constexpr int kTotal = 14000;
+
+  stats::Rng rng(2012);
+  const linalg::Matrix regime_a = stats::random_orthonormal(rng, kDim, kRank);
+  const linalg::Matrix regime_b = stats::random_orthonormal(rng, kDim, kRank);
+
+  pca::RobustPcaConfig frozen_cfg;
+  frozen_cfg.dim = kDim;
+  frozen_cfg.rank = kRank;
+  frozen_cfg.alpha = 1.0;  // infinite memory
+  // Disable the rejection-reset safety valve for this tracker: after the
+  // switch the new regime looks like an outlier storm, and the valve would
+  // adapt sigma^2 and let the engine recover -- instructive, but here we
+  // want to show the *pure* infinite-memory behaviour.
+  frozen_cfg.reject_reset_threshold = 0;
+  pca::RobustIncrementalPca frozen(frozen_cfg);
+
+  pca::RobustPcaConfig forget_cfg = frozen_cfg;
+  forget_cfg.alpha = 1.0 - 1.0 / 1500.0;  // the paper's damping factor
+  forget_cfg.reject_reset_threshold = 64;  // keep the valve: fast re-scale
+  pca::RobustIncrementalPca forgetting(forget_cfg);
+
+  pca::WindowedPcaConfig window_cfg;
+  window_cfg.dim = kDim;
+  window_cfg.rank = kRank;
+  window_cfg.window = 3000;
+  window_cfg.buckets = 6;
+  pca::SlidingWindowPca windowed(window_cfg);
+
+  std::printf("Regime switch at sample %d.  Affinity to the CURRENT "
+              "regime:\n\n",
+              kSwitchAt);
+  std::printf("%8s  %12s  %14s  %14s\n", "sample", "infinite",
+              "alpha=1-1/1500", "window=3000");
+
+  for (int n = 1; n <= kTotal; ++n) {
+    const linalg::Matrix& regime = n <= kSwitchAt ? regime_a : regime_b;
+    const linalg::Vector x = draw(regime, rng);
+    frozen.observe(x);
+    forgetting.observe(x);
+    windowed.observe(x);
+
+    if (n % 1000 == 0) {
+      const auto w = windowed.eigensystem();
+      std::printf("%8d  %12.4f  %14.4f  %14.4f%s\n", n,
+                  pca::subspace_affinity(frozen.eigensystem().basis(), regime),
+                  pca::subspace_affinity(forgetting.eigensystem().basis(),
+                                         regime),
+                  w ? pca::subspace_affinity(w->basis(), regime) : 0.0,
+                  n == kSwitchAt ? "   <-- regime switch" : "");
+    }
+  }
+
+  std::printf(
+      "\nInfinite memory is stuck between regimes; the damping factor "
+      "recovers\nwith an exponential tail; the sliding window forgets the "
+      "old regime\ncompletely once it rolls out of the buckets.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Robust vs classic head-to-head on a contaminated stream — Figure 1 as an
+// interactive demo.  Shows the classic eigensystem being captured by
+// outliers (the "rainbow effect": its top eigenvector keeps jumping to
+// chase each outlier) while the robust engine holds the true subspace and
+// flags the outliers instead.
+//
+//   build/examples/outlier_flagging [contamination_percent]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "pca/incremental_pca.h"
+#include "pca/robust_pca.h"
+#include "pca/subspace.h"
+#include "stats/mscale.h"
+#include "stats/rng.h"
+
+using namespace astro;
+
+int main(int argc, char** argv) {
+  const double contamination =
+      argc > 1 ? std::atof(argv[1]) / 100.0 : 0.05;
+  constexpr std::size_t kDim = 40;
+  constexpr std::size_t kRank = 4;
+
+  stats::Rng rng(2012);
+  const linalg::Matrix truth = stats::random_orthonormal(rng, kDim, kRank);
+
+  pca::IncrementalPcaConfig classic_cfg;
+  classic_cfg.dim = kDim;
+  classic_cfg.rank = kRank;
+  classic_cfg.alpha = 1.0 - 1.0 / 1000.0;
+  pca::IncrementalPca classic(classic_cfg);
+
+  pca::RobustPcaConfig robust_cfg;
+  robust_cfg.dim = kDim;
+  robust_cfg.rank = kRank;
+  robust_cfg.alpha = 1.0 - 1.0 / 1000.0;
+  robust_cfg.delta =
+      stats::chi2_consistent_delta(stats::BisquareRho{}, kDim - kRank);
+  pca::RobustIncrementalPca robust(robust_cfg);
+
+  std::printf("Streaming with %.1f%% outlier contamination...\n\n",
+              100.0 * contamination);
+  std::printf("%8s  %18s  %18s  %s\n", "samples", "classic affinity",
+              "robust affinity", "flagged");
+
+  for (int n = 1; n <= 12000; ++n) {
+    linalg::Vector x(kDim);
+    if (rng.bernoulli(contamination)) {
+      x = rng.gaussian_vector(kDim);
+      x.normalize();
+      x *= 35.0;
+    } else {
+      for (std::size_t k = 0; k < kRank; ++k) {
+        const double c = rng.gaussian(0.0, 3.0 / double(k + 1));
+        for (std::size_t i = 0; i < kDim; ++i) x[i] += c * truth(i, k);
+      }
+      for (auto& v : x) v += rng.gaussian(0.0, 0.05);
+    }
+    classic.observe(x);
+    robust.observe(x);
+
+    if (n % 2000 == 0) {
+      std::printf("%8d  %18.4f  %18.4f  %llu\n", n,
+                  pca::subspace_affinity(classic.eigensystem().basis(), truth),
+                  pca::subspace_affinity(robust.eigensystem().basis(), truth),
+                  (unsigned long long)robust.outliers_flagged());
+    }
+  }
+
+  std::printf("\nClassic top eigenvalue: %10.2f\n",
+              classic.eigensystem().eigenvalues()[0]);
+  std::printf("Robust  top eigenvalue: %10.2f   (true value: 9.0)\n",
+              robust.eigensystem().eigenvalues()[0]);
+  std::printf(
+      "\nThe classic subspace never recovers (affinity stuck well below 1);\n"
+      "the robust engine converges and flags ~%.0f%% of the stream.\n",
+      100.0 * contamination);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Quickstart: robust incremental PCA on a synthetic stream in ~40 lines.
+//
+//   build/examples/quickstart
+//
+// Draws a stream from a low-rank Gaussian model with 5 % gross outliers,
+// feeds it one observation at a time to RobustIncrementalPca, and prints
+// the evolving eigenvalues plus how many outliers were auto-flagged.
+
+#include <cstdio>
+
+#include "pca/robust_pca.h"
+#include "pca/subspace.h"
+#include "stats/mscale.h"
+#include "stats/rng.h"
+
+using namespace astro;
+
+int main() {
+  constexpr std::size_t kDim = 50;
+  constexpr std::size_t kRank = 3;
+
+  // Ground-truth manifold: 3 random orthogonal directions in 50-d space.
+  stats::Rng rng(42);
+  const linalg::Matrix truth = stats::random_orthonormal(rng, kDim, kRank);
+  const linalg::Vector scales{3.0, 2.0, 1.0};
+
+  pca::RobustPcaConfig config;
+  config.dim = kDim;
+  config.rank = kRank;
+  config.alpha = 1.0 - 1.0 / 2000.0;  // effective window of 2000 samples
+  // Residuals have ~ d - p degrees of freedom; this delta makes the robust
+  // eigenvalues approximately unbiased on clean data (see stats/mscale.h).
+  config.delta =
+      stats::chi2_consistent_delta(stats::BisquareRho{}, kDim - kRank);
+  pca::RobustIncrementalPca engine(config);
+
+  std::printf("%8s  %10s %10s %10s  %9s  %s\n", "samples", "lambda1",
+              "lambda2", "lambda3", "affinity", "outliers");
+  for (int n = 1; n <= 20000; ++n) {
+    linalg::Vector x(kDim);
+    if (rng.bernoulli(0.05)) {
+      // A junk observation, far off the manifold.
+      x = rng.gaussian_vector(kDim);
+      x.normalize();
+      x *= 40.0;
+    } else {
+      for (std::size_t k = 0; k < kRank; ++k) {
+        const double c = rng.gaussian(0.0, scales[k]);
+        for (std::size_t i = 0; i < kDim; ++i) x[i] += c * truth(i, k);
+      }
+      for (auto& v : x) v += rng.gaussian(0.0, 0.05);
+    }
+    engine.observe(x);
+
+    if (n % 4000 == 0) {
+      const auto& s = engine.eigensystem();
+      std::printf("%8d  %10.3f %10.3f %10.3f  %9.4f  %llu\n", n,
+                  s.eigenvalues()[0], s.eigenvalues()[1], s.eigenvalues()[2],
+                  pca::subspace_affinity(s.basis(), truth),
+                  (unsigned long long)engine.outliers_flagged());
+    }
+  }
+  std::printf(
+      "\nTrue variances are 9 / 4 / 1 (plus noise); affinity 1.0 means the "
+      "subspace is recovered despite 5%% contamination.\n");
+  return 0;
+}

@@ -1,0 +1,198 @@
+#include "app/pipeline.h"
+
+#include <stdexcept>
+
+#include "pca/merge.h"
+
+namespace astro::app {
+
+using stream::ControlTuple;
+using stream::DataTuple;
+using stream::make_channel;
+
+StreamingPcaPipeline::StreamingPcaPipeline(
+    const PipelineConfig& config, stream::GeneratorSource::Generator generator)
+    : config_(config) {
+  generator_ = [gen = std::move(generator)]()
+      -> std::optional<stream::SourceItem> {
+    auto v = gen();
+    if (!v.has_value()) return std::nullopt;
+    return stream::SourceItem{std::move(*v), {}};
+  };
+  build(config);
+}
+
+StreamingPcaPipeline::StreamingPcaPipeline(
+    const PipelineConfig& config,
+    stream::GeneratorSource::MaskedGenerator generator)
+    : config_(config), generator_(std::move(generator)) {
+  build(config);
+}
+
+StreamingPcaPipeline::StreamingPcaPipeline(const PipelineConfig& config,
+                                           std::vector<linalg::Vector> data,
+                                           std::vector<pca::PixelMask> masks)
+    : config_(config),
+      replay_data_(std::move(data)),
+      replay_masks_(std::move(masks)) {
+  build(config);
+}
+
+void StreamingPcaPipeline::build(const PipelineConfig& config) {
+  if (config.engines == 0) {
+    throw std::invalid_argument("StreamingPcaPipeline: engines must be >= 1");
+  }
+  const std::size_t n = config.engines;
+  exchange_ = std::make_shared<sync::StateExchange>(n);
+
+  // Data plane.
+  auto source_out = make_channel<DataTuple>(config.channel_capacity);
+  if (generator_) {
+    source_ = graph_.add<stream::GeneratorSource>(
+        "source", std::move(generator_), source_out, config.source_rate);
+  } else {
+    source_ = graph_.add<stream::ReplaySource>(
+        "source", std::move(replay_data_), std::move(replay_masks_),
+        source_out, config.source_rate);
+  }
+
+  std::vector<stream::ChannelPtr<DataTuple>> engine_data;
+  for (std::size_t i = 0; i < n; ++i) {
+    engine_data.push_back(make_channel<DataTuple>(config.channel_capacity));
+  }
+  split_ = graph_.add<stream::SplitOperator>("split", source_out, engine_data,
+                                             config.split,
+                                             config.split_workers);
+
+  // Control plane.  Even with sync disabled the engines need control ports
+  // (they exit when both planes close), so the channels always exist.
+  std::vector<stream::ChannelPtr<ControlTuple>> engine_control;
+  for (std::size_t i = 0; i < n; ++i) {
+    engine_control.push_back(make_channel<ControlTuple>(256));
+  }
+
+  if (config.collect_outliers) {
+    outlier_channel_ = make_channel<DataTuple>(config.channel_capacity);
+  }
+
+  const sync::IndependencePolicy policy(config.pca.alpha,
+                                        config.independence_factor,
+                                        config.independence_fallback);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Each engine needs a decorrelated init: seed nothing (deterministic
+    // PCA), the random split already decorrelates partitions.
+    engines_.push_back(graph_.add<sync::PcaEngineOperator>(
+        "pca-" + std::to_string(i), int(i), config.pca, engine_data[i],
+        engine_control[i], exchange_, engine_control, policy,
+        outlier_channel_));
+  }
+
+  if (config.sync_rate_hz > 0.0 && n > 1) {
+    control_raw_ = make_channel<ControlTuple>(256);
+    auto throttled = make_channel<ControlTuple>(256);
+    controller_ = graph_.add<sync::SyncController>(
+        "sync-controller", sync::make_strategy(config.sync_strategy), n,
+        control_raw_);
+    sync_throttle_ = graph_.add<stream::ThrottleOperator<ControlTuple>>(
+        "sync-throttle", control_raw_, throttled, config.sync_rate_hz);
+    graph_.add<sync::ControlRouter>("control-router", throttled,
+                                    engine_control);
+  } else {
+    // No controller: close the control ports so engines can exit once the
+    // data plane drains.
+    for (auto& c : engine_control) c->close();
+  }
+
+  if (config.collect_outliers) {
+    outlier_sink_ =
+        graph_.add<stream::CollectorSink<DataTuple>>("outliers",
+                                                     outlier_channel_);
+  }
+
+  if (config.snapshot_interval_seconds > 0.0) {
+    auto snapshot_channel = make_channel<sync::SnapshotTuple>(4096);
+    snapshot_publisher_ = graph_.add<sync::SnapshotPublisher>(
+        "snapshots", engines_, snapshot_channel,
+        config.snapshot_interval_seconds);
+    snapshot_sink_ = graph_.add<stream::CollectorSink<sync::SnapshotTuple>>(
+        "snapshot-log", snapshot_channel);
+  }
+}
+
+void StreamingPcaPipeline::start() { graph_.start(); }
+
+void StreamingPcaPipeline::wait() {
+  // Natural completion order: source drains, split fans out and closes the
+  // engine data ports.  Engines keep serving control traffic until the sync
+  // subsystem is shut down, so stop it once the data plane has finished.
+  source_->join();
+  split_->join();
+  if (controller_ != nullptr) {
+    controller_->request_stop();
+    control_raw_->close();  // unblocks a controller mid-push
+    // Stop the throttle too: it would otherwise drain the controller's
+    // queued rounds at the throttled pace, stretching shutdown by
+    // backlog/rate seconds.
+    sync_throttle_->request_stop();
+  }
+  for (auto* e : engines_) e->join();
+  // All producers of the shared outlier stream are done; release the sink.
+  if (outlier_channel_) outlier_channel_->close();
+  if (snapshot_publisher_ != nullptr) snapshot_publisher_->request_stop();
+  graph_.wait();
+}
+
+void StreamingPcaPipeline::run() {
+  start();
+  wait();
+}
+
+void StreamingPcaPipeline::stop() {
+  graph_.stop();
+  if (control_raw_) control_raw_->close();
+}
+
+pca::EigenSystem StreamingPcaPipeline::result() const {
+  std::vector<pca::EigenSystem> systems;
+  systems.reserve(engines_.size());
+  for (const auto* e : engines_) {
+    pca::EigenSystem s = e->snapshot();
+    if (s.initialized()) systems.push_back(std::move(s));
+  }
+  if (systems.empty()) {
+    throw std::runtime_error("StreamingPcaPipeline: no engine initialized");
+  }
+  if (systems.size() == 1) return systems.front();
+  return pca::merge(systems);
+}
+
+pca::EigenSystem StreamingPcaPipeline::engine_snapshot(std::size_t i) const {
+  return engines_.at(i)->snapshot();
+}
+
+std::vector<sync::EngineStats> StreamingPcaPipeline::engine_stats() const {
+  std::vector<sync::EngineStats> out;
+  out.reserve(engines_.size());
+  for (const auto* e : engines_) out.push_back(e->stats());
+  return out;
+}
+
+std::vector<std::uint64_t> StreamingPcaPipeline::split_counts() const {
+  return split_->per_target_counts();
+}
+
+std::vector<stream::DataTuple> StreamingPcaPipeline::outliers() const {
+  if (outlier_sink_ == nullptr) return {};
+  return outlier_sink_->snapshot();
+}
+
+std::vector<sync::SnapshotTuple> StreamingPcaPipeline::snapshots() const {
+  if (snapshot_sink_ == nullptr) return {};
+  return snapshot_sink_->snapshot();
+}
+
+double StreamingPcaPipeline::throughput() const {
+  return split_->metrics().throughput();
+}
+
+}  // namespace astro::app

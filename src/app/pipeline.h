@@ -1,0 +1,122 @@
+#pragma once
+
+// StreamingPcaPipeline — the paper's Figure 2 analysis graph, assembled:
+//
+//   source ─> split ─┬─> PCA engine 0 ─┐
+//                    ├─> PCA engine 1 ─┼─ StateExchange (sync merges)
+//                    └─> PCA engine n ─┘
+//   sync controller ─> throttle ─> control router ─> engines (control ports)
+//
+// plus an optional outlier stream collecting the observations the robust
+// weighting rejected.  One call builds the graph; run() blocks until the
+// source is exhausted, every engine drained its partition, and the final
+// merged eigensystem is available from result().
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "pca/robust_pca.h"
+#include "stream/graph.h"
+#include "stream/sink.h"
+#include "stream/source.h"
+#include "stream/split.h"
+#include "stream/throttle.h"
+#include "sync/controller.h"
+#include "sync/pca_engine_op.h"
+#include "sync/snapshot_publisher.h"
+
+namespace astro::app {
+
+struct PipelineConfig {
+  pca::RobustPcaConfig pca;     ///< per-engine algorithm configuration
+  std::size_t engines = 4;     ///< parallel PCA instances
+  stream::SplitStrategy split = stream::SplitStrategy::kRandom;
+  std::size_t split_workers = 1;
+  std::string sync_strategy = "ring";
+  /// Sync rounds per second through the Throttle (paper used one round per
+  /// 0.5 s).  <= 0 disables synchronization entirely.
+  double sync_rate_hz = 2.0;
+  double independence_factor = 1.5;           ///< the paper's 1.5·N gate
+  std::uint64_t independence_fallback = 10000; ///< used when alpha == 1
+  std::size_t channel_capacity = 1024;
+  double source_rate = 0.0;  ///< tuples/s cap at the source; 0 = unthrottled
+  bool collect_outliers = false;
+  /// > 0 runs a SnapshotPublisher sampling every engine at this interval —
+  /// the in-flight results feed; read them with snapshots().
+  double snapshot_interval_seconds = 0.0;
+};
+
+class StreamingPcaPipeline {
+ public:
+  /// Stream from a generator (nullopt ends the stream).
+  StreamingPcaPipeline(const PipelineConfig& config,
+                       stream::GeneratorSource::Generator generator);
+
+  /// Stream from a gap-aware generator (items carry pixel masks, §II-D).
+  StreamingPcaPipeline(const PipelineConfig& config,
+                       stream::GeneratorSource::MaskedGenerator generator);
+
+  /// Replay a finite dataset (optionally with per-observation pixel masks).
+  StreamingPcaPipeline(const PipelineConfig& config,
+                       std::vector<linalg::Vector> data,
+                       std::vector<pca::PixelMask> masks = {});
+
+  /// Launches every operator.
+  void start();
+
+  /// Blocks until the source finishes and all engines drain, then shuts the
+  /// synchronization subsystem down cleanly.
+  void wait();
+
+  /// start() + wait().
+  void run();
+
+  /// Requests an early cooperative stop (e.g. for endless generators).
+  void stop();
+
+  /// Final global estimate: the merge of every engine's eigensystem —
+  /// "the resulting eigensystem can be obtained from any node", and the
+  /// merged one pools all partitions.
+  [[nodiscard]] pca::EigenSystem result() const;
+
+  /// Live snapshot of one engine (thread-safe; usable mid-run for in-flight
+  /// results).
+  [[nodiscard]] pca::EigenSystem engine_snapshot(std::size_t i) const;
+
+  [[nodiscard]] std::vector<sync::EngineStats> engine_stats() const;
+  [[nodiscard]] std::vector<std::uint64_t> split_counts() const;
+  [[nodiscard]] std::vector<stream::DataTuple> outliers() const;
+
+  /// In-flight snapshots collected so far (empty unless
+  /// snapshot_interval_seconds > 0).  Safe to call mid-run.
+  [[nodiscard]] std::vector<sync::SnapshotTuple> snapshots() const;
+  [[nodiscard]] std::size_t engines() const noexcept { return engines_.size(); }
+
+  /// Source-side tuples per second over the run (the Figure 6 metric: the
+  /// rate measured "at the operator splitting the stream").
+  [[nodiscard]] double throughput() const;
+
+ private:
+  void build(const PipelineConfig& config);
+
+  PipelineConfig config_;
+  stream::FlowGraph graph_;
+  stream::Operator* source_ = nullptr;
+  stream::SplitOperator* split_ = nullptr;
+  sync::SyncController* controller_ = nullptr;
+  stream::Operator* sync_throttle_ = nullptr;
+  stream::ChannelPtr<stream::ControlTuple> control_raw_;
+  std::vector<sync::PcaEngineOperator*> engines_;
+  stream::CollectorSink<stream::DataTuple>* outlier_sink_ = nullptr;
+  stream::ChannelPtr<stream::DataTuple> outlier_channel_;
+  sync::SnapshotPublisher* snapshot_publisher_ = nullptr;
+  stream::CollectorSink<sync::SnapshotTuple>* snapshot_sink_ = nullptr;
+  std::shared_ptr<sync::StateExchange> exchange_;
+  // Deferred-construction inputs.
+  stream::GeneratorSource::MaskedGenerator generator_;
+  std::vector<linalg::Vector> replay_data_;
+  std::vector<pca::PixelMask> replay_masks_;
+};
+
+}  // namespace astro::app

@@ -1,0 +1,80 @@
+#include "cluster/cost_model.h"
+
+#include <chrono>
+#include <vector>
+
+#include "pca/robust_pca.h"
+#include "stats/rng.h"
+
+namespace astro::cluster {
+
+namespace {
+
+// Wall-clock seconds per observe() call at the given shape.
+double measure_update(std::size_t d, std::size_t p, std::size_t reps) {
+  pca::RobustPcaConfig cfg;
+  cfg.dim = d;
+  cfg.rank = p;
+  cfg.init_count = 4 * p;
+  cfg.reorthonormalize_every = 0;
+  pca::RobustIncrementalPca engine(cfg);
+  stats::Rng rng(d * 31 + p);
+
+  // Pre-generate data so generation cost stays out of the timing.
+  std::vector<linalg::Vector> data;
+  data.reserve(reps + cfg.init_count);
+  for (std::size_t i = 0; i < reps + cfg.init_count; ++i) {
+    data.push_back(rng.gaussian_vector(d));
+  }
+  std::size_t i = 0;
+  while (!engine.initialized()) engine.observe(data[i++]);
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < reps; ++r) engine.observe(data[i + r - 1]);
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count() / double(reps);
+}
+
+}  // namespace
+
+CostModel calibrate(double seconds_budget) {
+  // Grid spanning the paper's regimes.  flops ~ d (p+1)^2.
+  struct Point {
+    std::size_t d, p;
+  };
+  const Point grid[] = {{100, 5}, {250, 5}, {250, 10}, {500, 10}, {1000, 10}};
+
+  // Relative least squares for t = a + b * x with x = d (p+1)^2: weight
+  // each point by 1/t^2 so the fit balances percentage error across the
+  // decades of per-tuple cost instead of chasing the largest shapes.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  double n = 0;
+  const double per_point_budget = seconds_budget / std::size(grid);
+  for (const Point& pt : grid) {
+    // Choose rep count so each point stays within budget: first a pilot rep.
+    const double pilot = measure_update(pt.d, pt.p, 8);
+    const std::size_t reps = std::max<std::size_t>(
+        16, std::min<std::size_t>(2000,
+                                  std::size_t(per_point_budget /
+                                              std::max(pilot, 1e-9))));
+    const double t = measure_update(pt.d, pt.p, reps);
+    const double x = double(pt.d) * double(pt.p + 1) * double(pt.p + 1);
+    const double w = 1.0 / std::max(t * t, 1e-18);
+    sx += w * x;
+    sy += w * t;
+    sxx += w * x * x;
+    sxy += w * x * t;
+    n += w;
+  }
+  const double denom = n * sxx - sx * sx;
+  CostModel model;
+  if (denom > 0.0) {
+    const double b = (n * sxy - sx * sy) / denom;
+    const double a = (sy - b * sx) / n;
+    if (b > 0.0) model.update_per_flop = b;
+    if (a > 0.0) model.update_base = a;
+  }
+  return model;
+}
+
+}  // namespace astro::cluster

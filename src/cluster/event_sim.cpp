@@ -1,0 +1,55 @@
+#include "cluster/event_sim.h"
+
+#include <stdexcept>
+
+namespace astro::cluster {
+
+void EventSimulator::schedule_at(SimTime when, Callback fn) {
+  if (when < now_) {
+    throw std::invalid_argument("EventSimulator: scheduling in the past");
+  }
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+std::size_t EventSimulator::run_until(SimTime until) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().when <= until) {
+    // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+    // so copy the callback handle (cheap: std::function) and pop.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.when;
+    ev.fn();
+    ++executed;
+  }
+  if (now_ < until) now_ = until;
+  return executed;
+}
+
+void Resource::submit(SimTime work_seconds, EventSimulator::Callback on_done) {
+  Job job{work_seconds, std::move(on_done)};
+  if (free_ > 0) {
+    --free_;
+    start(std::move(job));
+  } else {
+    pending_.push(std::move(job));
+  }
+}
+
+void Resource::start(Job job) {
+  busy_time_ += job.work;
+  sim_->schedule_in(job.work, [this, done = std::move(job.on_done)]() {
+    // Serve the next queued job before signalling completion so resource
+    // state is consistent if the callback submits new work.
+    if (!pending_.empty()) {
+      Job next = std::move(pending_.front());
+      pending_.pop();
+      start(std::move(next));
+    } else {
+      ++free_;
+    }
+    done();
+  });
+}
+
+}  // namespace astro::cluster

@@ -1,0 +1,88 @@
+#pragma once
+
+// Discrete-event simulation core.
+//
+// The paper's scaling experiments (Figures 6-7) ran on a 10-node cluster we
+// do not have; this simulator executes the same operator graph against a
+// model of that cluster (nodes with cores, NICs with per-message overhead
+// and bandwidth, link latency) so the *shape* of the scaling curves can be
+// regenerated.  Costs are calibrated from real per-tuple measurements on
+// this machine (see bench/calibrate_costs).
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace astro::cluster {
+
+/// Simulated seconds.
+using SimTime = double;
+
+class EventSimulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute simulated time `when` (>= now).
+  void schedule_at(SimTime when, Callback fn);
+
+  /// Schedules after a delay from now.
+  void schedule_in(SimTime delay, Callback fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Runs events until the queue empties or simulated time passes `until`.
+  /// Returns the number of events executed.
+  std::size_t run_until(SimTime until);
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;  // FIFO tie-break for simultaneous events
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// A pool of identical servers (CPU cores, a NIC) with a FIFO queue.
+/// submit() runs `work_seconds` of service on the first free server and
+/// invokes the completion callback when done.
+class Resource {
+ public:
+  Resource(EventSimulator& sim, std::size_t servers)
+      : sim_(&sim), free_(servers), servers_(servers) {}
+
+  void submit(SimTime work_seconds, EventSimulator::Callback on_done);
+
+  /// Total service time executed so far (for utilization reports).
+  [[nodiscard]] SimTime busy_time() const noexcept { return busy_time_; }
+  [[nodiscard]] std::size_t queued() const noexcept { return pending_.size(); }
+  [[nodiscard]] std::size_t servers() const noexcept { return servers_; }
+
+ private:
+  struct Job {
+    SimTime work;
+    EventSimulator::Callback on_done;
+  };
+  void start(Job job);
+
+  EventSimulator* sim_;
+  std::size_t free_;
+  std::size_t servers_;
+  std::queue<Job> pending_;
+  SimTime busy_time_ = 0.0;
+};
+
+}  // namespace astro::cluster

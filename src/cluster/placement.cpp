@@ -1,0 +1,89 @@
+#include "cluster/placement.h"
+
+#include <algorithm>
+
+#include "stats/rng.h"
+
+namespace astro::cluster {
+
+namespace {
+
+double evaluate(const ClusterConfig& cluster, SimPipelineConfig pipeline,
+                const CostModel& costs,
+                const std::vector<std::size_t>& placement, double sim_seconds,
+                std::size_t* evaluations) {
+  pipeline.explicit_placement = placement;
+  pipeline.sim_seconds = sim_seconds;
+  ++*evaluations;
+  return simulate_streaming_pca(cluster, pipeline, costs).throughput;
+}
+
+}  // namespace
+
+OptimizeResult optimize_placement(const ClusterConfig& cluster,
+                                  const SimPipelineConfig& pipeline,
+                                  const CostModel& costs,
+                                  const OptimizeOptions& opts) {
+  stats::Rng rng(opts.seed);
+  OptimizeResult best;
+
+  for (std::size_t restart = 0; restart <= opts.restarts; ++restart) {
+    // Start from round-robin on the first pass (the sensible default), then
+    // from random layouts.
+    std::vector<std::size_t> current(pipeline.engines);
+    for (std::size_t e = 0; e < pipeline.engines; ++e) {
+      current[e] = restart == 0 ? (e + 1) % cluster.nodes
+                                : rng.index(cluster.nodes);
+    }
+    double current_score = evaluate(cluster, pipeline, costs, current,
+                                    opts.sim_seconds, &best.evaluations);
+
+    for (std::size_t round = 0; round < opts.rounds; ++round) {
+      // "Profile": find the busiest assignment and propose moving one
+      // engine to each other node; also try a random exploratory move.
+      bool improved = false;
+      const std::size_t engine = rng.index(pipeline.engines);
+      for (std::size_t node = 0; node < cluster.nodes; ++node) {
+        if (node == current[engine]) continue;
+        std::vector<std::size_t> candidate = current;
+        candidate[engine] = node;
+        const double score = evaluate(cluster, pipeline, costs, candidate,
+                                      opts.sim_seconds, &best.evaluations);
+        if (score > current_score * (1.0 + 1e-6)) {
+          current = std::move(candidate);
+          current_score = score;
+          improved = true;
+          break;  // re-profile after every accepted move, as the paper does
+        }
+      }
+      if (!improved) {
+        // Try a swap of two engines' nodes before giving up this round.
+        if (pipeline.engines >= 2) {
+          std::size_t a = rng.index(pipeline.engines);
+          std::size_t b = rng.index(pipeline.engines);
+          if (a != b && current[a] != current[b]) {
+            std::vector<std::size_t> candidate = current;
+            std::swap(candidate[a], candidate[b]);
+            const double score =
+                evaluate(cluster, pipeline, costs, candidate,
+                         opts.sim_seconds, &best.evaluations);
+            if (score > current_score * (1.0 + 1e-6)) {
+              current = std::move(candidate);
+              current_score = score;
+            }
+          }
+        }
+      }
+      if (restart == 0) best.history.push_back(std::max(current_score,
+                                                        best.throughput));
+    }
+
+    if (current_score > best.throughput) {
+      best.throughput = current_score;
+      best.placement = current;
+    }
+  }
+  return best;
+}
+
+}  // namespace astro::cluster

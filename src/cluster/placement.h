@@ -1,0 +1,44 @@
+#pragma once
+
+// Placement optimization (paper §III-D): "The optimisation component
+// analyses the logs of profiler and fuses the operators together for
+// optimized data throughput.  The optimized code can be run with a profiler
+// again to collect more information ... Several steps are usually necessary
+// to optimally layout the components of the application."
+//
+// This module plays that role against the cluster simulator: iterated
+// profile-and-move local search over the engine -> node map.  Each step
+// simulates the current layout (the "profiler run"), proposes single-engine
+// moves, and keeps improvements; random restarts escape local optima.  The
+// result is an explicit placement the simulator — and on a real deployment,
+// the operator scheduler — can apply.
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/scaling_model.h"
+
+namespace astro::cluster {
+
+struct OptimizeOptions {
+  std::size_t rounds = 30;          ///< profile-and-move iterations
+  std::size_t restarts = 2;         ///< random restarts
+  std::uint64_t seed = 17;
+  double sim_seconds = 0.5;         ///< per-evaluation simulated duration
+};
+
+struct OptimizeResult {
+  std::vector<std::size_t> placement;  ///< engine -> node
+  double throughput = 0.0;             ///< simulated tuples/s of `placement`
+  std::size_t evaluations = 0;         ///< simulator runs consumed
+  std::vector<double> history;         ///< best throughput after each round
+};
+
+/// Searches for an engine placement maximizing simulated throughput of the
+/// given pipeline on the given cluster.  `pipeline.explicit_placement` and
+/// `pipeline.sim_seconds` are overridden during the search.
+[[nodiscard]] OptimizeResult optimize_placement(
+    const ClusterConfig& cluster, const SimPipelineConfig& pipeline,
+    const CostModel& costs, const OptimizeOptions& opts = {});
+
+}  // namespace astro::cluster

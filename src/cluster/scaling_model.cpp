@@ -1,0 +1,257 @@
+#include "cluster/scaling_model.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+namespace astro::cluster {
+
+std::string to_string(Placement p) {
+  switch (p) {
+    case Placement::kSingleNode:
+      return "single";
+    case Placement::kDistributed:
+      return "distributed";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Execution model: every operator thread is a single-server Resource (one
+// engine = one thread, the paper's stateful operator), plus one multi-server
+// Resource for the multithreaded source+split stage.  Core contention is
+// the standard processor-sharing approximation — service times inflate by
+// threads/cores when a node is oversubscribed — with a small extra context-
+// switch surcharge.  NICs are single-server resources carrying per-message
+// overhead plus bytes/bandwidth; propagation latency is pure delay.
+struct Simulation {
+  const ClusterConfig& cluster;
+  const SimPipelineConfig& cfg;
+  const CostModel& costs;
+
+  EventSimulator sim;
+
+  // The splitter is multithreaded (paper §III-A.2).
+  static constexpr std::size_t kSplitParallelism = 4;
+  static constexpr std::size_t kStageThreads = 2;  // source + splitter
+
+  std::unique_ptr<Resource> stage;                  // on the head node
+  std::vector<std::unique_ptr<Resource>> engine_thread;
+  std::vector<std::unique_ptr<Resource>> nic_tx;    // per node
+  std::vector<std::unique_ptr<Resource>> nic_rx;    // per node
+
+  std::vector<std::size_t> engine_node;
+  std::vector<std::size_t> threads_per_node;
+  std::vector<std::size_t> inflight;
+  std::vector<std::uint64_t> processed;
+  std::size_t stage_tuples = 0;
+  std::size_t remote_engines = 0;
+  std::size_t tuple_bytes = 0;
+  std::uint64_t sync_rounds = 0;
+
+  Simulation(const ClusterConfig& cl, const SimPipelineConfig& pc,
+             const CostModel& cm)
+      : cluster(cl), cfg(pc), costs(cm) {
+    if (pc.engines == 0) {
+      throw std::invalid_argument("SimPipelineConfig: engines must be >= 1");
+    }
+    if (cl.nodes == 0 || cl.cores_per_node == 0) {
+      throw std::invalid_argument("ClusterConfig: nodes and cores must be >= 1");
+    }
+    tuple_bytes = 16 + pc.dim * sizeof(double);
+
+    stage = std::make_unique<Resource>(sim, kSplitParallelism);
+    nic_tx.resize(cluster.nodes);
+    nic_rx.resize(cluster.nodes);
+    for (std::size_t n = 0; n < cluster.nodes; ++n) {
+      nic_tx[n] = std::make_unique<Resource>(sim, 1);
+      nic_rx[n] = std::make_unique<Resource>(sim, 1);
+    }
+
+    if (!cfg.explicit_placement.empty() &&
+        cfg.explicit_placement.size() != cfg.engines) {
+      throw std::invalid_argument(
+          "SimPipelineConfig: explicit_placement size != engines");
+    }
+    threads_per_node.assign(cluster.nodes, 0);
+    threads_per_node[0] += kStageThreads;
+    engine_node.resize(cfg.engines);
+    for (std::size_t e = 0; e < cfg.engines; ++e) {
+      if (!cfg.explicit_placement.empty()) {
+        engine_node[e] = cfg.explicit_placement[e];
+        if (engine_node[e] >= cluster.nodes) {
+          throw std::invalid_argument(
+              "SimPipelineConfig: placement entry out of range");
+        }
+      } else {
+        // Distributed placement starts at node 1 so a lone engine really
+        // sits across the wire from the splitter (the Figure-7 single-
+        // thread case); larger counts wrap around and also populate the
+        // head node, e.g. 20 engines over 10 nodes = 2/node as in the paper.
+        engine_node[e] = cfg.placement == Placement::kSingleNode
+                             ? 0
+                             : (e + 1) % cluster.nodes;
+      }
+      threads_per_node[engine_node[e]] += 1;
+      if (engine_node[e] != 0) ++remote_engines;
+      engine_thread.push_back(std::make_unique<Resource>(sim, 1));
+    }
+    inflight.assign(cfg.engines, 0);
+    processed.assign(cfg.engines, 0);
+  }
+
+  // Processor-sharing inflation + context-switch surcharge for a node.
+  [[nodiscard]] double load(std::size_t node) const {
+    const double threads = double(threads_per_node[node]);
+    const double cores = double(cluster.cores_per_node);
+    if (threads <= cores) return 1.0;
+    return (threads / cores) *
+           (1.0 + costs.oversubscribe_penalty * (threads - cores));
+  }
+
+  [[nodiscard]] double tx_seconds(std::size_t bytes) const {
+    const double fanout = 1.0 + costs.fanout_penalty * double(remote_engines);
+    return costs.nic_seconds(bytes) * fanout;
+  }
+
+  // Least-loaded engine with window room (models the splitter's balancing).
+  [[nodiscard]] std::size_t pick_engine() const {
+    std::size_t best = std::size_t(-1);
+    std::size_t best_load = cfg.window;
+    for (std::size_t e = 0; e < cfg.engines; ++e) {
+      if (inflight[e] < best_load) {
+        best = e;
+        best_load = inflight[e];
+      }
+    }
+    return best;
+  }
+
+  void pump() {
+    while (stage_tuples < kSplitParallelism) {
+      const std::size_t target = pick_engine();
+      if (target == std::size_t(-1)) return;  // all engine windows full
+      ++stage_tuples;
+      ++inflight[target];
+      const double stage_cost =
+          (costs.source_seconds() + costs.split_seconds(tuple_bytes)) *
+          load(0);
+      stage->submit(stage_cost, [this, target] {
+        --stage_tuples;
+        route(target);
+        pump();
+      });
+    }
+  }
+
+  void route(std::size_t engine) {
+    const std::size_t enode = engine_node[engine];
+    if (enode == 0) {
+      // Fused on the head node: pointer hand-off, no network.
+      process(engine, /*remote=*/false);
+      return;
+    }
+    nic_tx[0]->submit(tx_seconds(tuple_bytes), [this, engine, enode] {
+      sim.schedule_in(costs.link_latency, [this, engine, enode] {
+        nic_rx[enode]->submit(costs.nic_seconds(tuple_bytes),
+                              [this, engine] { process(engine, true); });
+      });
+    });
+  }
+
+  void process(std::size_t engine, bool remote) {
+    const std::size_t enode = engine_node[engine];
+    double cost = costs.update_seconds(cfg.dim, cfg.rank);
+    if (remote) cost += costs.rx_thread_overhead / costs.cpu_scale;
+    cost *= load(enode);
+    engine_thread[engine]->submit(cost, [this, engine] {
+      ++processed[engine];
+      --inflight[engine];
+      pump();
+    });
+  }
+
+  // Periodic ring synchronization: the receiver pays a merge inside its
+  // engine thread (it competes with data tuples), the state crosses NICs
+  // when engines live on different nodes.
+  void schedule_sync(std::uint64_t epoch) {
+    if (cfg.sync_rate_hz <= 0.0 || cfg.engines < 2) return;
+    const double period = 1.0 / cfg.sync_rate_hz;
+    sim.schedule_in(period, [this, epoch] {
+      ++sync_rounds;
+      const std::size_t sender = epoch % cfg.engines;
+      const std::size_t receiver = (epoch + 1) % cfg.engines;
+      const std::size_t state_bytes =
+          sizeof(double) * (cfg.dim * (cfg.rank + 1) + cfg.rank + 8);
+      const std::size_t snode = engine_node[sender];
+      const std::size_t rnode = engine_node[receiver];
+
+      auto merge = [this, receiver, rnode] {
+        const double cost =
+            costs.merge_seconds(cfg.dim, cfg.rank) * load(rnode);
+        engine_thread[receiver]->submit(cost, [] {});
+      };
+      if (snode == rnode) {
+        merge();
+      } else {
+        nic_tx[snode]->submit(
+            costs.nic_seconds(state_bytes), [this, rnode, merge] {
+              sim.schedule_in(costs.link_latency, [this, rnode, merge] {
+                nic_rx[rnode]->submit(costs.nic_seconds(64), merge);
+              });
+            });
+      }
+      schedule_sync(epoch + 1);
+    });
+  }
+
+  SimResult run() {
+    pump();
+    schedule_sync(0);
+    sim.run_until(cfg.sim_seconds);
+
+    SimResult out;
+    out.sim_seconds = cfg.sim_seconds;
+    out.per_engine.assign(processed.begin(), processed.end());
+    for (std::uint64_t p : processed) out.tuples += p;
+    out.throughput = double(out.tuples) / cfg.sim_seconds;
+    out.sync_rounds = sync_rounds;
+
+    const double core_seconds =
+        cfg.sim_seconds * double(cluster.cores_per_node);
+    double head_busy = stage->busy_time();
+    double engine_busy_total = 0.0;
+    std::vector<double> node_engine_busy(cluster.nodes, 0.0);
+    for (std::size_t e = 0; e < cfg.engines; ++e) {
+      node_engine_busy[engine_node[e]] += engine_thread[e]->busy_time();
+      engine_busy_total += engine_thread[e]->busy_time();
+    }
+    head_busy += node_engine_busy[0];
+    out.head_cpu_utilization = std::min(1.0, head_busy / core_seconds);
+    out.head_nic_utilization =
+        std::min(1.0, nic_tx[0]->busy_time() / cfg.sim_seconds);
+
+    std::size_t engine_nodes = 0;
+    double util_sum = 0.0;
+    for (std::size_t n = 0; n < cluster.nodes; ++n) {
+      if (node_engine_busy[n] == 0.0) continue;
+      util_sum += std::min(1.0, node_engine_busy[n] / core_seconds);
+      ++engine_nodes;
+    }
+    out.engine_cpu_utilization =
+        engine_nodes > 0 ? util_sum / double(engine_nodes) : 0.0;
+    return out;
+  }
+};
+
+}  // namespace
+
+SimResult simulate_streaming_pca(const ClusterConfig& cluster,
+                                 const SimPipelineConfig& pipeline,
+                                 const CostModel& costs) {
+  Simulation sim(cluster, pipeline, costs);
+  return sim.run();
+}
+
+}  // namespace astro::cluster

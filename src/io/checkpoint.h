@@ -1,0 +1,33 @@
+#pragma once
+
+// Eigensystem checkpointing (paper §III-C: "the intermediate calculation
+// results are periodically saved to the disk for future reference").
+//
+// A simple self-describing binary format: magic + version + shapes +
+// little-endian doubles.  Round-trips the full engine state (mean, basis,
+// eigenvalues, σ², running sums, counts) so an analysis can resume or be
+// inspected offline.
+
+#include <iosfwd>
+#include <string>
+
+#include "pca/eigensystem.h"
+
+namespace astro::io {
+
+/// Serializes an eigensystem to a stream.  Throws std::runtime_error on
+/// write failure.
+void save_eigensystem(std::ostream& out, const pca::EigenSystem& system,
+                      double alpha = 1.0);
+
+/// Deserializes; throws std::runtime_error on malformed input.
+/// `alpha_out` receives the forgetting factor stored with the checkpoint.
+[[nodiscard]] pca::EigenSystem load_eigensystem(std::istream& in,
+                                                double* alpha_out = nullptr);
+
+void save_eigensystem_file(const std::string& path,
+                           const pca::EigenSystem& system, double alpha = 1.0);
+[[nodiscard]] pca::EigenSystem load_eigensystem_file(
+    const std::string& path, double* alpha_out = nullptr);
+
+}  // namespace astro::io

@@ -1,0 +1,112 @@
+#include "io/csv.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace astro::io {
+
+namespace {
+
+bool is_missing_field(std::string field) {
+  // Trim whitespace.
+  const auto not_space = [](unsigned char c) { return !std::isspace(c); };
+  field.erase(field.begin(),
+              std::find_if(field.begin(), field.end(), not_space));
+  field.erase(std::find_if(field.rbegin(), field.rend(), not_space).base(),
+              field.end());
+  if (field.empty()) return true;
+  std::transform(field.begin(), field.end(), field.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return field == "nan";
+}
+
+}  // namespace
+
+CsvDataset read_csv(std::istream& in) {
+  CsvDataset out;
+  std::string line;
+  std::size_t expected_cols = 0;
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<double> values;
+    std::vector<bool> observed;
+    std::stringstream row(line);
+    std::string field;
+    while (std::getline(row, field, ',')) {
+      if (is_missing_field(field)) {
+        values.push_back(0.0);
+        observed.push_back(false);
+      } else {
+        try {
+          const double v = std::stod(field);
+          if (std::isnan(v)) {
+            values.push_back(0.0);
+            observed.push_back(false);
+          } else {
+            values.push_back(v);
+            observed.push_back(true);
+          }
+        } catch (const std::exception&) {
+          throw std::runtime_error("read_csv: unparsable field '" + field +
+                                   "' in row " +
+                                   std::to_string(out.rows.size() + 1));
+        }
+      }
+    }
+    // A trailing comma means a final empty (missing) field.
+    if (!line.empty() && line.back() == ',') {
+      values.push_back(0.0);
+      observed.push_back(false);
+    }
+    if (expected_cols == 0) {
+      expected_cols = values.size();
+    } else if (values.size() != expected_cols) {
+      throw std::runtime_error("read_csv: row " +
+                               std::to_string(out.rows.size() + 1) + " has " +
+                               std::to_string(values.size()) +
+                               " columns, expected " +
+                               std::to_string(expected_cols));
+    }
+    out.rows.emplace_back(std::move(values));
+    const bool complete =
+        std::all_of(observed.begin(), observed.end(), [](bool b) { return b; });
+    out.masks.push_back(complete ? pca::PixelMask{} : pca::PixelMask(observed));
+  }
+  return out;
+}
+
+CsvDataset read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_csv_file: cannot open " + path);
+  return read_csv(in);
+}
+
+void write_csv(std::ostream& out, const std::vector<linalg::Vector>& rows,
+               const std::vector<pca::PixelMask>& masks) {
+  out.precision(17);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const pca::PixelMask* mask =
+        (r < masks.size() && !masks[r].empty()) ? &masks[r] : nullptr;
+    for (std::size_t c = 0; c < rows[r].size(); ++c) {
+      if (c != 0) out << ',';
+      if (mask != nullptr && !(*mask)[c]) continue;  // empty field = missing
+      out << rows[r][c];
+    }
+    out << '\n';
+  }
+}
+
+void write_csv_file(const std::string& path,
+                    const std::vector<linalg::Vector>& rows,
+                    const std::vector<pca::PixelMask>& masks) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_csv_file: cannot open " + path);
+  write_csv(out, rows, masks);
+}
+
+}  // namespace astro::io

@@ -1,0 +1,39 @@
+#pragma once
+
+// CSV ingestion/egress — one of the paper's stock input paths ("local
+// regular text or binary file with CSV formatted tuples ... can feed the
+// data", §III-A.1).  Rows are observations, columns pixel values; NaN or
+// empty fields mark missing pixels (they become mask entries).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "linalg/vector.h"
+#include "pca/gap_fill.h"
+
+namespace astro::io {
+
+struct CsvDataset {
+  std::vector<linalg::Vector> rows;
+  /// masks[i] is empty when row i is complete.
+  std::vector<pca::PixelMask> masks;
+};
+
+/// Parses CSV from a stream.  Every row must have the same column count;
+/// throws std::runtime_error otherwise.  Fields that are empty or "nan"
+/// (case-insensitive) become masked (missing) pixels with value 0.
+[[nodiscard]] CsvDataset read_csv(std::istream& in);
+
+/// Reads a CSV file from disk; throws std::runtime_error when unopenable.
+[[nodiscard]] CsvDataset read_csv_file(const std::string& path);
+
+/// Writes vectors as CSV rows; masked entries are written as empty fields.
+void write_csv(std::ostream& out, const std::vector<linalg::Vector>& rows,
+               const std::vector<pca::PixelMask>& masks = {});
+
+void write_csv_file(const std::string& path,
+                    const std::vector<linalg::Vector>& rows,
+                    const std::vector<pca::PixelMask>& masks = {});
+
+}  // namespace astro::io

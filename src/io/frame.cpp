@@ -1,0 +1,101 @@
+#include "io/frame.h"
+
+#include <cstring>
+
+namespace astro::io {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x41535446;  // "ASTF"
+
+template <typename T>
+void append(std::vector<std::uint8_t>& out, T value) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+bool read(std::span<const std::uint8_t>& in, T* value) {
+  if (in.size() < sizeof(T)) return false;
+  std::memcpy(value, in.data(), sizeof(T));
+  in = in.subspan(sizeof(T));
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_tuple(const stream::DataTuple& t) {
+  const std::uint32_t dim = std::uint32_t(t.values.size());
+  const std::uint32_t mask_bytes =
+      t.mask.empty() ? 0 : std::uint32_t((t.mask.size() + 7) / 8);
+  const std::uint32_t payload =
+      8 + 8 + 4 + 4 + dim * std::uint32_t(sizeof(double)) + mask_bytes;
+
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameHeaderBytes + payload);
+  append(out, kMagic);
+  append(out, payload);
+  append(out, std::uint64_t(t.seq));
+  append(out, std::int64_t(t.timestamp_us));
+  append(out, dim);
+  append(out, mask_bytes);
+  for (double v : t.values) append(out, v);
+  if (mask_bytes > 0) {
+    std::vector<std::uint8_t> bits(mask_bytes, 0);
+    for (std::size_t i = 0; i < t.mask.size(); ++i) {
+      if (t.mask[i]) bits[i / 8] |= std::uint8_t(1u << (i % 8));
+    }
+    out.insert(out.end(), bits.begin(), bits.end());
+  }
+  return out;
+}
+
+std::optional<std::size_t> decode_frame_header(
+    std::span<const std::uint8_t> header) {
+  if (header.size() != kFrameHeaderBytes) return std::nullopt;
+  std::uint32_t magic = 0, payload = 0;
+  std::memcpy(&magic, header.data(), 4);
+  std::memcpy(&payload, header.data() + 4, 4);
+  if (magic != kMagic) return std::nullopt;
+  return std::size_t(payload);
+}
+
+std::optional<stream::DataTuple> decode_tuple_payload(
+    std::span<const std::uint8_t> payload) {
+  stream::DataTuple t;
+  std::uint64_t seq = 0;
+  std::int64_t ts = 0;
+  std::uint32_t dim = 0, mask_bytes = 0;
+  if (!read(payload, &seq) || !read(payload, &ts) || !read(payload, &dim) ||
+      !read(payload, &mask_bytes)) {
+    return std::nullopt;
+  }
+  if (payload.size() != dim * sizeof(double) + mask_bytes) return std::nullopt;
+  t.seq = seq;
+  t.timestamp_us = ts;
+  t.values = linalg::Vector(dim);
+  for (std::uint32_t i = 0; i < dim; ++i) {
+    double v = 0;
+    read(payload, &v);
+    t.values[i] = v;
+  }
+  if (mask_bytes > 0) {
+    if (mask_bytes < (dim + 7) / 8) return std::nullopt;
+    t.mask.assign(dim, false);
+    for (std::uint32_t i = 0; i < dim; ++i) {
+      t.mask[i] = (payload[i / 8] >> (i % 8)) & 1u;
+    }
+  }
+  return t;
+}
+
+std::optional<stream::DataTuple> decode_tuple(
+    std::span<const std::uint8_t> frame) {
+  if (frame.size() < kFrameHeaderBytes) return std::nullopt;
+  const auto payload = decode_frame_header(frame.first(kFrameHeaderBytes));
+  if (!payload.has_value()) return std::nullopt;
+  if (frame.size() != kFrameHeaderBytes + *payload) return std::nullopt;
+  return decode_tuple_payload(frame.subspan(kFrameHeaderBytes));
+}
+
+}  // namespace astro::io

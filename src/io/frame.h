@@ -1,0 +1,43 @@
+#pragma once
+
+// Wire framing for DataTuples: the binary format used by the TCP transport
+// (stream/net.h) and the binary replay files.  Little-endian, self-
+// delimiting:
+//
+//   u32 magic 'ASTF' | u32 payload_bytes | u64 seq | i64 timestamp_us
+//   | u32 dim | u32 mask_bytes | dim f64 values | mask bitset (LSB first)
+//
+// payload_bytes counts everything after the first 8 bytes, so a reader can
+// frame a byte stream without understanding the body.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "stream/tuple.h"
+
+namespace astro::io {
+
+/// Serializes a tuple into a self-delimiting frame.
+[[nodiscard]] std::vector<std::uint8_t> encode_tuple(const stream::DataTuple& t);
+
+/// Bytes of the fixed header (magic + payload length).
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+
+/// Parses the header; returns the payload byte count that must follow, or
+/// nullopt when the magic does not match.  `header` must hold exactly
+/// kFrameHeaderBytes.
+[[nodiscard]] std::optional<std::size_t> decode_frame_header(
+    std::span<const std::uint8_t> header);
+
+/// Decodes the payload (everything after the header).  Returns nullopt on
+/// malformed input (inconsistent sizes).
+[[nodiscard]] std::optional<stream::DataTuple> decode_tuple_payload(
+    std::span<const std::uint8_t> payload);
+
+/// Convenience round trip over a full frame (header + payload).
+[[nodiscard]] std::optional<stream::DataTuple> decode_tuple(
+    std::span<const std::uint8_t> frame);
+
+}  // namespace astro::io

@@ -1,0 +1,64 @@
+#pragma once
+
+// Binary tuple logs: record a stream to disk and replay it later — the
+// paper's "local regular text or binary file ... or a folder of such files
+// can feed the data" and "side service can feed the data using piped
+// stream file" input paths.  The on-disk format is a plain concatenation
+// of the self-delimiting frames from io/frame.h, so logs can also be
+// produced by piping a TcpTupleSink at a file.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "stream/operator.h"
+#include "stream/tuple.h"
+
+namespace astro::io {
+
+/// Appends tuples to a stream in frame format.
+void write_tuple_log(std::ostream& out,
+                     const std::vector<stream::DataTuple>& tuples);
+
+void write_tuple_log_file(const std::string& path,
+                          const std::vector<stream::DataTuple>& tuples);
+
+/// Reads an entire log.  Throws std::runtime_error on malformed frames.
+[[nodiscard]] std::vector<stream::DataTuple> read_tuple_log(std::istream& in);
+
+[[nodiscard]] std::vector<stream::DataTuple> read_tuple_log_file(
+    const std::string& path);
+
+/// Source operator that replays a tuple log from disk, streaming frames as
+/// it reads them (no whole-file buffering); `max_rate` > 0 paces playback
+/// at the original instrument rate.
+class TupleLogSource final : public stream::Operator {
+ public:
+  TupleLogSource(std::string name, std::string path,
+                 stream::ChannelPtr<stream::DataTuple> out,
+                 double max_rate = 0.0);
+
+ protected:
+  void run() override;
+
+ private:
+  std::string path_;
+  stream::ChannelPtr<stream::DataTuple> out_;
+  double max_rate_;
+};
+
+/// Sink operator that records a stream to a tuple log on disk.
+class TupleLogSink final : public stream::Operator {
+ public:
+  TupleLogSink(std::string name, std::string path,
+               stream::ChannelPtr<stream::DataTuple> in);
+
+ protected:
+  void run() override;
+
+ private:
+  std::string path_;
+  stream::ChannelPtr<stream::DataTuple> in_;
+};
+
+}  // namespace astro::io

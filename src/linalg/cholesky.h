@@ -1,0 +1,30 @@
+#pragma once
+
+// Cholesky factorization (A = L L^T) for symmetric positive-definite
+// matrices, plus triangular solves.
+//
+// Used to validate covariance estimates (a covariance that fails Cholesky
+// after ridge regularization signals a broken update) and for whitening in
+// the synthetic workload generators.
+
+#include <optional>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace astro::linalg {
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite `a`.
+/// Returns std::nullopt when a non-positive pivot is met (matrix not PD).
+[[nodiscard]] std::optional<Matrix> cholesky(const Matrix& a);
+
+/// Solves L y = b for lower-triangular L (forward substitution).
+[[nodiscard]] Vector solve_lower(const Matrix& l, const Vector& b);
+
+/// Solves L^T x = y for lower-triangular L (backward substitution).
+[[nodiscard]] Vector solve_lower_transposed(const Matrix& l, const Vector& y);
+
+/// Solves A x = b given the Cholesky factor L of A.
+[[nodiscard]] Vector cholesky_solve(const Matrix& l, const Vector& b);
+
+}  // namespace astro::linalg

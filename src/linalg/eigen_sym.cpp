@@ -1,0 +1,97 @@
+#include "linalg/eigen_sym.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace astro::linalg {
+
+namespace {
+// Sum of squares of strictly-upper off-diagonal entries.
+double offdiag_sq(const Matrix& a) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = i + 1; j < a.cols(); ++j) acc += a(i, j) * a(i, j);
+  }
+  return acc;
+}
+}  // namespace
+
+EigResult eig_sym(const Matrix& a, const EigOptions& opts) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("eig_sym: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  Matrix m = a;
+  Matrix v = Matrix::identity(n);
+
+  const double scale = std::max(m.frobenius_norm(), 1e-300);
+  const double threshold = opts.tol * scale;
+
+  for (int sweep = 0; sweep < opts.max_sweeps; ++sweep) {
+    if (std::sqrt(2.0 * offdiag_sq(m)) <= threshold) break;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = m(p, q);
+        if (std::abs(apq) <= threshold / double(n * n)) continue;
+        const double app = m(p, p);
+        const double aqq = m(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(1.0 + theta * theta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        // Apply the rotation J(p,q,theta)^T M J(p,q,theta).
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mkp = m(k, p), mkq = m(k, q);
+          m(k, p) = c * mkp - s * mkq;
+          m(k, q) = s * mkp + c * mkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mpk = m(p, k), mqk = m(q, k);
+          m(p, k) = c * mpk - s * mqk;
+          m(q, k) = s * mpk + c * mqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by eigenvalue, descending.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t i, std::size_t j) { return m(i, i) > m(j, j); });
+
+  EigResult out;
+  out.values = Vector(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t c = order[k];
+    out.values[k] = m(c, c);
+    for (std::size_t r = 0; r < n; ++r) out.vectors(r, k) = v(r, c);
+  }
+  return out;
+}
+
+EigResult eig_sym_top(const Matrix& a, std::size_t k, const EigOptions& opts) {
+  EigResult full = eig_sym(a, opts);
+  const std::size_t n = a.rows();
+  k = std::min(k, n);
+  EigResult out;
+  out.values = Vector(k);
+  out.vectors = Matrix(n, k);
+  for (std::size_t c = 0; c < k; ++c) {
+    out.values[c] = full.values[c];
+    for (std::size_t r = 0; r < n; ++r) out.vectors(r, c) = full.vectors(r, c);
+  }
+  return out;
+}
+
+}  // namespace astro::linalg

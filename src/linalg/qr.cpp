@@ -1,0 +1,76 @@
+#include "linalg/qr.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace astro::linalg {
+
+QrResult qr(const Matrix& a) {
+  const std::size_t m = a.rows(), n = a.cols();
+  if (m < n) throw std::invalid_argument("qr: requires rows >= cols");
+
+  // Work in-place on a copy; store Householder vectors per column.
+  Matrix work = a;
+  std::vector<Vector> reflectors;
+  reflectors.reserve(n);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Build the Householder vector for column k, rows k..m-1.
+    double norm = 0.0;
+    for (std::size_t r = k; r < m; ++r) norm += work(r, k) * work(r, k);
+    norm = std::sqrt(norm);
+
+    Vector v(m);  // zero above row k
+    if (norm > 0.0) {
+      const double alpha = (work(k, k) >= 0.0) ? -norm : norm;
+      v[k] = work(k, k) - alpha;
+      for (std::size_t r = k + 1; r < m; ++r) v[r] = work(r, k);
+      const double vnorm = v.norm();
+      if (vnorm > 0.0) v *= (1.0 / vnorm);
+      // Apply H = I - 2 v v^T to the remaining columns.
+      for (std::size_t c = k; c < n; ++c) {
+        double proj = 0.0;
+        for (std::size_t r = k; r < m; ++r) proj += v[r] * work(r, c);
+        proj *= 2.0;
+        for (std::size_t r = k; r < m; ++r) work(r, c) -= proj * v[r];
+      }
+    }
+    reflectors.push_back(std::move(v));
+  }
+
+  QrResult out;
+  out.r = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) out.r(i, j) = work(i, j);
+  }
+
+  // Q = H_0 H_1 ... H_{n-1} applied to the first n columns of I.
+  out.q = Matrix(m, n);
+  for (std::size_t c = 0; c < n; ++c) out.q(c, c) = 1.0;
+  for (std::size_t k = n; k-- > 0;) {
+    const Vector& v = reflectors[k];
+    if (v.squared_norm() == 0.0) continue;
+    for (std::size_t c = 0; c < n; ++c) {
+      double proj = 0.0;
+      for (std::size_t r = k; r < m; ++r) proj += v[r] * out.q(r, c);
+      proj *= 2.0;
+      for (std::size_t r = k; r < m; ++r) out.q(r, c) -= proj * v[r];
+    }
+  }
+
+  // Normalize sign so R's diagonal is non-negative (unique factorization).
+  for (std::size_t k = 0; k < n; ++k) {
+    if (out.r(k, k) < 0.0) {
+      for (std::size_t j = k; j < n; ++j) out.r(k, j) = -out.r(k, j);
+      for (std::size_t r = 0; r < m; ++r) out.q(r, k) = -out.q(r, k);
+    }
+  }
+  return out;
+}
+
+void orthonormalize_columns(Matrix& a) {
+  a = qr(a).q;
+}
+
+}  // namespace astro::linalg

@@ -1,0 +1,27 @@
+#pragma once
+
+// Householder QR factorization.
+//
+// Used for re-orthonormalizing eigenvector blocks (numerical drift over
+// millions of incremental updates) and as a building block for subspace
+// distance computations (principal angles between engine eigensystems).
+
+#include "linalg/matrix.h"
+
+namespace astro::linalg {
+
+/// Thin QR of A (m x n, m >= n): A = Q R with Q m x n (orthonormal columns)
+/// and R n x n upper triangular with non-negative diagonal.
+struct QrResult {
+  Matrix q;
+  Matrix r;
+};
+
+/// Householder thin QR.  Throws std::invalid_argument when m < n.
+[[nodiscard]] QrResult qr(const Matrix& a);
+
+/// Re-orthonormalizes the columns of `a` in place (Q of its QR).  Cheap
+/// hygiene call for eigenvector blocks that accumulate rounding drift.
+void orthonormalize_columns(Matrix& a);
+
+}  // namespace astro::linalg

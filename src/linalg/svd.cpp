@@ -1,0 +1,248 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <thread>
+#include <utility>
+#include <stdexcept>
+
+namespace astro::linalg {
+
+namespace {
+
+// Column-major working copy: columns are contiguous so the Jacobi rotations
+// (which stream over column pairs) stay cache-friendly.
+struct ColMajor {
+  std::size_t m = 0, n = 0;
+  std::vector<double> a;  // a[c * m + r]
+
+  explicit ColMajor(const Matrix& src) : m(src.rows()), n(src.cols()), a(m * n) {
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t c = 0; c < n; ++c) a[c * m + r] = src(r, c);
+    }
+  }
+  double* col(std::size_t c) { return a.data() + c * m; }
+};
+
+// Applies the (i, j) column rotation if needed; returns whether it rotated.
+bool rotate_pair(ColMajor& w, std::vector<double>* v, std::size_t i,
+                 std::size_t j, double tol) {
+  const std::size_t m = w.m, n = w.n;
+  double* ci = w.col(i);
+  double* cj = w.col(j);
+  double alpha = 0.0, beta = 0.0, gamma = 0.0;
+  for (std::size_t r = 0; r < m; ++r) {
+    alpha += ci[r] * ci[r];
+    beta += cj[r] * cj[r];
+    gamma += ci[r] * cj[r];
+  }
+  if (std::abs(gamma) <= tol * std::sqrt(alpha * beta)) return false;
+  const double zeta = (beta - alpha) / (2.0 * gamma);
+  const double t = (zeta >= 0.0 ? 1.0 : -1.0) /
+                   (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+  const double c = 1.0 / std::sqrt(1.0 + t * t);
+  const double s = c * t;
+  for (std::size_t r = 0; r < m; ++r) {
+    const double wi = ci[r], wj = cj[r];
+    ci[r] = c * wi - s * wj;
+    cj[r] = s * wi + c * wj;
+  }
+  if (v != nullptr) {
+    double* vi = v->data() + i * n;
+    double* vj = v->data() + j * n;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double x = vi[r], y = vj[r];
+      vi[r] = c * x - s * y;
+      vj[r] = s * x + c * y;
+    }
+  }
+  return true;
+}
+
+// One sweep in round-robin tournament order: n-1 rounds of ~n/2 disjoint
+// pairs.  Pairs within a round share no columns, so threads can rotate
+// them concurrently without synchronization beyond the round barrier.
+bool tournament_sweep(ColMajor& w, std::vector<double>* v,
+                      const SvdOptions& opts) {
+  const std::size_t n = w.n;
+  // Classic circle method; odd n gets a dummy entry (a bye) so every pair
+  // appears exactly once across the M-1 rounds.
+  constexpr std::size_t kBye = std::size_t(-1);
+  const std::size_t m_ring = n + (n % 2);
+  std::vector<std::size_t> ring(m_ring, kBye);
+  std::iota(ring.begin(), ring.begin() + std::ptrdiff_t(n), 0);
+  std::atomic<bool> rotated{false};
+
+  for (std::size_t round = 0; round + 1 < m_ring; ++round) {
+    std::vector<std::pair<std::size_t, std::size_t>> pairs;
+    pairs.reserve(m_ring / 2);
+    for (std::size_t k = 0; k < m_ring / 2; ++k) {
+      std::size_t a = ring[k];
+      std::size_t b = ring[m_ring - 1 - k];
+      if (a == kBye || b == kBye) continue;
+      if (a > b) std::swap(a, b);
+      pairs.emplace_back(a, b);
+    }
+
+    const unsigned workers =
+        std::min<unsigned>(opts.threads, unsigned(pairs.size()));
+    if (workers <= 1) {
+      for (const auto& [a, b] : pairs) {
+        if (rotate_pair(w, v, a, b, opts.tol)) {
+          rotated.store(true, std::memory_order_relaxed);
+        }
+      }
+    } else {
+      std::atomic<std::size_t> next{0};
+      std::vector<std::thread> pool;
+      pool.reserve(workers);
+      for (unsigned t = 0; t < workers; ++t) {
+        pool.emplace_back([&] {
+          for (std::size_t idx = next.fetch_add(1); idx < pairs.size();
+               idx = next.fetch_add(1)) {
+            if (rotate_pair(w, v, pairs[idx].first, pairs[idx].second,
+                            opts.tol)) {
+              rotated.store(true, std::memory_order_relaxed);
+            }
+          }
+        });
+      }
+      for (auto& th : pool) th.join();
+    }
+
+    // Advance the ring (element 0 stays, the rest rotate by one).
+    std::rotate(ring.begin() + 1, ring.begin() + 2, ring.end());
+  }
+  return rotated.load(std::memory_order_relaxed);
+}
+
+// One-sided Jacobi: orthogonalize the columns of `w` in place, accumulating
+// the right rotations into `v` (n x n, column-major) when non-null.
+// Returns the number of sweeps executed.
+int jacobi_orthogonalize(ColMajor& w, std::vector<double>* v,
+                         const SvdOptions& opts) {
+  const std::size_t n = w.n;
+  int sweep = 0;
+  for (; sweep < opts.max_sweeps; ++sweep) {
+    bool rotated = false;
+    if (opts.threads > 1 && n >= 4) {
+      rotated = tournament_sweep(w, v, opts);
+    } else {
+      for (std::size_t i = 0; i + 1 < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+          rotated |= rotate_pair(w, v, i, j, opts.tol);
+        }
+      }
+    }
+    if (!rotated) break;
+  }
+  return sweep;
+}
+
+// After orthogonalization: extract singular values (column norms), sort
+// descending, normalize columns into U.  Numerically-zero columns are
+// replaced by unit vectors orthogonalized against the others so U always has
+// orthonormal columns even for rank-deficient input.
+void extract_and_sort(ColMajor& w, std::vector<double>* v, Matrix& u_out,
+                      Vector& s_out, Matrix* v_out) {
+  const std::size_t m = w.m, n = w.n;
+  std::vector<double> norms(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    double acc = 0.0;
+    const double* col = w.col(c);
+    for (std::size_t r = 0; r < m; ++r) acc += col[r] * col[r];
+    norms[c] = std::sqrt(acc);
+  }
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return norms[a] > norms[b]; });
+
+  const double max_norm = norms.empty() ? 0.0 : norms[order[0]];
+  const double rank_tol = std::max(max_norm, 1.0) * 1e-14 * double(m);
+
+  u_out = Matrix(m, n);
+  s_out = Vector(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t c = order[k];
+    s_out[k] = norms[c];
+    if (norms[c] > rank_tol) {
+      const double inv = 1.0 / norms[c];
+      const double* col = w.col(c);
+      for (std::size_t r = 0; r < m; ++r) u_out(r, k) = col[r] * inv;
+    } else {
+      s_out[k] = 0.0;
+      // Fill with a basis vector orthogonalized against columns 0..k-1 so U
+      // stays orthonormal; try each coordinate axis until one survives.
+      for (std::size_t axis = 0; axis < m; ++axis) {
+        Vector cand(m);
+        cand[axis] = 1.0;
+        for (std::size_t prev = 0; prev < k; ++prev) {
+          double proj = 0.0;
+          for (std::size_t r = 0; r < m; ++r) proj += cand[r] * u_out(r, prev);
+          for (std::size_t r = 0; r < m; ++r) cand[r] -= proj * u_out(r, prev);
+        }
+        const double cn = cand.norm();
+        if (cn > 0.5) {
+          for (std::size_t r = 0; r < m; ++r) u_out(r, k) = cand[r] / cn;
+          break;
+        }
+      }
+    }
+  }
+
+  if (v_out != nullptr && v != nullptr) {
+    *v_out = Matrix(n, n);
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t c = order[k];
+      const double* vc = v->data() + c * n;
+      for (std::size_t r = 0; r < n; ++r) (*v_out)(r, k) = vc[r];
+    }
+  }
+}
+
+}  // namespace
+
+Matrix SvdResult::reconstruct() const {
+  Matrix us = u;  // scale columns of U by singular values
+  for (std::size_t c = 0; c < us.cols(); ++c) {
+    for (std::size_t r = 0; r < us.rows(); ++r) us(r, c) *= singular_values[c];
+  }
+  return us * v.transpose();
+}
+
+SvdResult svd(const Matrix& a, const SvdOptions& opts) {
+  if (a.empty()) throw std::invalid_argument("svd: empty matrix");
+  if (a.rows() < a.cols()) {
+    // Decompose the (tall) transpose and swap factors: A^T = U s V^T implies
+    // A = V s U^T.
+    SvdResult t = svd(a.transpose(), opts);
+    return SvdResult{std::move(t.v), std::move(t.singular_values),
+                     std::move(t.u)};
+  }
+  ColMajor w(a);
+  std::vector<double> v(a.cols() * a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.cols(); ++i) v[i * a.cols() + i] = 1.0;
+  jacobi_orthogonalize(w, &v, opts);
+  SvdResult out;
+  extract_and_sort(w, &v, out.u, out.singular_values, &out.v);
+  return out;
+}
+
+ThinUResult svd_left(const Matrix& a, const SvdOptions& opts) {
+  if (a.empty()) throw std::invalid_argument("svd_left: empty matrix");
+  if (a.rows() < a.cols()) {
+    const SvdResult full = svd(a, opts);
+    return ThinUResult{full.u, full.singular_values};
+  }
+  ColMajor w(a);
+  jacobi_orthogonalize(w, nullptr, opts);
+  ThinUResult out;
+  extract_and_sort(w, nullptr, out.u, out.singular_values, nullptr);
+  return out;
+}
+
+}  // namespace astro::linalg

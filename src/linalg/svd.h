@@ -1,0 +1,62 @@
+#pragma once
+
+// Thin singular-value decomposition via one-sided Jacobi rotations.
+//
+// This is the workhorse of the incremental PCA update (paper eq. 1-3): each
+// incoming tuple requires the SVD of a tall-skinny d x (p+1) matrix A whose
+// columns are the scaled current eigenvectors plus the new residual
+// direction.  One-sided Jacobi orthogonalizes *columns* pairwise, costing
+// O(d k^2) per sweep for k columns — ideal for k = p+1 << d — and is
+// backward-stable without forming A^T A explicitly at working precision.
+
+#include <cstddef>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace astro::linalg {
+
+/// Result of a thin SVD  A (m x n)  =  U diag(s) V^T  with k = min(m, n):
+/// U is m x k (orthonormal columns), s holds the k singular values sorted
+/// descending, V is n x k (orthonormal columns).
+struct SvdResult {
+  Matrix u;
+  Vector singular_values;
+  Matrix v;
+
+  /// Reconstruct U diag(s) V^T (for testing / diagnostics).
+  [[nodiscard]] Matrix reconstruct() const;
+};
+
+struct SvdOptions {
+  /// Convergence threshold on the normalized off-diagonal inner product
+  /// |<a_i, a_j>| / (|a_i| |a_j|).
+  double tol = 1e-12;
+  /// Safety bound on Jacobi sweeps; convergence is typically < 10 sweeps.
+  int max_sweeps = 60;
+  /// Worker threads for the rotation sweeps.  One-sided Jacobi
+  /// parallelizes cleanly: a round-robin tournament schedule partitions
+  /// each sweep into rounds of disjoint column pairs, and pairs within a
+  /// round touch disjoint columns — the paper's closing suggestion that
+  /// "higher-dimensional data processing performance can be improved by
+  /// using a multithreaded SVD processing algorithm".  1 = sequential
+  /// cyclic sweep (default; the per-tuple matrices are small enough that
+  /// threads only pay off for wide merge stacks at large d).
+  unsigned threads = 1;
+};
+
+/// Thin SVD of `a` by one-sided Jacobi.  Works for any m, n (including
+/// m < n, handled by transposing internally).  Singular values are
+/// non-negative and sorted in descending order.
+[[nodiscard]] SvdResult svd(const Matrix& a, const SvdOptions& opts = {});
+
+/// Convenience: only U and the singular values (V is never accumulated,
+/// saving O(n^2) work per rotation).  This is what the PCA update uses —
+/// the eigensystem needs only the left singular vectors and values.
+struct ThinUResult {
+  Matrix u;
+  Vector singular_values;
+};
+[[nodiscard]] ThinUResult svd_left(const Matrix& a, const SvdOptions& opts = {});
+
+}  // namespace astro::linalg

@@ -1,0 +1,176 @@
+#include "linalg/tridiag.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace astro::linalg {
+
+void householder_tridiagonalize(const Matrix& a, Vector* diag, Vector* offdiag,
+                                Matrix* q) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("householder_tridiagonalize: must be square");
+  }
+  const std::size_t n = a.rows();
+  Matrix z = a;  // working copy; becomes the accumulated transform
+  Vector d(n), e(n);
+
+  // tred2 (with eigenvector accumulation), indices descending.
+  for (std::size_t i = n; i-- > 1;) {
+    const std::size_t l = i - 1;
+    double h = 0.0;
+    if (l > 0) {
+      double scale = 0.0;
+      for (std::size_t k = 0; k <= l; ++k) scale += std::abs(z(i, k));
+      if (scale == 0.0) {
+        e[i] = z(i, l);
+      } else {
+        for (std::size_t k = 0; k <= l; ++k) {
+          z(i, k) /= scale;
+          h += z(i, k) * z(i, k);
+        }
+        double f = z(i, l);
+        double g = f >= 0.0 ? -std::sqrt(h) : std::sqrt(h);
+        e[i] = scale * g;
+        h -= f * g;
+        z(i, l) = f - g;
+        f = 0.0;
+        for (std::size_t j = 0; j <= l; ++j) {
+          z(j, i) = z(i, j) / h;
+          g = 0.0;
+          for (std::size_t k = 0; k <= j; ++k) g += z(j, k) * z(i, k);
+          for (std::size_t k = j + 1; k <= l; ++k) g += z(k, j) * z(i, k);
+          e[j] = g / h;
+          f += e[j] * z(i, j);
+        }
+        const double hh = f / (h + h);
+        for (std::size_t j = 0; j <= l; ++j) {
+          f = z(i, j);
+          e[j] = g = e[j] - hh * f;
+          for (std::size_t k = 0; k <= j; ++k) {
+            z(j, k) -= f * e[k] + g * z(i, k);
+          }
+        }
+      }
+    } else {
+      e[i] = z(i, l);
+    }
+    d[i] = h;
+  }
+  d[0] = 0.0;
+  e[0] = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (d[i] != 0.0) {
+      for (std::size_t j = 0; j < i; ++j) {
+        double g = 0.0;
+        for (std::size_t k = 0; k < i; ++k) g += z(i, k) * z(k, j);
+        for (std::size_t k = 0; k < i; ++k) z(k, j) -= g * z(k, i);
+      }
+    }
+    d[i] = z(i, i);
+    z(i, i) = 1.0;
+    for (std::size_t j = 0; j < i; ++j) {
+      z(j, i) = 0.0;
+      z(i, j) = 0.0;
+    }
+  }
+
+  *diag = std::move(d);
+  *offdiag = std::move(e);
+  *q = std::move(z);
+}
+
+void tridiagonal_ql(Vector& diag, Vector& offdiag, Matrix& q) {
+  const std::size_t n = diag.size();
+  if (offdiag.size() != n || q.rows() != n || q.cols() != n) {
+    throw std::invalid_argument("tridiagonal_ql: inconsistent sizes");
+  }
+  if (n == 0) return;
+
+  // tql2: shift the subdiagonal up by one for the classic indexing.
+  for (std::size_t i = 1; i < n; ++i) offdiag[i - 1] = offdiag[i];
+  offdiag[n - 1] = 0.0;
+
+  for (std::size_t l = 0; l < n; ++l) {
+    int iter = 0;
+    std::size_t m;
+    do {
+      for (m = l; m + 1 < n; ++m) {
+        const double dd = std::abs(diag[m]) + std::abs(diag[m + 1]);
+        if (std::abs(offdiag[m]) <= 1e-300 ||
+            std::abs(offdiag[m]) <= 2.3e-16 * dd) {
+          break;
+        }
+      }
+      if (m != l) {
+        if (++iter > 50) {
+          throw std::runtime_error("tridiagonal_ql: no convergence");
+        }
+        double g = (diag[l + 1] - diag[l]) / (2.0 * offdiag[l]);
+        double r = std::hypot(g, 1.0);
+        g = diag[m] - diag[l] +
+            offdiag[l] / (g + (g >= 0.0 ? std::abs(r) : -std::abs(r)));
+        double s = 1.0, c = 1.0, p = 0.0;
+        for (std::size_t i = m; i-- > l;) {
+          double f = s * offdiag[i];
+          const double b = c * offdiag[i];
+          r = std::hypot(f, g);
+          offdiag[i + 1] = r;
+          if (r == 0.0) {
+            diag[i + 1] -= p;
+            offdiag[m] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = diag[i + 1] - p;
+          r = (diag[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          diag[i + 1] = g + p;
+          g = c * r - b;
+          for (std::size_t k = 0; k < n; ++k) {
+            f = q(k, i + 1);
+            q(k, i + 1) = s * q(k, i) + c * f;
+            q(k, i) = c * q(k, i) - s * f;
+          }
+        }
+        if (r == 0.0 && m - l > 1) continue;
+        diag[l] -= p;
+        offdiag[l] = g;
+        offdiag[m] = 0.0;
+      }
+    } while (m != l);
+  }
+}
+
+EigResult eig_sym_tridiag(const Matrix& a) {
+  Vector d, e;
+  Matrix q;
+  householder_tridiagonalize(a, &d, &e, &q);
+  tridiagonal_ql(d, e, q);
+
+  const std::size_t n = d.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t i, std::size_t j) { return d[i] > d[j]; });
+
+  EigResult out;
+  out.values = Vector(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t c = order[k];
+    out.values[k] = d[c];
+    for (std::size_t r = 0; r < n; ++r) out.vectors(r, k) = q(r, c);
+  }
+  return out;
+}
+
+EigResult eig_sym_auto(const Matrix& a) {
+  constexpr std::size_t kJacobiCutoff = 64;
+  if (a.rows() <= kJacobiCutoff) return eig_sym(a);
+  return eig_sym_tridiag(a);
+}
+
+}  // namespace astro::linalg

@@ -1,0 +1,99 @@
+#include "linalg/vector.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace astro::linalg {
+
+namespace {
+void check_same_size(const Vector& a, const Vector& b, const char* op) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument(std::string("Vector dimension mismatch in ") +
+                                op);
+  }
+}
+}  // namespace
+
+Vector& Vector::operator+=(const Vector& rhs) {
+  check_same_size(*this, rhs, "operator+=");
+  for (std::size_t i = 0; i < size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& rhs) {
+  check_same_size(*this, rhs, "operator-=");
+  for (std::size_t i = 0; i < size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(double s) noexcept {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+Vector& Vector::operator/=(double s) {
+  if (s == 0.0) throw std::invalid_argument("Vector division by zero");
+  return (*this) *= (1.0 / s);
+}
+
+Vector& Vector::axpy(double s, const Vector& rhs) {
+  check_same_size(*this, rhs, "axpy");
+  for (std::size_t i = 0; i < size(); ++i) data_[i] += s * rhs.data_[i];
+  return *this;
+}
+
+double Vector::norm() const noexcept { return std::sqrt(squared_norm()); }
+
+double Vector::squared_norm() const noexcept {
+  double acc = 0.0;
+  for (double x : data_) acc += x * x;
+  return acc;
+}
+
+double Vector::sum() const noexcept {
+  double acc = 0.0;
+  for (double x : data_) acc += x;
+  return acc;
+}
+
+void Vector::normalize() {
+  const double n = norm();
+  if (n > 0.0) (*this) *= (1.0 / n);
+}
+
+void Vector::fill(double value) noexcept {
+  for (double& x : data_) x = value;
+}
+
+Vector operator+(Vector lhs, const Vector& rhs) { return lhs += rhs; }
+Vector operator-(Vector lhs, const Vector& rhs) { return lhs -= rhs; }
+Vector operator*(Vector v, double s) { return v *= s; }
+Vector operator*(double s, Vector v) { return v *= s; }
+Vector operator/(Vector v, double s) { return v /= s; }
+
+double dot(const Vector& a, const Vector& b) {
+  check_same_size(a, b, "dot");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double distance(const Vector& a, const Vector& b) {
+  check_same_size(a, b, "distance");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+bool approx_equal(const Vector& a, const Vector& b, double tol) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace astro::linalg

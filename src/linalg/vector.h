@@ -1,0 +1,95 @@
+#pragma once
+
+// Dense double-precision vector for the astrostream linear-algebra substrate.
+//
+// The paper's algorithm manipulates spectra as fixed-length vectors of
+// doubles (d = number of pixels, 250-2000 in the evaluation).  Vector is a
+// thin, value-semantic wrapper around contiguous storage with the small set
+// of BLAS-1 style operations the PCA kernels need.
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace astro::linalg {
+
+class Vector {
+ public:
+  Vector() = default;
+
+  /// Zero-initialized vector of dimension `n`.
+  explicit Vector(std::size_t n) : data_(n, 0.0) {}
+
+  /// Vector of dimension `n` with every entry set to `fill`.
+  Vector(std::size_t n, double fill) : data_(n, fill) {}
+
+  Vector(std::initializer_list<double> init) : data_(init) {}
+
+  /// Takes ownership of an existing buffer.
+  explicit Vector(std::vector<double> data) : data_(std::move(data)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  double& operator[](std::size_t i) noexcept { return data_[i]; }
+  double operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  /// Bounds-checked access; throws std::out_of_range.
+  double& at(std::size_t i) { return data_.at(i); }
+  [[nodiscard]] double at(std::size_t i) const { return data_.at(i); }
+
+  double* data() noexcept { return data_.data(); }
+  [[nodiscard]] const double* data() const noexcept { return data_.data(); }
+
+  [[nodiscard]] std::span<const double> span() const noexcept { return data_; }
+  [[nodiscard]] std::span<double> span() noexcept { return data_; }
+
+  auto begin() noexcept { return data_.begin(); }
+  auto end() noexcept { return data_.end(); }
+  [[nodiscard]] auto begin() const noexcept { return data_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return data_.end(); }
+
+  Vector& operator+=(const Vector& rhs);
+  Vector& operator-=(const Vector& rhs);
+  Vector& operator*=(double s) noexcept;
+  Vector& operator/=(double s);
+
+  /// this += s * rhs  (BLAS axpy).
+  Vector& axpy(double s, const Vector& rhs);
+
+  /// Euclidean (L2) norm.
+  [[nodiscard]] double norm() const noexcept;
+  /// Squared Euclidean norm.
+  [[nodiscard]] double squared_norm() const noexcept;
+  /// Sum of entries.
+  [[nodiscard]] double sum() const noexcept;
+
+  /// Scales to unit L2 norm; a zero vector is left unchanged.
+  void normalize();
+
+  void fill(double value) noexcept;
+  void resize(std::size_t n) { data_.resize(n, 0.0); }
+
+  friend bool operator==(const Vector&, const Vector&) = default;
+
+ private:
+  std::vector<double> data_;
+};
+
+[[nodiscard]] Vector operator+(Vector lhs, const Vector& rhs);
+[[nodiscard]] Vector operator-(Vector lhs, const Vector& rhs);
+[[nodiscard]] Vector operator*(Vector v, double s);
+[[nodiscard]] Vector operator*(double s, Vector v);
+[[nodiscard]] Vector operator/(Vector v, double s);
+
+/// Inner product <a, b>.  Dimensions must match.
+[[nodiscard]] double dot(const Vector& a, const Vector& b);
+
+/// Euclidean distance |a - b|.
+[[nodiscard]] double distance(const Vector& a, const Vector& b);
+
+/// True when |a - b|_inf <= tol.
+[[nodiscard]] bool approx_equal(const Vector& a, const Vector& b, double tol);
+
+}  // namespace astro::linalg

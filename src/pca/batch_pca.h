@@ -1,0 +1,54 @@
+#pragma once
+
+// Offline baselines: classic batch PCA and the batch robust PCA of
+// Maronna (2005) that the streaming algorithm approximates.
+//
+// These are the gold standards the tests and benchmarks compare the
+// incremental engines against — the paper's premise is that the streaming
+// estimate converges to what a (much more expensive) batch solve over the
+// full dataset would produce.
+
+#include <span>
+#include <string>
+
+#include "pca/eigensystem.h"
+
+namespace astro::pca {
+
+/// Exact batch PCA: sample mean + top-p eigenpairs of the sample
+/// covariance.  O(n d² + d³); for n < d the decomposition runs on the
+/// n-column centered data matrix instead (O(n² d)).
+[[nodiscard]] EigenSystem batch_pca(std::span<const linalg::Vector> data,
+                                    std::size_t p);
+
+struct BatchRobustOptions {
+  std::string rho = "bisquare";
+  double delta = 0.5;      ///< breakdown parameter (<= 0: Gaussian consistency)
+  int max_iter = 100;
+  double tol = 1e-8;       ///< relative σ² change declaring convergence
+  /// Residual-based weighting cannot evict contamination that already sits
+  /// *inside* the fitted subspace (its residual is ~0, so it keeps full
+  /// weight).  With candidate_extra > 0 the solver iterates with
+  /// p + candidate_extra components and then ranks every candidate by its
+  /// *robust* variance along the data (§II-B: "robust eigenvalues can be
+  /// computed for any basis vectors"), keeping the top p.  A captured
+  /// outlier direction carries large classical but near-zero robust
+  /// variance, so it is demoted below the genuine components.
+  std::size_t candidate_extra = 0;
+};
+
+struct BatchRobustResult {
+  EigenSystem system;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Iterative batch robust PCA (Maronna 2005): alternate
+///   residuals → M-scale σ² → weights w_n → weighted mean/covariance →
+///   eigendecomposition
+/// until σ² stabilizes.  The returned σ² satisfies eq. (5) at convergence.
+[[nodiscard]] BatchRobustResult batch_robust_pca(
+    std::span<const linalg::Vector> data, std::size_t p,
+    const BatchRobustOptions& opts = {});
+
+}  // namespace astro::pca

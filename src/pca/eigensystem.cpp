@@ -1,0 +1,85 @@
+#include "pca/eigensystem.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "linalg/qr.h"
+
+namespace astro::pca {
+
+EigenSystem::EigenSystem(std::size_t d, std::size_t p, double alpha)
+    : mean_(d), basis_(d, p), eigenvalues_(p), sums_(alpha) {
+  if (p > d) throw std::invalid_argument("EigenSystem: rank p must be <= d");
+}
+
+EigenSystem::EigenSystem(linalg::Vector mean, linalg::Matrix basis,
+                         linalg::Vector eigenvalues, double sigma2,
+                         stats::RobustRunningSums sums,
+                         std::uint64_t observations)
+    : mean_(std::move(mean)),
+      basis_(std::move(basis)),
+      eigenvalues_(std::move(eigenvalues)),
+      sigma2_(sigma2),
+      sums_(sums),
+      observations_(observations) {
+  if (basis_.rows() != mean_.size() || basis_.cols() != eigenvalues_.size()) {
+    throw std::invalid_argument("EigenSystem: inconsistent shapes");
+  }
+}
+
+linalg::Vector EigenSystem::center(const linalg::Vector& x) const {
+  return x - mean_;
+}
+
+linalg::Vector EigenSystem::project(const linalg::Vector& x) const {
+  return basis_.transpose_times(center(x));
+}
+
+linalg::Vector EigenSystem::reconstruct(const linalg::Vector& coeffs) const {
+  if (coeffs.size() != rank()) {
+    throw std::invalid_argument("reconstruct: coefficient count != rank");
+  }
+  linalg::Vector out = mean_;
+  for (std::size_t k = 0; k < rank(); ++k) {
+    const double ck = coeffs[k];
+    if (ck == 0.0) continue;
+    for (std::size_t r = 0; r < dim(); ++r) out[r] += ck * basis_(r, k);
+  }
+  return out;
+}
+
+linalg::Vector EigenSystem::residual(const linalg::Vector& x) const {
+  linalg::Vector y = center(x);
+  const linalg::Vector c = basis_.transpose_times(y);
+  for (std::size_t k = 0; k < rank(); ++k) {
+    const double ck = c[k];
+    if (ck == 0.0) continue;
+    for (std::size_t r = 0; r < dim(); ++r) y[r] -= ck * basis_(r, k);
+  }
+  return y;
+}
+
+double EigenSystem::squared_residual(const linalg::Vector& x) const {
+  const linalg::Vector y = center(x);
+  const linalg::Vector c = basis_.transpose_times(y);
+  return std::max(0.0, y.squared_norm() - c.squared_norm());
+}
+
+linalg::Matrix EigenSystem::covariance() const {
+  // E diag(lambda) E^T without forming diag explicitly.
+  linalg::Matrix scaled = basis_;
+  for (std::size_t k = 0; k < rank(); ++k) {
+    for (std::size_t r = 0; r < dim(); ++r) scaled(r, k) *= eigenvalues_[k];
+  }
+  return scaled * basis_.transpose();
+}
+
+double EigenSystem::basis_drift() const {
+  return linalg::orthonormality_error(basis_);
+}
+
+void EigenSystem::reorthonormalize() {
+  if (!basis_.empty()) linalg::orthonormalize_columns(basis_);
+}
+
+}  // namespace astro::pca

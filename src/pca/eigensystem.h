@@ -1,0 +1,95 @@
+#pragma once
+
+// The truncated eigensystem {mean, E_p, Λ_p, σ²} plus the running sums that
+// make it mergeable — the state every streaming PCA engine maintains and
+// the unit of exchange during synchronization (paper §II-C, §III-B).
+
+#include <cstdint>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "stats/running.h"
+
+namespace astro::pca {
+
+class EigenSystem {
+ public:
+  EigenSystem() = default;
+
+  /// Empty system of dimension `d` and rank `p` with forgetting factor α.
+  EigenSystem(std::size_t d, std::size_t p, double alpha = 1.0);
+
+  /// A fully-specified system (used by batch solvers and deserialization).
+  EigenSystem(linalg::Vector mean, linalg::Matrix basis,
+              linalg::Vector eigenvalues, double sigma2,
+              stats::RobustRunningSums sums, std::uint64_t observations);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return mean_.size(); }
+  [[nodiscard]] std::size_t rank() const noexcept { return eigenvalues_.size(); }
+
+  [[nodiscard]] const linalg::Vector& mean() const noexcept { return mean_; }
+  [[nodiscard]] const linalg::Matrix& basis() const noexcept { return basis_; }
+  [[nodiscard]] const linalg::Vector& eigenvalues() const noexcept {
+    return eigenvalues_;
+  }
+  /// Robust M-scale of the residuals, σ².
+  [[nodiscard]] double sigma2() const noexcept { return sigma2_; }
+  /// Raw number of observations consumed (no forgetting).
+  [[nodiscard]] std::uint64_t observations() const noexcept { return observations_; }
+  [[nodiscard]] const stats::RobustRunningSums& sums() const noexcept {
+    return sums_;
+  }
+
+  linalg::Vector& mutable_mean() noexcept { return mean_; }
+  linalg::Matrix& mutable_basis() noexcept { return basis_; }
+  linalg::Vector& mutable_eigenvalues() noexcept { return eigenvalues_; }
+  stats::RobustRunningSums& mutable_sums() noexcept { return sums_; }
+  void set_sigma2(double s2) noexcept { sigma2_ = s2; }
+  void count_observation() noexcept { ++observations_; }
+  void set_observations(std::uint64_t n) noexcept { observations_ = n; }
+
+  /// Centered copy y = x − µ.
+  [[nodiscard]] linalg::Vector center(const linalg::Vector& x) const;
+
+  /// Expansion coefficients c = E_pᵀ (x − µ).
+  [[nodiscard]] linalg::Vector project(const linalg::Vector& x) const;
+
+  /// Reconstruction µ + E_p c from coefficients.
+  [[nodiscard]] linalg::Vector reconstruct(const linalg::Vector& coeffs) const;
+
+  /// Hyperplane-fit residual r = (I − E_p E_pᵀ)(x − µ)  (paper eq. 4).
+  [[nodiscard]] linalg::Vector residual(const linalg::Vector& x) const;
+
+  /// Squared residual norm |r|² without materializing r:
+  /// |y|² − |E_pᵀ y|² (numerically clamped at 0).
+  [[nodiscard]] double squared_residual(const linalg::Vector& x) const;
+
+  /// The truncated covariance approximation E_p Λ_p E_pᵀ (paper eq. 1).
+  [[nodiscard]] linalg::Matrix covariance() const;
+
+  /// Total retained variance Σ λ_k.
+  [[nodiscard]] double retained_variance() const noexcept {
+    return eigenvalues_.sum();
+  }
+
+  /// True once the system has a usable basis (post-initialization).
+  [[nodiscard]] bool initialized() const noexcept {
+    return !basis_.empty() && observations_ > 0;
+  }
+
+  /// Max deviation of E_pᵀE_p from identity — numerical health indicator.
+  [[nodiscard]] double basis_drift() const;
+
+  /// Re-orthonormalizes the basis in place (QR hygiene).
+  void reorthonormalize();
+
+ private:
+  linalg::Vector mean_;
+  linalg::Matrix basis_;        // d x p, columns are eigenvectors
+  linalg::Vector eigenvalues_;  // p, descending
+  double sigma2_ = 0.0;
+  stats::RobustRunningSums sums_;
+  std::uint64_t observations_ = 0;
+};
+
+}  // namespace astro::pca

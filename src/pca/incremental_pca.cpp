@@ -1,0 +1,145 @@
+#include "pca/incremental_pca.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/svd.h"
+
+namespace astro::pca {
+
+void low_rank_update(const linalg::Matrix& basis,
+                     const linalg::Vector& eigenvalues,
+                     const linalg::Vector& y, double gamma,
+                     double fresh_weight, std::size_t p, linalg::Matrix* e_out,
+                     linalg::Vector* lambda_out) {
+  const std::size_t d = y.size();
+  const std::size_t k = eigenvalues.size();
+
+  // A = [ e_1 sqrt(gamma l_1), ..., e_k sqrt(gamma l_k), y sqrt(w) ]
+  linalg::Matrix a(d, k + 1);
+  for (std::size_t c = 0; c < k; ++c) {
+    const double scale = std::sqrt(std::max(0.0, gamma * eigenvalues[c]));
+    for (std::size_t r = 0; r < d; ++r) a(r, c) = basis(r, c) * scale;
+  }
+  const double yscale = std::sqrt(std::max(0.0, fresh_weight));
+  for (std::size_t r = 0; r < d; ++r) a(r, k) = y[r] * yscale;
+
+  const linalg::ThinUResult svd = linalg::svd_left(a);
+
+  *e_out = linalg::Matrix(d, p);
+  *lambda_out = linalg::Vector(p);
+  const std::size_t keep = std::min(p, svd.singular_values.size());
+  for (std::size_t c = 0; c < keep; ++c) {
+    (*lambda_out)[c] = svd.singular_values[c] * svd.singular_values[c];
+    for (std::size_t r = 0; r < d; ++r) (*e_out)(r, c) = svd.u(r, c);
+  }
+  // If p > k+1 (larger rank than columns available) the remaining
+  // eigenpairs stay zero — they fill in as more data arrives.
+}
+
+IncrementalPca::IncrementalPca(const IncrementalPcaConfig& config)
+    : config_(config), system_(config.dim, config.rank, config.alpha) {
+  if (config.dim == 0) {
+    throw std::invalid_argument("IncrementalPca: dim must be > 0");
+  }
+  if (config.rank == 0 || config.rank > config.dim) {
+    throw std::invalid_argument("IncrementalPca: need 0 < rank <= dim");
+  }
+  if (config.alpha <= 0.0 || config.alpha > 1.0) {
+    throw std::invalid_argument("IncrementalPca: alpha must be in (0, 1]");
+  }
+  config_.init_count = std::max(config_.init_count, config_.rank + 1);
+  init_buffer_.reserve(config_.init_count);
+}
+
+void IncrementalPca::observe(const linalg::Vector& x) {
+  if (x.size() != config_.dim) {
+    throw std::invalid_argument("observe: wrong dimensionality");
+  }
+  if (!init_done_) {
+    init_buffer_.push_back(x);
+    if (init_buffer_.size() >= config_.init_count) initialize_from_buffer();
+    return;
+  }
+  update(x);
+}
+
+void IncrementalPca::initialize_from_buffer() {
+  const std::size_t n = init_buffer_.size();
+  const std::size_t d = config_.dim;
+
+  linalg::Vector mean(d);
+  for (const auto& x : init_buffer_) mean += x;
+  mean *= 1.0 / double(n);
+
+  // Columns of Y are centered observations / sqrt(n); eigensystem of the
+  // sample covariance is the left SVD of Y.
+  linalg::Matrix y(d, n);
+  for (std::size_t c = 0; c < n; ++c) {
+    for (std::size_t r = 0; r < d; ++r) {
+      y(r, c) = (init_buffer_[c][r] - mean[r]) / std::sqrt(double(n));
+    }
+  }
+  const linalg::ThinUResult svd = linalg::svd_left(y);
+
+  linalg::Matrix basis(d, config_.rank);
+  linalg::Vector lambda(config_.rank);
+  const std::size_t keep = std::min(config_.rank, svd.singular_values.size());
+  for (std::size_t c = 0; c < keep; ++c) {
+    lambda[c] = svd.singular_values[c] * svd.singular_values[c];
+    for (std::size_t r = 0; r < d; ++r) basis(r, c) = svd.u(r, c);
+  }
+
+  system_ = EigenSystem(std::move(mean), std::move(basis), std::move(lambda),
+                        0.0, stats::RobustRunningSums(config_.alpha), 0);
+
+  // Replay the buffer through the running sums so merge weights reflect the
+  // data actually absorbed; sigma2 seeds from the mean squared residual.
+  double r2sum = 0.0;
+  for (const auto& x : init_buffer_) {
+    const double r2 = system_.squared_residual(x);
+    system_.mutable_sums().update(1.0, r2);
+    system_.count_observation();
+    r2sum += r2;
+  }
+  system_.set_sigma2(r2sum / double(n));
+  init_buffer_.clear();
+  init_done_ = true;
+}
+
+void IncrementalPca::update(const linalg::Vector& x) {
+  // Forgetting count drives both the mean and covariance blend; in the
+  // classic algorithm every observation has unit weight.
+  const double r2 = system_.squared_residual(x);
+  const auto gammas = system_.mutable_sums().update(1.0, r2);
+  const double gamma = gammas.g3;  // alpha*u_prev/u
+
+  // mu = gamma*mu_prev + (1-gamma)*x  (eq. 9 with w = 1)
+  linalg::Vector& mean = system_.mutable_mean();
+  mean *= gamma;
+  mean.axpy(1.0 - gamma, x);
+
+  const linalg::Vector y = system_.center(x);
+
+  linalg::Matrix e_new;
+  linalg::Vector lambda_new;
+  low_rank_update(system_.basis(), system_.eigenvalues(), y, gamma,
+                  1.0 - gamma, config_.rank, &e_new, &lambda_new);
+  system_.mutable_basis() = std::move(e_new);
+  system_.mutable_eigenvalues() = std::move(lambda_new);
+
+  // Track the (non-robust) mean squared residual as sigma2 for diagnostics.
+  const double g = gamma;
+  system_.set_sigma2(g * system_.sigma2() + (1.0 - g) * r2);
+  system_.count_observation();
+}
+
+void IncrementalPca::set_eigensystem(EigenSystem system) {
+  if (system.dim() != config_.dim || system.rank() != config_.rank) {
+    throw std::invalid_argument("set_eigensystem: shape mismatch");
+  }
+  system_ = std::move(system);
+  init_done_ = true;
+}
+
+}  // namespace astro::pca

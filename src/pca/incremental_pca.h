@@ -1,0 +1,72 @@
+#pragma once
+
+// Classic (non-robust) incremental PCA — paper §II, eq. (1)-(3).
+//
+// Per observation x:
+//   y = x − µ
+//   C ≈ γ E_p Λ_p E_pᵀ + (1−γ) y yᵀ = A Aᵀ
+//   A = [ e_k √(γ λ_k)  |  y √(1−γ) ]          (d x (p+1))
+// and the thin SVD A = U W Vᵀ yields the updated eigensystem E = U,
+// Λ = W² (truncated back to p columns).  γ comes from the forgetting count
+// u = α u_prev + 1:  γ = α u_prev / u, so α = 1 is the classic
+// infinite-memory recursion and α = 1 − 1/N a sliding window of N.
+//
+// This is both the Figure-1 "classical" baseline (sensitive to outliers)
+// and the skeleton the robust variant builds on.
+
+#include <cstddef>
+#include <vector>
+
+#include "pca/eigensystem.h"
+
+namespace astro::pca {
+
+struct IncrementalPcaConfig {
+  std::size_t dim = 0;     ///< data dimensionality d
+  std::size_t rank = 5;    ///< retained components p
+  double alpha = 1.0;      ///< forgetting factor (1 = infinite memory)
+  /// Observations buffered before the eigensystem is initialized by a small
+  /// batch decomposition ("the initial set is kept small", §III-C).
+  std::size_t init_count = 10;
+};
+
+class IncrementalPca {
+ public:
+  explicit IncrementalPca(const IncrementalPcaConfig& config);
+
+  /// Consume one observation; cheap O(d p²) once initialized.
+  void observe(const linalg::Vector& x);
+
+  /// The current estimate.  Valid (non-empty basis) once `initialized()`.
+  [[nodiscard]] const EigenSystem& eigensystem() const noexcept {
+    return system_;
+  }
+  [[nodiscard]] bool initialized() const noexcept { return init_done_; }
+  [[nodiscard]] const IncrementalPcaConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Replace the state wholesale (synchronization installs merged systems).
+  void set_eigensystem(EigenSystem system);
+
+ private:
+  void initialize_from_buffer();
+  void update(const linalg::Vector& x);
+
+  IncrementalPcaConfig config_;
+  EigenSystem system_;
+  std::vector<linalg::Vector> init_buffer_;
+  bool init_done_ = false;
+};
+
+/// Shared helper: the low-rank eigensystem update.  Given the current basis
+/// and eigenvalues, blends in direction `y` with weights (γ on history,
+/// `fresh_weight` on y yᵀ) by decomposing the (p+1)-column A matrix.
+/// Returns the new top-`p` basis and eigenvalues through the out-params.
+void low_rank_update(const linalg::Matrix& basis,
+                     const linalg::Vector& eigenvalues,
+                     const linalg::Vector& y, double gamma,
+                     double fresh_weight, std::size_t p, linalg::Matrix* e_out,
+                     linalg::Vector* lambda_out);
+
+}  // namespace astro::pca

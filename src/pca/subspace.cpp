@@ -1,0 +1,53 @@
+#include "pca/subspace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/svd.h"
+
+namespace astro::pca {
+
+linalg::Vector principal_angle_cosines(const linalg::Matrix& a,
+                                       const linalg::Matrix& b) {
+  if (a.rows() != b.rows()) {
+    throw std::invalid_argument("principal_angle_cosines: ambient dim differs");
+  }
+  // Singular values of A^T B are the cosines (A, B orthonormal-column).
+  const linalg::Matrix cross = a.transpose() * b;
+  linalg::Vector s = linalg::svd_left(cross).singular_values;
+  for (auto& x : s) x = std::clamp(x, 0.0, 1.0);
+  return s;
+}
+
+double subspace_affinity(const linalg::Matrix& a, const linalg::Matrix& b) {
+  const linalg::Vector cos = principal_angle_cosines(a, b);
+  if (cos.size() == 0) return 0.0;
+  double acc = 0.0;
+  for (double c : cos) acc += c * c;
+  return std::sqrt(acc / double(cos.size()));
+}
+
+double max_principal_angle(const linalg::Matrix& a, const linalg::Matrix& b) {
+  const linalg::Vector cos = principal_angle_cosines(a, b);
+  if (cos.size() == 0) return M_PI / 2.0;
+  double smallest = 1.0;
+  for (double c : cos) smallest = std::min(smallest, c);
+  return std::acos(smallest);
+}
+
+double projection_distance(const linalg::Matrix& a, const linalg::Matrix& b) {
+  // ||P_a - P_b||_F^2 = p + q - 2 ||A^T B||_F^2 for orthonormal columns.
+  const linalg::Matrix cross = a.transpose() * b;
+  const double c2 = cross.frobenius_norm() * cross.frobenius_norm();
+  const double v = double(a.cols()) + double(b.cols()) - 2.0 * c2;
+  return std::sqrt(std::max(0.0, v));
+}
+
+double alignment(const linalg::Vector& a, const linalg::Vector& b) {
+  const double na = a.norm(), nb = b.norm();
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return std::abs(linalg::dot(a, b)) / (na * nb);
+}
+
+}  // namespace astro::pca

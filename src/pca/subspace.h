@@ -1,0 +1,39 @@
+#pragma once
+
+// Subspace comparison metrics.
+//
+// Used everywhere two eigensystems must be compared: convergence tracking
+// against a ground-truth basis (Figs. 4-5), the statistical-independence
+// check before synchronization (§II-C), and the consistency measurements in
+// the sync-strategy ablation.
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace astro::pca {
+
+/// Cosines of the principal angles between the column spaces of `a` and
+/// `b` (both with orthonormal columns), sorted descending; length
+/// min(rank a, rank b).  cos θ = 1 means a shared direction.
+[[nodiscard]] linalg::Vector principal_angle_cosines(const linalg::Matrix& a,
+                                                     const linalg::Matrix& b);
+
+/// Affinity in [0, 1]: sqrt(mean of squared principal-angle cosines).
+/// 1 = identical subspaces, 0 = orthogonal.
+[[nodiscard]] double subspace_affinity(const linalg::Matrix& a,
+                                       const linalg::Matrix& b);
+
+/// Largest principal angle, radians — the worst-aligned direction.
+[[nodiscard]] double max_principal_angle(const linalg::Matrix& a,
+                                         const linalg::Matrix& b);
+
+/// Frobenius distance between the orthogonal projectors ||P_a − P_b||_F.
+/// Scale-free and basis-independent; ranges [0, sqrt(2 min(p,q))].
+[[nodiscard]] double projection_distance(const linalg::Matrix& a,
+                                         const linalg::Matrix& b);
+
+/// |cos| of the angle between two single vectors (for per-eigenvector
+/// convergence plots: how well does eigenvector k match the truth).
+[[nodiscard]] double alignment(const linalg::Vector& a, const linalg::Vector& b);
+
+}  // namespace astro::pca

@@ -1,0 +1,90 @@
+#include "pca/windowed.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "stats/mscale.h"
+
+namespace astro::pca {
+
+SlidingWindowPca::SlidingWindowPca(const WindowedPcaConfig& config)
+    : config_(config) {
+  if (config.dim == 0) {
+    throw std::invalid_argument("SlidingWindowPca: dim must be > 0");
+  }
+  if (config.buckets < 2) {
+    throw std::invalid_argument("SlidingWindowPca: need >= 2 buckets");
+  }
+  if (config.window < config.buckets) {
+    throw std::invalid_argument("SlidingWindowPca: window < buckets");
+  }
+  const std::size_t full = config.rank + config.bucket_extra_rank;
+  if (config.rank == 0 || full > config.dim) {
+    throw std::invalid_argument("SlidingWindowPca: bad rank");
+  }
+  bucket_size_ = config.window / config.buckets;
+  // Each bucket must be able to initialize its engine.
+  if (bucket_size_ < 2 * full + 2) {
+    throw std::invalid_argument(
+        "SlidingWindowPca: window/buckets too small to initialize a robust "
+        "engine (need >= 2*(rank+extra)+2 per bucket)");
+  }
+  live_ = make_engine();
+}
+
+std::unique_ptr<RobustIncrementalPca> SlidingWindowPca::make_engine() const {
+  RobustPcaConfig cfg;
+  cfg.dim = config_.dim;
+  cfg.rank = config_.rank;
+  cfg.extra_rank = config_.bucket_extra_rank;
+  cfg.alpha = 1.0;  // each bucket covers its slice exactly, no forgetting
+  cfg.rho = config_.rho;
+  if (config_.delta > 0.0) {
+    cfg.delta = config_.delta;
+  } else {
+    const std::size_t full = config_.rank + config_.bucket_extra_rank;
+    cfg.delta = stats::chi2_consistent_delta(*stats::make_rho(config_.rho),
+                                             config_.dim - full);
+  }
+  return std::make_unique<RobustIncrementalPca>(cfg);
+}
+
+void SlidingWindowPca::roll_if_full() {
+  if (live_count_ < bucket_size_) return;
+  if (live_->initialized()) {
+    closed_.push_back(live_->eigensystem());
+  }
+  live_ = make_engine();
+  live_count_ = 0;
+  while (closed_.size() >= config_.buckets) {
+    coverage_ -= closed_.front().observations();
+    closed_.pop_front();
+  }
+}
+
+ObservationReport SlidingWindowPca::observe(const linalg::Vector& x) {
+  roll_if_full();
+  ++live_count_;
+  ++coverage_;
+  return live_->observe(x);
+}
+
+ObservationReport SlidingWindowPca::observe(const linalg::Vector& x,
+                                            const PixelMask& mask) {
+  roll_if_full();
+  ++live_count_;
+  ++coverage_;
+  return live_->observe(x, mask);
+}
+
+std::optional<EigenSystem> SlidingWindowPca::eigensystem() const {
+  std::vector<EigenSystem> parts(closed_.begin(), closed_.end());
+  if (live_->initialized()) parts.push_back(live_->eigensystem());
+  if (parts.empty()) return std::nullopt;
+  MergeOptions opts;
+  opts.rank_out = config_.rank;
+  if (parts.size() == 1) return truncate(parts.front(), config_.rank);
+  return merge(parts, opts);
+}
+
+}  // namespace astro::pca

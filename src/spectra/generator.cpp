@@ -1,0 +1,204 @@
+#include "spectra/generator.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/qr.h"
+#include "spectra/line_catalog.h"
+
+namespace astro::spectra {
+
+namespace {
+
+// Adds a Gaussian line profile (positive = emission, negative dips =
+// absorption) to `spectrum` at the catalog wavelength.
+void add_line(linalg::Vector& spectrum, const linalg::Vector& grid,
+              const SpectralLine& line, double amplitude) {
+  const double sign = line.kind == LineKind::kEmission ? 1.0 : -1.0;
+  const double a = sign * amplitude * line.typical_strength;
+  const double s2 = line.width * line.width;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const double d = grid[i] - line.rest_wavelength;
+    if (std::abs(d) > 6.0 * line.width) continue;
+    spectrum[i] += a * std::exp(-0.5 * d * d / s2);
+  }
+}
+
+}  // namespace
+
+GalaxySpectrumGenerator::GalaxySpectrumGenerator(const SpectraConfig& config)
+    : config_(config), rng_(config.seed) {
+  if (config.pixels < 16) {
+    throw std::invalid_argument("SpectraConfig: need at least 16 pixels");
+  }
+  if (config.components < 2 || config.components > 8) {
+    throw std::invalid_argument("SpectraConfig: components must be in [2, 8]");
+  }
+  if (config.lambda_min >= config.lambda_max) {
+    throw std::invalid_argument("SpectraConfig: bad wavelength range");
+  }
+  build_templates();
+}
+
+void GalaxySpectrumGenerator::build_templates() {
+  const std::size_t d = config_.pixels;
+  wavelengths_ = linalg::Vector(d);
+  // Log-uniform grid, as in SDSS spectrographs.
+  const double log_lo = std::log(config_.lambda_min);
+  const double log_hi = std::log(config_.lambda_max);
+  for (std::size_t i = 0; i < d; ++i) {
+    const double f = double(i) / double(d - 1);
+    wavelengths_[i] = std::exp(log_lo + f * (log_hi - log_lo));
+  }
+
+  // Mean galaxy: red-ish continuum with weak versions of all lines and the
+  // 4000 A break.
+  mean_ = linalg::Vector(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    const double x = wavelengths_[i] / 5500.0;
+    double flux = std::pow(x, 0.6);
+    if (wavelengths_[i] < 4000.0) flux *= 0.75;  // 4000 A break
+    mean_[i] = flux;
+  }
+  for (const SpectralLine& line : line_catalog()) {
+    add_line(mean_, wavelengths_, line, 0.05);
+  }
+
+  // Raw (non-orthogonal) physically-shaped components.
+  linalg::Matrix raw(d, config_.components);
+  auto set_component = [&](std::size_t c, const linalg::Vector& v) {
+    for (std::size_t i = 0; i < d; ++i) raw(i, c) = v[i];
+  };
+
+  // 0: continuum slope (blue vs red) with the 4000 A break pivot.
+  {
+    linalg::Vector v(d);
+    for (std::size_t i = 0; i < d; ++i) {
+      v[i] = std::log(wavelengths_[i] / 5500.0);
+      if (wavelengths_[i] < 4000.0) v[i] -= 0.25;
+    }
+    set_component(0, v);
+  }
+  // 1: Balmer emission-line strength (star formation).
+  {
+    linalg::Vector v(d);
+    for (const SpectralLine& line : balmer_emission_lines()) {
+      add_line(v, wavelengths_, line, 1.0);
+    }
+    set_component(1, v);
+  }
+  if (config_.components > 2) {  // 2: nebular lines ([OII]/[OIII]/[NII]/[SII])
+    linalg::Vector v(d);
+    for (const SpectralLine& line : nebular_emission_lines()) {
+      add_line(v, wavelengths_, line, 1.0);
+    }
+    set_component(2, v);
+  }
+  if (config_.components > 3) {  // 3: stellar absorption features
+    linalg::Vector v(d);
+    for (const SpectralLine& line : stellar_absorption_lines()) {
+      add_line(v, wavelengths_, line, 1.0);
+    }
+    set_component(3, v);
+  }
+  if (config_.components > 4) {  // 4: post-starburst Balmer absorption
+    linalg::Vector v(d);
+    for (const SpectralLine& line : balmer_emission_lines()) {
+      SpectralLine absorbed = line;
+      absorbed.kind = LineKind::kAbsorption;
+      absorbed.width = 2.5 * line.width;  // broad stellar absorption troughs
+      add_line(v, wavelengths_, absorbed, 0.8);
+    }
+    set_component(4, v);
+  }
+  // 5..7: smooth curvature modes (low-order Legendre-ish shapes).
+  for (std::size_t c = 5; c < config_.components; ++c) {
+    linalg::Vector v(d);
+    const double k = double(c - 3);
+    for (std::size_t i = 0; i < d; ++i) {
+      const double t = 2.0 * double(i) / double(d - 1) - 1.0;
+      v[i] = std::cos(k * M_PI * t);
+    }
+    set_component(c, v);
+  }
+
+  basis_ = linalg::qr(raw).q;  // orthonormalize, preserving leading shapes
+
+  scales_ = linalg::Vector(config_.components);
+  for (std::size_t c = 0; c < config_.components; ++c) {
+    scales_[c] = config_.top_scale / double(c + 1);
+  }
+}
+
+GalaxySpectrumGenerator::Sample GalaxySpectrumGenerator::next() {
+  Sample out;
+  if (config_.outlier_fraction > 0.0 &&
+      rng_.bernoulli(config_.outlier_fraction)) {
+    // Junk spectrum: bad sky subtraction / cosmic-ray dominated exposure.
+    out.is_outlier = true;
+    linalg::Vector dir = rng_.gaussian_vector(config_.pixels);
+    dir.normalize();
+    out.flux = mean_ + dir * config_.outlier_amplitude;
+    return out;
+  }
+
+  out.flux = mean_;
+  for (std::size_t c = 0; c < config_.components; ++c) {
+    const double coeff = rng_.gaussian(0.0, scales_[c]);
+    for (std::size_t i = 0; i < config_.pixels; ++i) {
+      out.flux[i] += coeff * basis_(i, c);
+    }
+  }
+  for (std::size_t i = 0; i < config_.pixels; ++i) {
+    out.flux[i] += rng_.gaussian(0.0, config_.noise);
+  }
+
+  if (config_.max_redshift > 0.0) {
+    out.redshift = rng_.uniform(0.0, config_.max_redshift);
+    // Rest wavelengths above lambda_max/(1+z) fall off the detector's red
+    // end: systematic, redshift-correlated gaps (paper §II-D).
+    const double cutoff = config_.lambda_max / (1.0 + out.redshift);
+    std::size_t missing = 0;
+    pca::PixelMask mask(config_.pixels, true);
+    for (std::size_t i = 0; i < config_.pixels; ++i) {
+      if (wavelengths_[i] > cutoff) {
+        mask[i] = false;
+        out.flux[i] = 0.0;  // unmeasured bins carry no signal
+        ++missing;
+      }
+    }
+    if (missing > 0) out.mask = std::move(mask);
+  }
+  return out;
+}
+
+linalg::Vector GalaxySpectrumGenerator::next_clean_flux() {
+  const double saved_fraction = config_.outlier_fraction;
+  const double saved_z = config_.max_redshift;
+  config_.outlier_fraction = 0.0;
+  config_.max_redshift = 0.0;
+  linalg::Vector flux = next().flux;
+  config_.outlier_fraction = saved_fraction;
+  config_.max_redshift = saved_z;
+  return flux;
+}
+
+double roughness(const linalg::Vector& spectrum) {
+  const std::size_t d = spectrum.size();
+  if (d < 3) return 0.0;
+  double mean = 0.0;
+  for (double x : spectrum) mean += x;
+  mean /= double(d);
+  double var = 0.0;
+  for (double x : spectrum) var += (x - mean) * (x - mean);
+  var /= double(d);
+  if (var <= 0.0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 1; i + 1 < d; ++i) {
+    const double second = spectrum[i - 1] - 2.0 * spectrum[i] + spectrum[i + 1];
+    acc += second * second;
+  }
+  return acc / (double(d - 2) * var);
+}
+
+}  // namespace astro::spectra

@@ -1,0 +1,88 @@
+#pragma once
+
+// Synthetic SDSS-like galaxy spectrum generator.
+//
+// Stands in for the survey data stream the paper processes (see DESIGN.md
+// substitution table).  Spectra live on a fixed observed-frame pixel grid;
+// each is a linear combination of a small set of physically-shaped "true"
+// eigenspectra (continuum-slope variation, Balmer emission, nebular
+// emission, stellar absorption, ...) plus pixel noise — so the galaxy
+// manifold is genuinely low-rank, the property the paper credits for fast
+// convergence ("the galaxies are redundant in good approximation").
+//
+// Redshift produces the §II-D systematic gaps: a galaxy at redshift z only
+// covers rest wavelengths up to lambda_max/(1+z), so the red end of its
+// rest-frame vector is unobserved and masked.
+
+#include <optional>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "pca/gap_fill.h"
+#include "stats/rng.h"
+
+namespace astro::spectra {
+
+struct SpectraConfig {
+  std::size_t pixels = 500;       ///< d: spectral bins
+  double lambda_min = 3800.0;     ///< grid start, Angstroms
+  double lambda_max = 9200.0;     ///< grid end, Angstroms
+  std::size_t components = 5;     ///< true manifold rank (2..8 supported)
+  double top_scale = 1.0;         ///< stddev of the leading coefficient
+  double noise = 0.02;            ///< per-pixel Gaussian noise
+  double max_redshift = 0.0;      ///< > 0 enables redshift coverage gaps
+  double outlier_fraction = 0.0;  ///< probability a draw is a junk spectrum
+  double outlier_amplitude = 30.0;
+  std::uint64_t seed = 20120101;
+};
+
+class GalaxySpectrumGenerator {
+ public:
+  explicit GalaxySpectrumGenerator(const SpectraConfig& config);
+
+  struct Sample {
+    linalg::Vector flux;   ///< rest-frame spectrum on the pixel grid
+    pca::PixelMask mask;   ///< empty when fully covered
+    double redshift = 0.0;
+    bool is_outlier = false;
+  };
+
+  /// Draws the next spectrum (streaming use; never ends).
+  [[nodiscard]] Sample next();
+
+  /// Convenience: flux only, never an outlier or gap (for calibration).
+  [[nodiscard]] linalg::Vector next_clean_flux();
+
+  /// Ground truth for convergence measurements.
+  [[nodiscard]] const linalg::Matrix& true_basis() const noexcept {
+    return basis_;
+  }
+  [[nodiscard]] const linalg::Vector& mean_spectrum() const noexcept {
+    return mean_;
+  }
+  [[nodiscard]] const linalg::Vector& component_scales() const noexcept {
+    return scales_;
+  }
+  [[nodiscard]] const linalg::Vector& wavelengths() const noexcept {
+    return wavelengths_;
+  }
+  [[nodiscard]] const SpectraConfig& config() const noexcept { return config_; }
+
+ private:
+  void build_templates();
+
+  SpectraConfig config_;
+  stats::Rng rng_;
+  linalg::Vector wavelengths_;  // observed-frame grid (Angstroms)
+  linalg::Vector mean_;         // mean galaxy spectrum
+  linalg::Matrix basis_;        // d x k orthonormal true eigenspectra
+  linalg::Vector scales_;       // k coefficient stddevs, descending
+};
+
+/// Smoothness measure: mean squared second difference of a spectrum,
+/// normalized by its variance.  Converged eigenspectra are smooth (the
+/// paper: "the smoothness of these curves is a sign of robustness"); noise
+/// dominated ones are not.
+[[nodiscard]] double roughness(const linalg::Vector& spectrum);
+
+}  // namespace astro::spectra

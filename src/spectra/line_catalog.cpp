@@ -1,0 +1,65 @@
+#include "spectra/line_catalog.h"
+
+#include <array>
+
+namespace astro::spectra {
+
+namespace {
+
+constexpr std::array<SpectralLine, 18> kCatalog{{
+    {"[OII]3727", 3727.1, LineKind::kEmission, 0.8, 4.0},
+    {"CaK", 3933.7, LineKind::kAbsorption, 0.5, 6.0},
+    {"CaH", 3968.5, LineKind::kAbsorption, 0.45, 6.0},
+    {"Hdelta", 4101.7, LineKind::kEmission, 0.15, 4.0},
+    {"Gband", 4304.4, LineKind::kAbsorption, 0.25, 8.0},
+    {"Hgamma", 4340.5, LineKind::kEmission, 0.25, 4.0},
+    {"Hbeta", 4861.3, LineKind::kEmission, 0.5, 4.0},
+    {"[OIII]4959", 4958.9, LineKind::kEmission, 0.35, 3.5},
+    {"[OIII]5007", 5006.8, LineKind::kEmission, 1.0, 3.5},
+    {"Mgb", 5175.4, LineKind::kAbsorption, 0.3, 9.0},
+    {"NaD", 5892.9, LineKind::kAbsorption, 0.25, 7.0},
+    {"[NII]6548", 6548.1, LineKind::kEmission, 0.2, 3.5},
+    {"Halpha", 6562.8, LineKind::kEmission, 1.4, 4.5},
+    {"[NII]6583", 6583.5, LineKind::kEmission, 0.45, 3.5},
+    {"[SII]6716", 6716.4, LineKind::kEmission, 0.25, 3.5},
+    {"[SII]6731", 6730.8, LineKind::kEmission, 0.2, 3.5},
+    {"CaII8542", 8542.1, LineKind::kAbsorption, 0.2, 6.0},
+    {"CaII8662", 8662.1, LineKind::kAbsorption, 0.18, 6.0},
+}};
+
+// Index ranges into kCatalog for the grouped views.
+constexpr std::array<SpectralLine, 4> kBalmer{{
+    kCatalog[3],  // Hdelta
+    kCatalog[5],  // Hgamma
+    kCatalog[6],  // Hbeta
+    kCatalog[12], // Halpha
+}};
+
+constexpr std::array<SpectralLine, 7> kNebular{{
+    kCatalog[0],   // [OII]
+    kCatalog[7],   // [OIII]4959
+    kCatalog[8],   // [OIII]5007
+    kCatalog[11],  // [NII]6548
+    kCatalog[13],  // [NII]6583
+    kCatalog[14],  // [SII]6716
+    kCatalog[15],  // [SII]6731
+}};
+
+constexpr std::array<SpectralLine, 7> kAbsorption{{
+    kCatalog[1],   // CaK
+    kCatalog[2],   // CaH
+    kCatalog[4],   // Gband
+    kCatalog[9],   // Mgb
+    kCatalog[10],  // NaD
+    kCatalog[16],  // CaII8542
+    kCatalog[17],  // CaII8662
+}};
+
+}  // namespace
+
+std::span<const SpectralLine> line_catalog() { return kCatalog; }
+std::span<const SpectralLine> balmer_emission_lines() { return kBalmer; }
+std::span<const SpectralLine> nebular_emission_lines() { return kNebular; }
+std::span<const SpectralLine> stellar_absorption_lines() { return kAbsorption; }
+
+}  // namespace astro::spectra

@@ -1,0 +1,34 @@
+#pragma once
+
+// Catalog of prominent optical galaxy spectral lines.
+//
+// The synthetic workload generator builds its "true" eigenspectra out of
+// these features so that converged eigenvectors show physically meaningful
+// structure at the right wavelengths — the qualitative signature of the
+// paper's Figures 4-5 (emission/absorption features emerging from noise).
+// Rest wavelengths in Angstroms (air, rounded).
+
+#include <span>
+#include <string_view>
+
+namespace astro::spectra {
+
+enum class LineKind { kEmission, kAbsorption };
+
+struct SpectralLine {
+  std::string_view name;
+  double rest_wavelength;  ///< Angstroms
+  LineKind kind;
+  double typical_strength; ///< relative amplitude scale (arbitrary units)
+  double width;            ///< Gaussian sigma, Angstroms
+};
+
+/// The catalog, ordered by wavelength.
+[[nodiscard]] std::span<const SpectralLine> line_catalog();
+
+/// Lines commonly grouped together in galaxy eigenspectra.
+[[nodiscard]] std::span<const SpectralLine> balmer_emission_lines();
+[[nodiscard]] std::span<const SpectralLine> nebular_emission_lines();
+[[nodiscard]] std::span<const SpectralLine> stellar_absorption_lines();
+
+}  // namespace astro::spectra

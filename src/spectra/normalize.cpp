@@ -1,0 +1,90 @@
+#include "spectra/normalize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace astro::spectra {
+
+namespace {
+
+double statistic(std::span<const double> values, NormalizationKind kind,
+                 double coverage_scale) {
+  switch (kind) {
+    case NormalizationKind::kUnitNorm: {
+      double acc = 0.0;
+      for (double v : values) acc += v * v;
+      return std::sqrt(acc * coverage_scale);
+    }
+    case NormalizationKind::kUnitMeanFlux: {
+      double acc = 0.0;
+      for (double v : values) acc += v;
+      return acc / double(values.size());
+    }
+    case NormalizationKind::kMedianFlux: {
+      std::vector<double> copy(values.begin(), values.end());
+      const std::size_t mid = copy.size() / 2;
+      std::nth_element(copy.begin(), copy.begin() + std::ptrdiff_t(mid),
+                       copy.end());
+      return copy[mid];
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+double normalize(linalg::Vector& flux, NormalizationKind kind) {
+  if (flux.empty()) return 1.0;
+  const double s = statistic(flux.span(), kind, 1.0);
+  if (s == 0.0) return 1.0;
+  flux *= 1.0 / s;
+  return 1.0 / s;
+}
+
+double normalize_masked(linalg::Vector& flux, const pca::PixelMask& observed,
+                        NormalizationKind kind) {
+  if (observed.empty()) return normalize(flux, kind);
+  if (observed.size() != flux.size()) {
+    throw std::invalid_argument("normalize_masked: mask size mismatch");
+  }
+  std::vector<double> seen;
+  seen.reserve(flux.size());
+  for (std::size_t i = 0; i < flux.size(); ++i) {
+    if (observed[i]) seen.push_back(flux[i]);
+  }
+  if (seen.empty()) return 1.0;
+  // Coverage factor makes |x_obs|^2 an unbiased estimate of |x|^2.
+  const double coverage_scale =
+      kind == NormalizationKind::kUnitNorm
+          ? double(flux.size()) / double(seen.size())
+          : 1.0;
+  const double s = statistic(seen, kind, coverage_scale);
+  if (s == 0.0) return 1.0;
+  flux *= 1.0 / s;
+  return 1.0 / s;
+}
+
+double normalize_to_template(linalg::Vector& flux,
+                             const pca::PixelMask& observed,
+                             const linalg::Vector& reference) {
+  if (flux.size() != reference.size()) {
+    throw std::invalid_argument("normalize_to_template: size mismatch");
+  }
+  if (!observed.empty() && observed.size() != flux.size()) {
+    throw std::invalid_argument("normalize_to_template: mask size mismatch");
+  }
+  double xt = 0.0, tt = 0.0;
+  for (std::size_t i = 0; i < flux.size(); ++i) {
+    if (!observed.empty() && !observed[i]) continue;
+    xt += flux[i] * reference[i];
+    tt += reference[i] * reference[i];
+  }
+  if (tt <= 0.0 || xt == 0.0) return 1.0;
+  const double a = xt / tt;
+  flux *= 1.0 / a;
+  return 1.0 / a;
+}
+
+}  // namespace astro::spectra

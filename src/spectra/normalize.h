@@ -1,0 +1,49 @@
+#pragma once
+
+// Spectrum normalization (paper §II-D): "we must normalize every spectrum
+// before it is entered into the streaming algorithm" so the Euclidean
+// metric measures shape similarity, not brightness/distance.
+//
+// With gaps, the norm must be estimated from observed pixels only —
+// rescaled so a partially-observed spectrum normalizes consistently with
+// its fully-observed self.
+
+#include "linalg/vector.h"
+#include "pca/gap_fill.h"
+
+namespace astro::spectra {
+
+enum class NormalizationKind {
+  kUnitNorm,      ///< |x| = 1 (PCA-friendly; the default)
+  kUnitMeanFlux,  ///< mean pixel value = 1 (astronomy convention)
+  kMedianFlux,    ///< median pixel value = 1 (robust to strong lines)
+};
+
+/// Normalizes in place over all pixels.  Zero spectra are left untouched.
+/// Returns the scale factor applied (1 / norm-like quantity).
+double normalize(linalg::Vector& flux,
+                 NormalizationKind kind = NormalizationKind::kUnitNorm);
+
+/// Gap-aware variant: the norm statistic is computed from observed pixels
+/// only, scaled by coverage so it is an unbiased estimate of the full-
+/// spectrum statistic (e.g. |x|² ≈ |x_obs|² · d / n_obs for kUnitNorm).
+/// Missing pixels are scaled along with the rest (they typically hold a
+/// reconstruction or zero).
+double normalize_masked(linalg::Vector& flux, const pca::PixelMask& observed,
+                        NormalizationKind kind = NormalizationKind::kUnitNorm);
+
+/// Template-fit normalization: scales the spectrum so its least-squares
+/// amplitude against `reference` over the *observed* pixels is 1, i.e.
+/// divides by  a = <x_obs, t_obs> / <t_obs, t_obs>.
+///
+/// Unlike the statistic-based kinds, this stays unbiased under systematic
+/// gaps even when the missing region carries more or less flux than
+/// average (e.g. redshifted galaxies losing their rising red continuum) —
+/// the normalization-shift correction of Wild et al. that the paper adopts
+/// for incomplete data.  Returns the applied factor 1/a; leaves the flux
+/// untouched when the overlap is degenerate.
+double normalize_to_template(linalg::Vector& flux,
+                             const pca::PixelMask& observed,
+                             const linalg::Vector& reference);
+
+}  // namespace astro::spectra

@@ -1,0 +1,57 @@
+#include "spectra/sensors.h"
+
+#include <stdexcept>
+
+namespace astro::spectra {
+
+ClusterTelemetryGenerator::ClusterTelemetryGenerator(const SensorConfig& config)
+    : config_(config), rng_(config.seed) {
+  if (config.sensors_per_server < 4) {
+    throw std::invalid_argument("SensorConfig: need >= 4 sensors");
+  }
+  if (config.latent_factors == 0 ||
+      config.latent_factors >= config.sensors_per_server) {
+    throw std::invalid_argument("SensorConfig: bad latent factor count");
+  }
+  const std::size_t d = config.sensors_per_server;
+
+  // Nominal operating point: temperatures ~ 45, fans ~ 0.6 of max, disk and
+  // power mid-range — arbitrary but structured units after standardization.
+  baseline_ = linalg::Vector(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    baseline_[i] = (i % 3 == 0) ? 45.0 : (i % 3 == 1) ? 0.6 : 1.0;
+  }
+
+  loadings_ = stats::random_orthonormal(rng_, d, config.latent_factors);
+}
+
+ClusterTelemetryGenerator::Reading ClusterTelemetryGenerator::next() {
+  Reading out;
+  out.values = baseline_;
+  const std::size_t d = config_.sensors_per_server;
+
+  for (std::size_t f = 0; f < config_.latent_factors; ++f) {
+    const double strength = 2.0 / double(f + 1);
+    const double driver = rng_.gaussian(0.0, strength);
+    for (std::size_t i = 0; i < d; ++i) {
+      out.values[i] += driver * loadings_(i, f);
+    }
+  }
+  for (std::size_t i = 0; i < d; ++i) {
+    out.values[i] += rng_.gaussian(0.0, config_.noise);
+  }
+
+  if (config_.failure_rate > 0.0 && rng_.bernoulli(config_.failure_rate)) {
+    out.failing = true;
+    // Dying fan: one fan-like sensor collapses while nearby temperatures
+    // spike — a correlated excursion off the healthy manifold.
+    const std::size_t fan = 1 + 3 * rng_.index(d / 3);
+    out.values[fan % d] -= 15.0;
+    for (std::size_t k = 0; k < 3; ++k) {
+      out.values[(fan + k + 1) % d] += 20.0 + 5.0 * rng_.gaussian();
+    }
+  }
+  return out;
+}
+
+}  // namespace astro::spectra

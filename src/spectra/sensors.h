@@ -1,0 +1,57 @@
+#pragma once
+
+// Cluster-health telemetry workload — the paper's closing use case:
+// "monitoring the modern cluster installations that include thousands of
+// servers, each having multiple parameters monitored, including the
+// computation components temperature, hard drive parameters, cooling fans
+// RPMs and so on ... a significant eigensystem deviation could indicate a
+// hardware failure."
+//
+// Each observation is one server's sensor vector.  Healthy servers follow
+// a few latent drivers (ambient temperature, load, fan-control loop);
+// failures inject correlated anomalies (a dying fan heats everything on
+// that node while its RPM collapses).
+
+#include <optional>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "stats/rng.h"
+
+namespace astro::spectra {
+
+struct SensorConfig {
+  std::size_t sensors_per_server = 24;  ///< temps, fan RPMs, disk, power
+  std::size_t latent_factors = 3;       ///< ambient, load, cooling loop
+  double noise = 0.05;
+  double failure_rate = 0.0;            ///< probability a reading is from a failing server
+  std::uint64_t seed = 7777;
+};
+
+class ClusterTelemetryGenerator {
+ public:
+  explicit ClusterTelemetryGenerator(const SensorConfig& config);
+
+  struct Reading {
+    linalg::Vector values;
+    bool failing = false;  ///< ground truth for detection metrics
+  };
+
+  [[nodiscard]] Reading next();
+
+  [[nodiscard]] const linalg::Matrix& factor_loadings() const noexcept {
+    return loadings_;
+  }
+  [[nodiscard]] const linalg::Vector& baseline() const noexcept {
+    return baseline_;
+  }
+  [[nodiscard]] const SensorConfig& config() const noexcept { return config_; }
+
+ private:
+  SensorConfig config_;
+  stats::Rng rng_;
+  linalg::Vector baseline_;  ///< nominal sensor values
+  linalg::Matrix loadings_;  ///< sensors x factors (orthonormal columns)
+};
+
+}  // namespace astro::spectra

@@ -1,0 +1,71 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace astro::stats {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("mean: empty input");
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / double(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) throw std::invalid_argument("variance: need >= 2 values");
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / double(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double median(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("median: empty input");
+  std::vector<double> copy(xs.begin(), xs.end());
+  const std::size_t mid = copy.size() / 2;
+  std::nth_element(copy.begin(), copy.begin() + std::ptrdiff_t(mid), copy.end());
+  const double hi = copy[mid];
+  if (copy.size() % 2 != 0) return hi;
+  const double lo = *std::max_element(copy.begin(), copy.begin() + std::ptrdiff_t(mid));
+  return 0.5 * (lo + hi);
+}
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("quantile: empty input");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q in [0,1]");
+  std::vector<double> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  const double pos = q * double(copy.size() - 1);
+  const std::size_t lo = std::size_t(pos);
+  const std::size_t hi = std::min(lo + 1, copy.size() - 1);
+  const double frac = pos - double(lo);
+  return copy[lo] * (1.0 - frac) + copy[hi] * frac;
+}
+
+double mad(std::span<const double> xs) {
+  const double m = median(xs);
+  std::vector<double> dev(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) dev[i] = std::abs(xs[i] - m);
+  return 1.4826 * median(dev);
+}
+
+linalg::Vector weighted_mean(std::span<const linalg::Vector> xs,
+                             std::span<const double> ws) {
+  if (xs.empty() || xs.size() != ws.size()) {
+    throw std::invalid_argument("weighted_mean: bad sizes");
+  }
+  linalg::Vector acc(xs[0].size());
+  double wsum = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    acc.axpy(ws[i], xs[i]);
+    wsum += ws[i];
+  }
+  if (wsum == 0.0) throw std::invalid_argument("weighted_mean: zero weight");
+  return acc / wsum;
+}
+
+}  // namespace astro::stats

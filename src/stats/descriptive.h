@@ -1,0 +1,31 @@
+#pragma once
+
+// Small descriptive-statistics helpers shared by tests and benchmarks:
+// means, medians, quantiles, weighted moments.
+
+#include <span>
+#include <vector>
+
+#include "linalg/vector.h"
+
+namespace astro::stats {
+
+[[nodiscard]] double mean(std::span<const double> xs);
+[[nodiscard]] double variance(std::span<const double> xs);  ///< unbiased (n-1)
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// Median (copies; O(n) via nth_element).
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Linear-interpolated quantile, q in [0, 1].
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Median absolute deviation scaled to be consistent with the Gaussian
+/// standard deviation (x 1.4826).
+[[nodiscard]] double mad(std::span<const double> xs);
+
+/// Weighted mean of vectors: Σ w_n x_n / Σ w_n  (paper eq. 6).
+[[nodiscard]] linalg::Vector weighted_mean(
+    std::span<const linalg::Vector> xs, std::span<const double> ws);
+
+}  // namespace astro::stats

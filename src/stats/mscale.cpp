@@ -1,0 +1,103 @@
+#include "stats/mscale.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace astro::stats {
+
+double chi2_consistent_delta(const RhoFunction& rho, std::size_t dof) {
+  if (dof == 0) throw std::invalid_argument("chi2_consistent_delta: dof >= 1");
+  // E[rho(X / k)] for X ~ chi^2_k by composite Simpson.  The pdf is
+  // x^(k/2-1) e^(-x/2) / (2^(k/2) Gamma(k/2)); integrate to the far tail.
+  const double k = double(dof);
+  const double hi = k + 24.0 * std::sqrt(2.0 * k) + 40.0;
+  constexpr int kSteps = 6000;
+  const double h = hi / kSteps;
+  const double log_norm =
+      (k / 2.0) * std::log(2.0) + std::lgamma(k / 2.0);
+  auto f = [&](double x) {
+    if (x <= 0.0) return 0.0;
+    const double log_pdf = (k / 2.0 - 1.0) * std::log(x) - x / 2.0 - log_norm;
+    return std::exp(log_pdf) * rho.rho(x / k);
+  };
+  double acc = f(0.0) + f(hi);
+  for (int i = 1; i < kSteps; ++i) {
+    acc += f(i * h) * ((i % 2 != 0) ? 4.0 : 2.0);
+  }
+  return acc * h / 3.0;
+}
+
+}  // namespace astro::stats
+
+namespace astro::stats {
+
+double resolve_delta(const MScaleOptions& opts, const RhoFunction& rho) {
+  if (opts.delta > 0.0) {
+    if (opts.delta > 1.0) {
+      throw std::invalid_argument("m_scale: delta must be in (0, 1]");
+    }
+    return opts.delta;
+  }
+  return rho.gaussian_expectation();
+}
+
+double m_scale_step(std::span<const double> residuals, double sigma2,
+                    const RhoFunction& rho, double delta) {
+  if (residuals.empty() || sigma2 <= 0.0) return sigma2;
+  double acc = 0.0;
+  for (double r : residuals) {
+    const double r2 = r * r;
+    acc += rho.scale_weight(r2 / sigma2) * r2;
+  }
+  return acc / (double(residuals.size()) * delta);
+}
+
+MScaleResult m_scale(std::span<const double> residuals, const RhoFunction& rho,
+                     const MScaleOptions& opts) {
+  MScaleResult out;
+  if (residuals.empty()) return out;
+  const double delta = resolve_delta(opts, rho);
+
+  // Degenerate case (bounded rho only): if the fraction of non-zero
+  // residuals is <= delta, sigma = 0 solves eq. (5) — each non-zero residual
+  // contributes rho(inf) = 1 and the zeros contribute nothing.
+  if (rho.bounded()) {
+    const std::size_t nonzero =
+        std::size_t(std::count_if(residuals.begin(), residuals.end(),
+                                  [](double r) { return r != 0.0; }));
+    if (double(nonzero) <= delta * double(residuals.size())) {
+      out.converged = true;
+      return out;
+    }
+  }
+
+  // Start from the median absolute residual — a robust, cheap initializer.
+  std::vector<double> abs(residuals.begin(), residuals.end());
+  for (double& r : abs) r = std::abs(r);
+  const std::size_t mid = abs.size() / 2;
+  std::nth_element(abs.begin(), abs.begin() + std::ptrdiff_t(mid), abs.end());
+  double sigma2 = abs[mid] * abs[mid];
+  if (sigma2 == 0.0) {
+    // Median is zero but enough non-zeros exist; seed from the mean square.
+    double ms = 0.0;
+    for (double r : residuals) ms += r * r;
+    sigma2 = ms / double(residuals.size());
+  }
+
+  for (int it = 0; it < opts.max_iter; ++it) {
+    const double next = m_scale_step(residuals, sigma2, rho, delta);
+    out.iterations = it + 1;
+    if (std::abs(next - sigma2) <= opts.tol * std::max(sigma2, 1e-300)) {
+      sigma2 = next;
+      out.converged = true;
+      break;
+    }
+    sigma2 = next;
+  }
+  out.sigma2 = sigma2;
+  return out;
+}
+
+}  // namespace astro::stats

@@ -1,0 +1,61 @@
+#pragma once
+
+// M-scale estimation (paper eq. 5 and eq. 8).
+//
+// The M-scale σ of residuals r_1..r_N solves
+//     (1/N) Σ ρ(r_n² / σ²) = δ
+// where δ controls the breakdown point (the contamination fraction at which
+// the estimate explodes).  Solved by the fixed-point iteration of eq. (8):
+//     σ² ← (1/(N δ)) Σ W*(r_n²/σ²) r_n²,     W*(t) = ρ(t)/t
+// which is a contraction for bounded ρ (Maronna 2005).
+
+#include <cstddef>
+#include <span>
+
+#include "stats/rho.h"
+
+namespace astro::stats {
+
+struct MScaleOptions {
+  /// Breakdown parameter δ in eq. (5).  0.5 = maximal breakdown.  When <= 0,
+  /// the Gaussian-consistency value E[ρ(X²)] is used so that σ estimates the
+  /// standard deviation for clean Gaussian data.
+  double delta = -1.0;
+  double tol = 1e-10;   ///< relative change in σ² to declare convergence
+  int max_iter = 200;
+};
+
+struct MScaleResult {
+  double sigma2 = 0.0;  ///< the M-scale squared
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Batch M-scale of residuals (not squared — the function squares them).
+/// Returns σ² = 0 when more than (1-δ) of the residuals are exactly zero
+/// (the equation's degenerate solution).
+[[nodiscard]] MScaleResult m_scale(std::span<const double> residuals,
+                                   const RhoFunction& rho,
+                                   const MScaleOptions& opts = {});
+
+/// One damped fixed-point step of eq. (8) given the current σ² and a batch
+/// of residuals; building block for the streaming recursion (eq. 11).
+[[nodiscard]] double m_scale_step(std::span<const double> residuals,
+                                  double sigma2, const RhoFunction& rho,
+                                  double delta);
+
+/// The effective δ an MScaleOptions resolves to for a given ρ.
+[[nodiscard]] double resolve_delta(const MScaleOptions& opts,
+                                   const RhoFunction& rho);
+
+/// δ = E[ρ(χ²_k / k)] — the breakdown parameter that makes the M-scale of
+/// k-degree-of-freedom residual *norms* consistent with the mean squared
+/// residual on clean Gaussian data.  In robust PCA the residual vector has
+/// ~ (d − p) degrees of freedom; using δ = 0.5 there maximizes breakdown
+/// but inflates σ² (and hence the eq. 7/10 eigenvalues) by a constant
+/// factor ≈ 2 for the default bisquare.  Pass this value as δ when
+/// approximately unbiased eigenvalues matter more than maximal breakdown.
+[[nodiscard]] double chi2_consistent_delta(const RhoFunction& rho,
+                                           std::size_t dof);
+
+}  // namespace astro::stats

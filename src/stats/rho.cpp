@@ -1,0 +1,101 @@
+#include "stats/rho.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace astro::stats {
+
+namespace {
+
+// E[rho(X^2)] for X ~ N(0,1) by Gauss-Legendre-ish composite Simpson on
+// [0, 12] (the integrand is negligible beyond 12 sigma).  Used to derive the
+// consistency constant delta for each rho at construction time.
+double gaussian_expectation_of(const RhoFunction& rho) {
+  constexpr int kSteps = 4000;
+  constexpr double kHi = 12.0;
+  const double h = kHi / kSteps;
+  auto f = [&](double x) {
+    // Density of |X| is 2 phi(x) on [0, inf).
+    return 2.0 * (1.0 / std::sqrt(2.0 * M_PI)) * std::exp(-0.5 * x * x) *
+           rho.rho(x * x);
+  };
+  double acc = f(0.0) + f(kHi);
+  for (int i = 1; i < kSteps; ++i) {
+    acc += f(i * h) * ((i % 2 != 0) ? 4.0 : 2.0);
+  }
+  return acc * h / 3.0;
+}
+
+}  // namespace
+
+double RhoFunction::scale_weight(double t) const {
+  if (t <= 0.0) return weight(0.0);  // lim_{t->0} rho(t)/t = rho'(0)
+  return rho(t) / t;
+}
+
+// ---------------------------------------------------------------- Bisquare
+
+BisquareRho::BisquareRho(double c) : c2_(c * c) {
+  if (c <= 0.0) throw std::invalid_argument("BisquareRho: c must be > 0");
+  gauss_e_ = gaussian_expectation_of(*this);
+}
+
+double BisquareRho::rho(double t) const {
+  if (t >= c2_) return 1.0;
+  const double z = 1.0 - t / c2_;
+  return 1.0 - z * z * z;
+}
+
+double BisquareRho::weight(double t) const {
+  if (t >= c2_) return 0.0;
+  const double z = 1.0 - t / c2_;
+  return 3.0 * z * z / c2_;
+}
+
+// ------------------------------------------------------------------- Huber
+
+HuberRho::HuberRho(double c) : c2_(c * c) {
+  if (c <= 0.0) throw std::invalid_argument("HuberRho: c must be > 0");
+  gauss_e_ = gaussian_expectation_of(*this);
+}
+
+double HuberRho::rho(double t) const { return t >= c2_ ? 1.0 : t / c2_; }
+
+double HuberRho::weight(double t) const { return t >= c2_ ? 0.0 : 1.0 / c2_; }
+
+// ------------------------------------------------------------------ Cauchy
+
+CauchyRho::CauchyRho(double c) : c2_(c * c) {
+  if (c <= 0.0) throw std::invalid_argument("CauchyRho: c must be > 0");
+  gauss_e_ = gaussian_expectation_of(*this);
+}
+
+double CauchyRho::rho(double t) const { return t / (t + c2_); }
+
+double CauchyRho::weight(double t) const {
+  const double d = t + c2_;
+  return c2_ / (d * d);
+}
+
+double CauchyRho::rejection_point() const {
+  return std::numeric_limits<double>::infinity();
+}
+
+// --------------------------------------------------------------- Quadratic
+
+double QuadraticRho::rejection_point() const {
+  return std::numeric_limits<double>::infinity();
+}
+
+// ----------------------------------------------------------------- factory
+
+std::unique_ptr<RhoFunction> make_rho(const std::string& name) {
+  if (name == "bisquare") return std::make_unique<BisquareRho>();
+  if (name == "huber") return std::make_unique<HuberRho>();
+  if (name == "cauchy") return std::make_unique<CauchyRho>();
+  if (name == "quadratic") return std::make_unique<QuadraticRho>();
+  throw std::invalid_argument("make_rho: unknown rho function '" + name + "'");
+}
+
+}  // namespace astro::stats

@@ -1,0 +1,123 @@
+#pragma once
+
+// Robust ρ-functions for M-estimation of scale (paper §II-A, refs [7][8]).
+//
+// Conventions follow the paper exactly: ρ is bounded and scaled so that
+// ρ(0) = 0 and ρ(∞) = 1.  Two derived functions drive the robust PCA
+// weights:
+//     W(t)  = ρ'(t)        — the weight of an observation in eq. (6)-(7)
+//     W*(t) = ρ(t) / t     — the weight in the σ² fixed point, eq. (8)
+// where t = r² / σ² is the squared residual in units of the current scale.
+//
+// The breakdown parameter δ ∈ (0, 1/2] in eq. (5) is not part of ρ itself;
+// it is a property of the M-scale solver (see mscale.h).
+
+#include <memory>
+#include <string>
+
+namespace astro::stats {
+
+/// Interface for a bounded robust ρ-function, normalized to ρ(∞) = 1.
+class RhoFunction {
+ public:
+  virtual ~RhoFunction() = default;
+
+  /// ρ(t) for t = (r/σ)² >= 0.  Monotone non-decreasing, ρ(0)=0, ρ(∞)=1.
+  [[nodiscard]] virtual double rho(double t) const = 0;
+
+  /// W(t) = ρ'(t).  Vanishes for rejected (outlying) observations.
+  [[nodiscard]] virtual double weight(double t) const = 0;
+
+  /// W*(t) = ρ(t)/t, with the t→0 limit handled analytically.
+  [[nodiscard]] virtual double scale_weight(double t) const;
+
+  /// Threshold on t beyond which weight(t) == 0 (infinity when ρ never
+  /// fully rejects, e.g. Huber / Cauchy).
+  [[nodiscard]] virtual double rejection_point() const = 0;
+
+  /// Whether ρ saturates at 1 (all robust families).  The degenerate σ = 0
+  /// branch of the M-scale equation only exists for bounded ρ.
+  [[nodiscard]] virtual bool bounded() const { return true; }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// E[ρ(X²)] for X ~ N(0,1): the δ that makes the M-scale consistent with
+  /// the standard deviation at the Gaussian model.  Computed numerically
+  /// once at construction by subclasses.
+  [[nodiscard]] virtual double gaussian_expectation() const = 0;
+};
+
+/// Tukey bisquare ρ, the paper's implicit choice (standard in Maronna 2005):
+///   ρ(t) = 1 - (1 - t/c²)³ for t <= c², else 1,  with t = (r/σ)².
+/// Observations with squared scaled residual beyond c² get zero weight —
+/// this is what lets the algorithm flag and ignore outliers outright.
+class BisquareRho final : public RhoFunction {
+ public:
+  /// `c` is the tuning constant in residual (not squared) units;
+  /// c = 1.547 gives the 50 % breakdown point scale M-estimate.
+  explicit BisquareRho(double c = 1.547);
+
+  [[nodiscard]] double rho(double t) const override;
+  [[nodiscard]] double weight(double t) const override;
+  [[nodiscard]] double rejection_point() const override { return c2_; }
+  [[nodiscard]] std::string name() const override { return "bisquare"; }
+  [[nodiscard]] double gaussian_expectation() const override { return gauss_e_; }
+
+ private:
+  double c2_;       // c²
+  double gauss_e_;  // E[ρ(X²)] under N(0,1)
+};
+
+/// Huber-type bounded ρ: quadratic near zero, saturating at 1 for t >= c².
+/// Never fully rejects (weight stays positive up to c², then 0 beyond) —
+/// included for comparison in the ablation benches.
+class HuberRho final : public RhoFunction {
+ public:
+  explicit HuberRho(double c = 1.345);
+
+  [[nodiscard]] double rho(double t) const override;
+  [[nodiscard]] double weight(double t) const override;
+  [[nodiscard]] double rejection_point() const override { return c2_; }
+  [[nodiscard]] std::string name() const override { return "huber"; }
+  [[nodiscard]] double gaussian_expectation() const override { return gauss_e_; }
+
+ private:
+  double c2_;
+  double gauss_e_;
+};
+
+/// Cauchy ρ(t) = t / (t + c²): smooth, heavy-tail tolerant, never reaches 1
+/// at finite t but normalized so ρ(∞) = 1.  Weight decays as 1/t².
+class CauchyRho final : public RhoFunction {
+ public:
+  explicit CauchyRho(double c = 2.385);
+
+  [[nodiscard]] double rho(double t) const override;
+  [[nodiscard]] double weight(double t) const override;
+  [[nodiscard]] double rejection_point() const override;
+  [[nodiscard]] std::string name() const override { return "cauchy"; }
+  [[nodiscard]] double gaussian_expectation() const override { return gauss_e_; }
+
+ private:
+  double c2_;
+  double gauss_e_;
+};
+
+/// Degenerate ρ(t) = t (unbounded, classic least squares).  Using it in the
+/// robust machinery reproduces classic PCA exactly — the Figure 1 baseline.
+class QuadraticRho final : public RhoFunction {
+ public:
+  [[nodiscard]] double rho(double t) const override { return t; }
+  [[nodiscard]] double weight(double /*t*/) const override { return 1.0; }
+  [[nodiscard]] double scale_weight(double /*t*/) const override { return 1.0; }
+  [[nodiscard]] double rejection_point() const override;
+  [[nodiscard]] bool bounded() const override { return false; }
+  [[nodiscard]] std::string name() const override { return "quadratic"; }
+  [[nodiscard]] double gaussian_expectation() const override { return 1.0; }
+};
+
+/// Factory by name ("bisquare" | "huber" | "cauchy" | "quadratic"); throws
+/// std::invalid_argument for unknown names.
+[[nodiscard]] std::unique_ptr<RhoFunction> make_rho(const std::string& name);
+
+}  // namespace astro::stats

@@ -1,0 +1,17 @@
+#include "stats/rng.h"
+
+#include <stdexcept>
+
+#include "linalg/qr.h"
+
+namespace astro::stats {
+
+linalg::Matrix random_orthonormal(Rng& rng, std::size_t d, std::size_t k) {
+  if (k > d) {
+    throw std::invalid_argument("random_orthonormal: k must be <= d");
+  }
+  linalg::Matrix g = rng.gaussian_matrix(d, k);
+  return linalg::qr(g).q;
+}
+
+}  // namespace astro::stats

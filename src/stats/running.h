@@ -1,0 +1,124 @@
+#pragma once
+
+// Exponentially-forgetting running sums (paper eq. 12-14).
+//
+// The robust streaming recursion tracks three running sums with a common
+// forgetting factor α ∈ (0, 1]:
+//     u = α·u_prev + 1        (effective count)
+//     v = α·v_prev + w        (effective total weight)
+//     q = α·q_prev + w·r²     (effective weighted residual energy)
+// and derives the blending coefficients
+//     γ₁ = α·v_prev / v,  γ₂ = α·q_prev / q,  γ₃ = α·u_prev / u.
+// α = 1 is the classic infinite-memory case; α = 1 − 1/N gives an effective
+// sliding window of N observations (u → 1/(1−α) = N).
+
+#include <cstddef>
+#include <limits>
+#include <stdexcept>
+
+namespace astro::stats {
+
+/// One forgetting-sum: s = α·s_prev + increment.
+class ForgettingSum {
+ public:
+  ForgettingSum() = default;
+  explicit ForgettingSum(double alpha) : alpha_(alpha) {
+    if (alpha <= 0.0 || alpha > 1.0) {
+      throw std::invalid_argument("ForgettingSum: alpha must be in (0, 1]");
+    }
+  }
+
+  /// Applies s = α·s + x and returns γ = α·s_prev / s_new (the paper's
+  /// blending coefficient).  Returns 0 when the new sum is 0.
+  double update(double x) {
+    const double prev = value_;
+    value_ = alpha_ * prev + x;
+    return value_ != 0.0 ? alpha_ * prev / value_ : 0.0;
+  }
+
+  [[nodiscard]] double value() const noexcept { return value_; }
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+  /// Used by the eigensystem merge: sums from independent engines add.
+  void add(double x) noexcept { value_ += x; }
+  void scale(double s) noexcept { value_ *= s; }
+  void reset(double v = 0.0) noexcept { value_ = v; }
+
+ private:
+  double alpha_ = 1.0;
+  double value_ = 0.0;
+};
+
+/// The (u, v, q) triple of eq. 12-14 plus the derived γ coefficients of the
+/// most recent update.
+class RobustRunningSums {
+ public:
+  RobustRunningSums() = default;
+  explicit RobustRunningSums(double alpha) : u_(alpha), v_(alpha), q_(alpha) {}
+
+  struct Gammas {
+    double g1 = 0.0;  ///< blends the mean         (eq. 9,  from v)
+    double g2 = 0.0;  ///< blends the covariance   (eq. 10, from q)
+    double g3 = 0.0;  ///< blends the scale σ²     (eq. 11, from u)
+  };
+
+  /// Feed one observation's weight w and weighted residual energy w·r².
+  Gammas update(double w, double wr2) {
+    Gammas g;
+    g.g3 = u_.update(1.0);
+    g.g1 = v_.update(w);
+    g.g2 = q_.update(wr2);
+    return g;
+  }
+
+  [[nodiscard]] double u() const noexcept { return u_.value(); }
+  [[nodiscard]] double v() const noexcept { return v_.value(); }
+  [[nodiscard]] double q() const noexcept { return q_.value(); }
+  [[nodiscard]] double alpha() const noexcept { return u_.alpha(); }
+
+  /// Effective sample size: u converges to 1/(1-α) (footnote 1 in the
+  /// paper); before convergence it equals the forgetting-weighted count.
+  [[nodiscard]] double effective_count() const noexcept { return u_.value(); }
+
+  /// Merge with another engine's sums (independent partitions add).
+  void absorb(const RobustRunningSums& other) noexcept {
+    u_.add(other.u());
+    v_.add(other.v());
+    q_.add(other.q());
+  }
+
+  void reset() noexcept {
+    u_.reset();
+    v_.reset();
+    q_.reset();
+  }
+
+  /// Restore persisted sums (checkpoint loading).
+  void restore(double u, double v, double q) noexcept {
+    u_.reset(u);
+    v_.reset(v);
+    q_.reset(q);
+  }
+
+ private:
+  ForgettingSum u_{1.0};
+  ForgettingSum v_{1.0};
+  ForgettingSum q_{1.0};
+};
+
+/// The paper's rule of thumb: α = 1 − 1/N for an effective window of N.
+[[nodiscard]] inline double alpha_for_window(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("alpha_for_window: N must be >= 1");
+  return 1.0 - 1.0 / double(n);
+}
+
+/// Inverse of alpha_for_window: the effective window implied by α.
+[[nodiscard]] inline double window_for_alpha(double alpha) {
+  if (alpha <= 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("window_for_alpha: alpha must be in (0, 1]");
+  }
+  if (alpha == 1.0) return std::numeric_limits<double>::infinity();
+  return 1.0 / (1.0 - alpha);
+}
+
+}  // namespace astro::stats

@@ -1,0 +1,71 @@
+#pragma once
+
+// FlowGraph: owns a set of operators and manages their lifecycle.
+//
+// The analysis graph of Figure 2 — source → splitter → PCA engines →
+// sync controller — is assembled by creating operators through add() and
+// wiring them with channels; start() launches every operator thread,
+// wait() blocks until natural completion (sources exhausted, channels
+// drained), stop() requests cooperative shutdown.
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "stream/operator.h"
+
+namespace astro::stream {
+
+class FlowGraph {
+ public:
+  FlowGraph() = default;
+
+  /// Constructs an operator in place; the graph owns it.  Returns a
+  /// non-owning pointer valid for the graph's lifetime.
+  template <typename Op, typename... Args>
+  Op* add(Args&&... args) {
+    static_assert(std::is_base_of_v<Operator, Op>);
+    if (started_) throw std::logic_error("FlowGraph: add after start");
+    auto op = std::make_unique<Op>(std::forward<Args>(args)...);
+    Op* raw = op.get();
+    operators_.push_back(std::move(op));
+    return raw;
+  }
+
+  /// Launches every operator (in registration order).
+  void start() {
+    started_ = true;
+    for (auto& op : operators_) op->start();
+  }
+
+  /// Blocks until every operator thread exits.
+  void wait() {
+    for (auto& op : operators_) op->join();
+  }
+
+  /// Requests cooperative stop on every operator (threads still need their
+  /// input channels closed/drained to observe it promptly).
+  void stop() {
+    for (auto& op : operators_) op->request_stop();
+  }
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Operator>>& operators()
+      const noexcept {
+    return operators_;
+  }
+
+  /// Total tuples emitted by the named operator, 0 if absent.
+  [[nodiscard]] const Operator* find(const std::string& name) const {
+    for (const auto& op : operators_) {
+      if (op->name() == name) return op.get();
+    }
+    return nullptr;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Operator>> operators_;
+  bool started_ = false;
+};
+
+}  // namespace astro::stream

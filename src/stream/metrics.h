@@ -1,0 +1,72 @@
+#pragma once
+
+// Per-operator counters — the engine's equivalent of InfoSphere's profiler
+// ("the profiling tool measures the performance of each component and the
+// data channels traffic", §III-D).  Lock-free reads; safe to sample while
+// the operator runs.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace astro::stream {
+
+class OperatorMetrics {
+ public:
+  void record_in(std::size_t bytes = 0) noexcept {
+    tuples_in_.fetch_add(1, std::memory_order_relaxed);
+    bytes_in_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void record_out(std::size_t bytes = 0) noexcept {
+    tuples_out_.fetch_add(1, std::memory_order_relaxed);
+    bytes_out_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void record_dropped() noexcept {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void mark_start() noexcept { start_ = Clock::now(); }
+  void mark_stop() noexcept { stop_ = Clock::now(); }
+
+  [[nodiscard]] std::uint64_t tuples_in() const noexcept {
+    return tuples_in_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t tuples_out() const noexcept {
+    return tuples_out_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bytes_in() const noexcept {
+    return bytes_in_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bytes_out() const noexcept {
+    return bytes_out_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Wall seconds between mark_start and mark_stop (or now if running).
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    const auto end = (stop_ == TimePoint{}) ? Clock::now() : stop_;
+    return std::chrono::duration<double>(end - start_).count();
+  }
+
+  /// Output tuples per elapsed second.
+  [[nodiscard]] double throughput() const noexcept {
+    const double s = elapsed_seconds();
+    return s > 0.0 ? double(tuples_out()) / s : 0.0;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  using TimePoint = Clock::time_point;
+
+  std::atomic<std::uint64_t> tuples_in_{0};
+  std::atomic<std::uint64_t> tuples_out_{0};
+  std::atomic<std::uint64_t> bytes_in_{0};
+  std::atomic<std::uint64_t> bytes_out_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  TimePoint start_{};
+  TimePoint stop_{};
+};
+
+}  // namespace astro::stream

@@ -1,0 +1,174 @@
+#include "stream/net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "io/frame.h"
+
+namespace astro::stream {
+
+namespace {
+
+// Reads exactly n bytes, polling so a cooperative stop is honored within
+// ~100 ms.  Returns false on EOF/error/stop.
+bool read_exact(int fd, std::uint8_t* buf, std::size_t n,
+                const std::function<bool()>& stopped) {
+  std::size_t got = 0;
+  while (got < n) {
+    if (stopped()) return false;
+    pollfd p{fd, POLLIN, 0};
+    const int pr = ::poll(&p, 1, 100);
+    if (pr < 0) return false;
+    if (pr == 0) continue;
+    const ssize_t r = ::recv(fd, buf + got, n - got, 0);
+    if (r <= 0) return false;
+    got += std::size_t(r);
+  }
+  return true;
+}
+
+bool write_all(int fd, const std::uint8_t* buf, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::send(fd, buf + sent, n - sent, MSG_NOSIGNAL);
+    if (w <= 0) return false;
+    sent += std::size_t(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpTupleServer::TcpTupleServer(std::string name, std::uint16_t port,
+                               ChannelPtr<DataTuple> out,
+                               std::size_t max_connections)
+    : Operator(std::move(name)),
+      out_(std::move(out)),
+      max_connections_(max_connections) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("TcpTupleServer: socket()");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("TcpTupleServer: bind() failed");
+  }
+  if (::listen(listen_fd_, 4) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("TcpTupleServer: listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpTupleServer::~TcpTupleServer() {
+  join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+bool TcpTupleServer::serve_connection(int fd) {
+  const auto stopped = [this] { return stop_requested(); };
+  std::vector<std::uint8_t> header(io::kFrameHeaderBytes);
+  std::vector<std::uint8_t> payload;
+  while (!stop_requested()) {
+    if (!read_exact(fd, header.data(), header.size(), stopped)) return true;
+    const auto payload_size = io::decode_frame_header(header);
+    if (!payload_size.has_value() || *payload_size > (1u << 26)) {
+      metrics_.record_dropped();  // protocol desync: drop the connection
+      return true;
+    }
+    payload.resize(*payload_size);
+    if (!read_exact(fd, payload.data(), payload.size(), stopped)) return true;
+    auto tuple = io::decode_tuple_payload(payload);
+    if (!tuple.has_value()) {
+      metrics_.record_dropped();
+      return true;
+    }
+    const std::size_t bytes = tuple->wire_bytes();
+    if (!out_->push(std::move(*tuple))) return false;  // downstream closed
+    metrics_.record_out(bytes);
+  }
+  return true;
+}
+
+void TcpTupleServer::run() {
+  std::size_t served = 0;
+  while (!stop_requested() &&
+         (max_connections_ == 0 || served < max_connections_)) {
+    pollfd p{listen_fd_, POLLIN, 0};
+    const int pr = ::poll(&p, 1, 100);
+    if (pr < 0) break;
+    if (pr == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    const bool keep_going = serve_connection(fd);
+    ::close(fd);
+    ++served;
+    if (!keep_going) break;
+  }
+  out_->close();
+  set_stop_reason(stop_requested() ? StopReason::kRequested
+                                   : StopReason::kUpstreamClosed);
+}
+
+TcpTupleSink::TcpTupleSink(std::string name, std::uint16_t port,
+                           ChannelPtr<DataTuple> in)
+    : Operator(std::move(name)), port_(port), in_(std::move(in)) {}
+
+TcpTupleSink::~TcpTupleSink() {
+  join();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void TcpTupleSink::run() {
+  using namespace std::chrono_literals;
+  // Connect with retries: the server may still be binding.
+  for (int attempt = 0; attempt < 100 && !stop_requested(); ++attempt) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) break;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port_);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      fd_ = fd;
+      break;
+    }
+    ::close(fd);
+    std::this_thread::sleep_for(20ms);
+  }
+  if (fd_ < 0) {
+    set_stop_reason(StopReason::kRequested);
+    return;
+  }
+
+  DataTuple t;
+  while (!stop_requested() && in_->pop(t)) {
+    metrics_.record_in(t.wire_bytes());
+    const auto frame = io::encode_tuple(t);
+    if (!write_all(fd_, frame.data(), frame.size())) break;
+    metrics_.record_out(frame.size());
+  }
+  ::shutdown(fd_, SHUT_WR);
+  set_stop_reason(stop_requested() ? StopReason::kRequested
+                                   : StopReason::kUpstreamClosed);
+}
+
+}  // namespace astro::stream

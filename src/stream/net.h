@@ -1,0 +1,62 @@
+#pragma once
+
+// TCP tuple transport (paper §III-A.1: "Network TCP sockets ... are also
+// supported out of the box as a source of data").
+//
+// TcpTupleServer is a source operator: it listens on a port, accepts
+// connections (sequentially), parses the framed tuples defined in
+// io/frame.h, and emits them downstream.  TcpTupleSink is the matching
+// egress operator: it connects to a server and writes every input tuple.
+// Together they let an analysis graph span processes — the paper's
+// "Network connector" between the splitter and remote PCA engines.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "stream/operator.h"
+
+namespace astro::stream {
+
+class TcpTupleServer final : public Operator {
+ public:
+  /// Binds to 127.0.0.1:`port` at construction (port 0 = ephemeral; read
+  /// the chosen port with port()).  Throws std::runtime_error on bind
+  /// failure.  `max_connections` successive client sessions are served
+  /// before the source closes (0 = until stopped).
+  TcpTupleServer(std::string name, std::uint16_t port,
+                 ChannelPtr<DataTuple> out, std::size_t max_connections = 1);
+  ~TcpTupleServer() override;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+ protected:
+  void run() override;
+
+ private:
+  bool serve_connection(int fd);
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  ChannelPtr<DataTuple> out_;
+  std::size_t max_connections_;
+};
+
+class TcpTupleSink final : public Operator {
+ public:
+  /// Connects to 127.0.0.1:`port` when started (with retries, so a server
+  /// started concurrently wins the race).  Closes the socket when its input
+  /// channel drains.
+  TcpTupleSink(std::string name, std::uint16_t port, ChannelPtr<DataTuple> in);
+  ~TcpTupleSink() override;
+
+ protected:
+  void run() override;
+
+ private:
+  std::uint16_t port_;
+  ChannelPtr<DataTuple> in_;
+  int fd_ = -1;
+};
+
+}  // namespace astro::stream

@@ -1,0 +1,79 @@
+#pragma once
+
+// Operator base class: a named processing element with its own thread.
+//
+// Mirrors the InfoSphere operator model the paper builds on: an operator
+// owns mutable state, consumes tuples from input channels, emits to output
+// channels, and runs until its inputs close or it is asked to stop.
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "stream/metrics.h"
+#include "stream/queue.h"
+#include "stream/tuple.h"
+
+namespace astro::stream {
+
+template <typename T>
+using ChannelPtr = std::shared_ptr<BoundedQueue<T>>;
+
+/// Creates a channel connecting two operators.
+template <typename T>
+[[nodiscard]] ChannelPtr<T> make_channel(std::size_t capacity = 1024) {
+  return std::make_shared<BoundedQueue<T>>(capacity);
+}
+
+class Operator {
+ public:
+  explicit Operator(std::string name) : name_(std::move(name)) {}
+  virtual ~Operator() { join(); }
+
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  /// Launches the operator thread.  Idempotent per lifetime; a started
+  /// operator cannot be restarted after join().
+  void start() {
+    if (thread_.joinable()) return;
+    metrics_.mark_start();
+    thread_ = std::thread([this] {
+      run();
+      metrics_.mark_stop();
+    });
+  }
+
+  /// Cooperative stop: the run loop checks stop_requested().
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  void join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const OperatorMetrics& metrics() const noexcept {
+    return metrics_;
+  }
+  [[nodiscard]] StopReason stop_reason() const noexcept { return reason_; }
+
+ protected:
+  /// The operator body; runs on the operator thread.
+  virtual void run() = 0;
+
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return stop_.load(std::memory_order_relaxed);
+  }
+  void set_stop_reason(StopReason r) noexcept { reason_ = r; }
+
+  OperatorMetrics metrics_;
+
+ private:
+  std::string name_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  StopReason reason_ = StopReason::kNone;
+};
+
+}  // namespace astro::stream

@@ -1,0 +1,74 @@
+#pragma once
+
+// Stream sinks: collect, count, or hand tuples to a callback.
+
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "stream/operator.h"
+
+namespace astro::stream {
+
+/// Stores every received tuple (thread-safe snapshot access).
+template <typename T>
+class CollectorSink final : public Operator {
+ public:
+  CollectorSink(std::string name, ChannelPtr<T> in)
+      : Operator(std::move(name)), in_(std::move(in)) {}
+
+  [[nodiscard]] std::vector<T> snapshot() const {
+    std::lock_guard lock(mutex_);
+    return items_;
+  }
+  [[nodiscard]] std::size_t count() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+ protected:
+  void run() override {
+    T item;
+    while (!stop_requested() && in_->pop(item)) {
+      metrics_.record_in();
+      std::lock_guard lock(mutex_);
+      items_.push_back(std::move(item));
+    }
+    set_stop_reason(stop_requested() ? StopReason::kRequested
+                                     : StopReason::kUpstreamClosed);
+  }
+
+ private:
+  ChannelPtr<T> in_;
+  mutable std::mutex mutex_;
+  std::vector<T> items_;
+};
+
+/// Invokes a callback per tuple (the "output components" of the paper's
+/// workflow; used by examples to print in-flight results).
+template <typename T>
+class CallbackSink final : public Operator {
+ public:
+  using Callback = std::function<void(const T&)>;
+
+  CallbackSink(std::string name, ChannelPtr<T> in, Callback cb)
+      : Operator(std::move(name)), in_(std::move(in)), cb_(std::move(cb)) {}
+
+ protected:
+  void run() override {
+    T item;
+    while (!stop_requested() && in_->pop(item)) {
+      metrics_.record_in();
+      cb_(item);
+    }
+    set_stop_reason(stop_requested() ? StopReason::kRequested
+                                     : StopReason::kUpstreamClosed);
+  }
+
+ private:
+  ChannelPtr<T> in_;
+  Callback cb_;
+};
+
+}  // namespace astro::stream

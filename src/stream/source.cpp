@@ -1,0 +1,73 @@
+#include "stream/source.h"
+
+#include <chrono>
+#include <thread>
+
+namespace astro::stream {
+
+namespace {
+std::int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+void GeneratorSource::run() {
+  using Clock = std::chrono::steady_clock;
+  const auto started = Clock::now();
+  std::uint64_t seq = 0;
+
+  while (!stop_requested()) {
+    std::optional<SourceItem> next = gen_();
+    if (!next.has_value()) {
+      set_stop_reason(StopReason::kUpstreamClosed);
+      break;
+    }
+    if (max_rate_ > 0.0) {
+      // Pace emission so seq/elapsed never exceeds max_rate.
+      const auto due =
+          started + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(double(seq) / max_rate_));
+      std::this_thread::sleep_until(due);
+    }
+    DataTuple t;
+    t.seq = seq++;
+    t.timestamp_us = now_us();
+    t.values = std::move(next->values);
+    t.mask = std::move(next->mask);
+    const std::size_t bytes = t.wire_bytes();
+    if (!out_->push(std::move(t))) {
+      set_stop_reason(StopReason::kUpstreamClosed);
+      break;
+    }
+    metrics_.record_out(bytes);
+  }
+  if (stop_requested()) set_stop_reason(StopReason::kRequested);
+  out_->close();
+}
+
+void ReplaySource::run() {
+  using Clock = std::chrono::steady_clock;
+  const auto started = Clock::now();
+  for (std::size_t i = 0; i < data_.size() && !stop_requested(); ++i) {
+    if (max_rate_ > 0.0) {
+      const auto due =
+          started + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(double(i) / max_rate_));
+      std::this_thread::sleep_until(due);
+    }
+    DataTuple t;
+    t.seq = i;
+    t.timestamp_us = now_us();
+    t.values = data_[i];
+    if (i < masks_.size()) t.mask = masks_[i];
+    const std::size_t bytes = t.wire_bytes();
+    if (!out_->push(std::move(t))) break;
+    metrics_.record_out(bytes);
+  }
+  if (stop_requested()) set_stop_reason(StopReason::kRequested);
+  out_->close();
+}
+
+}  // namespace astro::stream

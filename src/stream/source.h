@@ -1,0 +1,92 @@
+#pragma once
+
+// Stream sources (paper §III-A.1): generator-backed for synthetic testing,
+// replay of an in-memory dataset, or any callable producing observations.
+// File/CSV-backed sources live in io/ (they layer on GeneratorSource).
+
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "stream/operator.h"
+
+namespace astro::stream {
+
+/// One generated observation: the vector plus an optional pixel mask
+/// (empty = fully observed).
+struct SourceItem {
+  linalg::Vector values;
+  pca::PixelMask mask;
+};
+
+/// Produces DataTuples from a generator callable.  The generator returns
+/// std::nullopt to end the stream.  An optional rate limit (tuples/second)
+/// paces emission — used to model instrument ingestion rates.
+class GeneratorSource final : public Operator {
+ public:
+  using Generator = std::function<std::optional<linalg::Vector>()>;
+  using MaskedGenerator = std::function<std::optional<SourceItem>()>;
+
+  GeneratorSource(std::string name, Generator gen, ChannelPtr<DataTuple> out,
+                  double max_rate = 0.0)
+      : GeneratorSource(std::move(name), wrap(std::move(gen)), std::move(out),
+                        max_rate) {}
+
+  /// Gap-aware variant for workloads with missing pixels (§II-D).
+  GeneratorSource(std::string name, MaskedGenerator gen,
+                  ChannelPtr<DataTuple> out, double max_rate = 0.0)
+      : Operator(std::move(name)),
+        gen_(std::move(gen)),
+        out_(std::move(out)),
+        max_rate_(max_rate) {}
+
+ protected:
+  void run() override;
+
+ private:
+  static MaskedGenerator wrap(Generator gen) {
+    return [gen = std::move(gen)]() -> std::optional<SourceItem> {
+      auto v = gen();
+      if (!v.has_value()) return std::nullopt;
+      return SourceItem{std::move(*v), {}};
+    };
+  }
+
+  MaskedGenerator gen_;
+  ChannelPtr<DataTuple> out_;
+  double max_rate_;  // 0 = unthrottled
+};
+
+/// Replays a fixed dataset (optionally with per-observation masks), in
+/// order.  Useful for deterministic integration tests and the examples.
+/// `max_rate` > 0 paces emission (tuples/second).
+class ReplaySource final : public Operator {
+ public:
+  ReplaySource(std::string name, std::vector<linalg::Vector> data,
+               ChannelPtr<DataTuple> out, double max_rate = 0.0)
+      : Operator(std::move(name)),
+        data_(std::move(data)),
+        out_(std::move(out)),
+        max_rate_(max_rate) {}
+
+  ReplaySource(std::string name, std::vector<linalg::Vector> data,
+               std::vector<pca::PixelMask> masks, ChannelPtr<DataTuple> out,
+               double max_rate = 0.0)
+      : Operator(std::move(name)),
+        data_(std::move(data)),
+        masks_(std::move(masks)),
+        out_(std::move(out)),
+        max_rate_(max_rate) {}
+
+ protected:
+  void run() override;
+
+ private:
+  std::vector<linalg::Vector> data_;
+  std::vector<pca::PixelMask> masks_;
+  ChannelPtr<DataTuple> out_;
+  double max_rate_;  // 0 = unthrottled
+};
+
+}  // namespace astro::stream

@@ -1,0 +1,109 @@
+#include "stream/split.h"
+
+#include <stdexcept>
+
+namespace astro::stream {
+
+SplitOperator::SplitOperator(std::string name, ChannelPtr<DataTuple> in,
+                             std::vector<ChannelPtr<DataTuple>> outs,
+                             SplitStrategy strategy, std::size_t workers,
+                             std::uint64_t seed)
+    : Operator(std::move(name)),
+      in_(std::move(in)),
+      outs_(std::move(outs)),
+      strategy_(strategy),
+      workers_(workers == 0 ? 1 : workers),
+      seed_(seed),
+      counts_(std::make_unique<std::atomic<std::uint64_t>[]>(outs_.size())) {
+  if (outs_.empty()) {
+    throw std::invalid_argument("SplitOperator: needs at least one output");
+  }
+  for (std::size_t i = 0; i < outs_.size(); ++i) counts_[i] = 0;
+}
+
+SplitOperator::~SplitOperator() {
+  join();  // ensure the main thread finished before reaping extra workers
+  for (auto& t : extra_workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::size_t SplitOperator::choose_target(stats::Rng& rng,
+                                         std::size_t& rr_state) const {
+  switch (strategy_) {
+    case SplitStrategy::kRandom:
+      return rng.index(outs_.size());
+    case SplitStrategy::kRoundRobin:
+      return rr_state++ % outs_.size();
+    case SplitStrategy::kLeastLoaded: {
+      std::size_t best = 0, best_size = outs_[0]->size();
+      for (std::size_t i = 1; i < outs_.size(); ++i) {
+        const std::size_t s = outs_[i]->size();
+        if (s < best_size) {
+          best = i;
+          best_size = s;
+        }
+      }
+      return best;
+    }
+  }
+  return 0;
+}
+
+void SplitOperator::worker_loop(std::size_t worker_index) {
+  stats::Rng rng(seed_ + 0x9E37ull * (worker_index + 1));
+  std::size_t rr_state = worker_index;
+
+  DataTuple t;
+  while (!stop_requested() && in_->pop(t)) {
+    metrics_.record_in(t.wire_bytes());
+    std::size_t target = choose_target(rng, rr_state);
+
+    // Non-blocking first: a full target means a slow engine; reroute to the
+    // least loaded queue rather than stall the whole stream.
+    const std::size_t bytes = t.wire_bytes();
+    if (!outs_[target]->try_push(t)) {
+      std::size_t best = target, best_size = outs_[target]->size();
+      for (std::size_t i = 0; i < outs_.size(); ++i) {
+        const std::size_t s = outs_[i]->size();
+        if (s < best_size) {
+          best = i;
+          best_size = s;
+        }
+      }
+      target = best;
+      // Blocking push as last resort: backpressure all the way upstream.
+      if (!outs_[target]->push(std::move(t))) {
+        metrics_.record_dropped();
+        continue;
+      }
+    }
+    counts_[target].fetch_add(1, std::memory_order_relaxed);
+    metrics_.record_out(bytes);
+  }
+}
+
+void SplitOperator::run() {
+  extra_workers_.reserve(workers_ - 1);
+  for (std::size_t w = 1; w < workers_; ++w) {
+    extra_workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+  worker_loop(0);
+  for (auto& t : extra_workers_) {
+    if (t.joinable()) t.join();
+  }
+  extra_workers_.clear();
+  for (auto& out : outs_) out->close();
+  set_stop_reason(stop_requested() ? StopReason::kRequested
+                                   : StopReason::kUpstreamClosed);
+}
+
+std::vector<std::uint64_t> SplitOperator::per_target_counts() const {
+  std::vector<std::uint64_t> out(outs_.size());
+  for (std::size_t i = 0; i < outs_.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+}  // namespace astro::stream

@@ -1,0 +1,61 @@
+#pragma once
+
+// The threaded split operator (paper §III-A.2): partitions the input
+// stream across N downstream PCA engines.
+//
+// "Each new data tuple is being sent to a random running PCA engine which
+// is free to process it.  This equally balances the nodes load, although
+// making the order of data points on selected PCA engine unpredictable."
+//
+// Strategies:
+//   kRandom     — the paper's default: uniform random target, but when the
+//                 chosen queue is full the tuple is *rerouted* to the least
+//                 loaded target ("faster nodes will get more data than
+//                 slower ones in a period of time").
+//   kRoundRobin — deterministic cycling (useful in tests).
+//   kLeastLoaded— always shortest queue.
+//
+// `workers` > 1 runs several splitter threads pulling from the same input,
+// matching InfoSphere's "multi-threaded Signal splitter component to push
+// the data to multiple targets without blocking the queue on one target".
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.h"
+#include "stream/operator.h"
+
+namespace astro::stream {
+
+enum class SplitStrategy { kRandom, kRoundRobin, kLeastLoaded };
+
+class SplitOperator final : public Operator {
+ public:
+  SplitOperator(std::string name, ChannelPtr<DataTuple> in,
+                std::vector<ChannelPtr<DataTuple>> outs,
+                SplitStrategy strategy = SplitStrategy::kRandom,
+                std::size_t workers = 1, std::uint64_t seed = 42);
+
+  ~SplitOperator() override;
+
+  /// Tuples routed to each output (sampled live).
+  [[nodiscard]] std::vector<std::uint64_t> per_target_counts() const;
+
+ protected:
+  void run() override;
+
+ private:
+  void worker_loop(std::size_t worker_index);
+  std::size_t choose_target(stats::Rng& rng, std::size_t& rr_state) const;
+
+  ChannelPtr<DataTuple> in_;
+  std::vector<ChannelPtr<DataTuple>> outs_;
+  SplitStrategy strategy_;
+  std::size_t workers_;
+  std::uint64_t seed_;
+  std::vector<std::thread> extra_workers_;
+  std::atomic<std::uint64_t> rr_counter_{0};
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+};
+
+}  // namespace astro::stream

@@ -1,0 +1,59 @@
+#pragma once
+
+// The Throttle operator (paper §III-B): rate-limits a stream.
+//
+// In the paper it paces the synchronization control tuples ("the
+// synchronization throttle rate was set to 0.5 seconds"); it works on any
+// tuple type.  Pacing is absolute: output never exceeds `rate` tuples per
+// second from operator start, implemented by sleeping until each tuple's
+// due time.
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "stream/operator.h"
+
+namespace astro::stream {
+
+template <typename T>
+class ThrottleOperator final : public Operator {
+ public:
+  ThrottleOperator(std::string name, ChannelPtr<T> in, ChannelPtr<T> out,
+                   double rate_per_sec)
+      : Operator(std::move(name)),
+        in_(std::move(in)),
+        out_(std::move(out)),
+        rate_(rate_per_sec) {}
+
+ protected:
+  void run() override {
+    using Clock = std::chrono::steady_clock;
+    const auto started = Clock::now();
+    std::uint64_t emitted = 0;
+
+    T item;
+    while (!stop_requested() && in_->pop(item)) {
+      metrics_.record_in();
+      if (rate_ > 0.0) {
+        const auto due = started + std::chrono::duration_cast<Clock::duration>(
+                                       std::chrono::duration<double>(
+                                           double(emitted) / rate_));
+        std::this_thread::sleep_until(due);
+      }
+      if (!out_->push(std::move(item))) break;
+      ++emitted;
+      metrics_.record_out();
+    }
+    out_->close();
+    set_stop_reason(stop_requested() ? StopReason::kRequested
+                                     : StopReason::kUpstreamClosed);
+  }
+
+ private:
+  ChannelPtr<T> in_;
+  ChannelPtr<T> out_;
+  double rate_;
+};
+
+}  // namespace astro::stream

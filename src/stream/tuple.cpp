@@ -1,0 +1,17 @@
+#include "stream/tuple.h"
+
+namespace astro::stream {
+
+std::string to_string(StopReason r) {
+  switch (r) {
+    case StopReason::kNone:
+      return "none";
+    case StopReason::kUpstreamClosed:
+      return "upstream-closed";
+    case StopReason::kRequested:
+      return "requested";
+  }
+  return "unknown";
+}
+
+}  // namespace astro::stream

@@ -1,0 +1,46 @@
+#pragma once
+
+// Tuple types flowing through the stream engine.
+//
+// The engine is typed (no dynamic schemas): the paper's application uses a
+// "time series stream of observations — constant-length vectors of double
+// values" plus control tuples carrying synchronization commands, and that
+// is exactly what we model.
+
+#include <cstdint>
+#include <string>
+
+#include "linalg/vector.h"
+#include "pca/gap_fill.h"
+
+namespace astro::stream {
+
+/// One observation on the data stream.
+struct DataTuple {
+  std::uint64_t seq = 0;          ///< global sequence number from the source
+  std::int64_t timestamp_us = 0;  ///< event time, microseconds
+  linalg::Vector values;          ///< the observation vector (d entries)
+  pca::PixelMask mask;            ///< empty = complete; else mask[i] = observed
+
+  /// Wire size (for traffic accounting): header + payload + mask bits.
+  [[nodiscard]] std::size_t wire_bytes() const noexcept {
+    return 16 + values.size() * sizeof(double) + (mask.empty() ? 0 : (mask.size() + 7) / 8);
+  }
+};
+
+/// Synchronization command delivered on an engine's control port
+/// (paper §III-B: "the PCA component shares the current eigensystem state
+/// with a set of other instances defined in the control message").
+struct ControlTuple {
+  std::uint64_t epoch = 0;  ///< monotonically increasing sync round
+  int sender = -1;          ///< engine whose state should be shared
+  int receiver = -1;        ///< engine that merges the shared state
+};
+
+/// End-of-stream marker semantics are handled by channel close(), not by a
+/// tuple; this enum tags the reason for operator shutdown in metrics.
+enum class StopReason { kNone, kUpstreamClosed, kRequested };
+
+[[nodiscard]] std::string to_string(StopReason r);
+
+}  // namespace astro::stream

@@ -1,0 +1,74 @@
+#include "sync/controller.h"
+
+#include <stdexcept>
+
+namespace astro::sync {
+
+using stream::ControlTuple;
+
+SyncController::SyncController(std::string name,
+                               std::unique_ptr<SyncStrategy> strategy,
+                               std::size_t engines,
+                               stream::ChannelPtr<ControlTuple> out,
+                               std::uint64_t max_rounds)
+    : Operator(std::move(name)),
+      strategy_(std::move(strategy)),
+      engines_(engines),
+      out_(std::move(out)),
+      max_rounds_(max_rounds) {
+  if (!strategy_) throw std::invalid_argument("SyncController: null strategy");
+  if (engines_ == 0) {
+    throw std::invalid_argument("SyncController: needs >= 1 engine");
+  }
+}
+
+void SyncController::run() {
+  std::uint64_t epoch = 0;
+  while (!stop_requested() && (max_rounds_ == 0 || epoch < max_rounds_)) {
+    const auto cmds = strategy_->round(epoch, engines_);
+    ++epoch;
+    bool closed = false;
+    for (const ControlTuple& cmd : cmds) {
+      if (!out_->push(cmd)) {
+        closed = true;
+        break;
+      }
+      metrics_.record_out();
+    }
+    if (closed) break;
+    if (cmds.empty()) break;  // strategy produced nothing (n < 2): done
+  }
+  out_->close();
+  set_stop_reason(stop_requested() ? stream::StopReason::kRequested
+                                   : stream::StopReason::kUpstreamClosed);
+}
+
+ControlRouter::ControlRouter(
+    std::string name, stream::ChannelPtr<ControlTuple> in,
+    std::vector<stream::ChannelPtr<ControlTuple>> engines)
+    : Operator(std::move(name)), in_(std::move(in)), engines_(std::move(engines)) {
+  if (engines_.empty()) {
+    throw std::invalid_argument("ControlRouter: no engine ports");
+  }
+}
+
+void ControlRouter::run() {
+  ControlTuple cmd;
+  while (!stop_requested() && in_->pop(cmd)) {
+    metrics_.record_in();
+    if (cmd.sender < 0 || std::size_t(cmd.sender) >= engines_.size()) {
+      metrics_.record_dropped();
+      continue;
+    }
+    if (!engines_[std::size_t(cmd.sender)]->push(cmd)) {
+      metrics_.record_dropped();
+      continue;
+    }
+    metrics_.record_out();
+  }
+  for (auto& port : engines_) port->close();
+  set_stop_reason(stop_requested() ? stream::StopReason::kRequested
+                                   : stream::StopReason::kUpstreamClosed);
+}
+
+}  // namespace astro::sync

@@ -1,0 +1,58 @@
+#pragma once
+
+// The synchronization controller (paper §III-B): "generates the sequence of
+// output tuples with sender and receiver number", paced by a Throttle
+// operator downstream, routed to the sender engine's control port.
+//
+//   SyncController --> Throttle<ControlTuple> --> ControlRouter --> engines
+//
+// The controller emits rounds forever (until stopped or its output closes);
+// the throttle sets the wall-clock sync rate — "adjusting the Throttle
+// operator timing helps finding the balance between the overall cluster
+// performance and eigensystems consistency."
+
+#include <memory>
+#include <vector>
+
+#include "stream/operator.h"
+#include "sync/strategy.h"
+
+namespace astro::sync {
+
+class SyncController final : public stream::Operator {
+ public:
+  SyncController(std::string name, std::unique_ptr<SyncStrategy> strategy,
+                 std::size_t engines,
+                 stream::ChannelPtr<stream::ControlTuple> out,
+                 std::uint64_t max_rounds = 0);
+
+  [[nodiscard]] const SyncStrategy& strategy() const noexcept {
+    return *strategy_;
+  }
+
+ protected:
+  void run() override;
+
+ private:
+  std::unique_ptr<SyncStrategy> strategy_;
+  std::size_t engines_;
+  stream::ChannelPtr<stream::ControlTuple> out_;
+  std::uint64_t max_rounds_;  // 0 = unbounded
+};
+
+/// Delivers each throttled control tuple to its *sender* engine's control
+/// port; the sender publishes state and forwards to the receiver.
+class ControlRouter final : public stream::Operator {
+ public:
+  ControlRouter(std::string name, stream::ChannelPtr<stream::ControlTuple> in,
+                std::vector<stream::ChannelPtr<stream::ControlTuple>> engines);
+
+ protected:
+  void run() override;
+
+ private:
+  stream::ChannelPtr<stream::ControlTuple> in_;
+  std::vector<stream::ChannelPtr<stream::ControlTuple>> engines_;
+};
+
+}  // namespace astro::sync

@@ -1,0 +1,56 @@
+#pragma once
+
+// StateExchange: the shared rendezvous through which PCA engines hand each
+// other eigensystem snapshots during synchronization.
+//
+// On InfoSphere the state travels inside tuples between operators; here a
+// publish/fetch mailbox keyed by engine id carries the (immutable) snapshot
+// while the ControlTuple carries the command — same information flow, and
+// the snapshot is shared_ptr-immutable so a publish never races a reader.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "pca/eigensystem.h"
+
+namespace astro::sync {
+
+struct PublishedState {
+  std::shared_ptr<const pca::EigenSystem> system;
+  std::uint64_t epoch = 0;       ///< sync round when published
+  std::uint64_t observations = 0;
+};
+
+class StateExchange {
+ public:
+  explicit StateExchange(std::size_t engines) : slots_(engines) {}
+
+  void publish(std::size_t engine, pca::EigenSystem state,
+               std::uint64_t epoch) {
+    auto snap = std::make_shared<const pca::EigenSystem>(std::move(state));
+    std::lock_guard lock(mutex_);
+    auto& slot = slots_.at(engine);
+    slot.system = std::move(snap);
+    slot.epoch = epoch;
+    slot.observations = slot.system->observations();
+  }
+
+  /// Latest snapshot from `engine`; nullopt when it never published.
+  [[nodiscard]] std::optional<PublishedState> fetch(std::size_t engine) const {
+    std::lock_guard lock(mutex_);
+    const auto& slot = slots_.at(engine);
+    if (!slot.system) return std::nullopt;
+    return slot;
+  }
+
+  [[nodiscard]] std::size_t engines() const noexcept { return slots_.size(); }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<PublishedState> slots_;
+};
+
+}  // namespace astro::sync

@@ -1,0 +1,26 @@
+#include "sync/independence.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace astro::sync {
+
+IndependencePolicy::IndependencePolicy(double alpha, double factor,
+                                       std::uint64_t fallback_interval) {
+  if (alpha <= 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("IndependencePolicy: alpha in (0, 1]");
+  }
+  if (factor <= 0.0) {
+    throw std::invalid_argument("IndependencePolicy: factor must be > 0");
+  }
+  if (alpha == 1.0) {
+    required_ = fallback_interval;
+  } else {
+    const double n = 1.0 / (1.0 - alpha);
+    // Tolerance absorbs the rounding noise of 1/(1-alpha) so e.g.
+    // N = 5000, factor = 1.5 lands exactly on 7500, not 7501.
+    required_ = std::uint64_t(std::ceil(factor * n - 1e-6));
+  }
+}
+
+}  // namespace astro::sync

@@ -1,0 +1,42 @@
+#pragma once
+
+// The data-driven synchronization gate (paper §II-C).
+//
+// After a merge, two engines' eigensystems share history.  The exponential
+// forgetting (α = 1 − 1/N) phases that shared history out: once an engine
+// has absorbed ≥ factor·N fresh observations since its last merge, its
+// estimate is again statistically independent and may be combined without
+// tracking cross-stream contributions — "hence our parallel solution can
+// scale out to arbitrary large clusters."  The paper uses factor = 1.5 as
+// "a good compromise between the speed and consistency of eigensystems."
+
+#include <cstdint>
+
+#include "stats/running.h"
+
+namespace astro::sync {
+
+class IndependencePolicy {
+ public:
+  /// `alpha` is the engine's forgetting factor; `factor` the multiple of
+  /// the effective window N = 1/(1−α) required between merges.  α = 1
+  /// (infinite memory) never re-independizes: the policy then requires
+  /// `fallback_interval` observations instead.
+  explicit IndependencePolicy(double alpha, double factor = 1.5,
+                              std::uint64_t fallback_interval = 10000);
+
+  /// Observations an engine must see between merges.
+  [[nodiscard]] std::uint64_t required_observations() const noexcept {
+    return required_;
+  }
+
+  /// True when `since_last_sync` fresh observations suffice for a merge.
+  [[nodiscard]] bool allows(std::uint64_t since_last_sync) const noexcept {
+    return since_last_sync >= required_;
+  }
+
+ private:
+  std::uint64_t required_;
+};
+
+}  // namespace astro::sync

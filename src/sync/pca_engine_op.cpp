@@ -1,0 +1,147 @@
+#include "sync/pca_engine_op.h"
+
+#include <chrono>
+
+namespace astro::sync {
+
+using stream::ControlTuple;
+using stream::DataTuple;
+
+PcaEngineOperator::PcaEngineOperator(
+    std::string name, int engine_id, const pca::RobustPcaConfig& pca_config,
+    stream::ChannelPtr<DataTuple> data_in,
+    stream::ChannelPtr<ControlTuple> control_in,
+    std::shared_ptr<StateExchange> exchange,
+    std::vector<stream::ChannelPtr<ControlTuple>> peer_control,
+    IndependencePolicy policy, stream::ChannelPtr<DataTuple> outlier_out)
+    : Operator(std::move(name)),
+      id_(engine_id),
+      pca_(pca_config),
+      data_in_(std::move(data_in)),
+      control_in_(std::move(control_in)),
+      exchange_(std::move(exchange)),
+      peer_control_(std::move(peer_control)),
+      policy_(policy),
+      outlier_out_(std::move(outlier_out)) {}
+
+pca::EigenSystem PcaEngineOperator::snapshot() const {
+  std::lock_guard lock(state_mutex_);
+  return pca_.eigensystem();
+}
+
+EngineStats PcaEngineOperator::stats() const {
+  std::lock_guard lock(state_mutex_);
+  return stats_;
+}
+
+void PcaEngineOperator::handle_control(const ControlTuple& cmd) {
+  std::lock_guard lock(state_mutex_);
+  if (cmd.sender == id_) {
+    // Publish our state, then forward the command to the receiver — the
+    // "network hop" that carries the eigensystem between instances.
+    if (pca_.initialized()) {
+      exchange_->publish(std::size_t(id_), pca_.eigensystem(), cmd.epoch);
+      ++stats_.syncs_sent;
+      if (cmd.receiver >= 0 &&
+          std::size_t(cmd.receiver) < peer_control_.size() &&
+          cmd.receiver != id_) {
+        // Best-effort, non-blocking forward: a full peer control queue must
+        // never stall (or deadlock) data processing — a dropped sync round
+        // only delays consistency, the next round retries.
+        ControlTuple forward = cmd;
+        if (!peer_control_[std::size_t(cmd.receiver)]->try_push(forward)) {
+          metrics_.record_dropped();
+        }
+      }
+    }
+    return;
+  }
+  if (cmd.receiver == id_) {
+    // Merge the sender's snapshot if both sides are ready and the
+    // independence gate allows it (paper: observations since last sync must
+    // exceed 1.5 N, "checked by each PCA engine").
+    if (!pca_.initialized()) return;
+    if (!policy_.allows(since_last_sync_)) {
+      ++stats_.merges_skipped;
+      return;
+    }
+    const auto remote = exchange_->fetch(std::size_t(cmd.sender));
+    if (!remote.has_value()) return;
+    const std::uint64_t local_count = pca_.eigensystem().observations();
+    // The live sync path uses the paper's eq. (16) equal-means fast path.
+    // The exact eq. (15) mean-correction term would inject the transient
+    // inter-engine mean gap as a spurious eigenvalue that the slow
+    // forgetting then amplifies; dropping it keeps synchronization a
+    // smoothing operation (the merged mean still averages toward truth).
+    // Exact pooling with mean corrections remains the right choice when
+    // combining *final* partition results (see merge.h).
+    pca::MergeOptions merge_opts;
+    merge_opts.assume_equal_means = true;
+    pca::EigenSystem merged =
+        pca::merge(pca_.eigensystem(), *remote->system, merge_opts);
+    // The merge sums observation counts — correct when pooling final
+    // partitions, but a live engine keeps its *local* count: the remote
+    // history it just absorbed is shared state the forgetting factor will
+    // phase out, not tuples this engine consumed.
+    merged.set_observations(local_count);
+    pca_.set_eigensystem(std::move(merged));
+    since_last_sync_ = 0;
+    ++stats_.merges_applied;
+  }
+}
+
+void PcaEngineOperator::run() {
+  using namespace std::chrono_literals;
+  bool data_open = true;
+
+  while (!stop_requested()) {
+    // Drain any pending control commands first: sync latency should not
+    // depend on data arrival.
+    ControlTuple cmd;
+    while (auto c = control_in_->try_pop()) {
+      handle_control(*c);
+      metrics_.record_in();
+    }
+
+    if (!data_open) {
+      // Data exhausted; stay alive briefly to serve late control traffic
+      // (peers may still forward state to us), then exit when control
+      // closes or stays quiet.
+      if (control_in_->closed() && control_in_->size() == 0) break;
+      if (!control_in_->pop_for(cmd, 5ms)) {
+        if (control_in_->closed()) break;
+        continue;
+      }
+      handle_control(cmd);
+      metrics_.record_in();
+      continue;
+    }
+
+    DataTuple t;
+    if (!data_in_->pop_for(t, 1ms)) {
+      if (data_in_->closed() && data_in_->size() == 0) data_open = false;
+      continue;
+    }
+    metrics_.record_in(t.wire_bytes());
+
+    pca::ObservationReport report;
+    {
+      std::lock_guard lock(state_mutex_);
+      report = t.mask.empty() ? pca_.observe(t.values)
+                              : pca_.observe(t.values, t.mask);
+      ++stats_.tuples;
+      ++since_last_sync_;
+      if (report.outlier) ++stats_.outliers;
+    }
+    if (report.outlier && outlier_out_ != nullptr) {
+      const std::size_t bytes = t.wire_bytes();
+      if (outlier_out_->push(std::move(t))) metrics_.record_out(bytes);
+    }
+  }
+  // Note: the outlier channel is shared by every engine; the pipeline (its
+  // owner) closes it once all engines have drained.
+  set_stop_reason(stop_requested() ? stream::StopReason::kRequested
+                                   : stream::StopReason::kUpstreamClosed);
+}
+
+}  // namespace astro::sync

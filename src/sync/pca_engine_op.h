@@ -1,0 +1,74 @@
+#pragma once
+
+// The stateful Streaming PCA operator (paper §III-A.2, §III-B): wraps a
+// RobustIncrementalPca behind a data port and a control port.
+//
+// Data port:    DataTuples; each updates the engine (O(d p²)).
+// Control port: ControlTuples from the sync controller.
+//   - as *sender*:   publish the current eigensystem to the StateExchange,
+//                    then forward the command to the receiver's control port
+//                    (the "network hop" carrying the state).
+//   - as *receiver*: fetch the sender's snapshot, check the independence
+//                    policy, and install merge(local, remote).
+//
+// Optional outlier port: tuples the robust weighting rejected, forwarded
+// for further processing (the paper's filtering use case).
+
+#include <memory>
+#include <vector>
+
+#include "pca/merge.h"
+#include "pca/robust_pca.h"
+#include "stream/operator.h"
+#include "sync/exchange.h"
+#include "sync/independence.h"
+
+namespace astro::sync {
+
+struct EngineStats {
+  std::uint64_t tuples = 0;            ///< data tuples absorbed
+  std::uint64_t outliers = 0;          ///< observations flagged as outliers
+  std::uint64_t syncs_sent = 0;        ///< states published on command
+  std::uint64_t merges_applied = 0;    ///< remote states merged in
+  std::uint64_t merges_skipped = 0;    ///< blocked by the independence gate
+};
+
+class PcaEngineOperator final : public stream::Operator {
+ public:
+  PcaEngineOperator(std::string name, int engine_id,
+                    const pca::RobustPcaConfig& pca_config,
+                    stream::ChannelPtr<stream::DataTuple> data_in,
+                    stream::ChannelPtr<stream::ControlTuple> control_in,
+                    std::shared_ptr<StateExchange> exchange,
+                    std::vector<stream::ChannelPtr<stream::ControlTuple>>
+                        peer_control,
+                    IndependencePolicy policy,
+                    stream::ChannelPtr<stream::DataTuple> outlier_out = nullptr);
+
+  /// Thread-safe snapshot of the current eigensystem.
+  [[nodiscard]] pca::EigenSystem snapshot() const;
+
+  [[nodiscard]] EngineStats stats() const;
+  [[nodiscard]] int engine_id() const noexcept { return id_; }
+
+ protected:
+  void run() override;
+
+ private:
+  void handle_control(const stream::ControlTuple& cmd);
+
+  int id_;
+  pca::RobustIncrementalPca pca_;
+  stream::ChannelPtr<stream::DataTuple> data_in_;
+  stream::ChannelPtr<stream::ControlTuple> control_in_;
+  std::shared_ptr<StateExchange> exchange_;
+  std::vector<stream::ChannelPtr<stream::ControlTuple>> peer_control_;
+  IndependencePolicy policy_;
+  stream::ChannelPtr<stream::DataTuple> outlier_out_;
+
+  mutable std::mutex state_mutex_;  // guards pca_ for snapshot()
+  std::uint64_t since_last_sync_ = 0;
+  EngineStats stats_;
+};
+
+}  // namespace astro::sync

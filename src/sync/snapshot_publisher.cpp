@@ -1,0 +1,61 @@
+#include "sync/snapshot_publisher.h"
+
+#include <chrono>
+#include <thread>
+
+namespace astro::sync {
+
+SnapshotPublisher::SnapshotPublisher(std::string name,
+                                     std::vector<PcaEngineOperator*> engines,
+                                     stream::ChannelPtr<SnapshotTuple> out,
+                                     double interval_seconds)
+    : Operator(std::move(name)),
+      engines_(std::move(engines)),
+      out_(std::move(out)),
+      interval_seconds_(interval_seconds) {}
+
+void SnapshotPublisher::run() {
+  using Clock = std::chrono::steady_clock;
+  const auto started = Clock::now();
+  std::uint64_t round = 0;
+
+  while (!stop_requested()) {
+    const auto due =
+        started + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(double(round + 1) *
+                                                    interval_seconds_));
+    // Sleep in short slices so a stop request is honored promptly.
+    while (!stop_requested() && Clock::now() < due) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    if (stop_requested()) break;
+    ++round;
+
+    const auto now_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now().time_since_epoch())
+            .count();
+    for (PcaEngineOperator* engine : engines_) {
+      const pca::EigenSystem state = engine->snapshot();
+      if (!state.initialized()) continue;
+      SnapshotTuple t;
+      t.timestamp_us = now_us;
+      t.engine = engine->engine_id();
+      t.observations = state.observations();
+      t.eigenvalues = state.eigenvalues();
+      t.sigma2 = state.sigma2();
+      t.retained_variance = state.retained_variance();
+      t.outliers = engine->stats().outliers;
+      if (!out_->push(std::move(t))) {
+        out_->close();
+        set_stop_reason(stream::StopReason::kUpstreamClosed);
+        return;
+      }
+      metrics_.record_out();
+    }
+  }
+  out_->close();
+  set_stop_reason(stream::StopReason::kRequested);
+}
+
+}  // namespace astro::sync

@@ -1,0 +1,52 @@
+#pragma once
+
+// In-flight result publication — the paper's motivating capability: "early
+// results are invaluable when processing petabytes" and "allowing the
+// flexible feeding of interesting objects ... with immediate retrieving the
+// result of analysis".
+//
+// SnapshotPublisher is an operator that samples every PCA engine at a fixed
+// interval and emits a compact summary tuple per engine — a live feed of
+// the converging solution that downstream consumers (dashboards, steering
+// logic, the examples) read like any other stream.
+
+#include <memory>
+#include <vector>
+
+#include "pca/eigensystem.h"
+#include "stream/operator.h"
+#include "sync/pca_engine_op.h"
+
+namespace astro::sync {
+
+/// One engine's state at one instant.
+struct SnapshotTuple {
+  std::int64_t timestamp_us = 0;
+  int engine = -1;
+  std::uint64_t observations = 0;
+  linalg::Vector eigenvalues;  ///< current spectrum (reported rank)
+  double sigma2 = 0.0;
+  double retained_variance = 0.0;
+  std::uint64_t outliers = 0;
+};
+
+class SnapshotPublisher final : public stream::Operator {
+ public:
+  /// Samples `engines` every `interval_seconds` and pushes one
+  /// SnapshotTuple per engine per round.  Stops when its output closes or
+  /// stop is requested (the pipeline requests stop at shutdown).
+  SnapshotPublisher(std::string name,
+                    std::vector<PcaEngineOperator*> engines,
+                    stream::ChannelPtr<SnapshotTuple> out,
+                    double interval_seconds);
+
+ protected:
+  void run() override;
+
+ private:
+  std::vector<PcaEngineOperator*> engines_;
+  stream::ChannelPtr<SnapshotTuple> out_;
+  double interval_seconds_;
+};
+
+}  // namespace astro::sync

@@ -1,0 +1,107 @@
+#include "sync/strategy.h"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "stats/rng.h"
+
+namespace astro::sync {
+
+using stream::ControlTuple;
+
+std::vector<ControlTuple> RingStrategy::round(std::uint64_t epoch,
+                                              std::size_t n) {
+  if (n < 2) return {};
+  ControlTuple t;
+  t.epoch = epoch;
+  t.sender = int(epoch % n);
+  t.receiver = int((epoch + 1) % n);
+  return {t};
+}
+
+std::vector<ControlTuple> BroadcastStrategy::round(std::uint64_t epoch,
+                                                   std::size_t n) {
+  if (n < 2) return {};
+  std::vector<ControlTuple> out;
+  const int sender = int(epoch % n);
+  out.reserve(n - 1);
+  for (std::size_t r = 0; r < n; ++r) {
+    if (int(r) == sender) continue;
+    ControlTuple t;
+    t.epoch = epoch;
+    t.sender = sender;
+    t.receiver = int(r);
+    out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<ControlTuple> RandomPairStrategy::round(std::uint64_t epoch,
+                                                    std::size_t n) {
+  if (n < 2) return {};
+  // Deterministic per (seed, epoch) so replays are reproducible.
+  stats::Rng rng(seed_ ^ (epoch * 0x9E3779B97F4A7C15ull + 1));
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  std::vector<ControlTuple> out;
+  for (std::size_t i = 0; i + 1 < n; i += 2) {
+    ControlTuple t;
+    t.epoch = epoch;
+    t.sender = int(order[i]);
+    t.receiver = int(order[i + 1]);
+    out.push_back(t);
+  }
+  return out;
+}
+
+GroupedStrategy::GroupedStrategy(std::size_t group_size,
+                                 std::size_t bridge_every)
+    : group_size_(group_size), bridge_every_(bridge_every) {
+  if (group_size_ < 2) {
+    throw std::invalid_argument("GroupedStrategy: group_size must be >= 2");
+  }
+  if (bridge_every_ == 0) bridge_every_ = 1;
+}
+
+std::vector<ControlTuple> GroupedStrategy::round(std::uint64_t epoch,
+                                                 std::size_t n) {
+  if (n < 2) return {};
+  std::vector<ControlTuple> out;
+  const std::size_t groups = (n + group_size_ - 1) / group_size_;
+  // Intra-group ring step.
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::size_t lo = g * group_size_;
+    const std::size_t hi = std::min(lo + group_size_, n);
+    const std::size_t size = hi - lo;
+    if (size < 2) continue;
+    ControlTuple t;
+    t.epoch = epoch;
+    t.sender = int(lo + epoch % size);
+    t.receiver = int(lo + (epoch + 1) % size);
+    out.push_back(t);
+  }
+  // Periodic inter-group bridge: first member of group g -> group g+1.
+  if (groups > 1 && epoch % bridge_every_ == 0) {
+    const std::size_t g = (epoch / bridge_every_) % groups;
+    ControlTuple t;
+    t.epoch = epoch;
+    t.sender = int(g * group_size_);
+    t.receiver = int(((g + 1) % groups) * group_size_);
+    if (t.sender != t.receiver && std::size_t(t.receiver) < n) out.push_back(t);
+  }
+  return out;
+}
+
+std::unique_ptr<SyncStrategy> make_strategy(const std::string& name) {
+  if (name == "ring") return std::make_unique<RingStrategy>();
+  if (name == "broadcast") return std::make_unique<BroadcastStrategy>();
+  if (name == "random-pair") return std::make_unique<RandomPairStrategy>();
+  if (name.rfind("grouped:", 0) == 0) {
+    const std::size_t size = std::stoul(name.substr(8));
+    return std::make_unique<GroupedStrategy>(size);
+  }
+  throw std::invalid_argument("make_strategy: unknown strategy '" + name + "'");
+}
+
+}  // namespace astro::sync

@@ -1,0 +1,104 @@
+#include "cluster/event_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace astro::cluster {
+namespace {
+
+TEST(EventSimulator, ExecutesInTimeOrder) {
+  EventSimulator sim;
+  std::vector<int> order;
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(EventSimulator, SimultaneousEventsFifo) {
+  EventSimulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventSimulator, RunUntilStopsAtBoundary) {
+  EventSimulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(5.0, [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(2.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.empty());
+  sim.run_until(10.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventSimulator, EventsCanScheduleEvents) {
+  EventSimulator sim;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 5) sim.schedule_in(1.0, step);
+  };
+  sim.schedule_at(0.0, step);
+  sim.run_until(100.0);
+  EXPECT_EQ(chain, 5);
+}
+
+TEST(EventSimulator, PastSchedulingThrows) {
+  EventSimulator sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run_until(5.0);
+  EXPECT_THROW(sim.schedule_at(1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Resource, SingleServerSerializes) {
+  EventSimulator sim;
+  Resource r(sim, 1);
+  std::vector<double> completion_times;
+  for (int i = 0; i < 3; ++i) {
+    r.submit(1.0, [&] { completion_times.push_back(sim.now()); });
+  }
+  sim.run_until(100.0);
+  ASSERT_EQ(completion_times.size(), 3u);
+  EXPECT_DOUBLE_EQ(completion_times[0], 1.0);
+  EXPECT_DOUBLE_EQ(completion_times[1], 2.0);
+  EXPECT_DOUBLE_EQ(completion_times[2], 3.0);
+  EXPECT_DOUBLE_EQ(r.busy_time(), 3.0);
+}
+
+TEST(Resource, MultiServerRunsConcurrently) {
+  EventSimulator sim;
+  Resource r(sim, 2);
+  std::vector<double> completion_times;
+  for (int i = 0; i < 4; ++i) {
+    r.submit(1.0, [&] { completion_times.push_back(sim.now()); });
+  }
+  sim.run_until(100.0);
+  ASSERT_EQ(completion_times.size(), 4u);
+  // Two at t=1, two at t=2.
+  EXPECT_DOUBLE_EQ(completion_times[1], 1.0);
+  EXPECT_DOUBLE_EQ(completion_times[2], 2.0);
+}
+
+TEST(Resource, CompletionCanResubmit) {
+  EventSimulator sim;
+  Resource r(sim, 1);
+  int count = 0;
+  std::function<void()> again = [&] {
+    if (++count < 10) r.submit(0.5, again);
+  };
+  r.submit(0.5, again);
+  sim.run_until(100.0);
+  EXPECT_EQ(count, 10);
+  EXPECT_DOUBLE_EQ(r.busy_time(), 5.0);
+}
+
+}  // namespace
+}  // namespace astro::cluster

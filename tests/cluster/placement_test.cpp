@@ -1,0 +1,92 @@
+#include "cluster/placement.h"
+
+#include <gtest/gtest.h>
+
+namespace astro::cluster {
+namespace {
+
+const CostModel kCosts{};
+const ClusterConfig kCluster{};
+
+TEST(ExplicitPlacement, SizeValidation) {
+  SimPipelineConfig pc;
+  pc.engines = 3;
+  pc.explicit_placement = {0, 1};  // wrong size
+  EXPECT_THROW((void)simulate_streaming_pca(kCluster, pc, kCosts),
+               std::invalid_argument);
+  pc.explicit_placement = {0, 1, 99};  // node out of range
+  EXPECT_THROW((void)simulate_streaming_pca(kCluster, pc, kCosts),
+               std::invalid_argument);
+}
+
+TEST(ExplicitPlacement, MatchesEquivalentHeuristic) {
+  SimPipelineConfig pc;
+  pc.engines = 5;
+  pc.dim = 250;
+  pc.sim_seconds = 0.5;
+  pc.placement = Placement::kDistributed;
+  const double heuristic = simulate_streaming_pca(kCluster, pc, kCosts).throughput;
+
+  pc.explicit_placement = {1, 2, 3, 4, 5};  // what distributed produces
+  const double explicit_same =
+      simulate_streaming_pca(kCluster, pc, kCosts).throughput;
+  EXPECT_NEAR(explicit_same, heuristic, 1e-9 * heuristic);
+}
+
+TEST(ExplicitPlacement, AllOnHeadMatchesSingleNode) {
+  SimPipelineConfig pc;
+  pc.engines = 6;
+  pc.sim_seconds = 0.5;
+  pc.placement = Placement::kSingleNode;
+  const double single = simulate_streaming_pca(kCluster, pc, kCosts).throughput;
+  pc.explicit_placement.assign(6, 0);
+  const double explicit_head =
+      simulate_streaming_pca(kCluster, pc, kCosts).throughput;
+  EXPECT_NEAR(explicit_head, single, 1e-9 * single);
+}
+
+TEST(Optimizer, BeatsPathologicalStart) {
+  // 8 engines: optimizer should find a layout at least as good as the
+  // round-robin heuristic and clearly better than all-on-one-node.
+  SimPipelineConfig pc;
+  pc.engines = 8;
+  pc.dim = 250;
+  pc.sync_rate_hz = 0.0;
+
+  OptimizeOptions opts;
+  opts.rounds = 20;
+  opts.restarts = 1;
+  opts.sim_seconds = 0.3;
+  const OptimizeResult r = optimize_placement(kCluster, pc, kCosts, opts);
+  ASSERT_EQ(r.placement.size(), 8u);
+  EXPECT_GT(r.evaluations, 0u);
+
+  pc.explicit_placement.assign(8, 3);  // pathological: all fused on node 3
+  pc.sim_seconds = 0.3;
+  const double pathological =
+      simulate_streaming_pca(kCluster, pc, kCosts).throughput;
+  EXPECT_GT(r.throughput, 1.5 * pathological);
+
+  pc.explicit_placement.clear();
+  pc.placement = Placement::kDistributed;
+  const double round_robin =
+      simulate_streaming_pca(kCluster, pc, kCosts).throughput;
+  EXPECT_GE(r.throughput, 0.98 * round_robin);
+}
+
+TEST(Optimizer, HistoryIsMonotonicallyImproving) {
+  SimPipelineConfig pc;
+  pc.engines = 6;
+  pc.sync_rate_hz = 0.0;
+  OptimizeOptions opts;
+  opts.rounds = 10;
+  opts.restarts = 0;
+  opts.sim_seconds = 0.2;
+  const OptimizeResult r = optimize_placement(kCluster, pc, kCosts, opts);
+  for (std::size_t i = 1; i < r.history.size(); ++i) {
+    EXPECT_GE(r.history[i], r.history[i - 1] - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace astro::cluster

@@ -1,0 +1,168 @@
+// Behavioural tests of the cluster model: these encode the qualitative
+// claims of the paper's §III-D that the simulator must reproduce.
+
+#include "cluster/scaling_model.h"
+
+#include <gtest/gtest.h>
+
+namespace astro::cluster {
+namespace {
+
+const CostModel kCosts{};  // paper-era defaults
+const ClusterConfig kCluster{};  // 10 nodes x 4 cores
+
+SimResult run(std::size_t engines, Placement placement, std::size_t dim = 250,
+              double seconds = 0.5) {
+  SimPipelineConfig pc;
+  pc.engines = engines;
+  pc.dim = dim;
+  pc.rank = 10;
+  pc.placement = placement;
+  pc.sim_seconds = seconds;
+  return simulate_streaming_pca(kCluster, pc, kCosts);
+}
+
+TEST(ScalingModel, Validation) {
+  SimPipelineConfig pc;
+  pc.engines = 0;
+  EXPECT_THROW((void)simulate_streaming_pca(kCluster, pc, kCosts),
+               std::invalid_argument);
+  ClusterConfig bad;
+  bad.nodes = 0;
+  pc.engines = 1;
+  EXPECT_THROW((void)simulate_streaming_pca(bad, pc, kCosts),
+               std::invalid_argument);
+}
+
+TEST(ScalingModel, SingleEngineRateMatchesCostModel) {
+  const SimResult r = run(1, Placement::kSingleNode);
+  const double expected = 1.0 / kCosts.update_seconds(250, 10);
+  EXPECT_NEAR(r.throughput, expected, 0.05 * expected);
+}
+
+TEST(ScalingModel, LoneRemoteEngineSlowerThanFused) {
+  // Figure 7: "running a single thread on distributed system shows the
+  // decrease of performance ... caused by the overhead of network
+  // connectivity".
+  const SimResult fused = run(1, Placement::kSingleNode);
+  const SimResult remote = run(1, Placement::kDistributed);
+  EXPECT_LT(remote.throughput, fused.throughput);
+  EXPECT_GT(remote.throughput, 0.85 * fused.throughput);
+}
+
+TEST(ScalingModel, DistributedBeatsSingleNodeAtScale) {
+  // Figure 6: "increased performance when using multiple nodes".
+  const SimResult single = run(10, Placement::kSingleNode);
+  const SimResult distributed = run(10, Placement::kDistributed);
+  EXPECT_GT(distributed.throughput, 2.0 * single.throughput);
+}
+
+TEST(ScalingModel, SingleNodePlateausAtCoreCount) {
+  // "The single-placed instances are ... processing the data in multiple
+  // threads without performance degrading (although not giving any
+  // significant advantage either)."
+  const double t4 = run(4, Placement::kSingleNode).throughput;
+  const double t10 = run(10, Placement::kSingleNode).throughput;
+  const double t20 = run(20, Placement::kSingleNode).throughput;
+  EXPECT_NEAR(t10, t4, 0.25 * t4);
+  EXPECT_NEAR(t20, t4, 0.30 * t4);
+}
+
+TEST(ScalingModel, DistributedPeaksNearTwoEnginesPerNode) {
+  // "The optimum number is 2 instances per node, or 20 instances per 10
+  // nodes in our case" and "performance ... degrades for 30 parallel
+  // threads".
+  const double t10 = run(10, Placement::kDistributed).throughput;
+  const double t20 = run(20, Placement::kDistributed).throughput;
+  const double t30 = run(30, Placement::kDistributed).throughput;
+  EXPECT_GT(t20, t10);
+  EXPECT_GT(t20, t30);
+}
+
+TEST(ScalingModel, InterconnectSaturatesAtHighEngineCounts) {
+  const SimResult r = run(20, Placement::kDistributed);
+  EXPECT_GT(r.head_nic_utilization, 0.95);
+}
+
+TEST(ScalingModel, NearLinearScalingAtFiveAndTenThreads) {
+  // Figure 7: "good scaling capabilities for 5 and 10 parallel threads".
+  const double t1 = run(1, Placement::kDistributed).throughput;
+  const double t5 = run(5, Placement::kDistributed).throughput;
+  const double t10 = run(10, Placement::kDistributed).throughput;
+  EXPECT_GT(t5, 4.5 * t1);
+  EXPECT_GT(t10, 9.0 * t1);
+}
+
+TEST(ScalingModel, PerThreadRateFallsWithDimensionality) {
+  // Figure 7's x-axis: bigger vectors, costlier SVD, fewer tuples/s/thread.
+  double prev = 1e18;
+  for (std::size_t d : {250u, 500u, 1000u, 2000u}) {
+    const double per_thread = run(5, Placement::kDistributed, d).throughput / 5.0;
+    EXPECT_LT(per_thread, prev);
+    prev = per_thread;
+  }
+}
+
+TEST(ScalingModel, HighDimensionRelievesInterconnectPressure) {
+  // At d = 2000 the per-tuple compute dwarfs the network cost, so 20
+  // engines scale nearly as well per-thread as 5 (the Figure-7 lines
+  // converge at the right edge).
+  const double t5 = run(5, Placement::kDistributed, 2000).throughput / 5.0;
+  const double t20 = run(20, Placement::kDistributed, 2000).throughput / 20.0;
+  EXPECT_GT(t20, 0.9 * t5);
+  // Whereas at d = 250 the 20-engine configuration is NIC-bound per thread.
+  const double s5 = run(5, Placement::kDistributed, 250).throughput / 5.0;
+  const double s20 = run(20, Placement::kDistributed, 250).throughput / 20.0;
+  EXPECT_LT(s20, 0.9 * s5);
+}
+
+TEST(ScalingModel, TuplesBalanceAcrossEngines) {
+  const SimResult r = run(8, Placement::kDistributed);
+  ASSERT_EQ(r.per_engine.size(), 8u);
+  const double mean = double(r.tuples) / 8.0;
+  for (auto t : r.per_engine) {
+    EXPECT_NEAR(double(t), mean, 0.30 * mean);
+  }
+}
+
+TEST(ScalingModel, SyncRoundsFire) {
+  SimPipelineConfig pc;
+  pc.engines = 4;
+  pc.sync_rate_hz = 10.0;
+  pc.sim_seconds = 1.0;
+  const SimResult r = simulate_streaming_pca(kCluster, pc, kCosts);
+  EXPECT_NEAR(double(r.sync_rounds), 10.0, 2.0);
+}
+
+TEST(ScalingModel, SyncOffMeansNoRounds) {
+  SimPipelineConfig pc;
+  pc.engines = 4;
+  pc.sync_rate_hz = 0.0;
+  const SimResult r = simulate_streaming_pca(kCluster, pc, kCosts);
+  EXPECT_EQ(r.sync_rounds, 0u);
+}
+
+TEST(CostModel, CalibrationProducesPositiveFit) {
+  const CostModel m = calibrate(0.3);  // small budget: still a valid fit
+  EXPECT_GT(m.update_base, 0.0);
+  EXPECT_GT(m.update_per_flop, 0.0);
+  // The fitted cost must grow with d and p.
+  EXPECT_GT(m.update_seconds(2000, 10), m.update_seconds(250, 10));
+  EXPECT_GT(m.update_seconds(250, 10), m.update_seconds(250, 5));
+}
+
+TEST(CostModel, CpuScaleDividesCosts) {
+  CostModel m;
+  m.cpu_scale = 2.0;
+  CostModel base;
+  EXPECT_NEAR(m.update_seconds(250, 10), base.update_seconds(250, 10) / 2.0,
+              1e-12);
+}
+
+TEST(PlacementNames, Strings) {
+  EXPECT_EQ(to_string(Placement::kSingleNode), "single");
+  EXPECT_EQ(to_string(Placement::kDistributed), "distributed");
+}
+
+}  // namespace
+}  // namespace astro::cluster

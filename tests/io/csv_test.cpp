@@ -1,0 +1,103 @@
+#include "io/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace astro::io {
+namespace {
+
+TEST(Csv, ReadSimpleRows) {
+  std::stringstream in("1,2,3\n4,5,6\n");
+  const CsvDataset d = read_csv(in);
+  ASSERT_EQ(d.rows.size(), 2u);
+  EXPECT_EQ(d.rows[0].size(), 3u);
+  EXPECT_EQ(d.rows[1][2], 6.0);
+  EXPECT_TRUE(d.masks[0].empty());
+}
+
+TEST(Csv, EmptyFieldBecomesMask) {
+  std::stringstream in("1,,3\n");
+  const CsvDataset d = read_csv(in);
+  ASSERT_EQ(d.rows.size(), 1u);
+  ASSERT_EQ(d.masks[0].size(), 3u);
+  EXPECT_TRUE(d.masks[0][0]);
+  EXPECT_FALSE(d.masks[0][1]);
+  EXPECT_EQ(d.rows[0][1], 0.0);
+}
+
+TEST(Csv, NanFieldBecomesMask) {
+  std::stringstream in("1,NaN,3\n1,nan,3\n");
+  const CsvDataset d = read_csv(in);
+  EXPECT_FALSE(d.masks[0][1]);
+  EXPECT_FALSE(d.masks[1][1]);
+}
+
+TEST(Csv, TrailingCommaIsMissingField) {
+  std::stringstream in("1,2,\n1,2,3\n");
+  const CsvDataset d = read_csv(in);
+  ASSERT_EQ(d.rows[0].size(), 3u);
+  EXPECT_FALSE(d.masks[0][2]);
+}
+
+TEST(Csv, RaggedRowsThrow) {
+  std::stringstream in("1,2,3\n4,5\n");
+  EXPECT_THROW((void)read_csv(in), std::runtime_error);
+}
+
+TEST(Csv, GarbageThrows) {
+  std::stringstream in("1,hello,3\n");
+  EXPECT_THROW((void)read_csv(in), std::runtime_error);
+}
+
+TEST(Csv, SkipsBlankLines) {
+  std::stringstream in("1,2\n\n3,4\n");
+  const CsvDataset d = read_csv(in);
+  EXPECT_EQ(d.rows.size(), 2u);
+}
+
+TEST(Csv, WhitespaceTolerated) {
+  std::stringstream in(" 1.5 , 2.5 \n");
+  const CsvDataset d = read_csv(in);
+  EXPECT_EQ(d.rows[0][0], 1.5);
+}
+
+TEST(Csv, RoundTripWithMasks) {
+  std::vector<linalg::Vector> rows{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  std::vector<pca::PixelMask> masks{{true, false, true}, {}};
+  std::stringstream buf;
+  write_csv(buf, rows, masks);
+  const CsvDataset back = read_csv(buf);
+  ASSERT_EQ(back.rows.size(), 2u);
+  EXPECT_EQ(back.rows[0][0], 1.0);
+  EXPECT_EQ(back.rows[0][2], 3.0);
+  ASSERT_FALSE(back.masks[0].empty());
+  EXPECT_FALSE(back.masks[0][1]);
+  EXPECT_TRUE(back.masks[1].empty());
+  EXPECT_EQ(back.rows[1][1], 5.0);
+}
+
+TEST(Csv, RoundTripPreservesPrecision) {
+  std::vector<linalg::Vector> rows{{1.0 / 3.0, 2.0e-17}};
+  std::stringstream buf;
+  write_csv(buf, rows);
+  const CsvDataset back = read_csv(buf);
+  EXPECT_DOUBLE_EQ(back.rows[0][0], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(back.rows[0][1], 2.0e-17);
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW((void)read_csv_file("/nonexistent/x.csv"), std::runtime_error);
+}
+
+TEST(Csv, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/astro_csv_test.csv";
+  std::vector<linalg::Vector> rows{{7.0, 8.0}};
+  write_csv_file(path, rows);
+  const CsvDataset back = read_csv_file(path);
+  ASSERT_EQ(back.rows.size(), 1u);
+  EXPECT_EQ(back.rows[0][1], 8.0);
+}
+
+}  // namespace
+}  // namespace astro::io

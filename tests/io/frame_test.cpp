@@ -1,0 +1,89 @@
+#include "io/frame.h"
+
+#include <gtest/gtest.h>
+
+namespace astro::io {
+namespace {
+
+stream::DataTuple sample_tuple() {
+  stream::DataTuple t;
+  t.seq = 42;
+  t.timestamp_us = 1234567;
+  t.values = linalg::Vector{1.5, -2.25, 3.125};
+  return t;
+}
+
+TEST(Frame, RoundTripPlainTuple) {
+  const auto t = sample_tuple();
+  const auto frame = encode_tuple(t);
+  const auto back = decode_tuple(frame);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->seq, 42u);
+  EXPECT_EQ(back->timestamp_us, 1234567);
+  EXPECT_TRUE(linalg::approx_equal(back->values, t.values, 0.0));
+  EXPECT_TRUE(back->mask.empty());
+}
+
+TEST(Frame, RoundTripWithMask) {
+  auto t = sample_tuple();
+  t.mask = {true, false, true};
+  const auto back = decode_tuple(encode_tuple(t));
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->mask.size(), 3u);
+  EXPECT_TRUE(back->mask[0]);
+  EXPECT_FALSE(back->mask[1]);
+  EXPECT_TRUE(back->mask[2]);
+}
+
+TEST(Frame, MaskWiderThanByte) {
+  stream::DataTuple t;
+  t.values = linalg::Vector(13, 1.0);
+  t.mask.assign(13, true);
+  t.mask[8] = false;
+  t.mask[12] = false;
+  const auto back = decode_tuple(encode_tuple(t));
+  ASSERT_TRUE(back.has_value());
+  for (std::size_t i = 0; i < 13; ++i) {
+    EXPECT_EQ(back->mask[i], t.mask[i]) << i;
+  }
+}
+
+TEST(Frame, HeaderDescribesPayload) {
+  const auto frame = encode_tuple(sample_tuple());
+  const auto payload = decode_frame_header(
+      std::span<const std::uint8_t>(frame).first(kFrameHeaderBytes));
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, frame.size() - kFrameHeaderBytes);
+}
+
+TEST(Frame, BadMagicRejected) {
+  auto frame = encode_tuple(sample_tuple());
+  frame[0] ^= 0xFF;
+  EXPECT_FALSE(decode_tuple(frame).has_value());
+}
+
+TEST(Frame, TruncatedRejected) {
+  auto frame = encode_tuple(sample_tuple());
+  frame.pop_back();
+  EXPECT_FALSE(decode_tuple(frame).has_value());
+  EXPECT_FALSE(decode_tuple(std::span<const std::uint8_t>(frame).first(4))
+                   .has_value());
+}
+
+TEST(Frame, CorruptSizesRejected) {
+  auto frame = encode_tuple(sample_tuple());
+  // Corrupt the dim field (offset: header 8 + seq 8 + ts 8 = 24).
+  frame[24] = 200;
+  EXPECT_FALSE(decode_tuple(frame).has_value());
+}
+
+TEST(Frame, EmptyVector) {
+  stream::DataTuple t;
+  t.values = linalg::Vector(0);
+  const auto back = decode_tuple(encode_tuple(t));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->values.size(), 0u);
+}
+
+}  // namespace
+}  // namespace astro::io

@@ -1,0 +1,70 @@
+#include "linalg/cholesky.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.h"
+
+namespace astro::linalg {
+namespace {
+
+using astro::stats::Rng;
+
+Matrix random_spd(Rng& rng, std::size_t n) {
+  Matrix g = rng.gaussian_matrix(n + 3, n);
+  Matrix a = g.gram();
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 0.1;  // well conditioned
+  return a;
+}
+
+TEST(Cholesky, FactorsIdentity) {
+  const auto l = cholesky(Matrix::identity(4));
+  ASSERT_TRUE(l.has_value());
+  EXPECT_TRUE(approx_equal(*l, Matrix::identity(4), 1e-15));
+}
+
+TEST(Cholesky, ReconstructsSpdMatrix) {
+  Rng rng(37);
+  const Matrix a = random_spd(rng, 6);
+  const auto l = cholesky(a);
+  ASSERT_TRUE(l.has_value());
+  EXPECT_TRUE(approx_equal(*l * l->transpose(), a, 1e-10));
+}
+
+TEST(Cholesky, LowerTriangular) {
+  Rng rng(41);
+  const Matrix a = random_spd(rng, 5);
+  const auto l = cholesky(a);
+  ASSERT_TRUE(l.has_value());
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = i + 1; j < 5; ++j) EXPECT_EQ((*l)(i, j), 0.0);
+  }
+}
+
+TEST(Cholesky, IndefiniteReturnsNullopt) {
+  Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_FALSE(cholesky(a).has_value());
+}
+
+TEST(Cholesky, NonSquareThrows) {
+  EXPECT_THROW(cholesky(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Cholesky, SolveRoundTrip) {
+  Rng rng(43);
+  const Matrix a = random_spd(rng, 7);
+  const auto l = cholesky(a);
+  ASSERT_TRUE(l.has_value());
+  const Vector x_true = rng.gaussian_vector(7);
+  const Vector b = a * x_true;
+  const Vector x = cholesky_solve(*l, b);
+  EXPECT_TRUE(approx_equal(x, x_true, 1e-8));
+}
+
+TEST(Cholesky, TriangularSolvesSizeChecks) {
+  const Matrix l = Matrix::identity(3);
+  EXPECT_THROW(solve_lower(l, Vector(2)), std::invalid_argument);
+  EXPECT_THROW(solve_lower_transposed(l, Vector(4)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace astro::linalg

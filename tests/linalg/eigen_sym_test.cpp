@@ -1,0 +1,117 @@
+#include "linalg/eigen_sym.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.h"
+
+namespace astro::linalg {
+namespace {
+
+using astro::stats::Rng;
+
+// Symmetric matrix with a known spectrum: V diag(w) V^T for random
+// orthonormal V.
+Matrix with_spectrum(Rng& rng, const Vector& w) {
+  const std::size_t n = w.size();
+  const Matrix v = astro::stats::random_orthonormal(rng, n, n);
+  Matrix scaled = v;
+  for (std::size_t c = 0; c < n; ++c) {
+    for (std::size_t r = 0; r < n; ++r) scaled(r, c) *= w[c];
+  }
+  return scaled * v.transpose();
+}
+
+TEST(EigSym, DiagonalMatrix) {
+  Matrix a{{4.0, 0.0, 0.0}, {0.0, 1.0, 0.0}, {0.0, 0.0, 9.0}};
+  const EigResult r = eig_sym(a);
+  EXPECT_NEAR(r.values[0], 9.0, 1e-12);
+  EXPECT_NEAR(r.values[1], 4.0, 1e-12);
+  EXPECT_NEAR(r.values[2], 1.0, 1e-12);
+}
+
+TEST(EigSym, RecoversKnownSpectrum) {
+  Rng rng(17);
+  const Vector w{10.0, 5.0, 2.0, 0.5, -1.0};
+  const Matrix a = with_spectrum(rng, w);
+  const EigResult r = eig_sym(a);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(r.values[i], w[i], 1e-9);
+  }
+}
+
+TEST(EigSym, EigenvectorsSatisfyDefinition) {
+  Rng rng(23);
+  const Vector w{7.0, 3.0, 1.0, 0.2};
+  const Matrix a = with_spectrum(rng, w);
+  const EigResult r = eig_sym(a);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const Vector vi = r.vectors.col(i);
+    const Vector av = a * vi;
+    const Vector lv = vi * r.values[i];
+    EXPECT_TRUE(approx_equal(av, lv, 1e-9));
+  }
+  EXPECT_LT(orthonormality_error(r.vectors), 1e-10);
+}
+
+TEST(EigSym, NonSquareThrows) {
+  EXPECT_THROW(eig_sym(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(EigSym, TopKSubset) {
+  Rng rng(29);
+  const Vector w{9.0, 4.0, 1.0};
+  const Matrix a = with_spectrum(rng, w);
+  const EigResult top = eig_sym_top(a, 2);
+  EXPECT_EQ(top.values.size(), 2u);
+  EXPECT_EQ(top.vectors.cols(), 2u);
+  EXPECT_NEAR(top.values[0], 9.0, 1e-9);
+  EXPECT_NEAR(top.values[1], 4.0, 1e-9);
+}
+
+TEST(EigSym, TopKClampsToN) {
+  Matrix a = Matrix::identity(2);
+  const EigResult top = eig_sym_top(a, 10);
+  EXPECT_EQ(top.values.size(), 2u);
+}
+
+TEST(EigSym, OneByOne) {
+  Matrix a{{5.0}};
+  const EigResult r = eig_sym(a);
+  EXPECT_DOUBLE_EQ(r.values[0], 5.0);
+  EXPECT_NEAR(std::abs(r.vectors(0, 0)), 1.0, 1e-15);
+}
+
+TEST(EigSym, TraceAndSumOfEigenvaluesAgree) {
+  Rng rng(31);
+  Matrix g = rng.gaussian_matrix(8, 8);
+  const Matrix a = g.gram();  // PSD symmetric (gram of g^T rows)
+  const EigResult r = eig_sym(a);
+  EXPECT_NEAR(r.values.sum(), a.trace(), 1e-8);
+  for (std::size_t i = 0; i < r.values.size(); ++i) {
+    EXPECT_GE(r.values[i], -1e-9);  // PSD
+  }
+}
+
+class EigSymSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EigSymSizeTest, ReconstructsMatrix) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  Matrix g = rng.gaussian_matrix(n + 2, n);
+  const Matrix a = g.gram();
+  const EigResult r = eig_sym(a);
+  // V diag(w) V^T == A
+  Matrix scaled = r.vectors;
+  for (std::size_t c = 0; c < n; ++c) {
+    for (std::size_t row = 0; row < n; ++row) scaled(row, c) *= r.values[c];
+  }
+  EXPECT_TRUE(approx_equal(scaled * r.vectors.transpose(), a, 1e-8));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigSymSizeTest,
+                         ::testing::Values(1, 2, 3, 5, 10, 20, 40));
+
+}  // namespace
+}  // namespace astro::linalg

@@ -1,0 +1,66 @@
+#include "linalg/qr.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.h"
+
+namespace astro::linalg {
+namespace {
+
+using astro::stats::Rng;
+
+TEST(Qr, IdentityFactorsTrivially) {
+  const QrResult r = qr(Matrix::identity(3));
+  EXPECT_TRUE(approx_equal(r.q, Matrix::identity(3), 1e-14));
+  EXPECT_TRUE(approx_equal(r.r, Matrix::identity(3), 1e-14));
+}
+
+TEST(Qr, ReconstructsInput) {
+  Rng rng(13);
+  const Matrix a = rng.gaussian_matrix(10, 4);
+  const QrResult r = qr(a);
+  EXPECT_TRUE(approx_equal(r.q * r.r, a, 1e-11));
+}
+
+TEST(Qr, QHasOrthonormalColumns) {
+  Rng rng(19);
+  const Matrix a = rng.gaussian_matrix(20, 7);
+  const QrResult r = qr(a);
+  EXPECT_LT(orthonormality_error(r.q), 1e-12);
+}
+
+TEST(Qr, RIsUpperTriangularWithNonNegativeDiagonal) {
+  Rng rng(21);
+  const Matrix a = rng.gaussian_matrix(8, 8);
+  const QrResult r = qr(a);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_GE(r.r(i, i), 0.0);
+    for (std::size_t j = 0; j < i; ++j) EXPECT_NEAR(r.r(i, j), 0.0, 1e-14);
+  }
+}
+
+TEST(Qr, WideMatrixThrows) { EXPECT_THROW(qr(Matrix(2, 5)), std::invalid_argument); }
+
+TEST(Qr, OrthonormalizeColumnsFixesDrift) {
+  Rng rng(27);
+  Matrix q = astro::stats::random_orthonormal(rng, 12, 4);
+  // Inject drift.
+  q(0, 0) += 1e-4;
+  q(3, 2) -= 2e-4;
+  EXPECT_GT(orthonormality_error(q), 1e-5);
+  orthonormalize_columns(q);
+  EXPECT_LT(orthonormality_error(q), 1e-12);
+}
+
+TEST(Qr, RankDeficientStillOrthonormalQ) {
+  Matrix a(5, 2);
+  for (std::size_t r = 0; r < 5; ++r) {
+    a(r, 0) = double(r);
+    a(r, 1) = 2.0 * double(r);  // dependent column
+  }
+  const QrResult res = qr(a);
+  EXPECT_TRUE(approx_equal(res.q * res.r, a, 1e-12));
+}
+
+}  // namespace
+}  // namespace astro::linalg

@@ -1,0 +1,140 @@
+#include "linalg/svd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "stats/rng.h"
+
+namespace astro::linalg {
+namespace {
+
+using astro::stats::Rng;
+
+TEST(Svd, DiagonalMatrix) {
+  Matrix a{{3.0, 0.0}, {0.0, 2.0}, {0.0, 0.0}};
+  const SvdResult r = svd(a);
+  EXPECT_NEAR(r.singular_values[0], 3.0, 1e-12);
+  EXPECT_NEAR(r.singular_values[1], 2.0, 1e-12);
+}
+
+TEST(Svd, SingularValuesSortedDescending) {
+  Rng rng(7);
+  const Matrix a = rng.gaussian_matrix(20, 6);
+  const SvdResult r = svd(a);
+  for (std::size_t i = 1; i < r.singular_values.size(); ++i) {
+    EXPECT_GE(r.singular_values[i - 1], r.singular_values[i]);
+  }
+}
+
+TEST(Svd, ReconstructionMatchesInput) {
+  Rng rng(42);
+  const Matrix a = rng.gaussian_matrix(15, 5);
+  const SvdResult r = svd(a);
+  EXPECT_TRUE(approx_equal(r.reconstruct(), a, 1e-10));
+}
+
+TEST(Svd, FactorsAreOrthonormal) {
+  Rng rng(3);
+  const Matrix a = rng.gaussian_matrix(30, 8);
+  const SvdResult r = svd(a);
+  EXPECT_LT(orthonormality_error(r.u), 1e-10);
+  EXPECT_LT(orthonormality_error(r.v), 1e-10);
+}
+
+TEST(Svd, WideMatrixHandledByTranspose) {
+  Rng rng(11);
+  const Matrix a = rng.gaussian_matrix(4, 10);
+  const SvdResult r = svd(a);
+  EXPECT_EQ(r.u.rows(), 4u);
+  EXPECT_EQ(r.u.cols(), 4u);
+  EXPECT_EQ(r.v.rows(), 10u);
+  EXPECT_EQ(r.v.cols(), 4u);
+  EXPECT_TRUE(approx_equal(r.reconstruct(), a, 1e-10));
+}
+
+TEST(Svd, RankDeficientGetsZeroSingularValue) {
+  // Two identical columns -> rank 1.
+  Matrix a(6, 2);
+  for (std::size_t r = 0; r < 6; ++r) {
+    a(r, 0) = double(r + 1);
+    a(r, 1) = double(r + 1);
+  }
+  const SvdResult res = svd(a);
+  EXPECT_GT(res.singular_values[0], 0.0);
+  EXPECT_NEAR(res.singular_values[1], 0.0, 1e-10);
+  // U must still have orthonormal columns (the null column is completed).
+  EXPECT_LT(orthonormality_error(res.u), 1e-10);
+}
+
+TEST(Svd, MatchesEigenvaluesOfGram) {
+  // Singular values squared == eigenvalues of A^T A.
+  Rng rng(5);
+  const Matrix a = rng.gaussian_matrix(12, 4);
+  const SvdResult r = svd(a);
+  const Matrix g = a.gram();
+  // Check via the characteristic property: ||A v_i|| = s_i.
+  for (std::size_t i = 0; i < 4; ++i) {
+    const Vector vi = r.v.col(i);
+    EXPECT_NEAR((a * vi).norm(), r.singular_values[i], 1e-10);
+    // And v_i^T G v_i = s_i^2.
+    EXPECT_NEAR(dot(vi, g * vi), r.singular_values[i] * r.singular_values[i],
+                1e-8);
+  }
+}
+
+TEST(Svd, LeftOnlyMatchesFullU) {
+  Rng rng(9);
+  const Matrix a = rng.gaussian_matrix(25, 5);
+  const SvdResult full = svd(a);
+  const ThinUResult left = svd_left(a);
+  EXPECT_TRUE(approx_equal(full.singular_values, left.singular_values, 1e-10));
+  // Columns match up to sign.
+  for (std::size_t c = 0; c < 5; ++c) {
+    const double d = std::abs(dot(full.u.col(c), left.u.col(c)));
+    EXPECT_NEAR(d, 1.0, 1e-9);
+  }
+}
+
+TEST(Svd, EmptyThrows) {
+  EXPECT_THROW(svd(Matrix{}), std::invalid_argument);
+  EXPECT_THROW(svd_left(Matrix{}), std::invalid_argument);
+}
+
+TEST(Svd, SingleColumn) {
+  Matrix a(4, 1);
+  a(0, 0) = 3.0;
+  a(1, 0) = 4.0;
+  const SvdResult r = svd(a);
+  EXPECT_NEAR(r.singular_values[0], 5.0, 1e-12);
+  EXPECT_NEAR(std::abs(r.u(0, 0)), 0.6, 1e-12);
+}
+
+// Property sweep: reconstruction + orthonormality across shapes.
+class SvdShapeTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(SvdShapeTest, ReconstructsAndOrthonormal) {
+  const auto [m, n] = GetParam();
+  Rng rng(m * 131 + n);
+  const Matrix a = rng.gaussian_matrix(m, n);
+  const SvdResult r = svd(a);
+  const std::size_t k = std::min(m, n);
+  EXPECT_EQ(r.u.cols(), k);
+  EXPECT_EQ(r.v.cols(), k);
+  EXPECT_TRUE(approx_equal(r.reconstruct(), a, 1e-9));
+  EXPECT_LT(orthonormality_error(r.u), 1e-9);
+  EXPECT_LT(orthonormality_error(r.v), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SvdShapeTest,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(5, 1),
+                      std::make_tuple(1, 5), std::make_tuple(8, 8),
+                      std::make_tuple(50, 3), std::make_tuple(3, 50),
+                      std::make_tuple(100, 11), std::make_tuple(250, 6),
+                      std::make_tuple(64, 21)));
+
+}  // namespace
+}  // namespace astro::linalg

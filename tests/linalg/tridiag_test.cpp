@@ -1,0 +1,137 @@
+#include "linalg/tridiag.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.h"
+
+namespace astro::linalg {
+namespace {
+
+using astro::stats::Rng;
+
+Matrix random_symmetric(Rng& rng, std::size_t n) {
+  Matrix g = rng.gaussian_matrix(n, n);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = 0.5 * (g(i, j) + g(j, i));
+  }
+  return a;
+}
+
+TEST(Tridiag, HouseholderPreservesSpectrumStructure) {
+  Rng rng(61);
+  const Matrix a = random_symmetric(rng, 10);
+  Vector d, e;
+  Matrix q;
+  householder_tridiagonalize(a, &d, &e, &q);
+  // q is orthogonal...
+  EXPECT_LT(orthonormality_error(q), 1e-10);
+  // ...and q T q^T reconstructs a, where T is tridiag(d, e).
+  Matrix t(10, 10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    t(i, i) = d[i];
+    if (i > 0) {
+      t(i, i - 1) = e[i];
+      t(i - 1, i) = e[i];
+    }
+  }
+  EXPECT_TRUE(approx_equal(q * t * q.transpose(), a, 1e-9));
+}
+
+TEST(Tridiag, NonSquareThrows) {
+  Vector d, e;
+  Matrix q;
+  EXPECT_THROW(householder_tridiagonalize(Matrix(2, 3), &d, &e, &q),
+               std::invalid_argument);
+}
+
+TEST(Tridiag, MatchesJacobiEigenvalues) {
+  Rng rng(67);
+  const Matrix a = random_symmetric(rng, 24);
+  const EigResult jacobi = eig_sym(a);
+  const EigResult ql = eig_sym_tridiag(a);
+  for (std::size_t k = 0; k < 24; ++k) {
+    EXPECT_NEAR(ql.values[k], jacobi.values[k],
+                1e-9 * std::max(1.0, std::abs(jacobi.values[k])));
+  }
+}
+
+TEST(Tridiag, EigenvectorsSatisfyDefinition) {
+  Rng rng(71);
+  const Matrix a = random_symmetric(rng, 30);
+  const EigResult r = eig_sym_tridiag(a);
+  EXPECT_LT(orthonormality_error(r.vectors), 1e-9);
+  for (std::size_t k = 0; k < 30; ++k) {
+    const Vector v = r.vectors.col(k);
+    EXPECT_TRUE(approx_equal(a * v, v * r.values[k], 1e-8));
+  }
+}
+
+TEST(Tridiag, SortedDescending) {
+  Rng rng(73);
+  const Matrix a = random_symmetric(rng, 15);
+  const EigResult r = eig_sym_tridiag(a);
+  for (std::size_t k = 1; k < 15; ++k) {
+    EXPECT_GE(r.values[k - 1], r.values[k]);
+  }
+}
+
+TEST(Tridiag, TrivialSizes) {
+  Matrix one{{3.0}};
+  const EigResult r1 = eig_sym_tridiag(one);
+  EXPECT_DOUBLE_EQ(r1.values[0], 3.0);
+
+  Matrix two{{2.0, 1.0}, {1.0, 2.0}};
+  const EigResult r2 = eig_sym_tridiag(two);
+  EXPECT_NEAR(r2.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(r2.values[1], 1.0, 1e-12);
+}
+
+TEST(Tridiag, AlreadyDiagonal) {
+  Matrix a(5, 5);
+  for (std::size_t i = 0; i < 5; ++i) a(i, i) = double(i + 1);
+  const EigResult r = eig_sym_tridiag(a);
+  EXPECT_NEAR(r.values[0], 5.0, 1e-12);
+  EXPECT_NEAR(r.values[4], 1.0, 1e-12);
+}
+
+TEST(Tridiag, DegenerateEigenvaluesHandled) {
+  // Identity: all eigenvalues 1, any orthonormal basis is valid.
+  const EigResult r = eig_sym_tridiag(Matrix::identity(8));
+  for (std::size_t k = 0; k < 8; ++k) EXPECT_NEAR(r.values[k], 1.0, 1e-12);
+  EXPECT_LT(orthonormality_error(r.vectors), 1e-10);
+}
+
+TEST(Tridiag, AutoDispatchAgreesWithBoth) {
+  Rng rng(79);
+  const Matrix small = random_symmetric(rng, 12);
+  const Matrix large = random_symmetric(rng, 80);
+  const EigResult rs = eig_sym_auto(small);
+  const EigResult rj = eig_sym(small);
+  for (std::size_t k = 0; k < 12; ++k) {
+    EXPECT_NEAR(rs.values[k], rj.values[k], 1e-9);
+  }
+  const EigResult rl = eig_sym_auto(large);
+  // Verify against the defining property rather than the (slow) Jacobi.
+  for (std::size_t k = 0; k < 80; k += 16) {
+    const Vector v = rl.vectors.col(k);
+    EXPECT_TRUE(approx_equal(large * v, v * rl.values[k], 1e-7));
+  }
+}
+
+class TridiagSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TridiagSizeTest, TraceAndOrthonormality) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  const Matrix a = random_symmetric(rng, n);
+  const EigResult r = eig_sym_tridiag(a);
+  EXPECT_NEAR(r.values.sum(), a.trace(), 1e-7 * double(n));
+  EXPECT_LT(orthonormality_error(r.vectors), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TridiagSizeTest,
+                         ::testing::Values(2, 3, 5, 17, 33, 64, 100, 150));
+
+}  // namespace
+}  // namespace astro::linalg

@@ -1,0 +1,122 @@
+#include "linalg/vector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace astro::linalg {
+namespace {
+
+TEST(Vector, DefaultConstructedIsEmpty) {
+  Vector v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(Vector, SizedConstructorZeroInitializes) {
+  Vector v(5);
+  EXPECT_EQ(v.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(v[i], 0.0);
+}
+
+TEST(Vector, FillConstructor) {
+  Vector v(3, 2.5);
+  EXPECT_EQ(v[0], 2.5);
+  EXPECT_EQ(v[2], 2.5);
+}
+
+TEST(Vector, InitializerList) {
+  Vector v{1.0, 2.0, 3.0};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[1], 2.0);
+}
+
+TEST(Vector, AtThrowsOutOfRange) {
+  Vector v(2);
+  EXPECT_THROW(v.at(2), std::out_of_range);
+}
+
+TEST(Vector, AdditionAndSubtraction) {
+  Vector a{1.0, 2.0};
+  Vector b{3.0, 5.0};
+  const Vector sum = a + b;
+  EXPECT_EQ(sum[0], 4.0);
+  EXPECT_EQ(sum[1], 7.0);
+  const Vector diff = b - a;
+  EXPECT_EQ(diff[0], 2.0);
+  EXPECT_EQ(diff[1], 3.0);
+}
+
+TEST(Vector, MismatchedSizesThrow) {
+  Vector a(2), b(3);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a -= b, std::invalid_argument);
+  EXPECT_THROW((void)dot(a, b), std::invalid_argument);
+  EXPECT_THROW((void)distance(a, b), std::invalid_argument);
+}
+
+TEST(Vector, ScalarOps) {
+  Vector v{1.0, -2.0};
+  const Vector twice = v * 2.0;
+  EXPECT_EQ(twice[0], 2.0);
+  EXPECT_EQ(twice[1], -4.0);
+  const Vector half = v / 2.0;
+  EXPECT_EQ(half[0], 0.5);
+  EXPECT_THROW(v /= 0.0, std::invalid_argument);
+}
+
+TEST(Vector, Axpy) {
+  Vector a{1.0, 1.0};
+  Vector b{2.0, 3.0};
+  a.axpy(0.5, b);
+  EXPECT_DOUBLE_EQ(a[0], 2.0);
+  EXPECT_DOUBLE_EQ(a[1], 2.5);
+}
+
+TEST(Vector, DotAndNorms) {
+  Vector a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.squared_norm(), 25.0);
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  Vector b{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 11.0);
+  EXPECT_DOUBLE_EQ(distance(a, b), std::sqrt(4.0 + 4.0));
+}
+
+TEST(Vector, NormalizeUnitLength) {
+  Vector v{3.0, 4.0};
+  v.normalize();
+  EXPECT_NEAR(v.norm(), 1.0, 1e-15);
+  EXPECT_NEAR(v[0], 0.6, 1e-15);
+}
+
+TEST(Vector, NormalizeZeroVectorIsNoop) {
+  Vector v(3);
+  v.normalize();
+  EXPECT_EQ(v[0], 0.0);
+}
+
+TEST(Vector, SumAndFill) {
+  Vector v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(v.sum(), 6.0);
+  v.fill(7.0);
+  EXPECT_DOUBLE_EQ(v.sum(), 21.0);
+}
+
+TEST(Vector, ApproxEqual) {
+  Vector a{1.0, 2.0};
+  Vector b{1.0 + 1e-12, 2.0};
+  EXPECT_TRUE(approx_equal(a, b, 1e-10));
+  EXPECT_FALSE(approx_equal(a, b, 1e-14));
+  EXPECT_FALSE(approx_equal(a, Vector(3), 1.0));
+}
+
+TEST(Vector, SpanViewsUnderlyingData) {
+  Vector v{1.0, 2.0};
+  auto s = v.span();
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[1], 2.0);
+}
+
+}  // namespace
+}  // namespace astro::linalg

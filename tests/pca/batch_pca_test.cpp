@@ -1,0 +1,115 @@
+#include "pca/batch_pca.h"
+
+#include <gtest/gtest.h>
+
+#include "pca/subspace.h"
+#include "stats/rho.h"
+#include "stats/rng.h"
+#include "tests/pca/test_data.h"
+
+namespace astro::pca {
+namespace {
+
+using stats::Rng;
+
+TEST(BatchPca, Validation) {
+  EXPECT_THROW((void)batch_pca({}, 2), std::invalid_argument);
+  std::vector<linalg::Vector> data{linalg::Vector(4)};
+  EXPECT_THROW((void)batch_pca(data, 0), std::invalid_argument);
+  EXPECT_THROW((void)batch_pca(data, 5), std::invalid_argument);
+}
+
+TEST(BatchPca, ExactOnKnownCovariance) {
+  // Axis-aligned anisotropic Gaussian: eigenvectors are the axes.
+  Rng rng(211);
+  std::vector<linalg::Vector> data;
+  for (int i = 0; i < 20000; ++i) {
+    linalg::Vector x(3);
+    x[0] = rng.gaussian(0.0, 3.0);
+    x[1] = rng.gaussian(0.0, 2.0);
+    x[2] = rng.gaussian(0.0, 1.0);
+    data.push_back(x);
+  }
+  const EigenSystem s = batch_pca(data, 3);
+  EXPECT_NEAR(s.eigenvalues()[0], 9.0, 0.3);
+  EXPECT_NEAR(s.eigenvalues()[1], 4.0, 0.15);
+  EXPECT_NEAR(s.eigenvalues()[2], 1.0, 0.05);
+  linalg::Vector e0(3);
+  e0[0] = 1.0;
+  EXPECT_GT(alignment(s.basis().col(0), e0), 0.999);
+}
+
+TEST(BatchPca, MeanRecovered) {
+  Rng rng(213);
+  const auto model = testing::make_model(rng, 10, 2, 2.0, 0.05);
+  const auto data = testing::draw_many(model, rng, 5000);
+  const EigenSystem s = batch_pca(data, 2);
+  EXPECT_LT(linalg::distance(s.mean(), model.mean), 0.1);
+}
+
+TEST(BatchPca, FewerSamplesThanDim) {
+  Rng rng(217);
+  const auto model = testing::make_model(rng, 50, 2, 2.0, 0.0);
+  const auto data = testing::draw_many(model, rng, 10);
+  const EigenSystem s = batch_pca(data, 2);
+  EXPECT_GT(subspace_affinity(s.basis(), model.basis), 0.95);
+}
+
+TEST(BatchRobustPca, CleanDataMatchesClassic) {
+  Rng rng(219);
+  const auto model = testing::make_model(rng, 12, 3, 3.0, 0.05);
+  const auto data = testing::draw_many(model, rng, 3000);
+  const EigenSystem classic = batch_pca(data, 3);
+  const BatchRobustResult robust = batch_robust_pca(data, 3);
+  EXPECT_TRUE(robust.converged);
+  EXPECT_GT(subspace_affinity(robust.system.basis(), classic.basis()), 0.995);
+}
+
+TEST(BatchRobustPca, SurvivesHeavyContamination) {
+  // 15 % gross outliers: classic PCA's top eigenvector chases them, robust
+  // PCA must stay on the true subspace.
+  Rng rng(223);
+  const auto model = testing::make_model(rng, 15, 2, 2.0, 0.02);
+  auto data = testing::draw_many(model, rng, 2000);
+  for (std::size_t i = 0; i < 300; ++i) {
+    data.push_back(testing::draw_outlier(model, rng, 40.0));
+  }
+  rng.shuffle(data);
+
+  const EigenSystem classic = batch_pca(data, 2);
+  const BatchRobustResult robust = batch_robust_pca(data, 2);
+
+  const double classic_affinity = subspace_affinity(classic.basis(), model.basis);
+  const double robust_affinity =
+      subspace_affinity(robust.system.basis(), model.basis);
+  EXPECT_GT(robust_affinity, 0.98);
+  EXPECT_GT(robust_affinity, classic_affinity + 0.05);
+}
+
+TEST(BatchRobustPca, SigmaSatisfiesMScaleEquation) {
+  Rng rng(227);
+  const auto model = testing::make_model(rng, 10, 2, 2.0, 0.1);
+  const auto data = testing::draw_many(model, rng, 1500);
+  BatchRobustOptions opts;
+  opts.delta = 0.5;
+  const BatchRobustResult r = batch_robust_pca(data, 2, opts);
+  ASSERT_TRUE(r.converged);
+  ASSERT_GT(r.system.sigma2(), 0.0);
+
+  const auto rho = stats::make_rho("bisquare");
+  double avg = 0.0;
+  for (const auto& x : data) {
+    avg += rho->rho(r.system.squared_residual(x) / r.system.sigma2());
+  }
+  avg /= double(data.size());
+  EXPECT_NEAR(avg, 0.5, 0.02);  // eq. (5) at the solution
+}
+
+TEST(BatchRobustPca, Validation) {
+  EXPECT_THROW((void)batch_robust_pca({}, 2), std::invalid_argument);
+  std::vector<linalg::Vector> data{linalg::Vector(4), linalg::Vector(4)};
+  EXPECT_THROW((void)batch_robust_pca(data, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace astro::pca

@@ -1,0 +1,117 @@
+// Broad parameterized sweep over engine configurations: for every
+// combination the same invariants must hold after a clean stream —
+// orthonormal basis, sorted non-negative eigenvalues, positive scale,
+// subspace recovery, and bounded running sums.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "pca/robust_pca.h"
+#include "pca/subspace.h"
+#include "stats/rng.h"
+#include "tests/pca/test_data.h"
+
+namespace astro::pca {
+namespace {
+
+using stats::Rng;
+
+// (dim, rank, extra_rank, alpha-window [0 = infinite], rho)
+using SweepParam =
+    std::tuple<std::size_t, std::size_t, std::size_t, std::size_t, std::string>;
+
+class EngineSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(EngineSweepTest, InvariantsHoldAfterCleanStream) {
+  const auto [dim, rank, extra, window, rho] = GetParam();
+  Rng rng(dim * 1009 + rank * 131 + window + rho.size());
+  const auto model = testing::make_model(rng, dim, rank, 2.5, 0.03);
+
+  RobustPcaConfig cfg;
+  cfg.dim = dim;
+  cfg.rank = rank;
+  cfg.extra_rank = extra;
+  cfg.alpha = window == 0 ? 1.0 : 1.0 - 1.0 / double(window);
+  cfg.rho = rho;
+  RobustIncrementalPca engine(cfg);
+
+  for (int i = 0; i < 3000; ++i) engine.observe(testing::draw(model, rng));
+  ASSERT_TRUE(engine.initialized());
+
+  const EigenSystem& s = engine.eigensystem();
+  // Shape invariants.
+  EXPECT_EQ(s.dim(), dim);
+  EXPECT_EQ(s.rank(), rank + extra);
+  EXPECT_EQ(s.observations(), 3000u);
+  // Numerical invariants.
+  EXPECT_LT(s.basis_drift(), 1e-7);
+  for (std::size_t k = 0; k < s.rank(); ++k) {
+    EXPECT_GE(s.eigenvalues()[k], 0.0);
+    if (k > 0) {
+      EXPECT_GE(s.eigenvalues()[k - 1], s.eigenvalues()[k] - 1e-12);
+    }
+  }
+  EXPECT_GT(s.sigma2(), 0.0);
+  EXPECT_TRUE(std::isfinite(s.sigma2()));
+  // Running sums: u bounded by min(count, window), v <= W(0) * u, q >= 0.
+  EXPECT_GT(s.sums().u(), 0.0);
+  if (window > 0) {
+    EXPECT_LE(s.sums().u(), double(window) + 1.0);
+  }
+  EXPECT_GE(s.sums().q(), 0.0);
+  // Statistical invariant: the true subspace is recovered.
+  const EigenSystem reported = engine.reported_system();
+  EXPECT_GT(subspace_affinity(reported.basis(), model.basis), 0.97)
+      << "dim=" << dim << " rank=" << rank << " rho=" << rho;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EngineSweepTest,
+    ::testing::Values(
+        // dim, rank, extra, window, rho
+        SweepParam{10, 1, 0, 0, "bisquare"},
+        SweepParam{10, 2, 1, 500, "bisquare"},
+        SweepParam{25, 3, 0, 1000, "bisquare"},
+        SweepParam{25, 3, 2, 0, "bisquare"},
+        SweepParam{40, 5, 0, 800, "bisquare"},
+        SweepParam{25, 3, 0, 1000, "huber"},
+        SweepParam{25, 3, 0, 1000, "cauchy"},
+        SweepParam{25, 3, 0, 1000, "quadratic"},
+        SweepParam{64, 8, 2, 1500, "bisquare"},
+        SweepParam{12, 6, 0, 600, "bisquare"},   // rank = dim/2
+        SweepParam{8, 7, 1, 0, "bisquare"}));    // rank + extra = dim
+
+class EngineContaminationSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, double>> {};
+
+TEST_P(EngineContaminationSweep, SubspaceSurvivesContamination) {
+  const auto [rho, fraction] = GetParam();
+  Rng rng(2029 + std::uint64_t(fraction * 100));
+  const auto model = testing::make_model(rng, 20, 2, 3.0, 0.03);
+  RobustPcaConfig cfg;
+  cfg.dim = 20;
+  cfg.rank = 2;
+  cfg.alpha = 1.0 - 1.0 / 1000.0;
+  cfg.rho = rho;
+  RobustIncrementalPca engine(cfg);
+  for (int i = 0; i < 6000; ++i) {
+    if (rng.bernoulli(fraction)) {
+      engine.observe(testing::draw_outlier(model, rng, 30.0));
+    } else {
+      engine.observe(testing::draw(model, rng));
+    }
+  }
+  EXPECT_GT(subspace_affinity(engine.eigensystem().basis(), model.basis),
+            0.95)
+      << rho << " @ " << fraction;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EngineContaminationSweep,
+    ::testing::Combine(::testing::Values("bisquare", "huber", "cauchy"),
+                       ::testing::Values(0.01, 0.05, 0.10, 0.20)));
+
+}  // namespace
+}  // namespace astro::pca

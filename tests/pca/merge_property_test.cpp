@@ -1,0 +1,157 @@
+// Property-style tests of eigensystem merging: the algebraic invariants
+// that make data-driven synchronization sound regardless of topology or
+// ordering.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pca/batch_pca.h"
+#include "pca/merge.h"
+#include "pca/robust_pca.h"
+#include "pca/subspace.h"
+#include "stats/rng.h"
+#include "tests/pca/test_data.h"
+
+namespace astro::pca {
+namespace {
+
+using stats::Rng;
+
+std::vector<EigenSystem> partition_systems(Rng& rng,
+                                           const testing::LowRankModel& model,
+                                           std::size_t parts,
+                                           std::size_t per_part,
+                                           std::size_t rank) {
+  std::vector<EigenSystem> out;
+  for (std::size_t i = 0; i < parts; ++i) {
+    const auto data = testing::draw_many(model, rng, per_part);
+    out.push_back(batch_pca(data, rank));
+  }
+  return out;
+}
+
+class MergePropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MergePropertyTest, OrderInvariance) {
+  // merge(s0..sk) must not depend on the order the systems are listed.
+  const std::size_t parts = GetParam();
+  Rng rng(701 + parts);
+  const auto model = testing::make_model(rng, 12, 3, 2.0, 0.05);
+  auto systems = partition_systems(rng, model, parts, 300, 6);
+
+  const EigenSystem forward = merge(systems);
+  std::reverse(systems.begin(), systems.end());
+  const EigenSystem backward = merge(systems);
+
+  EXPECT_TRUE(approx_equal(forward.mean(), backward.mean(), 1e-10));
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_NEAR(forward.eigenvalues()[k], backward.eigenvalues()[k],
+                1e-8 * forward.eigenvalues()[k] + 1e-12);
+  }
+  EXPECT_GT(subspace_affinity(forward.basis(), backward.basis()), 1 - 1e-9);
+}
+
+TEST_P(MergePropertyTest, PairwiseTreeMatchesFlatMerge) {
+  // Merging pairwise up a tree approximates the flat k-way merge — the
+  // property that lets ring/gossip topologies converge to the same global
+  // answer.  (Not exact: each intermediate merge truncates.)
+  const std::size_t parts = GetParam();
+  if (parts < 4) GTEST_SKIP();
+  Rng rng(731 + parts);
+  const auto model = testing::make_model(rng, 12, 3, 2.0, 0.05);
+  auto systems = partition_systems(rng, model, parts, 300, 6);
+
+  const EigenSystem flat = merge(systems);
+  std::vector<EigenSystem> level = systems;
+  while (level.size() > 1) {
+    std::vector<EigenSystem> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(merge(level[i], level[i + 1]));
+    }
+    if (level.size() % 2 != 0) next.push_back(level.back());
+    level = std::move(next);
+  }
+  EXPECT_LT(linalg::distance(level[0].mean(), flat.mean()), 1e-6);
+  EXPECT_GT(subspace_affinity(truncate(level[0], 3).basis(),
+                              truncate(flat, 3).basis()),
+            0.999);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_NEAR(level[0].eigenvalues()[k], flat.eigenvalues()[k],
+                0.02 * flat.eigenvalues()[k] + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PartCounts, MergePropertyTest,
+                         ::testing::Values(2, 3, 4, 6, 8));
+
+TEST(MergeProperty, TotalVarianceConserved) {
+  // With full-rank inputs and mean corrections, the merged total variance
+  // equals the pooled second moment's (trace is preserved by eq. 15).
+  Rng rng(741);
+  const auto model = testing::make_model(rng, 8, 2, 2.0, 0.1);
+  const auto da = testing::draw_many(model, rng, 500);
+  const auto db = testing::draw_many(model, rng, 500);
+  const EigenSystem a = batch_pca(da, 8);  // full rank: no truncation loss
+  const EigenSystem b = batch_pca(db, 8);
+  const EigenSystem m = merge(a, b);
+
+  const double ga = 0.5, gb = 0.5;
+  const double expected =
+      ga * a.retained_variance() + gb * b.retained_variance() +
+      ga * (a.mean() - m.mean()).squared_norm() +
+      gb * (b.mean() - m.mean()).squared_norm();
+  EXPECT_NEAR(m.retained_variance(), expected, 1e-8 * expected);
+}
+
+TEST(MergeProperty, WeightsFollowPartitionSizes) {
+  // gamma_i = v_i / sum v: a partition with 3x the weight moves the merged
+  // mean 3x as strongly.
+  Rng rng(743);
+  auto model = testing::make_model(rng, 10, 2, 2.0, 0.05);
+  const auto small = testing::draw_many(model, rng, 200);
+  auto shifted = model;
+  shifted.mean = model.mean + linalg::Vector(10, 2.0);
+  const auto large = testing::draw_many(shifted, rng, 600);
+
+  const EigenSystem s_small = batch_pca(small, 4);
+  const EigenSystem s_large = batch_pca(large, 4);
+  const EigenSystem m = merge(s_small, s_large);
+  // Merged mean = (200*mu_s + 600*mu_l) / 800 -> 3/4 of the way to large.
+  const linalg::Vector expected =
+      s_small.mean() * 0.25 + s_large.mean() * 0.75;
+  EXPECT_TRUE(approx_equal(m.mean(), expected, 1e-9));
+}
+
+TEST(MergeProperty, EqualMeansPathIsUpperBoundedByExact) {
+  // Dropping the mean-correction columns can only lose variance.
+  Rng rng(747);
+  auto model_a = testing::make_model(rng, 10, 2, 2.0, 0.05);
+  auto model_b = model_a;
+  model_b.mean = model_a.mean + linalg::Vector(10, 0.5);
+  const EigenSystem a = batch_pca(testing::draw_many(model_a, rng, 400), 4);
+  const EigenSystem b = batch_pca(testing::draw_many(model_b, rng, 400), 4);
+
+  const EigenSystem exact = merge(a, b);
+  MergeOptions fast;
+  fast.assume_equal_means = true;
+  const EigenSystem approx = merge(a, b, fast);
+  EXPECT_LE(approx.retained_variance(), exact.retained_variance() + 1e-9);
+}
+
+TEST(MergeProperty, MergedSigmaBetweenInputs) {
+  Rng rng(751);
+  const auto model = testing::make_model(rng, 10, 2, 2.0, 0.05);
+  auto systems = partition_systems(rng, model, 3, 250, 4);
+  const EigenSystem m = merge(systems);
+  double lo = 1e300, hi = 0.0;
+  for (const auto& s : systems) {
+    lo = std::min(lo, s.sigma2());
+    hi = std::max(hi, s.sigma2());
+  }
+  EXPECT_GE(m.sigma2(), lo - 1e-12);
+  EXPECT_LE(m.sigma2(), hi + 1e-12);
+}
+
+}  // namespace
+}  // namespace astro::pca

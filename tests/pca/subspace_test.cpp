@@ -1,0 +1,92 @@
+#include "pca/subspace.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.h"
+
+namespace astro::pca {
+namespace {
+
+using stats::Rng;
+
+linalg::Matrix axes(std::size_t d, std::initializer_list<std::size_t> which) {
+  linalg::Matrix m(d, which.size());
+  std::size_t c = 0;
+  for (std::size_t w : which) m(w, c++) = 1.0;
+  return m;
+}
+
+TEST(Subspace, IdenticalSubspaces) {
+  const auto a = axes(5, {0, 1});
+  EXPECT_NEAR(subspace_affinity(a, a), 1.0, 1e-12);
+  EXPECT_NEAR(max_principal_angle(a, a), 0.0, 1e-7);
+  EXPECT_NEAR(projection_distance(a, a), 0.0, 1e-7);
+}
+
+TEST(Subspace, OrthogonalSubspaces) {
+  const auto a = axes(6, {0, 1});
+  const auto b = axes(6, {2, 3});
+  EXPECT_NEAR(subspace_affinity(a, b), 0.0, 1e-12);
+  EXPECT_NEAR(max_principal_angle(a, b), M_PI / 2.0, 1e-12);
+  EXPECT_NEAR(projection_distance(a, b), 2.0, 1e-12);  // sqrt(2+2)
+}
+
+TEST(Subspace, PartialOverlap) {
+  const auto a = axes(6, {0, 1});
+  const auto b = axes(6, {1, 2});
+  const linalg::Vector cos = principal_angle_cosines(a, b);
+  EXPECT_NEAR(cos[0], 1.0, 1e-12);  // shared axis 1
+  EXPECT_NEAR(cos[1], 0.0, 1e-12);
+  EXPECT_NEAR(subspace_affinity(a, b), std::sqrt(0.5), 1e-12);
+}
+
+TEST(Subspace, RotationInvariant) {
+  // Affinity between S and itself expressed in a rotated basis is 1.
+  Rng rng(231);
+  const linalg::Matrix a = stats::random_orthonormal(rng, 12, 3);
+  // Rotate columns by an arbitrary 3x3 orthogonal matrix.
+  const linalg::Matrix rot = stats::random_orthonormal(rng, 3, 3);
+  const linalg::Matrix b = a * rot;
+  EXPECT_NEAR(subspace_affinity(a, b), 1.0, 1e-10);
+}
+
+TEST(Subspace, KnownAngle) {
+  // Plane spanned by x and (cos t) y + (sin t) z versus the x-y plane:
+  // one shared direction, one at angle t.
+  const double t = 0.7;
+  linalg::Matrix a = axes(3, {0, 1});
+  linalg::Matrix b(3, 2);
+  b(0, 0) = 1.0;
+  b(1, 1) = std::cos(t);
+  b(2, 1) = std::sin(t);
+  EXPECT_NEAR(max_principal_angle(a, b), t, 1e-10);
+}
+
+TEST(Subspace, DifferentAmbientDimThrows) {
+  EXPECT_THROW((void)principal_angle_cosines(linalg::Matrix(4, 2),
+                                             linalg::Matrix(5, 2)),
+               std::invalid_argument);
+}
+
+TEST(Subspace, DifferentRanksUseMin) {
+  const auto a = axes(6, {0, 1, 2});
+  const auto b = axes(6, {0});
+  const linalg::Vector cos = principal_angle_cosines(a, b);
+  EXPECT_EQ(cos.size(), 1u);
+  EXPECT_NEAR(cos[0], 1.0, 1e-12);
+}
+
+TEST(Alignment, Basics) {
+  linalg::Vector a{1.0, 0.0};
+  linalg::Vector b{0.0, 2.0};
+  EXPECT_DOUBLE_EQ(alignment(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(alignment(a, a), 1.0);
+  linalg::Vector neg{-3.0, 0.0};
+  EXPECT_DOUBLE_EQ(alignment(a, neg), 1.0);  // sign-blind
+  EXPECT_DOUBLE_EQ(alignment(a, linalg::Vector(2)), 0.0);
+}
+
+}  // namespace
+}  // namespace astro::pca

@@ -1,0 +1,161 @@
+#include "pca/windowed.h"
+
+#include <gtest/gtest.h>
+
+#include "pca/batch_pca.h"
+#include "pca/subspace.h"
+#include "stats/rng.h"
+#include "tests/pca/test_data.h"
+
+namespace astro::pca {
+namespace {
+
+using stats::Rng;
+
+WindowedPcaConfig base_config() {
+  WindowedPcaConfig cfg;
+  cfg.dim = 20;
+  cfg.rank = 2;
+  cfg.window = 1600;
+  cfg.buckets = 4;
+  return cfg;
+}
+
+TEST(SlidingWindowPca, Validation) {
+  WindowedPcaConfig cfg = base_config();
+  cfg.dim = 0;
+  EXPECT_THROW(SlidingWindowPca{cfg}, std::invalid_argument);
+  cfg = base_config();
+  cfg.buckets = 1;
+  EXPECT_THROW(SlidingWindowPca{cfg}, std::invalid_argument);
+  cfg = base_config();
+  cfg.window = 2;
+  EXPECT_THROW(SlidingWindowPca{cfg}, std::invalid_argument);
+  cfg = base_config();
+  cfg.rank = 0;
+  EXPECT_THROW(SlidingWindowPca{cfg}, std::invalid_argument);
+  cfg = base_config();
+  cfg.window = 36;  // bucket of 9 < 2*(rank+extra)+2 = 10: cannot initialize
+  EXPECT_THROW(SlidingWindowPca{cfg}, std::invalid_argument);
+}
+
+TEST(SlidingWindowPca, EmptyUntilFirstInit) {
+  SlidingWindowPca w(base_config());
+  EXPECT_FALSE(w.eigensystem().has_value());
+  Rng rng(401);
+  const auto model = testing::make_model(rng, 20, 2);
+  for (int i = 0; i < 3; ++i) w.observe(testing::draw(model, rng));
+  EXPECT_FALSE(w.eigensystem().has_value());  // engine still buffering
+}
+
+TEST(SlidingWindowPca, RecoversStationarySubspace) {
+  Rng rng(403);
+  const auto model = testing::make_model(rng, 20, 2, 3.0, 0.02);
+  SlidingWindowPca w(base_config());
+  for (int i = 0; i < 4000; ++i) w.observe(testing::draw(model, rng));
+  const auto sys = w.eigensystem();
+  ASSERT_TRUE(sys.has_value());
+  EXPECT_EQ(sys->rank(), 2u);
+  EXPECT_GT(subspace_affinity(sys->basis(), model.basis), 0.99);
+}
+
+TEST(SlidingWindowPca, CoverageBounded) {
+  Rng rng(405);
+  const auto model = testing::make_model(rng, 20, 2);
+  auto cfg = base_config();
+  SlidingWindowPca w(cfg);
+  for (int i = 0; i < 10000; ++i) w.observe(testing::draw(model, rng));
+  // Window W plus at most one live bucket.
+  EXPECT_LE(w.coverage(), cfg.window + cfg.window / cfg.buckets);
+  EXPECT_GE(w.coverage(), cfg.window - cfg.window / cfg.buckets);
+  EXPECT_LE(w.live_buckets(), cfg.buckets + 1);
+}
+
+TEST(SlidingWindowPca, OldRegimeExpiresCompletely) {
+  // Stream regime A, then regime B for > window + bucket: the estimate
+  // must reflect B only (hard expiry, unlike exponential forgetting).
+  Rng rng(407);
+  const auto model_a = testing::make_model(rng, 20, 2, 3.0, 0.02);
+  auto model_b = model_a;
+  model_b.basis = stats::random_orthonormal(rng, 20, 2);
+
+  SlidingWindowPca w(base_config());
+  for (int i = 0; i < 3200; ++i) w.observe(testing::draw(model_a, rng));
+  for (int i = 0; i < 2200; ++i) w.observe(testing::draw(model_b, rng));
+
+  const auto sys = w.eigensystem();
+  ASSERT_TRUE(sys.has_value());
+  EXPECT_GT(subspace_affinity(sys->basis(), model_b.basis), 0.98);
+  EXPECT_LT(subspace_affinity(sys->basis(), model_a.basis), 0.5);
+}
+
+TEST(SlidingWindowPca, MatchesBatchOverWindow) {
+  Rng rng(409);
+  const auto model = testing::make_model(rng, 15, 3, 2.0, 0.05);
+  WindowedPcaConfig cfg;
+  cfg.dim = 15;
+  cfg.rank = 3;
+  cfg.window = 2000;
+  cfg.buckets = 5;
+  cfg.delta = -1.0;  // clean stream: χ²-consistent δ for unbiased eigenvalues
+  SlidingWindowPca w(cfg);
+
+  std::deque<linalg::Vector> recent;
+  for (int i = 0; i < 6000; ++i) {
+    const auto x = testing::draw(model, rng);
+    w.observe(x);
+    recent.push_back(x);
+    if (recent.size() > 2400) recent.pop_front();
+  }
+  const std::vector<linalg::Vector> window_data(recent.begin(), recent.end());
+  const EigenSystem batch = batch_pca(window_data, 3);
+  const auto sys = w.eigensystem();
+  ASSERT_TRUE(sys.has_value());
+  EXPECT_GT(subspace_affinity(sys->basis(), batch.basis()), 0.99);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_NEAR(sys->eigenvalues()[k], batch.eigenvalues()[k],
+                0.2 * batch.eigenvalues()[k] + 0.02);
+  }
+}
+
+TEST(SlidingWindowPca, RobustInsideBuckets) {
+  Rng rng(411);
+  const auto model = testing::make_model(rng, 20, 2, 3.0, 0.02);
+  SlidingWindowPca w(base_config());
+  int flagged = 0;
+  for (int i = 0; i < 4000; ++i) {
+    if (rng.bernoulli(0.03)) {
+      const auto rep = w.observe(testing::draw_outlier(model, rng, 40.0));
+      if (rep.outlier) ++flagged;
+    } else {
+      w.observe(testing::draw(model, rng));
+    }
+  }
+  EXPECT_GT(flagged, 60);
+  const auto sys = w.eigensystem();
+  ASSERT_TRUE(sys.has_value());
+  EXPECT_GT(subspace_affinity(sys->basis(), model.basis), 0.98);
+}
+
+TEST(SlidingWindowPca, MaskedObservationsSupported) {
+  Rng rng(413);
+  const auto model = testing::make_model(rng, 20, 2, 3.0, 0.01);
+  SlidingWindowPca w(base_config());
+  for (int i = 0; i < 3000; ++i) {
+    const auto x = testing::draw(model, rng);
+    if (rng.bernoulli(0.25)) {
+      PixelMask mask(20, true);
+      mask[rng.index(20)] = false;
+      mask[rng.index(20)] = false;
+      w.observe(x, mask);
+    } else {
+      w.observe(x);
+    }
+  }
+  const auto sys = w.eigensystem();
+  ASSERT_TRUE(sys.has_value());
+  EXPECT_GT(subspace_affinity(sys->basis(), model.basis), 0.98);
+}
+
+}  // namespace
+}  // namespace astro::pca

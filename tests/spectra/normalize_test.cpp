@@ -1,0 +1,89 @@
+#include "spectra/normalize.h"
+
+#include <gtest/gtest.h>
+
+namespace astro::spectra {
+namespace {
+
+TEST(Normalize, UnitNorm) {
+  linalg::Vector v{3.0, 4.0};
+  const double scale = normalize(v);
+  EXPECT_NEAR(v.norm(), 1.0, 1e-15);
+  EXPECT_NEAR(scale, 0.2, 1e-15);
+}
+
+TEST(Normalize, UnitMeanFlux) {
+  linalg::Vector v{1.0, 3.0};
+  normalize(v, NormalizationKind::kUnitMeanFlux);
+  EXPECT_NEAR((v[0] + v[1]) / 2.0, 1.0, 1e-15);
+}
+
+TEST(Normalize, MedianFlux) {
+  linalg::Vector v{1.0, 2.0, 100.0};
+  normalize(v, NormalizationKind::kMedianFlux);
+  EXPECT_NEAR(v[1], 1.0, 1e-15);  // median was 2
+  EXPECT_NEAR(v[2], 50.0, 1e-12);
+}
+
+TEST(Normalize, ZeroVectorUntouched) {
+  linalg::Vector v(4);
+  EXPECT_EQ(normalize(v), 1.0);
+  EXPECT_EQ(v[0], 0.0);
+}
+
+TEST(Normalize, BrightnessInvarianceMotivation) {
+  // The paper's motivation: identical shapes at different brightness end
+  // up identical after normalization.
+  linalg::Vector near{1.0, 2.0, 3.0};
+  linalg::Vector far = near * 0.01;  // same galaxy, farther away
+  normalize(near);
+  normalize(far);
+  EXPECT_TRUE(linalg::approx_equal(near, far, 1e-12));
+}
+
+TEST(NormalizeMasked, MatchesFullWhenCoverageComplete) {
+  linalg::Vector a{1.0, 2.0, 2.0};
+  linalg::Vector b = a;
+  normalize(a);
+  normalize_masked(b, pca::PixelMask(3, true));
+  EXPECT_TRUE(linalg::approx_equal(a, b, 1e-14));
+}
+
+TEST(NormalizeMasked, UnbiasedUnderRandomGaps) {
+  // A constant spectrum with half its pixels missing should normalize to
+  // the same values as the complete one (coverage factor compensates).
+  linalg::Vector complete(10, 2.0);
+  normalize(complete);
+
+  linalg::Vector gappy(10, 2.0);
+  pca::PixelMask mask(10, true);
+  for (std::size_t i = 0; i < 10; i += 2) {
+    mask[i] = false;
+  }
+  normalize_masked(gappy, mask);
+  for (std::size_t i = 1; i < 10; i += 2) {
+    EXPECT_NEAR(gappy[i], complete[i], 1e-12);
+  }
+}
+
+TEST(NormalizeMasked, SizeMismatchThrows) {
+  linalg::Vector v(4);
+  EXPECT_THROW((void)normalize_masked(v, pca::PixelMask(3, true)),
+               std::invalid_argument);
+}
+
+TEST(NormalizeMasked, EmptyMaskFallsBackToFull) {
+  linalg::Vector v{3.0, 4.0};
+  normalize_masked(v, pca::PixelMask{});
+  EXPECT_NEAR(v.norm(), 1.0, 1e-15);
+}
+
+TEST(NormalizeMasked, AllMissingUntouched) {
+  linalg::Vector v{1.0, 2.0};
+  const double s = normalize_masked(v, pca::PixelMask(2, false));
+  EXPECT_EQ(s, 1.0);
+  EXPECT_EQ(v[0], 1.0);
+}
+
+}  // namespace
+}  // namespace astro::spectra

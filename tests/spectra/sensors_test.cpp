@@ -1,0 +1,70 @@
+#include "spectra/sensors.h"
+
+#include <gtest/gtest.h>
+
+#include "pca/batch_pca.h"
+#include "pca/subspace.h"
+
+namespace astro::spectra {
+namespace {
+
+TEST(Sensors, ConfigValidation) {
+  SensorConfig bad;
+  bad.sensors_per_server = 2;
+  EXPECT_THROW(ClusterTelemetryGenerator{bad}, std::invalid_argument);
+  bad = SensorConfig{};
+  bad.latent_factors = 0;
+  EXPECT_THROW(ClusterTelemetryGenerator{bad}, std::invalid_argument);
+  bad = SensorConfig{};
+  bad.latent_factors = bad.sensors_per_server;
+  EXPECT_THROW(ClusterTelemetryGenerator{bad}, std::invalid_argument);
+}
+
+TEST(Sensors, HealthyReadingsAreLowRank) {
+  SensorConfig cfg;
+  cfg.noise = 0.01;
+  ClusterTelemetryGenerator gen(cfg);
+  std::vector<linalg::Vector> data;
+  for (int i = 0; i < 2000; ++i) data.push_back(gen.next().values);
+  const pca::EigenSystem s = pca::batch_pca(data, cfg.latent_factors);
+  EXPECT_GT(pca::subspace_affinity(s.basis(), gen.factor_loadings()), 0.98);
+}
+
+TEST(Sensors, FailureRateRespected) {
+  SensorConfig cfg;
+  cfg.failure_rate = 0.1;
+  ClusterTelemetryGenerator gen(cfg);
+  int failures = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (gen.next().failing) ++failures;
+  }
+  EXPECT_NEAR(double(failures) / 2000.0, 0.1, 0.03);
+}
+
+TEST(Sensors, FailuresAreFarFromHealthyManifold) {
+  SensorConfig cfg;
+  cfg.failure_rate = 0.0;
+  ClusterTelemetryGenerator gen(cfg);
+  std::vector<linalg::Vector> healthy;
+  for (int i = 0; i < 1000; ++i) healthy.push_back(gen.next().values);
+  const pca::EigenSystem model = pca::batch_pca(healthy, cfg.latent_factors);
+
+  SensorConfig fail_cfg = cfg;
+  fail_cfg.failure_rate = 1.0;
+  fail_cfg.seed = 999;
+  ClusterTelemetryGenerator failing(fail_cfg);
+  double healthy_r2 = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    healthy_r2 += model.squared_residual(gen.next().values);
+  }
+  healthy_r2 /= 100.0;
+  double failing_r2 = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    failing_r2 += model.squared_residual(failing.next().values);
+  }
+  failing_r2 /= 100.0;
+  EXPECT_GT(failing_r2, 20.0 * healthy_r2);
+}
+
+}  // namespace
+}  // namespace astro::spectra

@@ -1,0 +1,68 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace astro::stats {
+namespace {
+
+TEST(Descriptive, MeanVarianceStddev) {
+  std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Descriptive, EmptyThrows) {
+  EXPECT_THROW((void)mean({}), std::invalid_argument);
+  EXPECT_THROW((void)median({}), std::invalid_argument);
+  EXPECT_THROW((void)quantile({}, 0.5), std::invalid_argument);
+  std::vector<double> one{1.0};
+  EXPECT_THROW((void)variance(one), std::invalid_argument);
+}
+
+TEST(Descriptive, MedianOddEven) {
+  std::vector<double> odd{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(odd), 2.0);
+  std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Descriptive, QuantileEndpointsAndMid) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.0);
+  EXPECT_THROW((void)quantile(xs, 1.5), std::invalid_argument);
+}
+
+TEST(Descriptive, MadGaussianConsistent) {
+  // MAD of {.., symmetric ..} times 1.4826 approximates stddev.
+  std::vector<double> xs;
+  for (int i = -500; i <= 500; ++i) xs.push_back(double(i) / 100.0);
+  // Uniform on [-5,5]: mad = 1.4826 * 2.5
+  EXPECT_NEAR(mad(xs), 1.4826 * 2.5, 0.01);
+}
+
+TEST(Descriptive, WeightedMeanMatchesPaperEq6) {
+  std::vector<linalg::Vector> xs{{1.0, 0.0}, {3.0, 4.0}};
+  std::vector<double> ws{1.0, 3.0};
+  const linalg::Vector m = weighted_mean(xs, ws);
+  EXPECT_DOUBLE_EQ(m[0], (1.0 + 9.0) / 4.0);
+  EXPECT_DOUBLE_EQ(m[1], 3.0);
+}
+
+TEST(Descriptive, WeightedMeanErrors) {
+  std::vector<linalg::Vector> xs{{1.0}};
+  std::vector<double> ws{0.0};
+  EXPECT_THROW(weighted_mean(xs, ws), std::invalid_argument);
+  std::vector<double> two{1.0, 1.0};
+  EXPECT_THROW(weighted_mean(xs, two), std::invalid_argument);
+  EXPECT_THROW(weighted_mean({}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace astro::stats

@@ -1,0 +1,206 @@
+#include "stats/mscale.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace astro::stats {
+namespace {
+
+TEST(MScale, EmptyInputReturnsZero) {
+  BisquareRho rho;
+  const MScaleResult r = m_scale({}, rho);
+  EXPECT_EQ(r.sigma2, 0.0);
+}
+
+TEST(MScale, GaussianConsistency) {
+  // With delta = E[rho(X^2)], sigma should estimate the true stddev.
+  Rng rng(101);
+  std::vector<double> res(20000);
+  const double true_sigma = 3.0;
+  for (double& r : res) r = rng.gaussian(0.0, true_sigma);
+  BisquareRho rho;
+  const MScaleResult out = m_scale(res, rho);
+  EXPECT_TRUE(out.converged);
+  EXPECT_NEAR(std::sqrt(out.sigma2), true_sigma, 0.1);
+}
+
+TEST(MScale, SatisfiesDefiningEquation) {
+  Rng rng(103);
+  std::vector<double> res(5000);
+  for (double& r : res) r = rng.gaussian(0.0, 2.0);
+  BisquareRho rho;
+  MScaleOptions opts;
+  opts.delta = 0.5;
+  const MScaleResult out = m_scale(res, rho, opts);
+  ASSERT_TRUE(out.converged);
+  double avg_rho = 0.0;
+  for (double r : res) avg_rho += rho.rho(r * r / out.sigma2);
+  avg_rho /= double(res.size());
+  EXPECT_NEAR(avg_rho, 0.5, 1e-6);  // eq. (5)
+}
+
+TEST(MScale, RobustToOutliers) {
+  // 20% gross outliers should barely move the M-scale (bisquare, delta=0.5
+  // has 50% breakdown) while the classical RMS explodes.
+  Rng rng(107);
+  std::vector<double> clean(5000), contaminated;
+  for (double& r : clean) r = rng.gaussian(0.0, 1.0);
+  contaminated = clean;
+  for (std::size_t i = 0; i < 1000; ++i) contaminated.push_back(1000.0);
+
+  BisquareRho rho;
+  MScaleOptions opts;
+  opts.delta = 0.5;
+  const double s_clean = std::sqrt(m_scale(clean, rho, opts).sigma2);
+  const double s_cont = std::sqrt(m_scale(contaminated, rho, opts).sigma2);
+  // The M-scale inflates somewhat under contamination but stays bounded
+  // (here within ~50 % of the clean value, versus a 100x classical blow-up).
+  EXPECT_NEAR(s_cont, s_clean, 0.5 * s_clean);
+
+  double rms = 0.0;
+  for (double r : contaminated) rms += r * r;
+  rms = std::sqrt(rms / double(contaminated.size()));
+  EXPECT_GT(rms, 100.0);  // classical estimate destroyed
+}
+
+TEST(MScale, MostlyZerosGivesDegenerateZero) {
+  // With > (1-delta) of residuals exactly zero, sigma = 0 solves eq. (5).
+  std::vector<double> res(100, 0.0);
+  res[0] = 5.0;
+  BisquareRho rho;
+  MScaleOptions opts;
+  opts.delta = 0.5;
+  const MScaleResult out = m_scale(res, rho, opts);
+  EXPECT_TRUE(out.converged);
+  EXPECT_EQ(out.sigma2, 0.0);
+}
+
+TEST(MScale, ScaleEquivariance) {
+  // sigma(c * r) = c * sigma(r).
+  Rng rng(109);
+  std::vector<double> res(3000), scaled(3000);
+  for (std::size_t i = 0; i < res.size(); ++i) {
+    res[i] = rng.gaussian();
+    scaled[i] = 7.0 * res[i];
+  }
+  BisquareRho rho;
+  const double s1 = std::sqrt(m_scale(res, rho).sigma2);
+  const double s2 = std::sqrt(m_scale(scaled, rho).sigma2);
+  EXPECT_NEAR(s2, 7.0 * s1, 1e-6 * s2);
+}
+
+TEST(MScale, InvalidDeltaThrows) {
+  BisquareRho rho;
+  MScaleOptions opts;
+  opts.delta = 1.5;
+  std::vector<double> res{1.0, 2.0};
+  EXPECT_THROW((void)m_scale(res, rho, opts), std::invalid_argument);
+}
+
+TEST(MScale, StepIsFixedPointAtSolution) {
+  Rng rng(113);
+  std::vector<double> res(4000);
+  for (double& r : res) r = rng.gaussian(0.0, 1.5);
+  BisquareRho rho;
+  MScaleOptions opts;
+  opts.delta = 0.5;
+  const MScaleResult out = m_scale(res, rho, opts);
+  const double next = m_scale_step(res, out.sigma2, rho, 0.5);
+  EXPECT_NEAR(next, out.sigma2, 1e-7 * out.sigma2);
+}
+
+TEST(MScale, QuadraticRhoGivesClassicalMeanSquare) {
+  // rho(t) = t with delta = 1 turns eq. (5) into sigma^2 = mean(r^2).
+  std::vector<double> res{1.0, 2.0, 3.0};
+  QuadraticRho rho;
+  MScaleOptions opts;
+  opts.delta = 1.0;
+  const MScaleResult out = m_scale(res, rho, opts);
+  EXPECT_NEAR(out.sigma2, (1.0 + 4.0 + 9.0) / 3.0, 1e-9);
+}
+
+class MScaleContaminationTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MScaleContaminationTest, BreakdownHoldsBelowDelta) {
+  // Contamination strictly below the breakdown point keeps the estimate
+  // within a factor of ~2.5 of the clean scale (theory guarantees bounded,
+  // not tight).
+  const double frac = GetParam();
+  Rng rng(unsigned(1000 * frac) + 7);
+  std::vector<double> res(8000);
+  for (double& r : res) r = rng.gaussian();
+  const std::size_t n_out = std::size_t(frac * double(res.size()));
+  for (std::size_t i = 0; i < n_out; ++i) res[i] = 1e4;
+
+  BisquareRho rho;
+  MScaleOptions opts;
+  opts.delta = 0.5;
+  const double s = std::sqrt(m_scale(res, rho, opts).sigma2);
+  EXPECT_LT(s, 2.5);
+  EXPECT_GT(s, 0.4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, MScaleContaminationTest,
+                         ::testing::Values(0.0, 0.05, 0.10, 0.20, 0.30, 0.40));
+
+TEST(Chi2ConsistentDelta, MatchesMonteCarlo) {
+  // E[rho(chi2_k / k)] by quadrature must agree with a Monte-Carlo estimate.
+  BisquareRho rho;
+  Rng rng(401);
+  for (std::size_t dof : {1u, 5u, 20u, 100u}) {
+    const double quad = chi2_consistent_delta(rho, dof);
+    double mc = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+      double x = 0.0;
+      for (std::size_t k = 0; k < dof; ++k) {
+        const double g = rng.gaussian();
+        x += g * g;
+      }
+      mc += rho.rho(x / double(dof));
+    }
+    mc /= double(n);
+    EXPECT_NEAR(quad, mc, 0.01) << "dof = " << dof;
+  }
+}
+
+TEST(Chi2ConsistentDelta, MakesScaleUnbiasedForResidualNorms) {
+  // The point of the constant: M-scale of chi-distributed residual norms
+  // with this delta estimates the mean squared residual.
+  BisquareRho rho;
+  Rng rng(403);
+  const std::size_t dof = 25;
+  std::vector<double> residuals(6000);
+  double mean_r2 = 0.0;
+  for (auto& r : residuals) {
+    double x = 0.0;
+    for (std::size_t k = 0; k < dof; ++k) {
+      const double g = rng.gaussian(0.0, 0.3);
+      x += g * g;
+    }
+    r = std::sqrt(x / double(dof));
+    mean_r2 += r * r;
+  }
+  mean_r2 /= double(residuals.size());
+  MScaleOptions opts;
+  opts.delta = chi2_consistent_delta(rho, dof);
+  const double sigma2 = m_scale(residuals, rho, opts).sigma2;
+  EXPECT_NEAR(sigma2, mean_r2, 0.05 * mean_r2);
+}
+
+TEST(Chi2ConsistentDelta, Validation) {
+  BisquareRho rho;
+  EXPECT_THROW((void)chi2_consistent_delta(rho, 0), std::invalid_argument);
+  // Monotone-ish in dof toward rho(1): concentration of chi2_k/k around 1.
+  const double d1 = chi2_consistent_delta(rho, 1);
+  const double d100 = chi2_consistent_delta(rho, 100);
+  EXPECT_GT(d100, d1);
+  EXPECT_NEAR(d100, rho.rho(1.0), 0.05);
+}
+
+}  // namespace
+}  // namespace astro::stats

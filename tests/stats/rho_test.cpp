@@ -1,0 +1,114 @@
+#include "stats/rho.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+namespace astro::stats {
+namespace {
+
+class RhoPropertyTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  std::unique_ptr<RhoFunction> rho_ = make_rho(GetParam());
+};
+
+TEST_P(RhoPropertyTest, ZeroAtZero) { EXPECT_EQ(rho_->rho(0.0), 0.0); }
+
+TEST_P(RhoPropertyTest, MonotoneNonDecreasing) {
+  double prev = 0.0;
+  for (double t = 0.0; t <= 50.0; t += 0.05) {
+    const double r = rho_->rho(t);
+    EXPECT_GE(r, prev - 1e-15) << "t=" << t;
+    prev = r;
+  }
+}
+
+TEST_P(RhoPropertyTest, BoundedByOneForBoundedFamilies) {
+  if (GetParam() == "quadratic") GTEST_SKIP() << "unbounded by design";
+  for (double t : {0.1, 1.0, 4.0, 100.0, 1e6}) {
+    EXPECT_LE(rho_->rho(t), 1.0 + 1e-12);
+  }
+  EXPECT_NEAR(rho_->rho(1e12), 1.0, 1e-6);
+}
+
+TEST_P(RhoPropertyTest, WeightIsDerivativeOfRho) {
+  // Central finite difference check at interior points.
+  const double h = 1e-6;
+  for (double t : {0.05, 0.5, 1.0, 1.9}) {
+    const double fd = (rho_->rho(t + h) - rho_->rho(t - h)) / (2.0 * h);
+    EXPECT_NEAR(rho_->weight(t), fd, 1e-5) << GetParam() << " t=" << t;
+  }
+}
+
+TEST_P(RhoPropertyTest, ScaleWeightMatchesDefinition) {
+  for (double t : {0.2, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(rho_->scale_weight(t), rho_->rho(t) / t, 1e-14);
+  }
+  // t -> 0 limit equals rho'(0).
+  EXPECT_NEAR(rho_->scale_weight(0.0), rho_->weight(0.0), 1e-12);
+}
+
+TEST_P(RhoPropertyTest, WeightNonNegative) {
+  for (double t = 0.0; t < 30.0; t += 0.1) {
+    EXPECT_GE(rho_->weight(t), 0.0);
+  }
+}
+
+TEST_P(RhoPropertyTest, GaussianExpectationInUnitInterval) {
+  const double e = rho_->gaussian_expectation();
+  EXPECT_GT(e, 0.0);
+  EXPECT_LE(e, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRhos, RhoPropertyTest,
+                         ::testing::Values("bisquare", "huber", "cauchy",
+                                           "quadratic"));
+
+TEST(BisquareRho, RejectsBeyondC2) {
+  BisquareRho rho(2.0);
+  EXPECT_EQ(rho.weight(4.0), 0.0);
+  EXPECT_EQ(rho.weight(10.0), 0.0);
+  EXPECT_GT(rho.weight(3.9), 0.0);
+  EXPECT_EQ(rho.rejection_point(), 4.0);
+  EXPECT_EQ(rho.rho(100.0), 1.0);
+}
+
+TEST(BisquareRho, DefaultTuningGivesHalfBreakdownDelta) {
+  // With c = 1.547, E[rho(X^2)] under N(0,1) is about 0.5 — the value that
+  // pairs with delta = 0.5 for a 50% breakdown, consistent scale estimate.
+  BisquareRho rho;
+  EXPECT_NEAR(rho.gaussian_expectation(), 0.5, 0.01);
+}
+
+TEST(BisquareRho, InvalidTuningThrows) {
+  EXPECT_THROW(BisquareRho(0.0), std::invalid_argument);
+  EXPECT_THROW(BisquareRho(-1.0), std::invalid_argument);
+}
+
+TEST(HuberRho, LinearThenSaturates) {
+  HuberRho rho(1.0);
+  EXPECT_NEAR(rho.rho(0.5), 0.5, 1e-15);
+  EXPECT_EQ(rho.rho(1.5), 1.0);
+}
+
+TEST(CauchyRho, NeverFullyRejects) {
+  CauchyRho rho;
+  EXPECT_GT(rho.weight(1e6), 0.0);
+  EXPECT_TRUE(std::isinf(rho.rejection_point()));
+}
+
+TEST(QuadraticRho, ReproducesLeastSquares) {
+  QuadraticRho rho;
+  EXPECT_EQ(rho.rho(3.0), 3.0);
+  EXPECT_EQ(rho.weight(100.0), 1.0);
+  EXPECT_EQ(rho.scale_weight(5.0), 1.0);
+}
+
+TEST(MakeRho, UnknownNameThrows) {
+  EXPECT_THROW(make_rho("unknown"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace astro::stats

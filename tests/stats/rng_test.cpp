@@ -1,0 +1,85 @@
+#include "stats/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "stats/descriptive.h"
+
+namespace astro::stats {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.0, 3.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(Rng, IndexInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.index(10), 10u);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(11);
+  std::vector<double> xs(50000);
+  for (double& x : xs) x = rng.gaussian(2.0, 3.0);
+  EXPECT_NEAR(mean(xs), 2.0, 0.05);
+  EXPECT_NEAR(stddev(xs), 3.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(double(hits) / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, SplitDecorrelates) {
+  Rng parent(17);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.uniform() == child.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, RandomOrthonormalIsOrthonormal) {
+  Rng rng(23);
+  const linalg::Matrix q = random_orthonormal(rng, 20, 5);
+  EXPECT_EQ(q.rows(), 20u);
+  EXPECT_EQ(q.cols(), 5u);
+  EXPECT_LT(linalg::orthonormality_error(q), 1e-12);
+  EXPECT_THROW(random_orthonormal(rng, 3, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace astro::stats

@@ -1,0 +1,104 @@
+#include "stats/running.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace astro::stats {
+namespace {
+
+TEST(ForgettingSum, AlphaOneIsPlainSum) {
+  ForgettingSum s(1.0);
+  s.update(1.0);
+  s.update(2.0);
+  s.update(3.0);
+  EXPECT_DOUBLE_EQ(s.value(), 6.0);
+}
+
+TEST(ForgettingSum, InvalidAlphaThrows) {
+  EXPECT_THROW(ForgettingSum(0.0), std::invalid_argument);
+  EXPECT_THROW(ForgettingSum(1.5), std::invalid_argument);
+  EXPECT_THROW(ForgettingSum(-0.1), std::invalid_argument);
+}
+
+TEST(ForgettingSum, GammaBlendsOldAndNew) {
+  ForgettingSum s(0.9);
+  s.update(1.0);  // value = 1
+  const double gamma = s.update(1.0);  // value = 0.9 + 1 = 1.9
+  EXPECT_NEAR(s.value(), 1.9, 1e-15);
+  EXPECT_NEAR(gamma, 0.9 / 1.9, 1e-15);
+}
+
+TEST(ForgettingSum, FirstUpdateGammaIsZero) {
+  ForgettingSum s(0.99);
+  EXPECT_EQ(s.update(2.0), 0.0);  // no history yet
+}
+
+TEST(ForgettingSum, UnitInputConvergesToWindow) {
+  // Footnote 1 in the paper: u -> 1/(1-alpha).
+  const double alpha = 0.999;
+  ForgettingSum s(alpha);
+  for (int i = 0; i < 50000; ++i) s.update(1.0);
+  EXPECT_NEAR(s.value(), 1.0 / (1.0 - alpha), 1e-6);
+}
+
+TEST(ForgettingSum, MergeHelpers) {
+  ForgettingSum s(0.9);
+  s.update(1.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.value(), 3.0);
+  s.scale(0.5);
+  EXPECT_DOUBLE_EQ(s.value(), 1.5);
+  s.reset();
+  EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(RobustRunningSums, TracksUVQ) {
+  RobustRunningSums sums(1.0);
+  sums.update(0.5, 2.0);
+  sums.update(1.0, 4.0);
+  EXPECT_DOUBLE_EQ(sums.u(), 2.0);
+  EXPECT_DOUBLE_EQ(sums.v(), 1.5);
+  EXPECT_DOUBLE_EQ(sums.q(), 6.0);
+}
+
+TEST(RobustRunningSums, GammasMatchPaperFormulas) {
+  const double alpha = 0.95;
+  RobustRunningSums sums(alpha);
+  sums.update(2.0, 8.0);  // u=1 v=2 q=8
+  const auto g = sums.update(1.0, 2.0);
+  // v: 0.95*2+1 = 2.9, gamma1 = 0.95*2/2.9
+  EXPECT_NEAR(g.g1, 0.95 * 2.0 / 2.9, 1e-15);
+  // q: 0.95*8+2 = 9.6, gamma2 = 0.95*8/9.6
+  EXPECT_NEAR(g.g2, 0.95 * 8.0 / 9.6, 1e-15);
+  // u: 0.95*1+1 = 1.95, gamma3 = 0.95/1.95
+  EXPECT_NEAR(g.g3, 0.95 / 1.95, 1e-15);
+}
+
+TEST(RobustRunningSums, AbsorbAddsComponentwise) {
+  RobustRunningSums a(1.0), b(1.0);
+  a.update(1.0, 1.0);
+  b.update(2.0, 3.0);
+  b.update(2.0, 3.0);
+  a.absorb(b);
+  EXPECT_DOUBLE_EQ(a.u(), 3.0);
+  EXPECT_DOUBLE_EQ(a.v(), 5.0);
+  EXPECT_DOUBLE_EQ(a.q(), 7.0);
+}
+
+TEST(RobustRunningSums, EffectiveCountSaturates) {
+  RobustRunningSums sums(alpha_for_window(100));
+  for (int i = 0; i < 5000; ++i) sums.update(1.0, 1.0);
+  EXPECT_NEAR(sums.effective_count(), 100.0, 0.01);
+}
+
+TEST(AlphaWindow, RoundTrips) {
+  EXPECT_DOUBLE_EQ(alpha_for_window(5000), 1.0 - 1.0 / 5000.0);
+  EXPECT_NEAR(window_for_alpha(alpha_for_window(1234)), 1234.0, 1e-9);
+  EXPECT_TRUE(std::isinf(window_for_alpha(1.0)));
+  EXPECT_THROW((void)alpha_for_window(0), std::invalid_argument);
+  EXPECT_THROW((void)window_for_alpha(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace astro::stats

@@ -1,0 +1,114 @@
+#include "stream/net.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/graph.h"
+#include "stream/sink.h"
+#include "stream/source.h"
+
+namespace astro::stream {
+namespace {
+
+std::vector<linalg::Vector> payload(std::size_t n) {
+  std::vector<linalg::Vector> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    linalg::Vector v(6);
+    v[0] = double(i);
+    v[5] = -double(i);
+    out.push_back(v);
+  }
+  return out;
+}
+
+TEST(TcpTransport, EndToEndTupleStream) {
+  // replay -> TcpTupleSink ==loopback==> TcpTupleServer -> collector
+  auto to_sink = make_channel<DataTuple>(64);
+  auto from_server = make_channel<DataTuple>(64);
+
+  FlowGraph graph;
+  auto* server =
+      graph.add<TcpTupleServer>("server", 0, from_server, 1);
+  graph.add<ReplaySource>("replay", payload(200), to_sink);
+  graph.add<TcpTupleSink>("sink", server->port(), to_sink);
+  auto* collector = graph.add<CollectorSink<DataTuple>>("collect", from_server);
+
+  graph.start();
+  graph.wait();
+
+  const auto items = collector->snapshot();
+  ASSERT_EQ(items.size(), 200u);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(items[i].seq, i);
+    EXPECT_DOUBLE_EQ(items[i].values[0], double(i));
+    EXPECT_DOUBLE_EQ(items[i].values[5], -double(i));
+  }
+}
+
+TEST(TcpTransport, MasksSurviveTheWire) {
+  std::vector<linalg::Vector> data{linalg::Vector(4, 1.0)};
+  std::vector<pca::PixelMask> masks{{true, false, false, true}};
+
+  auto to_sink = make_channel<DataTuple>(8);
+  auto from_server = make_channel<DataTuple>(8);
+  FlowGraph graph;
+  auto* server = graph.add<TcpTupleServer>("server", 0, from_server, 1);
+  graph.add<ReplaySource>("replay", data, masks, to_sink);
+  graph.add<TcpTupleSink>("sink", server->port(), to_sink);
+  auto* collector = graph.add<CollectorSink<DataTuple>>("collect", from_server);
+  graph.start();
+  graph.wait();
+
+  const auto items = collector->snapshot();
+  ASSERT_EQ(items.size(), 1u);
+  ASSERT_EQ(items[0].mask.size(), 4u);
+  EXPECT_TRUE(items[0].mask[0]);
+  EXPECT_FALSE(items[0].mask[1]);
+  EXPECT_TRUE(items[0].mask[3]);
+}
+
+TEST(TcpTransport, ServerStopsOnRequest) {
+  auto from_server = make_channel<DataTuple>(8);
+  FlowGraph graph;
+  auto* server = graph.add<TcpTupleServer>("server", 0, from_server, 0);
+  graph.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server->request_stop();
+  graph.wait();
+  EXPECT_EQ(server->stop_reason(), StopReason::kRequested);
+}
+
+TEST(TcpTransport, SinkGivesUpWhenNoServer) {
+  // Port 1 on loopback: connection refused; the sink retries briefly, then
+  // exits without hanging the graph.
+  auto in = make_channel<DataTuple>(4);
+  in->close();
+  FlowGraph graph;
+  graph.add<TcpTupleSink>("sink", 1, in);
+  graph.start();
+  graph.wait();  // must terminate
+  SUCCEED();
+}
+
+TEST(TcpTransport, EphemeralPortAssigned) {
+  auto out = make_channel<DataTuple>(4);
+  TcpTupleServer server("s", 0, out, 1);
+  EXPECT_GT(server.port(), 1023);
+}
+
+TEST(TcpTransport, BytesAccounted) {
+  auto to_sink = make_channel<DataTuple>(8);
+  auto from_server = make_channel<DataTuple>(8);
+  FlowGraph graph;
+  auto* server = graph.add<TcpTupleServer>("server", 0, from_server, 1);
+  graph.add<ReplaySource>("replay", payload(10), to_sink);
+  auto* sink = graph.add<TcpTupleSink>("sink", server->port(), to_sink);
+  graph.add<CollectorSink<DataTuple>>("collect", from_server);
+  graph.start();
+  graph.wait();
+  EXPECT_EQ(sink->metrics().tuples_out(), 10u);
+  EXPECT_GT(sink->metrics().bytes_out(), 10u * 6u * sizeof(double));
+  EXPECT_EQ(server->metrics().tuples_out(), 10u);
+}
+
+}  // namespace
+}  // namespace astro::stream

@@ -1,0 +1,123 @@
+// Stress and determinism tests for the assembled pipeline.
+
+#include <gtest/gtest.h>
+
+#include "app/pipeline.h"
+#include "pca/subspace.h"
+#include "stats/rng.h"
+#include "tests/pca/test_data.h"
+
+namespace astro::app {
+namespace {
+
+using pca::testing::draw;
+using pca::testing::make_model;
+using stats::Rng;
+
+std::vector<linalg::Vector> make_data(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto model = make_model(rng, 12, 2, 2.0, 0.05);
+  std::vector<linalg::Vector> out;
+  for (std::size_t i = 0; i < n; ++i) out.push_back(draw(model, rng));
+  return out;
+}
+
+TEST(PipelineStress, RoundRobinSingleEngineIsDeterministic) {
+  // One engine + round-robin split + no sync: the pipeline is a pure
+  // function of its input; two runs must produce identical eigensystems.
+  const auto data = make_data(2000, 901);
+  auto run_once = [&] {
+    PipelineConfig cfg;
+    cfg.pca.dim = 12;
+    cfg.pca.rank = 2;
+    cfg.engines = 1;
+    cfg.split = stream::SplitStrategy::kRoundRobin;
+    cfg.sync_rate_hz = 0.0;
+    StreamingPcaPipeline p(cfg, data);
+    p.run();
+    return p.result();
+  };
+  const pca::EigenSystem a = run_once();
+  const pca::EigenSystem b = run_once();
+  EXPECT_TRUE(approx_equal(a.mean(), b.mean(), 0.0));
+  EXPECT_TRUE(approx_equal(a.basis(), b.basis(), 0.0));
+  EXPECT_TRUE(approx_equal(a.eigenvalues(), b.eigenvalues(), 0.0));
+  EXPECT_EQ(a.observations(), b.observations());
+}
+
+TEST(PipelineStress, ManyEnginesTinyChannels) {
+  // Deliberately tiny channel capacity: the splitter's reroute +
+  // backpressure must still deliver every tuple with no deadlock.
+  PipelineConfig cfg;
+  cfg.pca.dim = 12;
+  cfg.pca.rank = 2;
+  cfg.engines = 8;
+  cfg.channel_capacity = 2;
+  cfg.sync_rate_hz = 100.0;
+  cfg.independence_fallback = 200;
+  StreamingPcaPipeline p(cfg, make_data(4000, 907));
+  p.run();
+  std::uint64_t total = 0;
+  for (const auto& s : p.engine_stats()) total += s.tuples;
+  EXPECT_EQ(total, 4000u);
+}
+
+TEST(PipelineStress, RepeatedRunsShutDownCleanly) {
+  // Start/stop churn: ten short pipelines back to back must not leak
+  // threads or hang (the destructor joins everything).
+  for (int round = 0; round < 10; ++round) {
+    PipelineConfig cfg;
+    cfg.pca.dim = 12;
+    cfg.pca.rank = 2;
+    cfg.engines = 3;
+    cfg.sync_rate_hz = 50.0;
+    StreamingPcaPipeline p(cfg, make_data(300, 911 + std::uint64_t(round)));
+    p.run();
+  }
+  SUCCEED();
+}
+
+TEST(PipelineStress, StopBeforeStartedDataDrains) {
+  // stop() immediately after start(): must terminate promptly even though
+  // almost nothing was processed.
+  PipelineConfig cfg;
+  cfg.pca.dim = 12;
+  cfg.pca.rank = 2;
+  cfg.engines = 2;
+  cfg.source_rate = 500.0;  // slow source: stop lands mid-stream
+  StreamingPcaPipeline p(cfg, make_data(100000, 919));
+  p.start();
+  p.stop();
+  p.wait();
+  SUCCEED();
+}
+
+TEST(PipelineStress, ThroughputReported) {
+  PipelineConfig cfg;
+  cfg.pca.dim = 12;
+  cfg.pca.rank = 2;
+  cfg.engines = 2;
+  StreamingPcaPipeline p(cfg, make_data(2000, 923));
+  p.run();
+  EXPECT_GT(p.throughput(), 0.0);
+}
+
+TEST(PipelineStress, LeastLoadedSplitBalancesSlowEngine) {
+  // With the least-loaded strategy every tuple still arrives even though
+  // queue depths differ; per-engine counts stay within a sane band.
+  PipelineConfig cfg;
+  cfg.pca.dim = 12;
+  cfg.pca.rank = 2;
+  cfg.engines = 4;
+  cfg.split = stream::SplitStrategy::kLeastLoaded;
+  cfg.sync_rate_hz = 0.0;
+  StreamingPcaPipeline p(cfg, make_data(4000, 929));
+  p.run();
+  const auto counts = p.split_counts();
+  std::uint64_t total = 0;
+  for (auto c : counts) total += c;
+  EXPECT_EQ(total, 4000u);
+}
+
+}  // namespace
+}  // namespace astro::app

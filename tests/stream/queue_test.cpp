@@ -1,0 +1,145 @@
+#include "stream/queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace astro::stream {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(BoundedQueue, PushPopFifo) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  int out = 0;
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 2);
+}
+
+TEST(BoundedQueue, TryPushRespectsCapacity) {
+  BoundedQueue<int> q(2);
+  int a = 1, b = 2, c = 3;
+  EXPECT_TRUE(q.try_push(a));
+  EXPECT_TRUE(q.try_push(b));
+  EXPECT_FALSE(q.try_push(c));
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(BoundedQueue, TryPushDoesNotConsumeOnFailure) {
+  BoundedQueue<std::vector<int>> q(1);
+  std::vector<int> first{1};
+  ASSERT_TRUE(q.try_push(first));
+  std::vector<int> second{2, 3};
+  ASSERT_FALSE(q.try_push(second));
+  EXPECT_EQ(second.size(), 2u);  // untouched: can be rerouted
+}
+
+TEST(BoundedQueue, CloseDrainsThenSignals) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(7));
+  q.close();
+  EXPECT_FALSE(q.push(8));  // rejected after close
+  int out = 0;
+  EXPECT_TRUE(q.pop(out));  // backlog still drains
+  EXPECT_EQ(out, 7);
+  EXPECT_FALSE(q.pop(out));  // exhausted
+}
+
+TEST(BoundedQueue, TryPopEmpty) {
+  BoundedQueue<int> q(2);
+  EXPECT_FALSE(q.try_pop().has_value());
+  int x = 5;
+  q.try_push(x);
+  auto v = q.try_pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(BoundedQueue, PopForTimesOut) {
+  BoundedQueue<int> q(2);
+  int out = 0;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.pop_for(out, 20ms));
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 15ms);
+}
+
+TEST(BoundedQueue, PopForReturnsData) {
+  BoundedQueue<int> q(2);
+  q.push(9);
+  int out = 0;
+  EXPECT_TRUE(q.pop_for(out, 1s));
+  EXPECT_EQ(out, 9);
+}
+
+TEST(BoundedQueue, BlockedPushUnblocksOnClose) {
+  BoundedQueue<int> q(1);
+  q.push(1);
+  std::atomic<bool> returned{false};
+  std::thread producer([&] {
+    const bool ok = q.push(2);  // blocks: full
+    EXPECT_FALSE(ok);           // close() rejects it
+    returned = true;
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(returned.load());
+  q.close();
+  producer.join();
+  EXPECT_TRUE(returned.load());
+}
+
+TEST(BoundedQueue, ProducerConsumerTransfersEverything) {
+  BoundedQueue<int> q(8);
+  constexpr int kItems = 10000;
+  std::atomic<long long> sum{0};
+
+  std::thread consumer([&] {
+    int v = 0;
+    while (q.pop(v)) sum += v;
+  });
+  std::thread producer([&] {
+    for (int i = 1; i <= kItems; ++i) q.push(i);
+    q.close();
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_EQ(sum.load(), (long long)kItems * (kItems + 1) / 2);
+}
+
+TEST(BoundedQueue, MultipleProducersAndConsumers) {
+  BoundedQueue<int> q(16);
+  constexpr int kPerProducer = 2000;
+  std::atomic<long long> sum{0};
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      int v = 0;
+      while (q.pop(v)) {
+        sum += v;
+        ++popped;
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 3; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) q.push(1);
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(popped.load(), 3 * kPerProducer);
+  EXPECT_EQ(sum.load(), 3 * kPerProducer);
+}
+
+}  // namespace
+}  // namespace astro::stream

@@ -1,0 +1,123 @@
+#include "stream/split.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "stream/graph.h"
+#include "stream/sink.h"
+#include "stream/source.h"
+
+namespace astro::stream {
+namespace {
+
+std::vector<linalg::Vector> tiny_data(std::size_t n, std::size_t d = 4) {
+  std::vector<linalg::Vector> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    linalg::Vector v(d);
+    v[0] = double(i);
+    out.push_back(v);
+  }
+  return out;
+}
+
+struct SplitHarness {
+  FlowGraph graph;
+  SplitOperator* split = nullptr;
+  std::vector<CollectorSink<DataTuple>*> sinks;
+
+  SplitHarness(std::size_t n_tuples, std::size_t n_outputs,
+               SplitStrategy strategy, std::size_t workers = 1) {
+    auto in = make_channel<DataTuple>(64);
+    std::vector<ChannelPtr<DataTuple>> outs;
+    for (std::size_t i = 0; i < n_outputs; ++i) {
+      outs.push_back(make_channel<DataTuple>(64));
+    }
+    graph.add<ReplaySource>("source", tiny_data(n_tuples), in);
+    split = graph.add<SplitOperator>("split", in, outs, strategy, workers);
+    for (std::size_t i = 0; i < n_outputs; ++i) {
+      sinks.push_back(graph.add<CollectorSink<DataTuple>>(
+          "sink" + std::to_string(i), outs[i]));
+    }
+  }
+
+  void run() {
+    graph.start();
+    graph.wait();
+  }
+
+  [[nodiscard]] std::size_t total_received() const {
+    std::size_t total = 0;
+    for (const auto* s : sinks) total += s->count();
+    return total;
+  }
+};
+
+TEST(Split, NoOutputsThrows) {
+  auto in = make_channel<DataTuple>(4);
+  EXPECT_THROW(
+      SplitOperator("s", in, std::vector<ChannelPtr<DataTuple>>{}),
+      std::invalid_argument);
+}
+
+TEST(Split, AllTuplesDeliveredExactlyOnce) {
+  SplitHarness h(500, 4, SplitStrategy::kRandom);
+  h.run();
+  EXPECT_EQ(h.total_received(), 500u);
+
+  // Every seq 0..499 appears exactly once across the sinks.
+  std::vector<int> seen(500, 0);
+  for (const auto* s : h.sinks) {
+    for (const auto& t : s->snapshot()) seen[std::size_t(t.seq)]++;
+  }
+  for (int c : seen) EXPECT_EQ(c, 1);
+}
+
+TEST(Split, RoundRobinIsBalanced) {
+  SplitHarness h(400, 4, SplitStrategy::kRoundRobin);
+  h.run();
+  for (const auto* s : h.sinks) EXPECT_EQ(s->count(), 100u);
+}
+
+TEST(Split, RandomIsApproximatelyBalanced) {
+  SplitHarness h(4000, 4, SplitStrategy::kRandom);
+  h.run();
+  for (const auto* s : h.sinks) {
+    EXPECT_GT(s->count(), 800u);
+    EXPECT_LT(s->count(), 1200u);
+  }
+}
+
+TEST(Split, LeastLoadedDeliversEverything) {
+  SplitHarness h(1000, 3, SplitStrategy::kLeastLoaded);
+  h.run();
+  EXPECT_EQ(h.total_received(), 1000u);
+}
+
+TEST(Split, MultiWorkerDeliversEverything) {
+  SplitHarness h(3000, 4, SplitStrategy::kRandom, /*workers=*/3);
+  h.run();
+  EXPECT_EQ(h.total_received(), 3000u);
+  EXPECT_EQ(h.split->metrics().tuples_out(), 3000u);
+}
+
+TEST(Split, PerTargetCountsMatchSinks) {
+  SplitHarness h(600, 3, SplitStrategy::kRoundRobin);
+  h.run();
+  const auto counts = h.split->per_target_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(counts[i], h.sinks[i]->count());
+  }
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0ull), 600ull);
+}
+
+TEST(Split, MetricsCountBytes) {
+  SplitHarness h(10, 2, SplitStrategy::kRoundRobin);
+  h.run();
+  // 4 doubles + 16-byte header per tuple.
+  EXPECT_EQ(h.split->metrics().bytes_in(), 10u * (16 + 4 * 8));
+}
+
+}  // namespace
+}  // namespace astro::stream

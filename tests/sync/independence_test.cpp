@@ -1,0 +1,36 @@
+#include "sync/independence.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/running.h"
+
+namespace astro::sync {
+namespace {
+
+TEST(Independence, PaperRule) {
+  // N = 5000 (the paper's profiling setup), factor 1.5 -> 7500.
+  IndependencePolicy p(stats::alpha_for_window(5000), 1.5);
+  EXPECT_EQ(p.required_observations(), 7500u);
+  EXPECT_FALSE(p.allows(7499));
+  EXPECT_TRUE(p.allows(7500));
+}
+
+TEST(Independence, InfiniteMemoryUsesFallback) {
+  IndependencePolicy p(1.0, 1.5, 1234);
+  EXPECT_EQ(p.required_observations(), 1234u);
+}
+
+TEST(Independence, Validation) {
+  EXPECT_THROW(IndependencePolicy(0.0), std::invalid_argument);
+  EXPECT_THROW(IndependencePolicy(1.1), std::invalid_argument);
+  EXPECT_THROW(IndependencePolicy(0.5, 0.0), std::invalid_argument);
+}
+
+TEST(Independence, CeilingApplied) {
+  // N = 3 (alpha = 2/3), factor 1.5 -> ceil(4.5) = 5.
+  IndependencePolicy p(1.0 - 1.0 / 3.0, 1.5);
+  EXPECT_EQ(p.required_observations(), 5u);
+}
+
+}  // namespace
+}  // namespace astro::sync

@@ -1,0 +1,109 @@
+#include "sync/strategy.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace astro::sync {
+namespace {
+
+TEST(RingStrategy, CirclesThroughAllEngines) {
+  RingStrategy s;
+  // Over n rounds every engine sends exactly once, receiver = sender + 1.
+  const std::size_t n = 5;
+  std::set<int> senders;
+  for (std::uint64_t e = 0; e < n; ++e) {
+    const auto cmds = s.round(e, n);
+    ASSERT_EQ(cmds.size(), 1u);
+    EXPECT_EQ(cmds[0].receiver, int((cmds[0].sender + 1) % int(n)));
+    EXPECT_EQ(cmds[0].epoch, e);
+    senders.insert(cmds[0].sender);
+  }
+  EXPECT_EQ(senders.size(), n);
+}
+
+TEST(RingStrategy, WrapsToZero) {
+  RingStrategy s;
+  const auto cmds = s.round(4, 5);  // sender 4 -> receiver 0
+  ASSERT_EQ(cmds.size(), 1u);
+  EXPECT_EQ(cmds[0].sender, 4);
+  EXPECT_EQ(cmds[0].receiver, 0);
+}
+
+TEST(RingStrategy, SingleEngineNoTraffic) {
+  RingStrategy s;
+  EXPECT_TRUE(s.round(0, 1).empty());
+}
+
+TEST(BroadcastStrategy, SenderReachesEveryoneElse) {
+  BroadcastStrategy s;
+  const auto cmds = s.round(2, 4);  // sender 2
+  ASSERT_EQ(cmds.size(), 3u);
+  std::set<int> receivers;
+  for (const auto& c : cmds) {
+    EXPECT_EQ(c.sender, 2);
+    EXPECT_NE(c.receiver, 2);
+    receivers.insert(c.receiver);
+  }
+  EXPECT_EQ(receivers.size(), 3u);
+}
+
+TEST(RandomPairStrategy, PairsAreDisjoint) {
+  RandomPairStrategy s(11);
+  for (std::uint64_t e = 0; e < 20; ++e) {
+    const auto cmds = s.round(e, 8);
+    EXPECT_EQ(cmds.size(), 4u);
+    std::set<int> used;
+    for (const auto& c : cmds) {
+      EXPECT_TRUE(used.insert(c.sender).second);
+      EXPECT_TRUE(used.insert(c.receiver).second);
+    }
+  }
+}
+
+TEST(RandomPairStrategy, DeterministicPerSeed) {
+  RandomPairStrategy a(3), b(3);
+  const auto ca = a.round(5, 6);
+  const auto cb = b.round(5, 6);
+  ASSERT_EQ(ca.size(), cb.size());
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    EXPECT_EQ(ca[i].sender, cb[i].sender);
+    EXPECT_EQ(ca[i].receiver, cb[i].receiver);
+  }
+}
+
+TEST(GroupedStrategy, IntraGroupTrafficStaysInGroup) {
+  GroupedStrategy s(/*group_size=*/2, /*bridge_every=*/1000000);
+  for (std::uint64_t e = 1; e < 10; ++e) {  // skip bridge at epoch 0
+    const auto cmds = s.round(e, 6);
+    for (const auto& c : cmds) {
+      EXPECT_EQ(c.sender / 2, c.receiver / 2) << "cross-group at epoch " << e;
+    }
+  }
+}
+
+TEST(GroupedStrategy, BridgeCrossesGroups) {
+  GroupedStrategy s(/*group_size=*/2, /*bridge_every=*/1);
+  bool crossed = false;
+  for (std::uint64_t e = 0; e < 10; ++e) {
+    for (const auto& c : s.round(e, 6)) {
+      if (c.sender / 2 != c.receiver / 2) crossed = true;
+    }
+  }
+  EXPECT_TRUE(crossed);
+}
+
+TEST(GroupedStrategy, TinyGroupSizeThrows) {
+  EXPECT_THROW(GroupedStrategy(1), std::invalid_argument);
+}
+
+TEST(MakeStrategy, Factory) {
+  EXPECT_EQ(make_strategy("ring")->name(), "ring");
+  EXPECT_EQ(make_strategy("broadcast")->name(), "broadcast");
+  EXPECT_EQ(make_strategy("random-pair")->name(), "random-pair");
+  EXPECT_EQ(make_strategy("grouped:3")->name(), "grouped");
+  EXPECT_THROW((void)make_strategy("bogus"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace astro::sync
