@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_breakdown"
+  "../bench/ablation_breakdown.pdb"
+  "CMakeFiles/ablation_breakdown.dir/ablation_breakdown.cpp.o"
+  "CMakeFiles/ablation_breakdown.dir/ablation_breakdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_gaps"
+  "../bench/ablation_gaps.pdb"
+  "CMakeFiles/ablation_gaps.dir/ablation_gaps.cpp.o"
+  "CMakeFiles/ablation_gaps.dir/ablation_gaps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/calibrate_costs"
+  "../bench/calibrate_costs.pdb"
+  "CMakeFiles/calibrate_costs.dir/calibrate_costs.cpp.o"
+  "CMakeFiles/calibrate_costs.dir/calibrate_costs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_robust_vs_classic"
+  "../bench/fig1_robust_vs_classic.pdb"
+  "CMakeFiles/fig1_robust_vs_classic.dir/fig1_robust_vs_classic.cpp.o"
+  "CMakeFiles/fig1_robust_vs_classic.dir/fig1_robust_vs_classic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_robust_vs_classic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

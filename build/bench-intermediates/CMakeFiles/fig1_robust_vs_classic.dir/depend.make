@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1_robust_vs_classic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_5_eigenspectra"
+  "../bench/fig4_5_eigenspectra.pdb"
+  "CMakeFiles/fig4_5_eigenspectra.dir/fig4_5_eigenspectra.cpp.o"
+  "CMakeFiles/fig4_5_eigenspectra.dir/fig4_5_eigenspectra.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_5_eigenspectra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

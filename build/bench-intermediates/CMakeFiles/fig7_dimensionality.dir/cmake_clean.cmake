@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_dimensionality"
+  "../bench/fig7_dimensionality.pdb"
+  "CMakeFiles/fig7_dimensionality.dir/fig7_dimensionality.cpp.o"
+  "CMakeFiles/fig7_dimensionality.dir/fig7_dimensionality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_dimensionality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/lsst_sizing"
+  "../bench/lsst_sizing.pdb"
+  "CMakeFiles/lsst_sizing.dir/lsst_sizing.cpp.o"
+  "CMakeFiles/lsst_sizing.dir/lsst_sizing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsst_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

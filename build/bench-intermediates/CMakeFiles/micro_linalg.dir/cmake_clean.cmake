@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_linalg"
+  "../bench/micro_linalg.pdb"
+  "CMakeFiles/micro_linalg.dir/micro_linalg.cpp.o"
+  "CMakeFiles/micro_linalg.dir/micro_linalg.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

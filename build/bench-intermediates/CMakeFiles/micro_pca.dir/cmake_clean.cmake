@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_pca"
+  "../bench/micro_pca.pdb"
+  "CMakeFiles/micro_pca.dir/micro_pca.cpp.o"
+  "CMakeFiles/micro_pca.dir/micro_pca.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

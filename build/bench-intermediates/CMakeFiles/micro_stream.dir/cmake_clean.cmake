@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_stream"
+  "../bench/micro_stream.pdb"
+  "CMakeFiles/micro_stream.dir/micro_stream.cpp.o"
+  "CMakeFiles/micro_stream.dir/micro_stream.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_health.dir/cluster_health.cpp.o"
+  "CMakeFiles/cluster_health.dir/cluster_health.cpp.o.d"
+  "cluster_health"
+  "cluster_health.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_health.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

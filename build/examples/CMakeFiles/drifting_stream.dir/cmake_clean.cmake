@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drifting_stream.dir/drifting_stream.cpp.o"
+  "CMakeFiles/drifting_stream.dir/drifting_stream.cpp.o.d"
+  "drifting_stream"
+  "drifting_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drifting_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

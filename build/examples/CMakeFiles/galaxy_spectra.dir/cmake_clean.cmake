@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galaxy_spectra.dir/galaxy_spectra.cpp.o"
+  "CMakeFiles/galaxy_spectra.dir/galaxy_spectra.cpp.o.d"
+  "galaxy_spectra"
+  "galaxy_spectra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galaxy_spectra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

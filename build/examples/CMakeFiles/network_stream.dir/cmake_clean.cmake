@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_stream.dir/network_stream.cpp.o"
+  "CMakeFiles/network_stream.dir/network_stream.cpp.o.d"
+  "network_stream"
+  "network_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

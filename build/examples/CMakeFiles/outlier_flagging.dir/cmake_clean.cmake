@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outlier_flagging.dir/outlier_flagging.cpp.o"
+  "CMakeFiles/outlier_flagging.dir/outlier_flagging.cpp.o.d"
+  "outlier_flagging"
+  "outlier_flagging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outlier_flagging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

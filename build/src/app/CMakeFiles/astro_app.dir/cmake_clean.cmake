@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astro_app.dir/pipeline.cpp.o"
+  "CMakeFiles/astro_app.dir/pipeline.cpp.o.d"
+  "libastro_app.a"
+  "libastro_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astro_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cost_model.cpp" "src/cluster/CMakeFiles/astro_cluster.dir/cost_model.cpp.o" "gcc" "src/cluster/CMakeFiles/astro_cluster.dir/cost_model.cpp.o.d"
+  "/root/repo/src/cluster/event_sim.cpp" "src/cluster/CMakeFiles/astro_cluster.dir/event_sim.cpp.o" "gcc" "src/cluster/CMakeFiles/astro_cluster.dir/event_sim.cpp.o.d"
+  "/root/repo/src/cluster/placement.cpp" "src/cluster/CMakeFiles/astro_cluster.dir/placement.cpp.o" "gcc" "src/cluster/CMakeFiles/astro_cluster.dir/placement.cpp.o.d"
+  "/root/repo/src/cluster/scaling_model.cpp" "src/cluster/CMakeFiles/astro_cluster.dir/scaling_model.cpp.o" "gcc" "src/cluster/CMakeFiles/astro_cluster.dir/scaling_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pca/CMakeFiles/astro_pca.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/astro_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/astro_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astro_cluster.dir/cost_model.cpp.o"
+  "CMakeFiles/astro_cluster.dir/cost_model.cpp.o.d"
+  "CMakeFiles/astro_cluster.dir/event_sim.cpp.o"
+  "CMakeFiles/astro_cluster.dir/event_sim.cpp.o.d"
+  "CMakeFiles/astro_cluster.dir/placement.cpp.o"
+  "CMakeFiles/astro_cluster.dir/placement.cpp.o.d"
+  "CMakeFiles/astro_cluster.dir/scaling_model.cpp.o"
+  "CMakeFiles/astro_cluster.dir/scaling_model.cpp.o.d"
+  "libastro_cluster.a"
+  "libastro_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astro_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libastro_cluster.a"
+)

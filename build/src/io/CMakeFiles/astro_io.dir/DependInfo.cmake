@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/checkpoint.cpp" "src/io/CMakeFiles/astro_io.dir/checkpoint.cpp.o" "gcc" "src/io/CMakeFiles/astro_io.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/io/csv.cpp" "src/io/CMakeFiles/astro_io.dir/csv.cpp.o" "gcc" "src/io/CMakeFiles/astro_io.dir/csv.cpp.o.d"
+  "/root/repo/src/io/frame.cpp" "src/io/CMakeFiles/astro_io.dir/frame.cpp.o" "gcc" "src/io/CMakeFiles/astro_io.dir/frame.cpp.o.d"
+  "/root/repo/src/io/tuple_log.cpp" "src/io/CMakeFiles/astro_io.dir/tuple_log.cpp.o" "gcc" "src/io/CMakeFiles/astro_io.dir/tuple_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/astro_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/pca/CMakeFiles/astro_pca.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/astro_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astro_io.dir/checkpoint.cpp.o"
+  "CMakeFiles/astro_io.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/astro_io.dir/csv.cpp.o"
+  "CMakeFiles/astro_io.dir/csv.cpp.o.d"
+  "CMakeFiles/astro_io.dir/frame.cpp.o"
+  "CMakeFiles/astro_io.dir/frame.cpp.o.d"
+  "CMakeFiles/astro_io.dir/tuple_log.cpp.o"
+  "CMakeFiles/astro_io.dir/tuple_log.cpp.o.d"
+  "libastro_io.a"
+  "libastro_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astro_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astro_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/astro_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/astro_linalg.dir/eigen_sym.cpp.o"
+  "CMakeFiles/astro_linalg.dir/eigen_sym.cpp.o.d"
+  "CMakeFiles/astro_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/astro_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/astro_linalg.dir/qr.cpp.o"
+  "CMakeFiles/astro_linalg.dir/qr.cpp.o.d"
+  "CMakeFiles/astro_linalg.dir/svd.cpp.o"
+  "CMakeFiles/astro_linalg.dir/svd.cpp.o.d"
+  "CMakeFiles/astro_linalg.dir/tridiag.cpp.o"
+  "CMakeFiles/astro_linalg.dir/tridiag.cpp.o.d"
+  "CMakeFiles/astro_linalg.dir/vector.cpp.o"
+  "CMakeFiles/astro_linalg.dir/vector.cpp.o.d"
+  "libastro_linalg.a"
+  "libastro_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astro_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

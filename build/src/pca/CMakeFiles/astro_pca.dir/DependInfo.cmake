@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pca/batch_pca.cpp" "src/pca/CMakeFiles/astro_pca.dir/batch_pca.cpp.o" "gcc" "src/pca/CMakeFiles/astro_pca.dir/batch_pca.cpp.o.d"
+  "/root/repo/src/pca/eigensystem.cpp" "src/pca/CMakeFiles/astro_pca.dir/eigensystem.cpp.o" "gcc" "src/pca/CMakeFiles/astro_pca.dir/eigensystem.cpp.o.d"
+  "/root/repo/src/pca/gap_fill.cpp" "src/pca/CMakeFiles/astro_pca.dir/gap_fill.cpp.o" "gcc" "src/pca/CMakeFiles/astro_pca.dir/gap_fill.cpp.o.d"
+  "/root/repo/src/pca/incremental_pca.cpp" "src/pca/CMakeFiles/astro_pca.dir/incremental_pca.cpp.o" "gcc" "src/pca/CMakeFiles/astro_pca.dir/incremental_pca.cpp.o.d"
+  "/root/repo/src/pca/merge.cpp" "src/pca/CMakeFiles/astro_pca.dir/merge.cpp.o" "gcc" "src/pca/CMakeFiles/astro_pca.dir/merge.cpp.o.d"
+  "/root/repo/src/pca/robust_eigenvalues.cpp" "src/pca/CMakeFiles/astro_pca.dir/robust_eigenvalues.cpp.o" "gcc" "src/pca/CMakeFiles/astro_pca.dir/robust_eigenvalues.cpp.o.d"
+  "/root/repo/src/pca/robust_pca.cpp" "src/pca/CMakeFiles/astro_pca.dir/robust_pca.cpp.o" "gcc" "src/pca/CMakeFiles/astro_pca.dir/robust_pca.cpp.o.d"
+  "/root/repo/src/pca/subspace.cpp" "src/pca/CMakeFiles/astro_pca.dir/subspace.cpp.o" "gcc" "src/pca/CMakeFiles/astro_pca.dir/subspace.cpp.o.d"
+  "/root/repo/src/pca/windowed.cpp" "src/pca/CMakeFiles/astro_pca.dir/windowed.cpp.o" "gcc" "src/pca/CMakeFiles/astro_pca.dir/windowed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/astro_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/astro_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

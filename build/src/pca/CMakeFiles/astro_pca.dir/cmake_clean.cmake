@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astro_pca.dir/batch_pca.cpp.o"
+  "CMakeFiles/astro_pca.dir/batch_pca.cpp.o.d"
+  "CMakeFiles/astro_pca.dir/eigensystem.cpp.o"
+  "CMakeFiles/astro_pca.dir/eigensystem.cpp.o.d"
+  "CMakeFiles/astro_pca.dir/gap_fill.cpp.o"
+  "CMakeFiles/astro_pca.dir/gap_fill.cpp.o.d"
+  "CMakeFiles/astro_pca.dir/incremental_pca.cpp.o"
+  "CMakeFiles/astro_pca.dir/incremental_pca.cpp.o.d"
+  "CMakeFiles/astro_pca.dir/merge.cpp.o"
+  "CMakeFiles/astro_pca.dir/merge.cpp.o.d"
+  "CMakeFiles/astro_pca.dir/robust_eigenvalues.cpp.o"
+  "CMakeFiles/astro_pca.dir/robust_eigenvalues.cpp.o.d"
+  "CMakeFiles/astro_pca.dir/robust_pca.cpp.o"
+  "CMakeFiles/astro_pca.dir/robust_pca.cpp.o.d"
+  "CMakeFiles/astro_pca.dir/subspace.cpp.o"
+  "CMakeFiles/astro_pca.dir/subspace.cpp.o.d"
+  "CMakeFiles/astro_pca.dir/windowed.cpp.o"
+  "CMakeFiles/astro_pca.dir/windowed.cpp.o.d"
+  "libastro_pca.a"
+  "libastro_pca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astro_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spectra/generator.cpp" "src/spectra/CMakeFiles/astro_spectra.dir/generator.cpp.o" "gcc" "src/spectra/CMakeFiles/astro_spectra.dir/generator.cpp.o.d"
+  "/root/repo/src/spectra/line_catalog.cpp" "src/spectra/CMakeFiles/astro_spectra.dir/line_catalog.cpp.o" "gcc" "src/spectra/CMakeFiles/astro_spectra.dir/line_catalog.cpp.o.d"
+  "/root/repo/src/spectra/normalize.cpp" "src/spectra/CMakeFiles/astro_spectra.dir/normalize.cpp.o" "gcc" "src/spectra/CMakeFiles/astro_spectra.dir/normalize.cpp.o.d"
+  "/root/repo/src/spectra/sensors.cpp" "src/spectra/CMakeFiles/astro_spectra.dir/sensors.cpp.o" "gcc" "src/spectra/CMakeFiles/astro_spectra.dir/sensors.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/astro_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/astro_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/pca/CMakeFiles/astro_pca.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astro_spectra.dir/generator.cpp.o"
+  "CMakeFiles/astro_spectra.dir/generator.cpp.o.d"
+  "CMakeFiles/astro_spectra.dir/line_catalog.cpp.o"
+  "CMakeFiles/astro_spectra.dir/line_catalog.cpp.o.d"
+  "CMakeFiles/astro_spectra.dir/normalize.cpp.o"
+  "CMakeFiles/astro_spectra.dir/normalize.cpp.o.d"
+  "CMakeFiles/astro_spectra.dir/sensors.cpp.o"
+  "CMakeFiles/astro_spectra.dir/sensors.cpp.o.d"
+  "libastro_spectra.a"
+  "libastro_spectra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astro_spectra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for astro_spectra.
+# This may be replaced when dependencies are built.

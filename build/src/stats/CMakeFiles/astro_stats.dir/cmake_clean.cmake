@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astro_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/astro_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/astro_stats.dir/mscale.cpp.o"
+  "CMakeFiles/astro_stats.dir/mscale.cpp.o.d"
+  "CMakeFiles/astro_stats.dir/rho.cpp.o"
+  "CMakeFiles/astro_stats.dir/rho.cpp.o.d"
+  "CMakeFiles/astro_stats.dir/rng.cpp.o"
+  "CMakeFiles/astro_stats.dir/rng.cpp.o.d"
+  "libastro_stats.a"
+  "libastro_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astro_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/net.cpp" "src/stream/CMakeFiles/astro_stream.dir/net.cpp.o" "gcc" "src/stream/CMakeFiles/astro_stream.dir/net.cpp.o.d"
+  "/root/repo/src/stream/source.cpp" "src/stream/CMakeFiles/astro_stream.dir/source.cpp.o" "gcc" "src/stream/CMakeFiles/astro_stream.dir/source.cpp.o.d"
+  "/root/repo/src/stream/split.cpp" "src/stream/CMakeFiles/astro_stream.dir/split.cpp.o" "gcc" "src/stream/CMakeFiles/astro_stream.dir/split.cpp.o.d"
+  "/root/repo/src/stream/tuple.cpp" "src/stream/CMakeFiles/astro_stream.dir/tuple.cpp.o" "gcc" "src/stream/CMakeFiles/astro_stream.dir/tuple.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/astro_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/astro_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/pca/CMakeFiles/astro_pca.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/astro_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

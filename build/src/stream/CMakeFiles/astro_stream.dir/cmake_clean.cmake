@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astro_stream.dir/net.cpp.o"
+  "CMakeFiles/astro_stream.dir/net.cpp.o.d"
+  "CMakeFiles/astro_stream.dir/source.cpp.o"
+  "CMakeFiles/astro_stream.dir/source.cpp.o.d"
+  "CMakeFiles/astro_stream.dir/split.cpp.o"
+  "CMakeFiles/astro_stream.dir/split.cpp.o.d"
+  "CMakeFiles/astro_stream.dir/tuple.cpp.o"
+  "CMakeFiles/astro_stream.dir/tuple.cpp.o.d"
+  "libastro_stream.a"
+  "libastro_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astro_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

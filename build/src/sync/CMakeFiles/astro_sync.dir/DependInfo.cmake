@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sync/controller.cpp" "src/sync/CMakeFiles/astro_sync.dir/controller.cpp.o" "gcc" "src/sync/CMakeFiles/astro_sync.dir/controller.cpp.o.d"
+  "/root/repo/src/sync/independence.cpp" "src/sync/CMakeFiles/astro_sync.dir/independence.cpp.o" "gcc" "src/sync/CMakeFiles/astro_sync.dir/independence.cpp.o.d"
+  "/root/repo/src/sync/pca_engine_op.cpp" "src/sync/CMakeFiles/astro_sync.dir/pca_engine_op.cpp.o" "gcc" "src/sync/CMakeFiles/astro_sync.dir/pca_engine_op.cpp.o.d"
+  "/root/repo/src/sync/snapshot_publisher.cpp" "src/sync/CMakeFiles/astro_sync.dir/snapshot_publisher.cpp.o" "gcc" "src/sync/CMakeFiles/astro_sync.dir/snapshot_publisher.cpp.o.d"
+  "/root/repo/src/sync/strategy.cpp" "src/sync/CMakeFiles/astro_sync.dir/strategy.cpp.o" "gcc" "src/sync/CMakeFiles/astro_sync.dir/strategy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stream/CMakeFiles/astro_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/pca/CMakeFiles/astro_pca.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/astro_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/astro_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/astro_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

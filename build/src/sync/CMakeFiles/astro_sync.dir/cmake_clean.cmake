@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astro_sync.dir/controller.cpp.o"
+  "CMakeFiles/astro_sync.dir/controller.cpp.o.d"
+  "CMakeFiles/astro_sync.dir/independence.cpp.o"
+  "CMakeFiles/astro_sync.dir/independence.cpp.o.d"
+  "CMakeFiles/astro_sync.dir/pca_engine_op.cpp.o"
+  "CMakeFiles/astro_sync.dir/pca_engine_op.cpp.o.d"
+  "CMakeFiles/astro_sync.dir/snapshot_publisher.cpp.o"
+  "CMakeFiles/astro_sync.dir/snapshot_publisher.cpp.o.d"
+  "CMakeFiles/astro_sync.dir/strategy.cpp.o"
+  "CMakeFiles/astro_sync.dir/strategy.cpp.o.d"
+  "libastro_sync.a"
+  "libastro_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astro_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/linalg/cholesky_test.cpp" "tests/CMakeFiles/test_linalg.dir/linalg/cholesky_test.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/cholesky_test.cpp.o.d"
+  "/root/repo/tests/linalg/eigen_sym_test.cpp" "tests/CMakeFiles/test_linalg.dir/linalg/eigen_sym_test.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/eigen_sym_test.cpp.o.d"
+  "/root/repo/tests/linalg/matrix_test.cpp" "tests/CMakeFiles/test_linalg.dir/linalg/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/matrix_test.cpp.o.d"
+  "/root/repo/tests/linalg/qr_test.cpp" "tests/CMakeFiles/test_linalg.dir/linalg/qr_test.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/qr_test.cpp.o.d"
+  "/root/repo/tests/linalg/svd_parallel_test.cpp" "tests/CMakeFiles/test_linalg.dir/linalg/svd_parallel_test.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/svd_parallel_test.cpp.o.d"
+  "/root/repo/tests/linalg/svd_test.cpp" "tests/CMakeFiles/test_linalg.dir/linalg/svd_test.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/svd_test.cpp.o.d"
+  "/root/repo/tests/linalg/tridiag_test.cpp" "tests/CMakeFiles/test_linalg.dir/linalg/tridiag_test.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/tridiag_test.cpp.o.d"
+  "/root/repo/tests/linalg/vector_test.cpp" "tests/CMakeFiles/test_linalg.dir/linalg/vector_test.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/vector_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/astro_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/spectra/CMakeFiles/astro_spectra.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/astro_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/astro_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/astro_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/astro_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/pca/CMakeFiles/astro_pca.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/astro_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/astro_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

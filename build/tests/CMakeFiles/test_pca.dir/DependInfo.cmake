@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pca/batch_pca_test.cpp" "tests/CMakeFiles/test_pca.dir/pca/batch_pca_test.cpp.o" "gcc" "tests/CMakeFiles/test_pca.dir/pca/batch_pca_test.cpp.o.d"
+  "/root/repo/tests/pca/eigensystem_test.cpp" "tests/CMakeFiles/test_pca.dir/pca/eigensystem_test.cpp.o" "gcc" "tests/CMakeFiles/test_pca.dir/pca/eigensystem_test.cpp.o.d"
+  "/root/repo/tests/pca/engine_sweep_test.cpp" "tests/CMakeFiles/test_pca.dir/pca/engine_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/test_pca.dir/pca/engine_sweep_test.cpp.o.d"
+  "/root/repo/tests/pca/gap_fill_test.cpp" "tests/CMakeFiles/test_pca.dir/pca/gap_fill_test.cpp.o" "gcc" "tests/CMakeFiles/test_pca.dir/pca/gap_fill_test.cpp.o.d"
+  "/root/repo/tests/pca/incremental_pca_test.cpp" "tests/CMakeFiles/test_pca.dir/pca/incremental_pca_test.cpp.o" "gcc" "tests/CMakeFiles/test_pca.dir/pca/incremental_pca_test.cpp.o.d"
+  "/root/repo/tests/pca/merge_property_test.cpp" "tests/CMakeFiles/test_pca.dir/pca/merge_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_pca.dir/pca/merge_property_test.cpp.o.d"
+  "/root/repo/tests/pca/merge_test.cpp" "tests/CMakeFiles/test_pca.dir/pca/merge_test.cpp.o" "gcc" "tests/CMakeFiles/test_pca.dir/pca/merge_test.cpp.o.d"
+  "/root/repo/tests/pca/robust_eigenvalues_test.cpp" "tests/CMakeFiles/test_pca.dir/pca/robust_eigenvalues_test.cpp.o" "gcc" "tests/CMakeFiles/test_pca.dir/pca/robust_eigenvalues_test.cpp.o.d"
+  "/root/repo/tests/pca/robust_pca_test.cpp" "tests/CMakeFiles/test_pca.dir/pca/robust_pca_test.cpp.o" "gcc" "tests/CMakeFiles/test_pca.dir/pca/robust_pca_test.cpp.o.d"
+  "/root/repo/tests/pca/robustness_hardening_test.cpp" "tests/CMakeFiles/test_pca.dir/pca/robustness_hardening_test.cpp.o" "gcc" "tests/CMakeFiles/test_pca.dir/pca/robustness_hardening_test.cpp.o.d"
+  "/root/repo/tests/pca/subspace_test.cpp" "tests/CMakeFiles/test_pca.dir/pca/subspace_test.cpp.o" "gcc" "tests/CMakeFiles/test_pca.dir/pca/subspace_test.cpp.o.d"
+  "/root/repo/tests/pca/windowed_test.cpp" "tests/CMakeFiles/test_pca.dir/pca/windowed_test.cpp.o" "gcc" "tests/CMakeFiles/test_pca.dir/pca/windowed_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/astro_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/spectra/CMakeFiles/astro_spectra.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/astro_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/astro_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/astro_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/astro_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/pca/CMakeFiles/astro_pca.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/astro_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/astro_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pca.dir/pca/batch_pca_test.cpp.o"
+  "CMakeFiles/test_pca.dir/pca/batch_pca_test.cpp.o.d"
+  "CMakeFiles/test_pca.dir/pca/eigensystem_test.cpp.o"
+  "CMakeFiles/test_pca.dir/pca/eigensystem_test.cpp.o.d"
+  "CMakeFiles/test_pca.dir/pca/engine_sweep_test.cpp.o"
+  "CMakeFiles/test_pca.dir/pca/engine_sweep_test.cpp.o.d"
+  "CMakeFiles/test_pca.dir/pca/gap_fill_test.cpp.o"
+  "CMakeFiles/test_pca.dir/pca/gap_fill_test.cpp.o.d"
+  "CMakeFiles/test_pca.dir/pca/incremental_pca_test.cpp.o"
+  "CMakeFiles/test_pca.dir/pca/incremental_pca_test.cpp.o.d"
+  "CMakeFiles/test_pca.dir/pca/merge_property_test.cpp.o"
+  "CMakeFiles/test_pca.dir/pca/merge_property_test.cpp.o.d"
+  "CMakeFiles/test_pca.dir/pca/merge_test.cpp.o"
+  "CMakeFiles/test_pca.dir/pca/merge_test.cpp.o.d"
+  "CMakeFiles/test_pca.dir/pca/robust_eigenvalues_test.cpp.o"
+  "CMakeFiles/test_pca.dir/pca/robust_eigenvalues_test.cpp.o.d"
+  "CMakeFiles/test_pca.dir/pca/robust_pca_test.cpp.o"
+  "CMakeFiles/test_pca.dir/pca/robust_pca_test.cpp.o.d"
+  "CMakeFiles/test_pca.dir/pca/robustness_hardening_test.cpp.o"
+  "CMakeFiles/test_pca.dir/pca/robustness_hardening_test.cpp.o.d"
+  "CMakeFiles/test_pca.dir/pca/subspace_test.cpp.o"
+  "CMakeFiles/test_pca.dir/pca/subspace_test.cpp.o.d"
+  "CMakeFiles/test_pca.dir/pca/windowed_test.cpp.o"
+  "CMakeFiles/test_pca.dir/pca/windowed_test.cpp.o.d"
+  "test_pca"
+  "test_pca.pdb"
+  "test_pca[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

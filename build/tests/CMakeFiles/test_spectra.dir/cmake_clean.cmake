@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spectra.dir/spectra/generator_test.cpp.o"
+  "CMakeFiles/test_spectra.dir/spectra/generator_test.cpp.o.d"
+  "CMakeFiles/test_spectra.dir/spectra/normalize_test.cpp.o"
+  "CMakeFiles/test_spectra.dir/spectra/normalize_test.cpp.o.d"
+  "CMakeFiles/test_spectra.dir/spectra/sensors_test.cpp.o"
+  "CMakeFiles/test_spectra.dir/spectra/sensors_test.cpp.o.d"
+  "test_spectra"
+  "test_spectra.pdb"
+  "test_spectra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spectra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

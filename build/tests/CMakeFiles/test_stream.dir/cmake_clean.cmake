@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stream.dir/stream/net_test.cpp.o"
+  "CMakeFiles/test_stream.dir/stream/net_test.cpp.o.d"
+  "CMakeFiles/test_stream.dir/stream/operators_test.cpp.o"
+  "CMakeFiles/test_stream.dir/stream/operators_test.cpp.o.d"
+  "CMakeFiles/test_stream.dir/stream/pipeline_stress_test.cpp.o"
+  "CMakeFiles/test_stream.dir/stream/pipeline_stress_test.cpp.o.d"
+  "CMakeFiles/test_stream.dir/stream/queue_test.cpp.o"
+  "CMakeFiles/test_stream.dir/stream/queue_test.cpp.o.d"
+  "CMakeFiles/test_stream.dir/stream/split_test.cpp.o"
+  "CMakeFiles/test_stream.dir/stream/split_test.cpp.o.d"
+  "test_stream"
+  "test_stream.pdb"
+  "test_stream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

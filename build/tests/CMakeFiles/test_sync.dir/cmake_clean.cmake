@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sync.dir/sync/engine_sync_test.cpp.o"
+  "CMakeFiles/test_sync.dir/sync/engine_sync_test.cpp.o.d"
+  "CMakeFiles/test_sync.dir/sync/independence_test.cpp.o"
+  "CMakeFiles/test_sync.dir/sync/independence_test.cpp.o.d"
+  "CMakeFiles/test_sync.dir/sync/snapshot_publisher_test.cpp.o"
+  "CMakeFiles/test_sync.dir/sync/snapshot_publisher_test.cpp.o.d"
+  "CMakeFiles/test_sync.dir/sync/strategy_test.cpp.o"
+  "CMakeFiles/test_sync.dir/sync/strategy_test.cpp.o.d"
+  "test_sync"
+  "test_sync.pdb"
+  "test_sync[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
