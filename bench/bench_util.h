@@ -20,6 +20,45 @@ inline std::string csv_dir_from_args(int argc, char** argv) {
   return {};
 }
 
+/// Parses `--json <path>` from argv, falling back to `fallback` (benches
+/// default to a BENCH_*.json in the working directory so a plain run always
+/// leaves a machine-readable per-operator breakdown behind).
+inline std::string json_path_from_args(int argc, char** argv,
+                                       std::string fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return fallback;
+}
+
+/// Removes `--json <path>` from argv in place (google-benchmark's
+/// Initialize rejects flags it does not know) and returns the path, or
+/// `fallback` when the flag is absent.
+inline std::string take_json_arg(int& argc, char** argv,
+                                 std::string fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      std::string path = argv[i + 1];
+      for (int j = i + 2; j < argc; ++j) argv[j - 2] = argv[j];
+      argc -= 2;
+      return path;
+    }
+  }
+  return fallback;
+}
+
+/// Writes `content` to `path`, reporting the destination like CsvSeries.
+inline void write_json_file(const std::string& path,
+                            const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << content << '\n';
+  std::printf("[json] wrote %s (%zu bytes)\n", path.c_str(), content.size());
+}
+
 /// Accumulates rows and writes them as `<dir>/<name>.csv` on destruction
 /// (no-op when dir is empty).
 class CsvSeries {

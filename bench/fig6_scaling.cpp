@@ -15,12 +15,71 @@
 
 #include <cstdio>
 #include <cstring>
+#include <string>
 #include <vector>
 
+#include "app/pipeline.h"
 #include "bench/bench_util.h"
 #include "cluster/scaling_model.h"
+#include "stats/rng.h"
 
 using namespace astro::cluster;
+
+namespace {
+
+// Measured counterpart to the simulation: run the real in-process pipeline
+// at the paper's d = 250, p = 10 operating point for a few engine counts
+// and export every operator's counters/latency histograms through the
+// metrics registry.  Written as BENCH_fig6_operators.json (override with
+// --json <path>) so plots and regressions can consume the per-operator
+// breakdown the profiler tables in §III-D are built from.
+std::string run_measured_pipelines(const std::string& json_path) {
+  constexpr std::size_t kDim = 250;
+  constexpr std::size_t kTuples = 2000;
+  astro::stats::Rng rng(6201);
+  std::vector<astro::linalg::Vector> data;
+  data.reserve(kTuples);
+  for (std::size_t i = 0; i < kTuples; ++i) {
+    data.push_back(rng.gaussian_vector(kDim));
+  }
+
+  std::printf("\n=== Measured pipeline (real operators, d = 250, p = 10, "
+              "N = %zu) ===\n\n", kTuples);
+  std::printf("%8s %14s %12s\n", "engines", "split (t/s)", "sync rounds");
+
+  std::string json = "{\"dim\":250,\"rank\":10,\"tuples\":2000,\"runs\":[";
+  bool first = true;
+  for (std::size_t engines : {std::size_t(1), std::size_t(2), std::size_t(4)}) {
+    astro::app::PipelineConfig cfg;
+    cfg.pca.dim = kDim;
+    cfg.pca.rank = 10;
+    cfg.engines = engines;
+    cfg.sync_rate_hz = 2.0;  // the paper's 0.5 s throttle
+    cfg.metrics_sample_interval_seconds = 0.05;
+    astro::app::StreamingPcaPipeline p(cfg, data);
+    p.run();
+
+    double rounds = 0.0;
+    const auto snap = p.metrics_registry().snapshot();
+    if (const auto* ctl = snap.find_operator("sync-controller")) {
+      for (const auto& [k, v] : ctl->extras) {
+        if (k == "rounds") rounds = v;
+      }
+    }
+    std::printf("%8zu %14.0f %12.0f\n", engines, p.throughput(), rounds);
+
+    if (!first) json += ',';
+    first = false;
+    json += "{\"engines\":" + std::to_string(engines) + ",\"metrics\":";
+    json += p.metrics_json();  // already a JSON object: embed verbatim
+    json += '}';
+  }
+  json += "]}";
+  astro::bench::write_json_file(json_path, json);
+  return json;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   astro::bench::CsvSeries csv(astro::bench::csv_dir_from_args(argc, argv),
@@ -92,5 +151,8 @@ int main(int argc, char** argv) {
   const bool ok =
       lone_remote_slower && distributed_wins && peak_at_20 && single_plateaus;
   std::printf("\nVERDICT: %s\n", ok ? "REPRODUCED" : "NOT reproduced");
+
+  run_measured_pipelines(astro::bench::json_path_from_args(
+      argc, argv, "BENCH_fig6_operators.json"));
   return ok ? 0 : 1;
 }

@@ -45,8 +45,11 @@ void StreamingPcaPipeline::build(const PipelineConfig& config) {
   const std::size_t n = config.engines;
   exchange_ = std::make_shared<sync::StateExchange>(n);
 
-  // Data plane.
-  auto source_out = make_channel<DataTuple>(config.channel_capacity);
+  // Data plane.  Channels register their gauges with the registry under
+  // "chan.<from>-><to>" names.
+  auto source_out =
+      make_named_channel<DataTuple>("chan.source->split",
+                                    config.channel_capacity);
   if (generator_) {
     source_ = graph_.add<stream::GeneratorSource>(
         "source", std::move(generator_), source_out, config.source_rate);
@@ -55,24 +58,29 @@ void StreamingPcaPipeline::build(const PipelineConfig& config) {
         "source", std::move(replay_data_), std::move(replay_masks_),
         source_out, config.source_rate);
   }
+  registry_.add_operator("source", &source_->metrics(), {}, this);
 
   std::vector<stream::ChannelPtr<DataTuple>> engine_data;
   for (std::size_t i = 0; i < n; ++i) {
-    engine_data.push_back(make_channel<DataTuple>(config.channel_capacity));
+    engine_data.push_back(make_named_channel<DataTuple>(
+        "chan.split->pca-" + std::to_string(i), config.channel_capacity));
   }
   split_ = graph_.add<stream::SplitOperator>("split", source_out, engine_data,
                                              config.split,
                                              config.split_workers);
+  registry_.add_operator("split", &split_->metrics(), {}, this);
 
   // Control plane.  Even with sync disabled the engines need control ports
   // (they exit when both planes close), so the channels always exist.
   std::vector<stream::ChannelPtr<ControlTuple>> engine_control;
   for (std::size_t i = 0; i < n; ++i) {
-    engine_control.push_back(make_channel<ControlTuple>(256));
+    engine_control.push_back(make_named_channel<ControlTuple>(
+        "chan.router->pca-" + std::to_string(i), 256));
   }
 
   if (config.collect_outliers) {
-    outlier_channel_ = make_channel<DataTuple>(config.channel_capacity);
+    outlier_channel_ = make_named_channel<DataTuple>(
+        "chan.engines->outliers", config.channel_capacity);
   }
 
   const sync::IndependencePolicy policy(config.pca.alpha,
@@ -81,22 +89,48 @@ void StreamingPcaPipeline::build(const PipelineConfig& config) {
   for (std::size_t i = 0; i < n; ++i) {
     // Each engine needs a decorrelated init: seed nothing (deterministic
     // PCA), the random split already decorrelates partitions.
-    engines_.push_back(graph_.add<sync::PcaEngineOperator>(
+    auto* engine = graph_.add<sync::PcaEngineOperator>(
         "pca-" + std::to_string(i), int(i), config.pca, engine_data[i],
         engine_control[i], exchange_, engine_control, policy,
-        outlier_channel_));
+        outlier_channel_);
+    engines_.push_back(engine);
+    registry_.add_operator(
+        "pca-" + std::to_string(i), &engine->metrics(),
+        [engine] {
+          const sync::EngineStats s = engine->stats();
+          return std::vector<std::pair<std::string, double>>{
+              {"data_tuples", double(s.tuples)},
+              {"outliers", double(s.outliers)},
+              {"control_in", double(s.control_in)},
+              {"syncs_sent", double(s.syncs_sent)},
+              {"merges_applied", double(s.merges_applied)},
+              {"merges_skipped", double(s.merges_skipped)}};
+        },
+        this);
   }
 
   if (config.sync_rate_hz > 0.0 && n > 1) {
-    control_raw_ = make_channel<ControlTuple>(256);
-    auto throttled = make_channel<ControlTuple>(256);
+    control_raw_ =
+        make_named_channel<ControlTuple>("chan.controller->throttle", 256);
+    auto throttled =
+        make_named_channel<ControlTuple>("chan.throttle->router", 256);
     controller_ = graph_.add<sync::SyncController>(
         "sync-controller", sync::make_strategy(config.sync_strategy), n,
         control_raw_);
+    registry_.add_operator(
+        "sync-controller", &controller_->metrics(),
+        [c = controller_] {
+          return std::vector<std::pair<std::string, double>>{
+              {"rounds", double(c->rounds())}};
+        },
+        this);
     sync_throttle_ = graph_.add<stream::ThrottleOperator<ControlTuple>>(
         "sync-throttle", control_raw_, throttled, config.sync_rate_hz);
-    graph_.add<sync::ControlRouter>("control-router", throttled,
-                                    engine_control);
+    registry_.add_operator("sync-throttle", &sync_throttle_->metrics(), {},
+                           this);
+    auto* router = graph_.add<sync::ControlRouter>("control-router", throttled,
+                                                   engine_control);
+    registry_.add_operator("control-router", &router->metrics(), {}, this);
   } else {
     // No controller: close the control ports so engines can exit once the
     // data plane drains.
@@ -107,19 +141,33 @@ void StreamingPcaPipeline::build(const PipelineConfig& config) {
     outlier_sink_ =
         graph_.add<stream::CollectorSink<DataTuple>>("outliers",
                                                      outlier_channel_);
+    registry_.add_operator("outliers", &outlier_sink_->metrics(), {}, this);
   }
 
   if (config.snapshot_interval_seconds > 0.0) {
-    auto snapshot_channel = make_channel<sync::SnapshotTuple>(4096);
+    auto snapshot_channel = make_named_channel<sync::SnapshotTuple>(
+        "chan.snapshots->snapshot-log", 4096);
     snapshot_publisher_ = graph_.add<sync::SnapshotPublisher>(
         "snapshots", engines_, snapshot_channel,
         config.snapshot_interval_seconds);
+    registry_.add_operator("snapshots", &snapshot_publisher_->metrics(), {},
+                           this);
     snapshot_sink_ = graph_.add<stream::CollectorSink<sync::SnapshotTuple>>(
         "snapshot-log", snapshot_channel);
+    registry_.add_operator("snapshot-log", &snapshot_sink_->metrics(), {},
+                           this);
+  }
+
+  if (config.metrics_sample_interval_seconds > 0.0) {
+    metrics_sampler_ = std::make_unique<stream::MetricsSampler>(
+        registry_, config.metrics_sample_interval_seconds);
   }
 }
 
-void StreamingPcaPipeline::start() { graph_.start(); }
+void StreamingPcaPipeline::start() {
+  graph_.start();
+  if (metrics_sampler_) metrics_sampler_->start();
+}
 
 void StreamingPcaPipeline::wait() {
   // Natural completion order: source drains, split fans out and closes the
@@ -140,6 +188,8 @@ void StreamingPcaPipeline::wait() {
   if (outlier_channel_) outlier_channel_->close();
   if (snapshot_publisher_ != nullptr) snapshot_publisher_->request_stop();
   graph_.wait();
+  // Final profiler sample covers the fully drained state.
+  if (metrics_sampler_) metrics_sampler_->stop();
 }
 
 void StreamingPcaPipeline::run() {
@@ -150,6 +200,12 @@ void StreamingPcaPipeline::run() {
 void StreamingPcaPipeline::stop() {
   graph_.stop();
   if (control_raw_) control_raw_->close();
+}
+
+std::vector<stream::RegistrySnapshot> StreamingPcaPipeline::metrics_history()
+    const {
+  if (!metrics_sampler_) return {};
+  return metrics_sampler_->history();
 }
 
 pca::EigenSystem StreamingPcaPipeline::result() const {

@@ -14,10 +14,13 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "pca/robust_pca.h"
 #include "stream/graph.h"
+#include "stream/registry.h"
+#include "stream/sampler.h"
 #include "stream/sink.h"
 #include "stream/source.h"
 #include "stream/split.h"
@@ -45,6 +48,10 @@ struct PipelineConfig {
   /// > 0 runs a SnapshotPublisher sampling every engine at this interval —
   /// the in-flight results feed; read them with snapshots().
   double snapshot_interval_seconds = 0.0;
+  /// > 0 runs a background MetricsSampler snapshotting the pipeline's
+  /// metrics registry at this interval (the §III-D profiler loop); read the
+  /// history with metrics_history().
+  double metrics_sample_interval_seconds = 0.0;
 };
 
 class StreamingPcaPipeline {
@@ -97,10 +104,31 @@ class StreamingPcaPipeline {
   /// rate measured "at the operator splitting the stream").
   [[nodiscard]] double throughput() const;
 
+  /// The pipeline's metrics registry: every operator and channel is
+  /// registered by name at build time.  Snapshot/export at any point.
+  [[nodiscard]] const stream::MetricsRegistry& metrics_registry() const {
+    return registry_;
+  }
+  /// Per-operator/per-channel breakdown as JSON (registry.to_json()).
+  [[nodiscard]] std::string metrics_json() const { return registry_.to_json(); }
+  /// Periodic registry snapshots (empty unless
+  /// metrics_sample_interval_seconds > 0).  Safe to call mid-run.
+  [[nodiscard]] std::vector<stream::RegistrySnapshot> metrics_history() const;
+
  private:
   void build(const PipelineConfig& config);
+  template <typename T>
+  stream::ChannelPtr<T> make_named_channel(const std::string& name,
+                                           std::size_t capacity) {
+    auto ch = stream::make_channel<T>(capacity);
+    registry_.add_queue(name, *ch, this);
+    channels_.push_back(ch);  // keep gauges alive as long as the registry
+    return ch;
+  }
 
   PipelineConfig config_;
+  stream::MetricsRegistry registry_;
+  std::vector<std::shared_ptr<void>> channels_;
   stream::FlowGraph graph_;
   stream::Operator* source_ = nullptr;
   stream::SplitOperator* split_ = nullptr;
@@ -117,6 +145,9 @@ class StreamingPcaPipeline {
   stream::GeneratorSource::MaskedGenerator generator_;
   std::vector<linalg::Vector> replay_data_;
   std::vector<pca::PixelMask> replay_masks_;
+  // Declared last: destroyed (and therefore stopped/joined) before the
+  // registry and operators it samples.
+  std::unique_ptr<stream::MetricsSampler> metrics_sampler_;
 };
 
 }  // namespace astro::app

@@ -1,18 +1,34 @@
 #pragma once
 
-// Per-operator counters — the engine's equivalent of InfoSphere's profiler
-// ("the profiling tool measures the performance of each component and the
-// data channels traffic", §III-D).  Lock-free reads; safe to sample while
-// the operator runs.
+// Per-operator counters and latency histograms — the engine's equivalent of
+// InfoSphere's profiler ("the profiling tool measures the performance of
+// each component and the data channels traffic", §III-D).  Lock-free reads;
+// safe to sample while the operator runs.
+//
+// Everything here is relaxed-atomic and allocation-free so it can sit on
+// the tuple hot path.  start/stop are stored as nanoseconds-since-epoch in
+// atomics: the operator thread writes them while a sampler thread may call
+// elapsed_seconds() concurrently (plain TimePoints here used to be a data
+// race).
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 
+#include "stream/histogram.h"
+
 namespace astro::stream {
 
 class OperatorMetrics {
  public:
+  /// Monotonic now, nanoseconds since the steady_clock epoch.  The shared
+  /// timebase for mark_start/mark_stop and the latency histograms.
+  [[nodiscard]] static std::uint64_t now_ns() noexcept {
+    return std::uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now().time_since_epoch())
+                             .count());
+  }
+
   void record_in(std::size_t bytes = 0) noexcept {
     tuples_in_.fetch_add(1, std::memory_order_relaxed);
     bytes_in_.fetch_add(bytes, std::memory_order_relaxed);
@@ -25,8 +41,23 @@ class OperatorMetrics {
     dropped_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  void mark_start() noexcept { start_ = Clock::now(); }
-  void mark_stop() noexcept { stop_ = Clock::now(); }
+  /// Per-tuple processing time (the work between taking a tuple and being
+  /// ready to emit/absorb the next one).
+  void record_proc_ns(std::uint64_t ns) noexcept { proc_.record(ns); }
+  /// Time spent inside a (possibly blocking) downstream push.
+  void record_push_wait_ns(std::uint64_t ns) noexcept { push_wait_.record(ns); }
+  /// Time spent waiting for input (blocking pop / timed-pop cycles).
+  void record_pop_wait_ns(std::uint64_t ns) noexcept { pop_wait_.record(ns); }
+
+  void mark_start() noexcept {
+    // Clear any previous stop first so a restarted operator measures to
+    // "now" again instead of to the stale stop timestamp.
+    stop_ns_.store(0, std::memory_order_relaxed);
+    start_ns_.store(now_ns(), std::memory_order_relaxed);
+  }
+  void mark_stop() noexcept {
+    stop_ns_.store(now_ns(), std::memory_order_relaxed);
+  }
 
   [[nodiscard]] std::uint64_t tuples_in() const noexcept {
     return tuples_in_.load(std::memory_order_relaxed);
@@ -44,10 +75,24 @@ class OperatorMetrics {
     return dropped_.load(std::memory_order_relaxed);
   }
 
+  [[nodiscard]] const LatencyHistogram& proc_histogram() const noexcept {
+    return proc_;
+  }
+  [[nodiscard]] const LatencyHistogram& push_wait_histogram() const noexcept {
+    return push_wait_;
+  }
+  [[nodiscard]] const LatencyHistogram& pop_wait_histogram() const noexcept {
+    return pop_wait_;
+  }
+
   /// Wall seconds between mark_start and mark_stop (or now if running).
+  /// Safe to call from any thread while the operator runs.
   [[nodiscard]] double elapsed_seconds() const noexcept {
-    const auto end = (stop_ == TimePoint{}) ? Clock::now() : stop_;
-    return std::chrono::duration<double>(end - start_).count();
+    const std::uint64_t start = start_ns_.load(std::memory_order_relaxed);
+    if (start == 0) return 0.0;
+    std::uint64_t end = stop_ns_.load(std::memory_order_relaxed);
+    if (end == 0) end = now_ns();
+    return end > start ? double(end - start) * 1e-9 : 0.0;
   }
 
   /// Output tuples per elapsed second.
@@ -57,16 +102,16 @@ class OperatorMetrics {
   }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  using TimePoint = Clock::time_point;
-
   std::atomic<std::uint64_t> tuples_in_{0};
   std::atomic<std::uint64_t> tuples_out_{0};
   std::atomic<std::uint64_t> bytes_in_{0};
   std::atomic<std::uint64_t> bytes_out_{0};
   std::atomic<std::uint64_t> dropped_{0};
-  TimePoint start_{};
-  TimePoint stop_{};
+  std::atomic<std::uint64_t> start_ns_{0};
+  std::atomic<std::uint64_t> stop_ns_{0};
+  LatencyHistogram proc_;
+  LatencyHistogram push_wait_;
+  LatencyHistogram pop_wait_;
 };
 
 }  // namespace astro::stream

@@ -6,20 +6,48 @@
 // how the engine "matches the processing capacity of each PCA engine"),
 // pop blocks until data or close.  close() drains: consumers keep popping
 // what remains, then receive false.
+//
+// Lock/notify discipline (audited): every mutator releases the mutex
+// *before* notifying so a woken waiter never immediately blocks on the
+// still-held lock.  push/pop notify after unlock; try_push/try_pop scope
+// the lock and notify outside it; close() likewise notifies after its
+// critical section.
+//
+// The channel also carries its own gauges (depth, high watermark, traffic
+// and blocking counters) so a metrics sampler can observe "the data
+// channels traffic" (paper §III-D) without touching the queue lock: gauges
+// are relaxed atomics updated while the mutex is held.
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
 
 namespace astro::stream {
 
+/// Channel gauges, sampled lock-free by observers.  `pushed`/`popped` count
+/// successful operations only, so `pushed - popped == depth` at all times.
+struct QueueGauges {
+  std::atomic<std::uint64_t> pushed{0};
+  std::atomic<std::uint64_t> popped{0};
+  std::atomic<std::uint64_t> rejected{0};      ///< pushes refused (closed/full)
+  std::atomic<std::uint64_t> push_blocked{0};  ///< pushes that had to wait
+  std::atomic<std::uint64_t> pop_blocked{0};   ///< pops that had to wait
+  std::atomic<std::size_t> depth{0};
+  std::atomic<std::size_t> high_watermark{0};
+  std::size_t capacity = 0;
+};
+
 template <typename T>
 class BoundedQueue {
  public:
-  explicit BoundedQueue(std::size_t capacity = 1024) : capacity_(capacity) {}
+  explicit BoundedQueue(std::size_t capacity = 1024) : capacity_(capacity) {
+    gauges_.capacity = capacity_;
+  }
 
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
@@ -27,9 +55,16 @@ class BoundedQueue {
   /// Blocks while full.  Returns false (drops the tuple) once closed.
   bool push(T item) {
     std::unique_lock lock(mutex_);
-    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
-    if (closed_) return false;
+    if (items_.size() >= capacity_ && !closed_) {
+      gauges_.push_blocked.fetch_add(1, std::memory_order_relaxed);
+      not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+    }
+    if (closed_) {
+      gauges_.rejected.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
     items_.push_back(std::move(item));
+    note_depth_locked();
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -40,8 +75,12 @@ class BoundedQueue {
   bool try_push(T& item) {
     {
       std::lock_guard lock(mutex_);
-      if (closed_ || items_.size() >= capacity_) return false;
+      if (closed_ || items_.size() >= capacity_) {
+        gauges_.rejected.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
       items_.push_back(std::move(item));
+      note_depth_locked();
     }
     not_empty_.notify_one();
     return true;
@@ -50,26 +89,36 @@ class BoundedQueue {
   /// Blocks until an item or close+empty.  Returns false on exhausted close.
   bool pop(T& out) {
     std::unique_lock lock(mutex_);
-    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty() && !closed_) {
+      gauges_.pop_blocked.fetch_add(1, std::memory_order_relaxed);
+      not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    }
     if (items_.empty()) return false;
     out = std::move(items_.front());
     items_.pop_front();
+    note_pop_locked();
     lock.unlock();
     not_full_.notify_one();
     return true;
   }
 
   /// Pop with a deadline.  Returns false on timeout or exhausted close.
+  /// Samplers and drain loops use this so shutdown never hangs on a
+  /// quiesced pipeline.
   template <typename Rep, typename Period>
   bool pop_for(T& out, std::chrono::duration<Rep, Period> timeout) {
     std::unique_lock lock(mutex_);
-    if (!not_empty_.wait_for(lock, timeout,
-                             [&] { return !items_.empty() || closed_; })) {
-      return false;
+    if (items_.empty() && !closed_) {
+      gauges_.pop_blocked.fetch_add(1, std::memory_order_relaxed);
+      if (!not_empty_.wait_for(lock, timeout,
+                               [&] { return !items_.empty() || closed_; })) {
+        return false;
+      }
     }
     if (items_.empty()) return false;
     out = std::move(items_.front());
     items_.pop_front();
+    note_pop_locked();
     lock.unlock();
     not_full_.notify_one();
     return true;
@@ -83,6 +132,7 @@ class BoundedQueue {
       if (items_.empty()) return out;
       out = std::move(items_.front());
       items_.pop_front();
+      note_pop_locked();
     }
     not_full_.notify_one();
     return out;
@@ -110,13 +160,32 @@ class BoundedQueue {
 
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
+  /// Live channel gauges; safe to read from any thread without the lock.
+  [[nodiscard]] const QueueGauges& gauges() const noexcept { return gauges_; }
+
  private:
+  // Both helpers run with mutex_ held, so the read-modify-write on the
+  // high watermark cannot race another writer; readers load relaxed.
+  void note_depth_locked() noexcept {
+    const std::size_t d = items_.size();
+    gauges_.pushed.fetch_add(1, std::memory_order_relaxed);
+    gauges_.depth.store(d, std::memory_order_relaxed);
+    if (d > gauges_.high_watermark.load(std::memory_order_relaxed)) {
+      gauges_.high_watermark.store(d, std::memory_order_relaxed);
+    }
+  }
+  void note_pop_locked() noexcept {
+    gauges_.popped.fetch_add(1, std::memory_order_relaxed);
+    gauges_.depth.store(items_.size(), std::memory_order_relaxed);
+  }
+
   const std::size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<T> items_;
   bool closed_ = false;
+  QueueGauges gauges_;
 };
 
 }  // namespace astro::stream

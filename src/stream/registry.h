@@ -1,0 +1,120 @@
+#pragma once
+
+// MetricsRegistry — the process-wide profiler surface (paper §III-D: "the
+// profiling tool measures the performance of each component and the data
+// channels traffic").
+//
+// Operators register their OperatorMetrics by name; channels register their
+// QueueGauges.  A registration is a non-owning pointer plus an `owner` tag:
+// whoever registered a group of entries (a pipeline, a bench harness)
+// removes them with remove_owner() before the underlying objects die.
+// snapshot() produces a plain-data RegistrySnapshot, and to_json() renders
+// it — the per-operator breakdown the benches emit next to their CSV rows.
+//
+// Snapshots never block the hot path: entry-list mutation takes the
+// registry mutex, but reading counters/histograms is relaxed-atomic.
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stream/histogram.h"
+#include "stream/metrics.h"
+#include "stream/queue.h"
+
+namespace astro::stream {
+
+/// One operator's state at one instant.
+struct OperatorSnapshot {
+  std::string name;
+  std::uint64_t tuples_in = 0;
+  std::uint64_t tuples_out = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t dropped = 0;
+  double elapsed_seconds = 0.0;
+  double throughput = 0.0;
+  HistogramSnapshot proc_ns;
+  HistogramSnapshot push_wait_ns;
+  HistogramSnapshot pop_wait_ns;
+  /// Operator-specific labeled counters (sync rounds, merges applied, ...).
+  std::vector<std::pair<std::string, double>> extras;
+};
+
+/// One channel's state at one instant.
+struct QueueSnapshot {
+  std::string name;
+  std::size_t depth = 0;
+  std::size_t capacity = 0;
+  std::size_t high_watermark = 0;
+  std::uint64_t pushed = 0;
+  std::uint64_t popped = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t push_blocked = 0;
+  std::uint64_t pop_blocked = 0;
+};
+
+struct RegistrySnapshot {
+  std::int64_t timestamp_ns = 0;  ///< steady-clock sample time
+  std::vector<OperatorSnapshot> operators;
+  std::vector<QueueSnapshot> queues;
+
+  [[nodiscard]] const OperatorSnapshot* find_operator(
+      const std::string& name) const;
+  [[nodiscard]] const QueueSnapshot* find_queue(const std::string& name) const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Sampled at snapshot time to surface operator-specific counters.
+  using Extras = std::function<std::vector<std::pair<std::string, double>>()>;
+
+  void add_operator(std::string name, const OperatorMetrics* metrics,
+                    Extras extras = {}, const void* owner = nullptr);
+
+  template <typename T>
+  void add_queue(std::string name, const BoundedQueue<T>& queue,
+                 const void* owner = nullptr) {
+    add_queue_gauges(std::move(name), &queue.gauges(), owner);
+  }
+  void add_queue_gauges(std::string name, const QueueGauges* gauges,
+                        const void* owner = nullptr);
+
+  /// Drops every entry registered under `owner` (nullptr drops the
+  /// anonymous ones).  Call before the registered objects are destroyed.
+  void remove_owner(const void* owner);
+  void clear();
+
+  [[nodiscard]] std::size_t operator_count() const;
+  [[nodiscard]] std::size_t queue_count() const;
+
+  [[nodiscard]] RegistrySnapshot snapshot() const;
+  [[nodiscard]] std::string to_json() const { return snapshot().to_json(); }
+
+  /// The process-wide registry (benches, ad-hoc harnesses).  Pipelines own
+  /// their own instance so concurrent pipelines never collide on names.
+  static MetricsRegistry& global();
+
+ private:
+  struct OpEntry {
+    std::string name;
+    const OperatorMetrics* metrics;
+    Extras extras;
+    const void* owner;
+  };
+  struct QueueEntry {
+    std::string name;
+    const QueueGauges* gauges;
+    const void* owner;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<OpEntry> ops_;
+  std::vector<QueueEntry> queues_;
+};
+
+}  // namespace astro::stream

@@ -1,0 +1,60 @@
+#include "stream/sampler.h"
+
+#include <chrono>
+
+namespace astro::stream {
+
+MetricsSampler::MetricsSampler(const MetricsRegistry& registry,
+                               double interval_seconds,
+                               std::size_t max_history)
+    : registry_(registry),
+      interval_seconds_(interval_seconds > 0.0 ? interval_seconds : 0.001),
+      max_history_(max_history == 0 ? 1 : max_history) {}
+
+MetricsSampler::~MetricsSampler() { stop(); }
+
+void MetricsSampler::start() {
+  if (thread_.joinable()) return;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void MetricsSampler::stop() {
+  wake_.close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void MetricsSampler::loop() {
+  const auto interval = std::chrono::duration<double>(interval_seconds_);
+  for (;;) {
+    int token = 0;
+    // Timed pop: wakes on the sample period, or immediately when stop()
+    // closes the channel — shutdown never waits out a full interval.
+    const bool woke = wake_.pop_for(token, interval);
+    take_sample();
+    if (woke || wake_.closed()) break;
+  }
+}
+
+void MetricsSampler::take_sample() {
+  RegistrySnapshot snap = registry_.snapshot();
+  std::lock_guard lock(mutex_);
+  history_.push_back(std::move(snap));
+  while (history_.size() > max_history_) history_.pop_front();
+}
+
+std::vector<RegistrySnapshot> MetricsSampler::history() const {
+  std::lock_guard lock(mutex_);
+  return {history_.begin(), history_.end()};
+}
+
+RegistrySnapshot MetricsSampler::latest() const {
+  std::lock_guard lock(mutex_);
+  return history_.empty() ? RegistrySnapshot{} : history_.back();
+}
+
+std::size_t MetricsSampler::samples_taken() const {
+  std::lock_guard lock(mutex_);
+  return history_.size();
+}
+
+}  // namespace astro::stream

@@ -1,0 +1,56 @@
+#pragma once
+
+// MetricsSampler — the background profiler thread: periodically snapshots a
+// MetricsRegistry into a bounded history ring, the moral equivalent of
+// InfoSphere's profiler polling each component (§III-D).
+//
+// The inter-sample wait is a timed pop (BoundedQueue::pop_for) on a wake
+// channel rather than a bare sleep: stop() closes the channel, so shutdown
+// is prompt even when the pipeline is fully quiesced and no sample period
+// would otherwise elapse.
+
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "stream/queue.h"
+#include "stream/registry.h"
+
+namespace astro::stream {
+
+class MetricsSampler {
+ public:
+  /// Samples `registry` every `interval_seconds`, keeping the most recent
+  /// `max_history` snapshots.  The registry must outlive the sampler.
+  MetricsSampler(const MetricsRegistry& registry, double interval_seconds,
+                 std::size_t max_history = 512);
+  ~MetricsSampler();
+
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  /// Launches the sampler thread (idempotent).
+  void start();
+  /// Takes one final snapshot, then stops and joins the thread (idempotent).
+  void stop();
+
+  [[nodiscard]] std::vector<RegistrySnapshot> history() const;
+  /// Most recent snapshot; empty RegistrySnapshot if none taken yet.
+  [[nodiscard]] RegistrySnapshot latest() const;
+  [[nodiscard]] std::size_t samples_taken() const;
+
+ private:
+  void loop();
+  void take_sample();
+
+  const MetricsRegistry& registry_;
+  double interval_seconds_;
+  std::size_t max_history_;
+  BoundedQueue<int> wake_{1};  // closed by stop(); loop waits with pop_for
+  std::thread thread_;
+  mutable std::mutex mutex_;
+  std::deque<RegistrySnapshot> history_;
+};
+
+}  // namespace astro::stream

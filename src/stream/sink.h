@@ -30,10 +30,17 @@ class CollectorSink final : public Operator {
  protected:
   void run() override {
     T item;
+    std::uint64_t t_prev = OperatorMetrics::now_ns();
     while (!stop_requested() && in_->pop(item)) {
+      const std::uint64_t t_popped = OperatorMetrics::now_ns();
+      metrics_.record_pop_wait_ns(t_popped - t_prev);
       metrics_.record_in();
-      std::lock_guard lock(mutex_);
-      items_.push_back(std::move(item));
+      {
+        std::lock_guard lock(mutex_);
+        items_.push_back(std::move(item));
+      }
+      t_prev = OperatorMetrics::now_ns();
+      metrics_.record_proc_ns(t_prev - t_popped);
     }
     set_stop_reason(stop_requested() ? StopReason::kRequested
                                      : StopReason::kUpstreamClosed);
@@ -58,9 +65,14 @@ class CallbackSink final : public Operator {
  protected:
   void run() override {
     T item;
+    std::uint64_t t_prev = OperatorMetrics::now_ns();
     while (!stop_requested() && in_->pop(item)) {
+      const std::uint64_t t_popped = OperatorMetrics::now_ns();
+      metrics_.record_pop_wait_ns(t_popped - t_prev);
       metrics_.record_in();
       cb_(item);
+      t_prev = OperatorMetrics::now_ns();
+      metrics_.record_proc_ns(t_prev - t_popped);
     }
     set_stop_reason(stop_requested() ? StopReason::kRequested
                                      : StopReason::kUpstreamClosed);

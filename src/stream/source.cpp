@@ -19,11 +19,13 @@ void GeneratorSource::run() {
   std::uint64_t seq = 0;
 
   while (!stop_requested()) {
+    const std::uint64_t t_gen = OperatorMetrics::now_ns();
     std::optional<SourceItem> next = gen_();
     if (!next.has_value()) {
       set_stop_reason(StopReason::kUpstreamClosed);
       break;
     }
+    metrics_.record_proc_ns(OperatorMetrics::now_ns() - t_gen);
     if (max_rate_ > 0.0) {
       // Pace emission so seq/elapsed never exceeds max_rate.
       const auto due =
@@ -37,10 +39,12 @@ void GeneratorSource::run() {
     t.values = std::move(next->values);
     t.mask = std::move(next->mask);
     const std::size_t bytes = t.wire_bytes();
+    const std::uint64_t t_push = OperatorMetrics::now_ns();
     if (!out_->push(std::move(t))) {
       set_stop_reason(StopReason::kUpstreamClosed);
       break;
     }
+    metrics_.record_push_wait_ns(OperatorMetrics::now_ns() - t_push);
     metrics_.record_out(bytes);
   }
   if (stop_requested()) set_stop_reason(StopReason::kRequested);
@@ -57,13 +61,17 @@ void ReplaySource::run() {
                         std::chrono::duration<double>(double(i) / max_rate_));
       std::this_thread::sleep_until(due);
     }
+    const std::uint64_t t_build = OperatorMetrics::now_ns();
     DataTuple t;
     t.seq = i;
     t.timestamp_us = now_us();
     t.values = data_[i];
     if (i < masks_.size()) t.mask = masks_[i];
     const std::size_t bytes = t.wire_bytes();
+    const std::uint64_t t_push = OperatorMetrics::now_ns();
+    metrics_.record_proc_ns(t_push - t_build);
     if (!out_->push(std::move(t))) break;
+    metrics_.record_push_wait_ns(OperatorMetrics::now_ns() - t_push);
     metrics_.record_out(bytes);
   }
   if (stop_requested()) set_stop_reason(StopReason::kRequested);

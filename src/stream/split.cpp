@@ -55,9 +55,14 @@ void SplitOperator::worker_loop(std::size_t worker_index) {
   std::size_t rr_state = worker_index;
 
   DataTuple t;
+  std::uint64_t t_prev = OperatorMetrics::now_ns();
   while (!stop_requested() && in_->pop(t)) {
+    const std::uint64_t t_popped = OperatorMetrics::now_ns();
+    metrics_.record_pop_wait_ns(t_popped - t_prev);
     metrics_.record_in(t.wire_bytes());
     std::size_t target = choose_target(rng, rr_state);
+    const std::uint64_t t_routed = OperatorMetrics::now_ns();
+    metrics_.record_proc_ns(t_routed - t_popped);
 
     // Non-blocking first: a full target means a slow engine; reroute to the
     // least loaded queue rather than stall the whole stream.
@@ -75,9 +80,12 @@ void SplitOperator::worker_loop(std::size_t worker_index) {
       // Blocking push as last resort: backpressure all the way upstream.
       if (!outs_[target]->push(std::move(t))) {
         metrics_.record_dropped();
+        t_prev = OperatorMetrics::now_ns();
         continue;
       }
     }
+    t_prev = OperatorMetrics::now_ns();
+    metrics_.record_push_wait_ns(t_prev - t_routed);
     counts_[target].fetch_add(1, std::memory_order_relaxed);
     metrics_.record_out(bytes);
   }

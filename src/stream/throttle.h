@@ -33,7 +33,10 @@ class ThrottleOperator final : public Operator {
     std::uint64_t emitted = 0;
 
     T item;
+    std::uint64_t t_prev = OperatorMetrics::now_ns();
     while (!stop_requested() && in_->pop(item)) {
+      const std::uint64_t t_popped = OperatorMetrics::now_ns();
+      metrics_.record_pop_wait_ns(t_popped - t_prev);
       metrics_.record_in();
       if (rate_ > 0.0) {
         const auto due = started + std::chrono::duration_cast<Clock::duration>(
@@ -41,7 +44,12 @@ class ThrottleOperator final : public Operator {
                                            double(emitted) / rate_));
         std::this_thread::sleep_until(due);
       }
+      // The pacing sleep is deliberate delay, not blocking: only the push
+      // itself counts toward push_wait.
+      const std::uint64_t t_push = OperatorMetrics::now_ns();
       if (!out_->push(std::move(item))) break;
+      t_prev = OperatorMetrics::now_ns();
+      metrics_.record_push_wait_ns(t_prev - t_push);
       ++emitted;
       metrics_.record_out();
     }

@@ -27,12 +27,15 @@ void SyncController::run() {
   while (!stop_requested() && (max_rounds_ == 0 || epoch < max_rounds_)) {
     const auto cmds = strategy_->round(epoch, engines_);
     ++epoch;
+    rounds_.fetch_add(1, std::memory_order_relaxed);
     bool closed = false;
     for (const ControlTuple& cmd : cmds) {
+      const std::uint64_t t_push = stream::OperatorMetrics::now_ns();
       if (!out_->push(cmd)) {
         closed = true;
         break;
       }
+      metrics_.record_push_wait_ns(stream::OperatorMetrics::now_ns() - t_push);
       metrics_.record_out();
     }
     if (closed) break;
@@ -54,16 +57,23 @@ ControlRouter::ControlRouter(
 
 void ControlRouter::run() {
   ControlTuple cmd;
+  std::uint64_t t_prev = stream::OperatorMetrics::now_ns();
   while (!stop_requested() && in_->pop(cmd)) {
+    const std::uint64_t t_popped = stream::OperatorMetrics::now_ns();
+    metrics_.record_pop_wait_ns(t_popped - t_prev);
     metrics_.record_in();
     if (cmd.sender < 0 || std::size_t(cmd.sender) >= engines_.size()) {
       metrics_.record_dropped();
+      t_prev = t_popped;
       continue;
     }
     if (!engines_[std::size_t(cmd.sender)]->push(cmd)) {
       metrics_.record_dropped();
+      t_prev = stream::OperatorMetrics::now_ns();
       continue;
     }
+    t_prev = stream::OperatorMetrics::now_ns();
+    metrics_.record_push_wait_ns(t_prev - t_popped);
     metrics_.record_out();
   }
   for (auto& port : engines_) port->close();

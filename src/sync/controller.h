@@ -30,6 +30,11 @@ class SyncController final : public stream::Operator {
     return *strategy_;
   }
 
+  /// Sync rounds emitted so far (readable live from a sampler thread).
+  [[nodiscard]] std::uint64_t rounds() const noexcept {
+    return rounds_.load(std::memory_order_relaxed);
+  }
+
  protected:
   void run() override;
 
@@ -38,6 +43,7 @@ class SyncController final : public stream::Operator {
   std::size_t engines_;
   stream::ChannelPtr<stream::ControlTuple> out_;
   std::uint64_t max_rounds_;  // 0 = unbounded
+  std::atomic<std::uint64_t> rounds_{0};
 };
 
 /// Delivers each throttled control tuple to its *sender* engine's control

@@ -36,6 +36,7 @@ EngineStats PcaEngineOperator::stats() const {
 
 void PcaEngineOperator::handle_control(const ControlTuple& cmd) {
   std::lock_guard lock(state_mutex_);
+  ++stats_.control_in;
   if (cmd.sender == id_) {
     // Publish our state, then forward the command to the receiver — the
     // "network hop" that carries the eigensystem between instances.
@@ -96,11 +97,13 @@ void PcaEngineOperator::run() {
 
   while (!stop_requested()) {
     // Drain any pending control commands first: sync latency should not
-    // depend on data arrival.
+    // depend on data arrival.  Control traffic is tallied in EngineStats
+    // (control_in / syncs / merges); metrics_ counts the data plane only so
+    // registry-level conservation (engine tuples_in vs. split tuples_out)
+    // holds exactly.
     ControlTuple cmd;
     while (auto c = control_in_->try_pop()) {
       handle_control(*c);
-      metrics_.record_in();
     }
 
     if (!data_open) {
@@ -113,15 +116,17 @@ void PcaEngineOperator::run() {
         continue;
       }
       handle_control(cmd);
-      metrics_.record_in();
       continue;
     }
 
     DataTuple t;
+    const std::uint64_t t_pop = stream::OperatorMetrics::now_ns();
     if (!data_in_->pop_for(t, 1ms)) {
       if (data_in_->closed() && data_in_->size() == 0) data_open = false;
       continue;
     }
+    const std::uint64_t t_popped = stream::OperatorMetrics::now_ns();
+    metrics_.record_pop_wait_ns(t_popped - t_pop);
     metrics_.record_in(t.wire_bytes());
 
     pca::ObservationReport report;
@@ -133,9 +138,16 @@ void PcaEngineOperator::run() {
       ++since_last_sync_;
       if (report.outlier) ++stats_.outliers;
     }
+    // Per-tuple update cost — the paper's O(d p²) incremental step.
+    metrics_.record_proc_ns(stream::OperatorMetrics::now_ns() - t_popped);
     if (report.outlier && outlier_out_ != nullptr) {
       const std::size_t bytes = t.wire_bytes();
-      if (outlier_out_->push(std::move(t))) metrics_.record_out(bytes);
+      const std::uint64_t t_push = stream::OperatorMetrics::now_ns();
+      if (outlier_out_->push(std::move(t))) {
+        metrics_.record_push_wait_ns(stream::OperatorMetrics::now_ns() -
+                                     t_push);
+        metrics_.record_out(bytes);
+      }
     }
   }
   // Note: the outlier channel is shared by every engine; the pipeline (its

@@ -28,6 +28,7 @@ namespace astro::sync {
 struct EngineStats {
   std::uint64_t tuples = 0;            ///< data tuples absorbed
   std::uint64_t outliers = 0;          ///< observations flagged as outliers
+  std::uint64_t control_in = 0;        ///< control tuples handled
   std::uint64_t syncs_sent = 0;        ///< states published on command
   std::uint64_t merges_applied = 0;    ///< remote states merged in
   std::uint64_t merges_skipped = 0;    ///< blocked by the independence gate

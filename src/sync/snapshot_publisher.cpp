@@ -36,6 +36,7 @@ void SnapshotPublisher::run() {
             Clock::now().time_since_epoch())
             .count();
     for (PcaEngineOperator* engine : engines_) {
+      const std::uint64_t t_build = stream::OperatorMetrics::now_ns();
       const pca::EigenSystem state = engine->snapshot();
       if (!state.initialized()) continue;
       SnapshotTuple t;
@@ -46,11 +47,14 @@ void SnapshotPublisher::run() {
       t.sigma2 = state.sigma2();
       t.retained_variance = state.retained_variance();
       t.outliers = engine->stats().outliers;
+      const std::uint64_t t_push = stream::OperatorMetrics::now_ns();
+      metrics_.record_proc_ns(t_push - t_build);
       if (!out_->push(std::move(t))) {
         out_->close();
         set_stop_reason(stream::StopReason::kUpstreamClosed);
         return;
       }
+      metrics_.record_push_wait_ns(stream::OperatorMetrics::now_ns() - t_push);
       metrics_.record_out();
     }
   }

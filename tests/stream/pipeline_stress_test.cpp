@@ -2,10 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
+
 #include "app/pipeline.h"
 #include "pca/subspace.h"
 #include "stats/rng.h"
 #include "tests/pca/test_data.h"
+#include "tests/stream/json_mini.h"
 
 namespace astro::app {
 namespace {
@@ -117,6 +121,116 @@ TEST(PipelineStress, LeastLoadedSplitBalancesSlowEngine) {
   std::uint64_t total = 0;
   for (auto c : counts) total += c;
   EXPECT_EQ(total, 4000u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end metrics conservation: run a full pipeline (sync on, outliers
+// collected, tiny channels so backpressure actually fires), export the
+// registry as JSON, and check the tuple-accounting invariants hold exactly
+// across the parsed per-operator/per-channel breakdown.
+
+using astro::testing::JsonParser;
+using astro::testing::JsonValue;
+
+// Index the "operators"/"queues" arrays by name for invariant checks.
+std::map<std::string, const JsonValue*> index_by_name(const JsonValue& arr) {
+  std::map<std::string, const JsonValue*> out;
+  for (const JsonValue& entry : arr.array) out[entry.str("name")] = &entry;
+  return out;
+}
+
+TEST(PipelineStress, MetricsJsonConservationInvariants) {
+  constexpr std::size_t kEngines = 4;
+  constexpr std::size_t kTuples = 3000;
+
+  PipelineConfig cfg;
+  cfg.pca.dim = 12;
+  cfg.pca.rank = 2;
+  cfg.engines = kEngines;
+  cfg.channel_capacity = 8;  // small: push/pop waits show up in histograms
+  cfg.sync_rate_hz = 200.0;
+  cfg.independence_fallback = 100;
+  cfg.collect_outliers = true;
+  cfg.metrics_sample_interval_seconds = 0.005;
+
+  // Inject occasional large spikes so the robust weighting has outliers to
+  // reject (exercises the engines->outliers channel accounting too).
+  auto data = make_data(kTuples, 937);
+  for (std::size_t i = 50; i < data.size(); i += 50) {
+    for (std::size_t j = 0; j < data[i].size(); ++j) data[i][j] *= 25.0;
+  }
+
+  StreamingPcaPipeline p(cfg, data);
+  p.run();
+
+  const JsonValue root = JsonParser::parse(p.metrics_json());
+  ASSERT_TRUE(root.at("operators").is_array());
+  ASSERT_TRUE(root.at("queues").is_array());
+  const auto ops = index_by_name(root.at("operators"));
+  const auto queues = index_by_name(root.at("queues"));
+
+  ASSERT_TRUE(ops.count("source"));
+  ASSERT_TRUE(ops.count("split"));
+  ASSERT_TRUE(ops.count("outliers"));
+
+  // Source emitted the whole dataset; the splitter saw every one of them.
+  const double source_out = ops.at("source")->num("tuples_out");
+  const double split_in = ops.at("split")->num("tuples_in");
+  const double split_out = ops.at("split")->num("tuples_out");
+  const double split_dropped = ops.at("split")->num("dropped");
+  EXPECT_EQ(source_out, double(kTuples));
+  EXPECT_EQ(split_in, source_out);
+  EXPECT_EQ(split_out, split_in - split_dropped);
+
+  // Every tuple the splitter forwarded landed in exactly one engine, and
+  // every outlier an engine emitted reached the outlier sink.
+  double engines_in = 0.0;
+  double engines_out = 0.0;
+  for (std::size_t i = 0; i < kEngines; ++i) {
+    const std::string name = "pca-" + std::to_string(i);
+    ASSERT_TRUE(ops.count(name)) << name;
+    const JsonValue& e = *ops.at(name);
+    engines_in += e.num("tuples_in");
+    engines_out += e.num("tuples_out");
+    // The extras block mirrors EngineStats; data_tuples is the same count
+    // the data-plane metrics saw.
+    EXPECT_EQ(e.at("extras").num("data_tuples"), e.num("tuples_in")) << name;
+    // Per-tuple processing histogram covered every tuple.
+    EXPECT_EQ(e.at("proc_ns").num("count"), e.num("tuples_in")) << name;
+  }
+  EXPECT_EQ(engines_in, split_out);
+  EXPECT_EQ(ops.at("outliers")->num("tuples_in"), engines_out);
+
+  // Channel accounting: successful pushes minus pops equals residual depth
+  // (zero for the fully drained data channels), and the high watermark
+  // never exceeded capacity.
+  ASSERT_GE(queues.size(), 2 + kEngines);
+  for (const auto& [name, q] : queues) {
+    EXPECT_EQ(q->num("pushed") - q->num("popped"), q->num("depth")) << name;
+    EXPECT_LE(q->num("high_watermark"), q->num("capacity")) << name;
+  }
+  EXPECT_EQ(queues.at("chan.source->split")->num("depth"), 0.0);
+  for (std::size_t i = 0; i < kEngines; ++i) {
+    EXPECT_EQ(queues.at("chan.split->pca-" + std::to_string(i))->num("depth"),
+              0.0);
+  }
+  EXPECT_EQ(queues.at("chan.engines->outliers")->num("depth"), 0.0);
+
+  // The sync plane ran: the controller issued rounds and engines tallied
+  // control traffic outside the data-plane counters.
+  ASSERT_TRUE(ops.count("sync-controller"));
+  EXPECT_GT(ops.at("sync-controller")->at("extras").num("rounds"), 0.0);
+
+  // The background sampler collected history and its last snapshot agrees
+  // with the final export on the totals above.
+  const auto history = p.metrics_history();
+  ASSERT_FALSE(history.empty());
+  const auto* last_split = history.back().find_operator("split");
+  ASSERT_NE(last_split, nullptr);
+  EXPECT_EQ(double(last_split->tuples_in), split_in);
+  for (std::size_t i = 1; i < history.size(); ++i) {
+    EXPECT_GE(history[i].timestamp_ns, history[i - 1].timestamp_ns);
+  }
 }
 
 }  // namespace
