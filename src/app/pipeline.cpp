@@ -50,6 +50,7 @@ void StreamingPcaPipeline::build(const PipelineConfig& config) {
   auto source_out =
       make_named_channel<DataTuple>("chan.source->split",
                                     config.channel_capacity);
+  source_out_ = source_out;
   if (generator_) {
     source_ = graph_.add<stream::GeneratorSource>(
         "source", std::move(generator_), source_out, config.source_rate);
@@ -83,16 +84,28 @@ void StreamingPcaPipeline::build(const PipelineConfig& config) {
         "chan.engines->outliers", config.channel_capacity);
   }
 
+  // Recovery wiring.  A supervisor without checkpoints could only restart
+  // engines from scratch, so supervision forces a default interval.
+  std::uint64_t checkpoint_every = config.checkpoint_every_tuples;
+  if (config.supervise && checkpoint_every == 0) checkpoint_every = 256;
+  if (checkpoint_every > 0) {
+    checkpoint_store_ = std::make_shared<sync::CheckpointStore>();
+  }
+
   const sync::IndependencePolicy policy(config.pca.alpha,
                                         config.independence_factor,
                                         config.independence_fallback);
   for (std::size_t i = 0; i < n; ++i) {
+    sync::EngineFaultOptions fault_opts;
+    fault_opts.injector = config.fault_injector;
+    fault_opts.checkpoints = checkpoint_store_;
+    fault_opts.checkpoint_every = checkpoint_every;
     // Each engine needs a decorrelated init: seed nothing (deterministic
     // PCA), the random split already decorrelates partitions.
     auto* engine = graph_.add<sync::PcaEngineOperator>(
         "pca-" + std::to_string(i), int(i), config.pca, engine_data[i],
         engine_control[i], exchange_, engine_control, policy,
-        outlier_channel_);
+        outlier_channel_, std::move(fault_opts));
     engines_.push_back(engine);
     registry_.add_operator(
         "pca-" + std::to_string(i), &engine->metrics(),
@@ -104,7 +117,32 @@ void StreamingPcaPipeline::build(const PipelineConfig& config) {
               {"control_in", double(s.control_in)},
               {"syncs_sent", double(s.syncs_sent)},
               {"merges_applied", double(s.merges_applied)},
-              {"merges_skipped", double(s.merges_skipped)}};
+              {"merges_skipped", double(s.merges_skipped)},
+              {"partition_drops", double(s.partition_drops)},
+              {"restarts", double(s.restarts)},
+              {"replayed", double(s.replayed)}};
+        },
+        this);
+  }
+
+  if (config.supervise) {
+    supervisor_ = std::make_unique<sync::Supervisor>(
+        "supervisor", engines_, engine_data, engine_control,
+        config.supervisor);
+    registry_.add_operator(
+        "supervisor", &supervisor_->metrics(),
+        [sup = supervisor_.get(), store = checkpoint_store_,
+         engines = engines_] {
+          std::uint64_t replayed = 0;
+          for (const auto* e : engines) replayed += e->stats().replayed;
+          return std::vector<std::pair<std::string, double>>{
+              {"restarts", double(sup->total_restarts())},
+              {"abandoned", double(sup->abandoned())},
+              {"discarded_tuples", double(sup->discarded_tuples())},
+              {"replayed_tuples", double(replayed)},
+              {"checkpoints", double(store ? store->checkpoints_taken() : 0)},
+              {"checkpoint_bytes", double(store ? store->total_bytes() : 0)},
+              {"last_recovery_ms", double(sup->last_recovery_ns()) / 1e6}};
         },
         this);
   }
@@ -117,11 +155,20 @@ void StreamingPcaPipeline::build(const PipelineConfig& config) {
     controller_ = graph_.add<sync::SyncController>(
         "sync-controller", sync::make_strategy(config.sync_strategy), n,
         control_raw_);
+    if (supervisor_) {
+      // Degraded mode: merge rounds route around dead engines and fold a
+      // restarted engine's recovered state back in on rejoin.
+      controller_->set_liveness(
+          [sup = supervisor_.get()](std::size_t i) { return sup->alive(i); },
+          [sup = supervisor_.get()](std::size_t i) { return sup->restarts(i); });
+    }
     registry_.add_operator(
         "sync-controller", &controller_->metrics(),
         [c = controller_] {
           return std::vector<std::pair<std::string, double>>{
-              {"rounds", double(c->rounds())}};
+              {"rounds", double(c->rounds())},
+              {"skipped_dead", double(c->skipped_dead())},
+              {"rejoin_syncs", double(c->rejoin_syncs())}};
         },
         this);
     sync_throttle_ = graph_.add<stream::ThrottleOperator<ControlTuple>>(
@@ -166,6 +213,7 @@ void StreamingPcaPipeline::build(const PipelineConfig& config) {
 
 void StreamingPcaPipeline::start() {
   graph_.start();
+  if (supervisor_) supervisor_->start();
   if (metrics_sampler_) metrics_sampler_->start();
 }
 
@@ -183,6 +231,10 @@ void StreamingPcaPipeline::wait() {
     // backlog/rate seconds.
     sync_throttle_->request_stop();
   }
+  // The supervisor exits once every engine reaches kCompleted; joining it
+  // *before* the engines guarantees no restart is in flight while the
+  // engine joins below reap the final incarnations.
+  if (supervisor_) supervisor_->join();
   for (auto* e : engines_) e->join();
   // All producers of the shared outlier stream are done; release the sink.
   if (outlier_channel_) outlier_channel_->close();
@@ -199,6 +251,17 @@ void StreamingPcaPipeline::run() {
 
 void StreamingPcaPipeline::stop() {
   graph_.stop();
+  // FlowGraph::stop only raises flags; a producer parked inside a blocking
+  // push never rechecks them.  Close the channels such a producer could be
+  // stuck on: the source's output (the splitter exits without draining it,
+  // so nothing else would ever wake the source) and the shared outlier
+  // stream (its sink likewise exits on the flag alone).
+  if (source_out_) source_out_->close();
+  if (outlier_channel_) outlier_channel_->close();
+  // The supervisor is not in the graph; its stop path also closes and
+  // drains the ports of any still-crashed engine so the splitter cannot
+  // stay blocked on a consumer that will never return.
+  if (supervisor_) supervisor_->request_stop();
   if (control_raw_) control_raw_->close();
 }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "pca/robust_pca.h"
+#include "stream/fault.h"
 #include "stream/graph.h"
 #include "stream/registry.h"
 #include "stream/sampler.h"
@@ -25,9 +26,11 @@
 #include "stream/source.h"
 #include "stream/split.h"
 #include "stream/throttle.h"
+#include "sync/checkpoint_store.h"
 #include "sync/controller.h"
 #include "sync/pca_engine_op.h"
 #include "sync/snapshot_publisher.h"
+#include "sync/supervisor.h"
 
 namespace astro::app {
 
@@ -52,6 +55,19 @@ struct PipelineConfig {
   /// metrics registry at this interval (the §III-D profiler loop); read the
   /// history with metrics_history().
   double metrics_sample_interval_seconds = 0.0;
+  /// Fault schedule to run the pipeline against (tests / chaos drills).
+  /// Channel drop/delay hooks attach only to the channels the schedule
+  /// names; kill and partition events reach the engines directly.
+  std::shared_ptr<stream::FaultInjector> fault_injector;
+  /// > 0 checkpoints each engine every N applied tuples (enables the
+  /// write-ahead replay log).  0 with supervise=true defaults to 256 — a
+  /// supervisor without checkpoints could only restart engines from scratch.
+  std::uint64_t checkpoint_every_tuples = 0;
+  /// Runs a Supervisor watching engine heartbeats: a crashed engine is
+  /// restored from its last checkpoint (+ log replay) and restarted, and
+  /// the sync controller degrades to the surviving engines meanwhile.
+  bool supervise = false;
+  sync::SupervisorConfig supervisor;
 };
 
 class StreamingPcaPipeline {
@@ -115,12 +131,28 @@ class StreamingPcaPipeline {
   /// metrics_sample_interval_seconds > 0).  Safe to call mid-run.
   [[nodiscard]] std::vector<stream::RegistrySnapshot> metrics_history() const;
 
+  /// The supervisor (nullptr unless config.supervise).
+  [[nodiscard]] const sync::Supervisor* supervisor() const noexcept {
+    return supervisor_.get();
+  }
+  /// The checkpoint store (nullptr unless checkpointing is enabled).
+  [[nodiscard]] std::shared_ptr<sync::CheckpointStore> checkpoint_store()
+      const noexcept {
+    return checkpoint_store_;
+  }
+
  private:
   void build(const PipelineConfig& config);
   template <typename T>
   stream::ChannelPtr<T> make_named_channel(const std::string& name,
                                            std::size_t capacity) {
     auto ch = stream::make_channel<T>(capacity);
+    if (config_.fault_injector && config_.fault_injector->watches_channel(name)) {
+      ch->set_fault_hook(
+          [inj = config_.fault_injector, name](std::uint64_t attempt) {
+            return inj->on_push(name, attempt);
+          });
+    }
     registry_.add_queue(name, *ch, this);
     channels_.push_back(ch);  // keep gauges alive as long as the registry
     return ch;
@@ -131,6 +163,7 @@ class StreamingPcaPipeline {
   std::vector<std::shared_ptr<void>> channels_;
   stream::FlowGraph graph_;
   stream::Operator* source_ = nullptr;
+  stream::ChannelPtr<stream::DataTuple> source_out_;
   stream::SplitOperator* split_ = nullptr;
   sync::SyncController* controller_ = nullptr;
   stream::Operator* sync_throttle_ = nullptr;
@@ -141,6 +174,11 @@ class StreamingPcaPipeline {
   sync::SnapshotPublisher* snapshot_publisher_ = nullptr;
   stream::CollectorSink<sync::SnapshotTuple>* snapshot_sink_ = nullptr;
   std::shared_ptr<sync::StateExchange> exchange_;
+  std::shared_ptr<sync::CheckpointStore> checkpoint_store_;
+  // Not in the FlowGraph: the supervisor's thread dereferences engine
+  // pointers, so it must be stopped and joined *before* the graph destroys
+  // the operators — declared after graph_, its destructor runs first.
+  std::unique_ptr<sync::Supervisor> supervisor_;
   // Deferred-construction inputs.
   stream::GeneratorSource::MaskedGenerator generator_;
   std::vector<linalg::Vector> replay_data_;

@@ -1,0 +1,159 @@
+#include "stream/fault.h"
+
+namespace astro::stream {
+
+namespace {
+
+// splitmix64 — the stateless mixer behind the seeded random-drop decision.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_name(const std::string& s) {
+  std::uint64_t h = 0xCBF29CE484222325ull;  // FNV-1a
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+void FaultInjector::kill_engine(int engine, std::uint64_t after_tuples) {
+  std::lock_guard lock(mutex_);
+  kills_.push_back(KillEvent{engine, after_tuples, /*on_merge=*/false,
+                             /*fired=*/false});
+}
+
+void FaultInjector::kill_engine_on_merge(int engine,
+                                         std::uint64_t after_merges) {
+  std::lock_guard lock(mutex_);
+  kills_.push_back(KillEvent{engine, after_merges, /*on_merge=*/true,
+                             /*fired=*/false});
+}
+
+void FaultInjector::drop_on_channel(std::string channel,
+                                    std::uint64_t first_push,
+                                    std::uint64_t count) {
+  std::lock_guard lock(mutex_);
+  ChannelEvent e;
+  e.channel = std::move(channel);
+  e.action = FaultAction::kDrop;
+  e.first = first_push;
+  e.count = count;
+  channel_events_.push_back(std::move(e));
+}
+
+void FaultInjector::drop_randomly(std::string channel, double probability,
+                                  std::uint64_t max_drops) {
+  std::lock_guard lock(mutex_);
+  ChannelEvent e;
+  e.channel = std::move(channel);
+  e.action = FaultAction::kDrop;
+  e.probability = probability;
+  e.remaining = max_drops;
+  channel_events_.push_back(std::move(e));
+}
+
+void FaultInjector::delay_on_channel(std::string channel,
+                                     std::uint64_t first_push,
+                                     std::uint64_t count,
+                                     std::chrono::microseconds delay) {
+  std::lock_guard lock(mutex_);
+  ChannelEvent e;
+  e.channel = std::move(channel);
+  e.action = FaultAction::kDelay;
+  e.first = first_push;
+  e.count = count;
+  e.delay = delay;
+  channel_events_.push_back(std::move(e));
+}
+
+void FaultInjector::partition_link(int a, int b, std::uint64_t from_epoch,
+                                   std::uint64_t until_epoch,
+                                   bool bidirectional) {
+  std::lock_guard lock(mutex_);
+  partitions_.push_back(PartitionEvent{a, b, from_epoch, until_epoch});
+  if (bidirectional) {
+    partitions_.push_back(PartitionEvent{b, a, from_epoch, until_epoch});
+  }
+}
+
+bool FaultInjector::should_kill(int engine, std::uint64_t applied_tuples) {
+  std::lock_guard lock(mutex_);
+  for (KillEvent& k : kills_) {
+    if (k.on_merge || k.fired || k.engine != engine) continue;
+    if (applied_tuples >= k.at) {
+      k.fired = true;
+      kills_fired_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::should_kill_on_merge(int engine,
+                                         std::uint64_t merges_applied) {
+  std::lock_guard lock(mutex_);
+  for (KillEvent& k : kills_) {
+    if (!k.on_merge || k.fired || k.engine != engine) continue;
+    if (merges_applied >= k.at) {
+      k.fired = true;
+      kills_fired_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultDecision FaultInjector::on_push(const std::string& channel,
+                                     std::uint64_t attempt) {
+  std::lock_guard lock(mutex_);
+  for (ChannelEvent& e : channel_events_) {
+    if (e.channel != channel) continue;
+    if (e.probability > 0.0) {
+      if (e.remaining == 0) continue;
+      const std::uint64_t h = mix64(seed_ ^ hash_name(channel) ^ attempt);
+      const double u = double(h >> 11) * 0x1.0p-53;  // uniform in [0, 1)
+      if (u < e.probability) {
+        --e.remaining;
+        drops_injected_.fetch_add(1, std::memory_order_relaxed);
+        return FaultDecision{FaultAction::kDrop, {}};
+      }
+      continue;
+    }
+    if (attempt < e.first || attempt >= e.first + e.count) continue;
+    if (e.action == FaultAction::kDrop) {
+      drops_injected_.fetch_add(1, std::memory_order_relaxed);
+      return FaultDecision{FaultAction::kDrop, {}};
+    }
+    delays_injected_.fetch_add(1, std::memory_order_relaxed);
+    return FaultDecision{FaultAction::kDelay, e.delay};
+  }
+  return {};
+}
+
+bool FaultInjector::watches_channel(const std::string& channel) const {
+  std::lock_guard lock(mutex_);
+  for (const ChannelEvent& e : channel_events_) {
+    if (e.channel == channel) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::link_blocked(int from, int to, std::uint64_t epoch) {
+  std::lock_guard lock(mutex_);
+  for (const PartitionEvent& p : partitions_) {
+    if (p.from == from && p.to == to && epoch >= p.lo && epoch < p.hi) {
+      partition_blocks_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace astro::stream

@@ -1,0 +1,161 @@
+#pragma once
+
+// Fault injection for the stream engine (ROADMAP: survive an engine crash
+// mid-stream without discarding the accumulated eigensystem).
+//
+// A FaultInjector carries a *schedule* of faults whose triggers are virtual
+// counters — an engine's applied-tuple count, a channel's push-attempt
+// index, a sync epoch — never wall-clock time.  Given the same seed and
+// schedule, the same faults fire at the same logical points on every run,
+// so each failure scenario is a reproducible ctest case.
+//
+// Fault kinds:
+//   kill       — an engine operator "crashes" when its applied-tuple count
+//                reaches the trigger (or when it is about to apply its
+//                N-th sync merge): the operator throws InjectedCrash, its
+//                thread exits and its in-memory state is wiped, exactly as
+//                a process death would.  Recovery is the Supervisor's job
+//                (checkpoint restore + replay, see sync/supervisor.h).
+//   drop       — a channel push is swallowed: the producer sees success
+//                (as a lossy link would report) but the tuple never lands.
+//                Counted in QueueGauges::faulted, *not* in `rejected`, so
+//                tuple-conservation checks stay exact under injection.
+//   delay      — a channel push is held for a fixed duration before
+//                enqueueing (a slow link; blocking pushes only).
+//   partition  — the simulated link between two engines is cut for a
+//                window of sync epochs: the sender's control-port forward
+//                is dropped and counted in EngineStats::partition_drops.
+//
+// Thread-safety: the schedule is built before the pipeline starts; query
+// sites lock a private mutex (they are off the per-tuple fast path except
+// on channels that actually carry fault events).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace astro::stream {
+
+enum class FaultAction { kNone, kDrop, kDelay };
+
+/// What a channel should do with one push attempt.
+struct FaultDecision {
+  FaultAction action = FaultAction::kNone;
+  std::chrono::microseconds delay{0};
+};
+
+/// Thrown at an engine kill site; the supervised operator catches it at the
+/// top of its run loop, wipes its in-memory state and marks itself crashed.
+struct InjectedCrash {};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed = 1) : seed_(seed) {}
+
+  // --- schedule builders (call before the pipeline starts) ---------------
+
+  /// Crash `engine` when it has applied `after_tuples` data tuples (the
+  /// kill fires as it is about to apply the next one, which is then lost
+  /// in flight and must be replayed on recovery).
+  void kill_engine(int engine, std::uint64_t after_tuples);
+
+  /// Crash `engine` as it is about to apply its (`after_merges` + 1)-th
+  /// sync merge — the kill-during-merge scenario.
+  void kill_engine_on_merge(int engine, std::uint64_t after_merges);
+
+  /// Drop `count` pushes on `channel` starting at 1-based attempt index
+  /// `first_push`.
+  void drop_on_channel(std::string channel, std::uint64_t first_push,
+                       std::uint64_t count);
+
+  /// Drop each push on `channel` with probability `probability`, at most
+  /// `max_drops` times.  The per-attempt decision is a stateless hash of
+  /// (seed, channel, attempt), so it is reproducible across runs.
+  void drop_randomly(std::string channel, double probability,
+                     std::uint64_t max_drops);
+
+  /// Hold `count` blocking pushes on `channel` for `delay` each, starting
+  /// at attempt `first_push`.
+  void delay_on_channel(std::string channel, std::uint64_t first_push,
+                        std::uint64_t count, std::chrono::microseconds delay);
+
+  /// Cut the control link a->b (both directions when `bidirectional`) for
+  /// sync epochs in [from_epoch, until_epoch).
+  void partition_link(int a, int b, std::uint64_t from_epoch,
+                      std::uint64_t until_epoch, bool bidirectional = true);
+
+  // --- query sites --------------------------------------------------------
+
+  /// Engine data path: true exactly once per matching kill event, when
+  /// `applied_tuples` has reached the trigger.
+  [[nodiscard]] bool should_kill(int engine, std::uint64_t applied_tuples);
+
+  /// Engine merge path: true exactly once per matching merge-kill event.
+  [[nodiscard]] bool should_kill_on_merge(int engine,
+                                          std::uint64_t merges_applied);
+
+  /// Channel push site (`attempt` is 1-based per channel).
+  [[nodiscard]] FaultDecision on_push(const std::string& channel,
+                                      std::uint64_t attempt);
+
+  /// True when any drop/delay event targets `channel` — lets a pipeline
+  /// install push hooks only where they can fire.
+  [[nodiscard]] bool watches_channel(const std::string& channel) const;
+
+  /// Control-plane link state at `epoch`; counts a block when true.
+  [[nodiscard]] bool link_blocked(int from, int to, std::uint64_t epoch);
+
+  // --- accounting (readable live from any thread) -------------------------
+
+  [[nodiscard]] std::uint64_t kills_fired() const noexcept {
+    return kills_fired_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t drops_injected() const noexcept {
+    return drops_injected_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t delays_injected() const noexcept {
+    return delays_injected_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t partition_blocks() const noexcept {
+    return partition_blocks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct KillEvent {
+    int engine;
+    std::uint64_t at;
+    bool on_merge;
+    bool fired;
+  };
+  struct ChannelEvent {
+    std::string channel;
+    FaultAction action;
+    std::uint64_t first;   // 1-based attempt window [first, first + count)
+    std::uint64_t count;   // window width (deterministic events)
+    std::chrono::microseconds delay{0};
+    double probability = 0.0;       // > 0: seeded random drop instead
+    std::uint64_t remaining = 0;    // random-drop budget
+  };
+  struct PartitionEvent {
+    int from;
+    int to;
+    std::uint64_t lo;
+    std::uint64_t hi;
+  };
+
+  mutable std::mutex mutex_;
+  std::uint64_t seed_;
+  std::vector<KillEvent> kills_;
+  std::vector<ChannelEvent> channel_events_;
+  std::vector<PartitionEvent> partitions_;
+  std::atomic<std::uint64_t> kills_fired_{0};
+  std::atomic<std::uint64_t> drops_injected_{0};
+  std::atomic<std::uint64_t> delays_injected_{0};
+  std::atomic<std::uint64_t> partition_blocks_{0};
+};
+
+}  // namespace astro::stream

@@ -34,10 +34,24 @@ class Operator {
   Operator(const Operator&) = delete;
   Operator& operator=(const Operator&) = delete;
 
-  /// Launches the operator thread.  Idempotent per lifetime; a started
-  /// operator cannot be restarted after join().
+  /// Launches the operator thread.  Idempotent while a thread exists; use
+  /// restart() to launch a fresh incarnation after the previous one exited.
   void start() {
     if (thread_.joinable()) return;
+    metrics_.mark_start();
+    thread_ = std::thread([this] {
+      run();
+      metrics_.mark_stop();
+    });
+  }
+
+  /// Reaps the finished incarnation and launches a new one — supervised
+  /// restart after a (simulated) crash.  The caller must know the previous
+  /// thread has exited (e.g. via a lifecycle flag), so the join here is
+  /// immediate.  A pending request_stop() is deliberately preserved: a
+  /// restart must not override a shutdown in progress.
+  void restart() {
+    join();
     metrics_.mark_start();
     thread_ = std::thread([this] {
       run();

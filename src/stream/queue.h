@@ -24,17 +24,29 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <optional>
+#include <thread>
+
+#include "stream/fault.h"
 
 namespace astro::stream {
 
 /// Channel gauges, sampled lock-free by observers.  `pushed`/`popped` count
 /// successful operations only, so `pushed - popped == depth` at all times.
+/// `rejected` counts pushes the *queue* refused (closed, or full for
+/// try_push); `faulted` counts pushes an injected fault swallowed — the two
+/// are distinct so tuple-conservation checks stay exact under injection:
+/// downstream receives `pushed`, the producer believes it sent
+/// `pushed + faulted`, and `rejected` is the producer's own signal to stop
+/// or reroute.
 struct QueueGauges {
   std::atomic<std::uint64_t> pushed{0};
   std::atomic<std::uint64_t> popped{0};
   std::atomic<std::uint64_t> rejected{0};      ///< pushes refused (closed/full)
+  std::atomic<std::uint64_t> faulted{0};       ///< pushes injected faults ate
+  std::atomic<std::uint64_t> delayed{0};       ///< pushes injected faults held
   std::atomic<std::uint64_t> push_blocked{0};  ///< pushes that had to wait
   std::atomic<std::uint64_t> pop_blocked{0};   ///< pops that had to wait
   std::atomic<std::size_t> depth{0};
@@ -52,8 +64,30 @@ class BoundedQueue {
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
+  /// Decides the fate of one push attempt (1-based index).  Install before
+  /// any producer starts; a FaultInjector-backed hook makes this channel a
+  /// lossy/slow simulated link.  Attempt indices are deterministic for
+  /// single-producer channels.
+  using FaultHook = std::function<FaultDecision(std::uint64_t attempt)>;
+
+  void set_fault_hook(FaultHook hook) {
+    std::lock_guard lock(mutex_);
+    fault_hook_ = std::move(hook);
+  }
+
   /// Blocks while full.  Returns false (drops the tuple) once closed.
+  /// An injected kDrop fault swallows the tuple but still returns true —
+  /// the producer believes the send succeeded, as on a lossy link.
   bool push(T item) {
+    const FaultDecision fault = consult_fault_hook();
+    if (fault.action == FaultAction::kDrop) {
+      gauges_.faulted.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    if (fault.action == FaultAction::kDelay) {
+      gauges_.delayed.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(fault.delay);
+    }
     std::unique_lock lock(mutex_);
     if (items_.size() >= capacity_ && !closed_) {
       gauges_.push_blocked.fetch_add(1, std::memory_order_relaxed);
@@ -72,7 +106,17 @@ class BoundedQueue {
 
   /// Non-blocking push.  Returns false when full or closed; `item` is only
   /// consumed (moved from) on success, so callers can reroute on failure.
+  /// Injected drops consume the item and return true (lossy-link
+  /// semantics); injected delays are ignored — a non-blocking push cannot
+  /// be held.
   bool try_push(T& item) {
+    const FaultDecision fault = consult_fault_hook();
+    if (fault.action == FaultAction::kDrop) {
+      gauges_.faulted.fetch_add(1, std::memory_order_relaxed);
+      T swallowed = std::move(item);
+      (void)swallowed;
+      return true;
+    }
     {
       std::lock_guard lock(mutex_);
       if (closed_ || items_.size() >= capacity_) {
@@ -164,6 +208,22 @@ class BoundedQueue {
   [[nodiscard]] const QueueGauges& gauges() const noexcept { return gauges_; }
 
  private:
+  // Takes the lock only to read the hook and claim an attempt index, then
+  // calls the hook outside it (the hook locks the injector's own mutex; no
+  // nesting).  The decision depends only on the attempt index, so the
+  // unlocked call cannot change the outcome.
+  FaultDecision consult_fault_hook() {
+    FaultHook hook;
+    std::uint64_t attempt = 0;
+    {
+      std::lock_guard lock(mutex_);
+      if (!fault_hook_) return {};
+      attempt = ++push_attempts_;
+      hook = fault_hook_;
+    }
+    return hook(attempt);
+  }
+
   // Both helpers run with mutex_ held, so the read-modify-write on the
   // high watermark cannot race another writer; readers load relaxed.
   void note_depth_locked() noexcept {
@@ -186,6 +246,8 @@ class BoundedQueue {
   std::deque<T> items_;
   bool closed_ = false;
   QueueGauges gauges_;
+  FaultHook fault_hook_;
+  std::uint64_t push_attempts_ = 0;  // guarded by mutex_
 };
 
 }  // namespace astro::stream

@@ -53,6 +53,8 @@ struct QueueSnapshot {
   std::uint64_t pushed = 0;
   std::uint64_t popped = 0;
   std::uint64_t rejected = 0;
+  std::uint64_t faulted = 0;
+  std::uint64_t delayed = 0;
   std::uint64_t push_blocked = 0;
   std::uint64_t pop_blocked = 0;
 };

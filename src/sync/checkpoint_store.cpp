@@ -1,0 +1,37 @@
+#include "sync/checkpoint_store.h"
+
+#include <sstream>
+#include <utility>
+
+#include "io/checkpoint.h"
+
+namespace astro::sync {
+
+void CheckpointStore::put(EngineCheckpoint ck) {
+  taken_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(ck.blob.size(), std::memory_order_relaxed);
+  std::lock_guard lock(mutex_);
+  latest_[ck.engine_id] = std::move(ck);
+}
+
+std::optional<EngineCheckpoint> CheckpointStore::latest(int engine) const {
+  std::lock_guard lock(mutex_);
+  const auto it = latest_.find(engine);
+  if (it == latest_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string CheckpointStore::encode(const pca::EigenSystem& system,
+                                    double alpha) {
+  std::ostringstream out(std::ios::binary);
+  io::save_eigensystem(out, system, alpha);
+  return std::move(out).str();
+}
+
+pca::EigenSystem CheckpointStore::decode(const std::string& blob,
+                                         double* alpha_out) {
+  std::istringstream in(blob, std::ios::binary);
+  return io::load_eigensystem(in, alpha_out);
+}
+
+}  // namespace astro::sync

@@ -1,0 +1,71 @@
+#pragma once
+
+// EngineCheckpoint + CheckpointStore — the recovery substrate (paper
+// §III-C: "the intermediate calculation results are periodically saved to
+// the disk for future reference"; the paper never says what a restarted
+// engine does with them — we do, see DESIGN.md "Fault tolerance").
+//
+// A checkpoint is the engine's full mergeable state at a known
+// applied-tuple count: the eigensystem (mean, basis, eigenvalues, σ²) plus
+// the robust running sums u/v/q that carry the M-estimator's weights —
+// serialized through the io/ ASPC binary format, so an in-memory
+// checkpoint is byte-identical to an on-disk one and the restore path is
+// the same code an offline resume would use.
+//
+// The store keeps the *latest* checkpoint per engine (older ones are
+// superseded: recovery = latest checkpoint + replay of the tuples logged
+// since it was taken).  Cumulative counters (checkpoints taken, bytes
+// encoded) feed the metrics registry.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "pca/eigensystem.h"
+
+namespace astro::sync {
+
+struct EngineCheckpoint {
+  int engine_id = -1;
+  std::uint64_t applied_tuples = 0;   ///< data tuples applied when taken
+  std::uint64_t outliers = 0;         ///< outliers flagged up to that point
+  std::uint64_t since_last_sync = 0;  ///< independence-gate progress
+  std::string blob;                   ///< io::save_eigensystem bytes (ASPC)
+
+  [[nodiscard]] std::size_t bytes() const noexcept { return blob.size(); }
+};
+
+class CheckpointStore {
+ public:
+  /// Installs `ck` as the latest checkpoint for its engine.
+  void put(EngineCheckpoint ck);
+
+  /// Latest checkpoint for `engine`; nullopt when it never checkpointed.
+  [[nodiscard]] std::optional<EngineCheckpoint> latest(int engine) const;
+
+  [[nodiscard]] std::uint64_t checkpoints_taken() const noexcept {
+    return taken_.load(std::memory_order_relaxed);
+  }
+  /// Cumulative bytes encoded across all checkpoints (not just retained).
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Serialize an eigensystem to the ASPC checkpoint format.
+  [[nodiscard]] static std::string encode(const pca::EigenSystem& system,
+                                          double alpha);
+  /// Deserialize; throws std::runtime_error on malformed input.
+  [[nodiscard]] static pca::EigenSystem decode(const std::string& blob,
+                                               double* alpha_out = nullptr);
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<int, EngineCheckpoint> latest_;
+  std::atomic<std::uint64_t> taken_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+};
+
+}  // namespace astro::sync

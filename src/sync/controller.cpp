@@ -22,10 +22,57 @@ SyncController::SyncController(std::string name,
   }
 }
 
+void SyncController::set_liveness(LivenessProbe alive,
+                                  GenerationProbe generation) {
+  alive_ = std::move(alive);
+  generation_ = std::move(generation);
+}
+
 void SyncController::run() {
   std::uint64_t epoch = 0;
+  std::vector<std::uint64_t> seen_generation(engines_, 0);
   while (!stop_requested() && (max_rounds_ == 0 || epoch < max_rounds_)) {
-    const auto cmds = strategy_->round(epoch, engines_);
+    std::vector<ControlTuple> cmds = strategy_->round(epoch, engines_);
+    // "Done" keys off the *strategy's* output: a degraded round where every
+    // command named a dead engine must not terminate the controller — the
+    // engine may come back.
+    const bool strategy_done = cmds.empty();
+    if (alive_) {
+      std::erase_if(cmds, [&](const ControlTuple& cmd) {
+        const bool dead = !alive_(std::size_t(cmd.sender)) ||
+                          (cmd.receiver >= 0 &&
+                           !alive_(std::size_t(cmd.receiver)));
+        if (dead) skipped_dead_.fetch_add(1, std::memory_order_relaxed);
+        return dead;
+      });
+      // Rejoin: a restarted engine resumes from its checkpoint, which
+      // predates any merges it missed.  Pull a live peer's state into it
+      // and push its recovered state back out, so one round restores
+      // bidirectional consistency instead of waiting for the strategy's
+      // pattern to cycle around.
+      if (generation_) {
+        for (std::size_t i = 0; i < engines_; ++i) {
+          const std::uint64_t gen = generation_(i);
+          if (gen == seen_generation[i]) continue;
+          if (!alive_(i)) continue;  // still down; catch it next round
+          seen_generation[i] = gen;
+          for (std::size_t peer = 0; peer < engines_; ++peer) {
+            if (peer == i || !alive_(peer)) continue;
+            ControlTuple pull;
+            pull.epoch = epoch;
+            pull.sender = int(peer);
+            pull.receiver = int(i);
+            ControlTuple push_back = pull;
+            push_back.sender = int(i);
+            push_back.receiver = int(peer);
+            cmds.push_back(pull);
+            cmds.push_back(push_back);
+            rejoin_syncs_.fetch_add(2, std::memory_order_relaxed);
+            break;  // lowest-index live peer is enough
+          }
+        }
+      }
+    }
     ++epoch;
     rounds_.fetch_add(1, std::memory_order_relaxed);
     bool closed = false;
@@ -39,7 +86,7 @@ void SyncController::run() {
       metrics_.record_out();
     }
     if (closed) break;
-    if (cmds.empty()) break;  // strategy produced nothing (n < 2): done
+    if (strategy_done) break;  // strategy produced nothing (n < 2): done
   }
   out_->close();
   set_stop_reason(stop_requested() ? stream::StopReason::kRequested

@@ -11,6 +11,7 @@
 // operator timing helps finding the balance between the overall cluster
 // performance and eigensystems consistency."
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -21,10 +22,23 @@ namespace astro::sync {
 
 class SyncController final : public stream::Operator {
  public:
+  /// Liveness probe: true when the engine can take part in a merge round.
+  using LivenessProbe = std::function<bool(std::size_t engine)>;
+  /// Restart-generation probe: advances each time the engine is restarted.
+  using GenerationProbe = std::function<std::uint64_t(std::size_t engine)>;
+
   SyncController(std::string name, std::unique_ptr<SyncStrategy> strategy,
                  std::size_t engines,
                  stream::ChannelPtr<stream::ControlTuple> out,
                  std::uint64_t max_rounds = 0);
+
+  /// Enables degraded-mode operation (call before start()).  With probes
+  /// installed, commands naming a dead sender or receiver are dropped from
+  /// the round — the survivors keep syncing among themselves — and when an
+  /// engine's generation advances (it was restarted and is alive again) the
+  /// controller injects a bidirectional re-merge with its lowest-index live
+  /// peer, folding the recovered eigensystem back into the cluster.
+  void set_liveness(LivenessProbe alive, GenerationProbe generation);
 
   [[nodiscard]] const SyncStrategy& strategy() const noexcept {
     return *strategy_;
@@ -33,6 +47,14 @@ class SyncController final : public stream::Operator {
   /// Sync rounds emitted so far (readable live from a sampler thread).
   [[nodiscard]] std::uint64_t rounds() const noexcept {
     return rounds_.load(std::memory_order_relaxed);
+  }
+  /// Commands suppressed because an endpoint was dead.
+  [[nodiscard]] std::uint64_t skipped_dead() const noexcept {
+    return skipped_dead_.load(std::memory_order_relaxed);
+  }
+  /// Extra re-merge commands injected for rejoining engines.
+  [[nodiscard]] std::uint64_t rejoin_syncs() const noexcept {
+    return rejoin_syncs_.load(std::memory_order_relaxed);
   }
 
  protected:
@@ -43,7 +65,11 @@ class SyncController final : public stream::Operator {
   std::size_t engines_;
   stream::ChannelPtr<stream::ControlTuple> out_;
   std::uint64_t max_rounds_;  // 0 = unbounded
+  LivenessProbe alive_;            // empty = every engine always live
+  GenerationProbe generation_;
   std::atomic<std::uint64_t> rounds_{0};
+  std::atomic<std::uint64_t> skipped_dead_{0};
+  std::atomic<std::uint64_t> rejoin_syncs_{0};
 };
 
 /// Delivers each throttled control tuple to its *sender* engine's control

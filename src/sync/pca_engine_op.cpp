@@ -13,16 +13,19 @@ PcaEngineOperator::PcaEngineOperator(
     stream::ChannelPtr<ControlTuple> control_in,
     std::shared_ptr<StateExchange> exchange,
     std::vector<stream::ChannelPtr<ControlTuple>> peer_control,
-    IndependencePolicy policy, stream::ChannelPtr<DataTuple> outlier_out)
+    IndependencePolicy policy, stream::ChannelPtr<DataTuple> outlier_out,
+    EngineFaultOptions fault_options)
     : Operator(std::move(name)),
       id_(engine_id),
+      pca_config_(pca_config),
       pca_(pca_config),
       data_in_(std::move(data_in)),
       control_in_(std::move(control_in)),
       exchange_(std::move(exchange)),
       peer_control_(std::move(peer_control)),
       policy_(policy),
-      outlier_out_(std::move(outlier_out)) {}
+      outlier_out_(std::move(outlier_out)),
+      fault_(std::move(fault_options)) {}
 
 pca::EigenSystem PcaEngineOperator::snapshot() const {
   std::lock_guard lock(state_mutex_);
@@ -32,6 +35,59 @@ pca::EigenSystem PcaEngineOperator::snapshot() const {
 EngineStats PcaEngineOperator::stats() const {
   std::lock_guard lock(state_mutex_);
   return stats_;
+}
+
+void PcaEngineOperator::maybe_checkpoint_locked() {
+  if (!fault_.checkpoints || fault_.checkpoint_every == 0) return;
+  if (replay_log_.size() < fault_.checkpoint_every) return;
+  // The init buffer is not snapshotable state; keep logging until the
+  // eigensystem exists (the log stays bounded: init_count ≪ the interval).
+  if (!pca_.initialized()) return;
+  EngineCheckpoint ck;
+  ck.engine_id = id_;
+  ck.applied_tuples = stats_.tuples;
+  ck.outliers = stats_.outliers;
+  ck.since_last_sync = since_last_sync_;
+  ck.blob = CheckpointStore::encode(pca_.eigensystem(), pca_config_.alpha);
+  fault_.checkpoints->put(std::move(ck));
+  // Everything up to here is durable; the WAL restarts from empty.
+  replay_log_.clear();
+}
+
+void PcaEngineOperator::recover() {
+  std::lock_guard lock(state_mutex_);
+  ++stats_.restarts;
+  std::uint64_t base_tuples = 0;
+  std::uint64_t base_outliers = 0;
+  std::uint64_t base_sync = 0;
+  if (fault_.checkpoints) {
+    if (const auto ck = fault_.checkpoints->latest(id_)) {
+      double alpha = 0.0;
+      pca_.set_eigensystem(CheckpointStore::decode(ck->blob, &alpha));
+      base_tuples = ck->applied_tuples;
+      base_outliers = ck->outliers;
+      base_sync = ck->since_last_sync;
+    }
+  }
+  // Counters rewind to the checkpoint, then the replay brings them (and the
+  // eigensystem) back to exactly the pre-crash applied-tuple count: every
+  // popped tuple is either inside the checkpoint or in the log, so nothing
+  // is lost and nothing is double-counted.
+  stats_.tuples = base_tuples;
+  stats_.outliers = base_outliers;
+  since_last_sync_ = base_sync;
+  for (const DataTuple& t : replay_log_) {
+    const pca::ObservationReport rep =
+        t.mask.empty() ? pca_.observe(t.values)
+                       : pca_.observe(t.values, t.mask);
+    ++stats_.tuples;
+    ++since_last_sync_;
+    ++stats_.replayed;
+    if (rep.outlier) ++stats_.outliers;
+    // Replay is silent: outliers were already forwarded by the incarnation
+    // that first applied these tuples (data-plane metrics count pops, and
+    // replayed tuples were popped exactly once).
+  }
 }
 
 void PcaEngineOperator::handle_control(const ControlTuple& cmd) {
@@ -46,6 +102,13 @@ void PcaEngineOperator::handle_control(const ControlTuple& cmd) {
       if (cmd.receiver >= 0 &&
           std::size_t(cmd.receiver) < peer_control_.size() &&
           cmd.receiver != id_) {
+        // A partitioned link eats the hop: the sender published, but the
+        // receiver never hears about it until the partition heals.
+        if (fault_.injector &&
+            fault_.injector->link_blocked(id_, cmd.receiver, cmd.epoch)) {
+          ++stats_.partition_drops;
+          return;
+        }
         // Best-effort, non-blocking forward: a full peer control queue must
         // never stall (or deadlock) data processing — a dropped sync round
         // only delays consistency, the next round retries.
@@ -68,6 +131,10 @@ void PcaEngineOperator::handle_control(const ControlTuple& cmd) {
     }
     const auto remote = exchange_->fetch(std::size_t(cmd.sender));
     if (!remote.has_value()) return;
+    if (fault_.injector &&
+        fault_.injector->should_kill_on_merge(id_, stats_.merges_applied)) {
+      throw stream::InjectedCrash{};  // lock_guard unwinds the state mutex
+    }
     const std::uint64_t local_count = pca_.eigensystem().observations();
     // The live sync path uses the paper's eq. (16) equal-means fast path.
     // The exact eq. (15) mean-correction term would inject the transient
@@ -92,10 +159,32 @@ void PcaEngineOperator::handle_control(const ControlTuple& cmd) {
 }
 
 void PcaEngineOperator::run() {
+  lifecycle_.store(int(EngineLifecycle::kRunning), std::memory_order_release);
+  try {
+    run_loop();
+    lifecycle_.store(int(EngineLifecycle::kCompleted),
+                     std::memory_order_release);
+  } catch (const stream::InjectedCrash&) {
+    // Simulated hard crash: this incarnation's in-memory eigensystem is
+    // gone — only the checkpoint plus the replay log can bring it back
+    // (recover()).  The operator object, its channels and the log survive,
+    // standing in for the durable parts of a real deployment.
+    {
+      std::lock_guard lock(state_mutex_);
+      pca_ = pca::RobustIncrementalPca(pca_config_);
+    }
+    set_stop_reason(stream::StopReason::kNone);
+    lifecycle_.store(int(EngineLifecycle::kCrashed),
+                     std::memory_order_release);
+  }
+}
+
+void PcaEngineOperator::run_loop() {
   using namespace std::chrono_literals;
   bool data_open = true;
 
   while (!stop_requested()) {
+    heartbeat_.fetch_add(1, std::memory_order_relaxed);
     // Drain any pending control commands first: sync latency should not
     // depend on data arrival.  Control traffic is tallied in EngineStats
     // (control_in / syncs / merges); metrics_ counts the data plane only so
@@ -132,11 +221,19 @@ void PcaEngineOperator::run() {
     pca::ObservationReport report;
     {
       std::lock_guard lock(state_mutex_);
+      // WAL discipline: log before apply, so a kill between the two loses
+      // nothing — the in-flight tuple is replayed on recovery.
+      if (fault_.checkpoints) replay_log_.push_back(t);
+      if (fault_.injector &&
+          fault_.injector->should_kill(id_, stats_.tuples)) {
+        throw stream::InjectedCrash{};
+      }
       report = t.mask.empty() ? pca_.observe(t.values)
                               : pca_.observe(t.values, t.mask);
       ++stats_.tuples;
       ++since_last_sync_;
       if (report.outlier) ++stats_.outliers;
+      maybe_checkpoint_locked();
     }
     // Per-tuple update cost — the paper's O(d p²) incremental step.
     metrics_.record_proc_ns(stream::OperatorMetrics::now_ns() - t_popped);

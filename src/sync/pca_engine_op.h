@@ -13,25 +13,56 @@
 //
 // Optional outlier port: tuples the robust weighting rejected, forwarded
 // for further processing (the paper's filtering use case).
+//
+// Fault tolerance (beyond the paper — see DESIGN.md "Fault tolerance"):
+// when EngineFaultOptions carries a checkpoint store, every popped tuple is
+// appended to a write-ahead replay log *before* it is applied, and the
+// engine snapshots its eigensystem into the store every
+// `checkpoint_every` applied tuples (which truncates the log, bounding it).
+// An injected kill (FaultInjector) makes the run loop throw InjectedCrash:
+// the thread exits and the in-memory PCA state is wiped, exactly as a
+// process death would lose it.  recover() — called by the Supervisor with
+// the thread dead — restores the latest checkpoint and replays the log, so
+// a restarted incarnation resumes with zero lost tuples.
 
+#include <atomic>
+#include <deque>
 #include <memory>
 #include <vector>
 
 #include "pca/merge.h"
 #include "pca/robust_pca.h"
+#include "stream/fault.h"
 #include "stream/operator.h"
+#include "sync/checkpoint_store.h"
 #include "sync/exchange.h"
 #include "sync/independence.h"
 
 namespace astro::sync {
 
 struct EngineStats {
-  std::uint64_t tuples = 0;            ///< data tuples absorbed
+  std::uint64_t tuples = 0;            ///< data tuples applied to the state
   std::uint64_t outliers = 0;          ///< observations flagged as outliers
   std::uint64_t control_in = 0;        ///< control tuples handled
   std::uint64_t syncs_sent = 0;        ///< states published on command
   std::uint64_t merges_applied = 0;    ///< remote states merged in
   std::uint64_t merges_skipped = 0;    ///< blocked by the independence gate
+  std::uint64_t partition_drops = 0;   ///< forwards a partitioned link ate
+  std::uint64_t restarts = 0;          ///< supervised recoveries
+  std::uint64_t replayed = 0;          ///< tuples re-applied during recovery
+};
+
+/// Where the engine is in its (possibly multi-incarnation) life — the
+/// Supervisor's view.  kCrashed means the thread exited via InjectedCrash
+/// and the in-memory state was wiped; only recover() + restart() continue.
+enum class EngineLifecycle : int { kIdle = 0, kRunning, kCompleted, kCrashed };
+
+/// Fault-injection and recovery wiring, all optional (defaults = the
+/// fault-free engine of the seed).
+struct EngineFaultOptions {
+  std::shared_ptr<stream::FaultInjector> injector;   ///< kill/partition source
+  std::shared_ptr<CheckpointStore> checkpoints;      ///< enables WAL + restore
+  std::uint64_t checkpoint_every = 0;  ///< applied tuples between snapshots
 };
 
 class PcaEngineOperator final : public stream::Operator {
@@ -44,7 +75,8 @@ class PcaEngineOperator final : public stream::Operator {
                     std::vector<stream::ChannelPtr<stream::ControlTuple>>
                         peer_control,
                     IndependencePolicy policy,
-                    stream::ChannelPtr<stream::DataTuple> outlier_out = nullptr);
+                    stream::ChannelPtr<stream::DataTuple> outlier_out = nullptr,
+                    EngineFaultOptions fault_options = {});
 
   /// Thread-safe snapshot of the current eigensystem.
   [[nodiscard]] pca::EigenSystem snapshot() const;
@@ -52,13 +84,31 @@ class PcaEngineOperator final : public stream::Operator {
   [[nodiscard]] EngineStats stats() const;
   [[nodiscard]] int engine_id() const noexcept { return id_; }
 
+  /// Liveness counter: advances every run-loop iteration (each of which
+  /// polls the control port), stops when the thread dies.  The Supervisor's
+  /// heartbeat protocol watches this.
+  [[nodiscard]] std::uint64_t heartbeat() const noexcept {
+    return heartbeat_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] EngineLifecycle lifecycle() const noexcept {
+    return EngineLifecycle(lifecycle_.load(std::memory_order_acquire));
+  }
+
+  /// Rebuilds the engine state after a crash: restore the latest checkpoint
+  /// (if any) and re-apply the replay log.  Must be called with the
+  /// operator thread dead (lifecycle kCrashed), before restart().
+  void recover();
+
  protected:
   void run() override;
 
  private:
+  void run_loop();
   void handle_control(const stream::ControlTuple& cmd);
+  void maybe_checkpoint_locked();
 
   int id_;
+  pca::RobustPcaConfig pca_config_;
   pca::RobustIncrementalPca pca_;
   stream::ChannelPtr<stream::DataTuple> data_in_;
   stream::ChannelPtr<stream::ControlTuple> control_in_;
@@ -66,10 +116,16 @@ class PcaEngineOperator final : public stream::Operator {
   std::vector<stream::ChannelPtr<stream::ControlTuple>> peer_control_;
   IndependencePolicy policy_;
   stream::ChannelPtr<stream::DataTuple> outlier_out_;
+  EngineFaultOptions fault_;
 
   mutable std::mutex state_mutex_;  // guards pca_ for snapshot()
   std::uint64_t since_last_sync_ = 0;
   EngineStats stats_;
+  /// Write-ahead log of tuples popped since the last checkpoint (guarded by
+  /// state_mutex_; empty unless checkpoints are enabled).
+  std::deque<stream::DataTuple> replay_log_;
+  std::atomic<std::uint64_t> heartbeat_{0};
+  std::atomic<int> lifecycle_{int(EngineLifecycle::kIdle)};
 };
 
 }  // namespace astro::sync

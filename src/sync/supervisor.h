@@ -1,0 +1,110 @@
+#pragma once
+
+// Supervisor — detects dead PCA engines and brings them back (the piece
+// the paper's InfoSphere deployment leaves implicit: §III-C checkpoints
+// state "for future reference" but specifies no restart protocol).
+//
+// Heartbeat protocol: each engine bumps an atomic heartbeat every run-loop
+// iteration (each of which polls its control port).  The supervisor polls
+// all engines at a fixed interval; an engine whose heartbeat has not
+// advanced for `missed_heartbeats` consecutive polls *and* whose lifecycle
+// reads kCrashed is declared dead.  A merely slow engine keeps a kRunning
+// lifecycle and is never restarted — stalls alone are not evidence of
+// death, the crash flag is.
+//
+// Recovery: wait out an exponential backoff (base · factor^restarts,
+// capped), then engine->recover() (checkpoint restore + WAL replay, done
+// synchronously on the supervisor thread while the engine thread is dead)
+// and engine->restart() (a fresh incarnation thread).  Recovery latency —
+// detection to restarted — lands in this operator's proc histogram, and
+// restarts/abandons in its counters, so the whole recovery story is
+// visible in the metrics registry JSON.
+//
+// An engine that exceeds `max_restarts` is abandoned: its ports are closed
+// and drained (counting the discarded tuples) so the splitter can never
+// deadlock against a permanently dead consumer.  The same cleanup runs for
+// still-crashed engines when the supervisor itself is asked to stop.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "stream/operator.h"
+#include "sync/pca_engine_op.h"
+
+namespace astro::sync {
+
+struct SupervisorConfig {
+  double poll_interval_seconds = 0.001;
+  int missed_heartbeats = 3;       ///< stalled polls before declaring death
+  double backoff_base_seconds = 0.002;
+  double backoff_factor = 2.0;
+  double backoff_max_seconds = 0.25;
+  std::size_t max_restarts = 16;   ///< per engine; beyond -> abandoned
+};
+
+class Supervisor final : public stream::Operator {
+ public:
+  Supervisor(std::string name, std::vector<PcaEngineOperator*> engines,
+             std::vector<stream::ChannelPtr<stream::DataTuple>> data_ports,
+             std::vector<stream::ChannelPtr<stream::ControlTuple>>
+                 control_ports,
+             SupervisorConfig config = {});
+
+  ~Supervisor() override;
+
+  /// Degraded-mode probe for the SyncController: false while the engine is
+  /// crashed (awaiting restart) or abandoned — such engines are excluded
+  /// from merge rounds.
+  [[nodiscard]] bool alive(std::size_t engine) const;
+
+  /// Restart generation of one engine; the controller watches this to
+  /// detect a rejoin (generation advanced and the engine is alive again).
+  [[nodiscard]] std::uint64_t restarts(std::size_t engine) const;
+
+  [[nodiscard]] std::uint64_t total_restarts() const noexcept {
+    return total_restarts_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t abandoned() const noexcept {
+    return abandoned_count_.load(std::memory_order_relaxed);
+  }
+  /// Tuples discarded while draining an abandoned engine's ports.
+  [[nodiscard]] std::uint64_t discarded_tuples() const noexcept {
+    return discarded_tuples_.load(std::memory_order_relaxed);
+  }
+  /// Duration of the most recent recovery, detection -> restarted.
+  [[nodiscard]] std::uint64_t last_recovery_ns() const noexcept {
+    return last_recovery_ns_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  void run() override;
+
+ private:
+  struct Watch {
+    std::uint64_t last_heartbeat = 0;
+    int stalls = 0;
+    bool abandoned = false;
+  };
+
+  void recover_engine(std::size_t i);
+  void abandon_engine(std::size_t i);
+  [[nodiscard]] double backoff_seconds(std::uint64_t restarts_so_far) const;
+
+  std::vector<PcaEngineOperator*> engines_;
+  std::vector<stream::ChannelPtr<stream::DataTuple>> data_ports_;
+  std::vector<stream::ChannelPtr<stream::ControlTuple>> control_ports_;
+  SupervisorConfig config_;
+  std::vector<Watch> watch_;  // supervisor-thread private
+  // Cross-thread state: the controller's liveness/generation probes and
+  // the metrics extras read these while the supervisor mutates them.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> restart_counts_;
+  std::unique_ptr<std::atomic<bool>[]> abandoned_flags_;
+  std::atomic<std::uint64_t> total_restarts_{0};
+  std::atomic<std::uint64_t> abandoned_count_{0};
+  std::atomic<std::uint64_t> discarded_tuples_{0};
+  std::atomic<std::uint64_t> last_recovery_ns_{0};
+};
+
+}  // namespace astro::sync

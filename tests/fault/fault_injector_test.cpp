@@ -1,0 +1,117 @@
+// FaultInjector unit coverage: schedules are virtual-trigger state machines
+// and every query site must be exact — off-by-one windows or double-fired
+// kills would make the scenario suites above unreproducible.
+
+#include "stream/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace astro::stream {
+namespace {
+
+TEST(FaultInjector, KillFiresOnceAtTrigger) {
+  FaultInjector inj(5);
+  inj.kill_engine(1, 100);
+  EXPECT_FALSE(inj.should_kill(1, 99));
+  EXPECT_FALSE(inj.should_kill(0, 100));  // wrong engine
+  EXPECT_TRUE(inj.should_kill(1, 100));
+  EXPECT_FALSE(inj.should_kill(1, 100));  // fired: never again
+  EXPECT_FALSE(inj.should_kill(1, 5000));
+  EXPECT_EQ(inj.kills_fired(), 1u);
+}
+
+TEST(FaultInjector, SeparateKillEventsFireIndependently) {
+  FaultInjector inj(5);
+  inj.kill_engine(0, 10);
+  inj.kill_engine(0, 20);
+  EXPECT_TRUE(inj.should_kill(0, 10));
+  EXPECT_FALSE(inj.should_kill(0, 11));
+  EXPECT_TRUE(inj.should_kill(0, 20));
+  EXPECT_EQ(inj.kills_fired(), 2u);
+}
+
+TEST(FaultInjector, MergeKillIsSeparateFromDataKill) {
+  FaultInjector inj(5);
+  inj.kill_engine_on_merge(2, 1);
+  EXPECT_FALSE(inj.should_kill(2, 1));  // data path unaffected
+  EXPECT_FALSE(inj.should_kill_on_merge(2, 0));
+  EXPECT_TRUE(inj.should_kill_on_merge(2, 1));
+  EXPECT_FALSE(inj.should_kill_on_merge(2, 1));
+}
+
+TEST(FaultInjector, DropWindowIsHalfOpenAndExact) {
+  FaultInjector inj(5);
+  inj.drop_on_channel("ch", 10, 3);  // attempts 10, 11, 12
+  std::vector<std::uint64_t> dropped;
+  for (std::uint64_t attempt = 1; attempt <= 20; ++attempt) {
+    if (inj.on_push("ch", attempt).action == FaultAction::kDrop) {
+      dropped.push_back(attempt);
+    }
+  }
+  EXPECT_EQ(dropped, (std::vector<std::uint64_t>{10, 11, 12}));
+  EXPECT_EQ(inj.drops_injected(), 3u);
+}
+
+TEST(FaultInjector, ChannelEventsDoNotCrossChannels) {
+  FaultInjector inj(5);
+  inj.drop_on_channel("a", 1, 5);
+  EXPECT_TRUE(inj.watches_channel("a"));
+  EXPECT_FALSE(inj.watches_channel("b"));
+  EXPECT_EQ(inj.on_push("b", 1).action, FaultAction::kNone);
+  EXPECT_EQ(inj.on_push("a", 1).action, FaultAction::kDrop);
+}
+
+TEST(FaultInjector, RandomDropsAreSeedDeterministicAndBudgeted) {
+  const auto run = [](std::uint64_t seed) {
+    FaultInjector inj(seed);
+    inj.drop_randomly("ch", 0.3, 10);
+    std::vector<std::uint64_t> dropped;
+    for (std::uint64_t attempt = 1; attempt <= 500; ++attempt) {
+      if (inj.on_push("ch", attempt).action == FaultAction::kDrop) {
+        dropped.push_back(attempt);
+      }
+    }
+    return dropped;
+  };
+  const auto a = run(42);
+  const auto b = run(42);
+  const auto c = run(43);
+  EXPECT_EQ(a, b);              // same seed: identical attempt pattern
+  EXPECT_EQ(a.size(), 10u);     // p=0.3 over 500 attempts exhausts the budget
+  EXPECT_NE(a, c);              // different seed: different pattern
+}
+
+TEST(FaultInjector, DelayDecisionCarriesDuration) {
+  FaultInjector inj(5);
+  inj.delay_on_channel("ch", 2, 1, std::chrono::microseconds(750));
+  EXPECT_EQ(inj.on_push("ch", 1).action, FaultAction::kNone);
+  const FaultDecision d = inj.on_push("ch", 2);
+  EXPECT_EQ(d.action, FaultAction::kDelay);
+  EXPECT_EQ(d.delay, std::chrono::microseconds(750));
+  EXPECT_EQ(inj.on_push("ch", 3).action, FaultAction::kNone);
+  EXPECT_EQ(inj.delays_injected(), 1u);
+}
+
+TEST(FaultInjector, PartitionWindowIsHalfOpenAndDirectional) {
+  FaultInjector inj(5);
+  inj.partition_link(0, 1, 5, 8, /*bidirectional=*/false);
+  EXPECT_FALSE(inj.link_blocked(0, 1, 4));
+  EXPECT_TRUE(inj.link_blocked(0, 1, 5));
+  EXPECT_TRUE(inj.link_blocked(0, 1, 7));
+  EXPECT_FALSE(inj.link_blocked(0, 1, 8));   // window closed: link healed
+  EXPECT_FALSE(inj.link_blocked(1, 0, 6));   // reverse direction intact
+  EXPECT_EQ(inj.partition_blocks(), 2u);     // only true queries count
+}
+
+TEST(FaultInjector, BidirectionalPartitionCutsBothWays) {
+  FaultInjector inj(5);
+  inj.partition_link(0, 1, 0, 10);
+  EXPECT_TRUE(inj.link_blocked(0, 1, 3));
+  EXPECT_TRUE(inj.link_blocked(1, 0, 3));
+  EXPECT_FALSE(inj.link_blocked(0, 2, 3));  // other links untouched
+}
+
+}  // namespace
+}  // namespace astro::stream

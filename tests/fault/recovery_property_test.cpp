@@ -1,0 +1,110 @@
+// Property: checkpoint -> kill -> restore -> finish the stream produces an
+// eigensystem indistinguishable (subspace angle < 1e-6) from the
+// uninterrupted run.  This exercises the exact algebra the supervised
+// recovery relies on — encode/decode through the ASPC checkpoint format plus
+// write-ahead-log replay reproduces the engine's state — directly against
+// RobustIncrementalPca, across 20 seeded streams.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "pca/robust_pca.h"
+#include "pca/subspace.h"
+#include "stats/rng.h"
+#include "sync/checkpoint_store.h"
+#include "tests/pca/test_data.h"
+
+namespace astro::sync {
+namespace {
+
+using pca::testing::draw;
+using pca::testing::make_model;
+using stats::Rng;
+
+class RecoveryPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RecoveryPropertyTest, RestoredRunMatchesUninterruptedRun) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const auto model = make_model(rng, 10, 3, 2.5, 0.05);
+
+  constexpr std::size_t kTotal = 600;
+  // Seed-dependent fault geometry: checkpoint somewhere mid-stream, crash a
+  // few dozen tuples later (those land in the write-ahead log).
+  const std::size_t checkpoint_at = 250 + std::size_t(seed % 100);
+  const std::size_t crash_at = checkpoint_at + 17 + std::size_t(seed % 40);
+
+  std::vector<linalg::Vector> stream;
+  stream.reserve(kTotal);
+  for (std::size_t i = 0; i < kTotal; ++i) stream.push_back(draw(model, rng));
+
+  pca::RobustPcaConfig cfg;
+  cfg.dim = 10;
+  cfg.rank = 3;
+  cfg.alpha = 1.0 - 1.0 / 200.0;
+
+  // Uninterrupted reference.
+  pca::RobustIncrementalPca reference(cfg);
+  for (const auto& x : stream) reference.observe(x);
+
+  // Interrupted run: apply up to the crash, checkpointing at checkpoint_at.
+  pca::RobustIncrementalPca doomed(cfg);
+  std::string blob;
+  for (std::size_t i = 0; i < crash_at; ++i) {
+    doomed.observe(stream[i]);
+    if (i + 1 == checkpoint_at) {
+      blob = CheckpointStore::encode(doomed.eigensystem(), cfg.alpha);
+    }
+  }
+  ASSERT_FALSE(blob.empty());
+  // The crash: `doomed` is abandoned wholesale — only the checkpoint blob
+  // and the logged tail [checkpoint_at, crash_at) survive.
+
+  double alpha_restored = 0.0;
+  pca::RobustIncrementalPca revived(cfg);
+  revived.set_eigensystem(CheckpointStore::decode(blob, &alpha_restored));
+  EXPECT_DOUBLE_EQ(alpha_restored, cfg.alpha);
+  for (std::size_t i = checkpoint_at; i < crash_at; ++i) {  // WAL replay
+    revived.observe(stream[i]);
+  }
+  for (std::size_t i = crash_at; i < kTotal; ++i) {  // resume the stream
+    revived.observe(stream[i]);
+  }
+
+  const pca::EigenSystem& a = reference.eigensystem();
+  const pca::EigenSystem& b = revived.eigensystem();
+  // The subspace angle cannot beat the metric's own resolution: an
+  // incrementally-updated basis drifts from exact orthonormality between
+  // QR passes, so even max_principal_angle(B, B) reads ~1e-6 here.  The
+  // recovered run must be indistinguishable *at that resolution* — and
+  // since restore + replay is exact arithmetic, the state in fact matches
+  // to fixed 1e-12 tolerances, far inside the issue's 1e-6 budget.
+  const double self_noise = pca::max_principal_angle(a.basis(), a.basis());
+  EXPECT_LE(pca::max_principal_angle(a.basis(), b.basis()), self_noise + 1e-9)
+      << seed;
+  EXPECT_EQ(a.observations(), b.observations());
+  for (std::size_t i = 0; i < a.eigenvalues().size(); ++i) {
+    EXPECT_NEAR(a.eigenvalues()[i], b.eigenvalues()[i], 1e-12) << seed;
+  }
+  for (std::size_t i = 0; i < a.mean().size(); ++i) {
+    EXPECT_NEAR(a.mean()[i], b.mean()[i], 1e-12) << seed;
+  }
+  double basis_diff = 0.0;
+  for (std::size_t r = 0; r < a.basis().rows(); ++r) {
+    for (std::size_t c = 0; c < a.basis().cols(); ++c) {
+      basis_diff = std::max(basis_diff,
+                            std::abs(a.basis()(r, c) - b.basis()(r, c)));
+    }
+  }
+  EXPECT_LT(basis_diff, 1e-12) << seed;
+  EXPECT_NEAR(a.sigma2(), b.sigma2(), 1e-12) << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(TwentySeeds, RecoveryPropertyTest,
+                         ::testing::Range<std::uint64_t>(2000, 2020));
+
+}  // namespace
+}  // namespace astro::sync

@@ -94,6 +94,145 @@ TEST(BoundedQueue, BlockedPushUnblocksOnClose) {
   EXPECT_TRUE(returned.load());
 }
 
+TEST(BoundedQueue, PopForTimeoutWhileOpenLeavesQueueUsable) {
+  // A timed-out pop on an open queue is a non-event: later traffic flows
+  // and the gauges record the blocked wait but no pop.
+  BoundedQueue<int> q(2);
+  int out = 0;
+  EXPECT_FALSE(q.pop_for(out, 5ms));
+  EXPECT_EQ(q.gauges().pop_blocked.load(), 1u);
+  EXPECT_EQ(q.gauges().popped.load(), 0u);
+  EXPECT_TRUE(q.push(3));
+  EXPECT_TRUE(q.pop_for(out, 1s));
+  EXPECT_EQ(out, 3);
+}
+
+TEST(BoundedQueue, PopForRacingCloseReturnsFalseNotData) {
+  // close() lands while a consumer waits in pop_for: the wait must wake
+  // promptly (not run out the full timeout) and report exhaustion.
+  BoundedQueue<int> q(2);
+  std::atomic<bool> woke{false};
+  std::thread consumer([&] {
+    int out = 0;
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_FALSE(q.pop_for(out, 10s));
+    EXPECT_LT(std::chrono::steady_clock::now() - start, 5s);
+    woke = true;
+  });
+  std::this_thread::sleep_for(20ms);
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(BoundedQueue, PopForSurvivesSpuriousWake) {
+  // A notify with nothing enqueued (here: a push immediately stolen by a
+  // competing try_pop) must not let pop_for return true without data — the
+  // predicate re-check has to hold the line until real data or timeout.
+  BoundedQueue<int> q(4);
+  std::atomic<bool> done{false};
+  std::thread waiter([&] {
+    int out = 0;
+    while (!done.load()) {
+      if (q.pop_for(out, 2ms)) {
+        EXPECT_EQ(out, 42);  // only genuine data may come through
+      }
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(q.push(42));
+    (void)q.try_pop();  // may or may not beat the waiter to it
+  }
+  done = true;
+  waiter.join();
+  const auto& g = q.gauges();
+  EXPECT_EQ(g.pushed.load(), 200u);
+  EXPECT_EQ(g.pushed.load() - g.popped.load(), q.size());
+}
+
+TEST(BoundedQueue, FaultHookDropIsCountedAsFaultedNotRejected) {
+  // Lossy-link semantics: the producer sees success, the tuple vanishes,
+  // and the loss is attributed to injection — `rejected` (the queue's own
+  // refusal signal) stays untouched.
+  BoundedQueue<int> q(4);
+  q.set_fault_hook([](std::uint64_t attempt) {
+    FaultDecision d;
+    if (attempt == 2) d.action = FaultAction::kDrop;
+    return d;
+  });
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));  // swallowed by the fault, still reports success
+  EXPECT_TRUE(q.push(3));
+  EXPECT_EQ(q.size(), 2u);
+  const auto& g = q.gauges();
+  EXPECT_EQ(g.faulted.load(), 1u);
+  EXPECT_EQ(g.rejected.load(), 0u);
+  EXPECT_EQ(g.pushed.load(), 2u);  // only real enqueues count as pushed
+  int out = 0;
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 3);
+}
+
+TEST(BoundedQueue, ClosedRejectionDistinctFromInjectedDrop) {
+  // The regression the gauges exist to prevent: a close-time rejection and
+  // an injected drop must land in different counters, or conservation
+  // checks would blame the wrong subsystem.
+  BoundedQueue<int> q(4);
+  q.set_fault_hook([](std::uint64_t attempt) {
+    FaultDecision d;
+    if (attempt == 1) d.action = FaultAction::kDrop;
+    return d;
+  });
+  EXPECT_TRUE(q.push(1));  // injected drop: success to the producer
+  q.close();
+  EXPECT_FALSE(q.push(2));  // closed: honest rejection
+  int item = 3;
+  EXPECT_FALSE(q.try_push(item));
+  EXPECT_EQ(item, 3);  // rejection does not consume
+  const auto& g = q.gauges();
+  EXPECT_EQ(g.faulted.load(), 1u);
+  EXPECT_EQ(g.rejected.load(), 2u);
+  EXPECT_EQ(g.pushed.load(), 0u);
+}
+
+TEST(BoundedQueue, FaultHookDelayHoldsBlockingPushOnly) {
+  BoundedQueue<int> q(4);
+  q.set_fault_hook([](std::uint64_t attempt) {
+    FaultDecision d;
+    if (attempt == 1) {
+      d.action = FaultAction::kDelay;
+      d.delay = std::chrono::microseconds(20000);
+    }
+    return d;
+  });
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(q.push(1));  // held ~20 ms, then lands
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 15ms);
+  EXPECT_EQ(q.gauges().delayed.load(), 1u);
+  EXPECT_EQ(q.size(), 1u);
+  int item = 2;
+  EXPECT_TRUE(q.try_push(item));  // non-blocking path ignores delays
+  EXPECT_EQ(q.gauges().delayed.load(), 1u);
+}
+
+TEST(BoundedQueue, TryPushDropConsumesItem) {
+  // On the non-blocking path an injected drop still reports success and
+  // consumes the tuple — the caller must not reroute a "sent" tuple.
+  BoundedQueue<std::vector<int>> q(4);
+  q.set_fault_hook([](std::uint64_t) {
+    FaultDecision d;
+    d.action = FaultAction::kDrop;
+    return d;
+  });
+  std::vector<int> item{1, 2, 3};
+  EXPECT_TRUE(q.try_push(item));
+  EXPECT_TRUE(item.empty());  // moved-from: ownership transferred
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.gauges().faulted.load(), 1u);
+}
+
 TEST(BoundedQueue, ProducerConsumerTransfersEverything) {
   BoundedQueue<int> q(8);
   constexpr int kItems = 10000;
