@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -31,20 +32,56 @@ inline std::string json_path_from_args(int argc, char** argv,
   return fallback;
 }
 
-/// Removes `--json <path>` from argv in place (google-benchmark's
-/// Initialize rejects flags it does not know) and returns the path, or
+/// Removes `<flag> <value>` from argv in place (google-benchmark's
+/// Initialize rejects flags it does not know) and returns the value, or
 /// `fallback` when the flag is absent.
-inline std::string take_json_arg(int& argc, char** argv,
-                                 std::string fallback) {
+inline std::string take_value_arg(int& argc, char** argv,
+                                  const std::string& flag,
+                                  std::string fallback) {
   for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string(argv[i]) == "--json") {
-      std::string path = argv[i + 1];
+    if (std::string(argv[i]) == flag) {
+      std::string value = argv[i + 1];
       for (int j = i + 2; j < argc; ++j) argv[j - 2] = argv[j];
       argc -= 2;
-      return path;
+      return value;
     }
   }
   return fallback;
+}
+
+/// take_value_arg for the common `--json <path>` destination flag.
+inline std::string take_json_arg(int& argc, char** argv,
+                                 std::string fallback) {
+  return take_value_arg(argc, argv, "--json", std::move(fallback));
+}
+
+/// Removes a boolean `<flag>` from argv in place; true when it was present.
+inline bool take_switch(int& argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == flag) {
+      for (int j = i + 1; j < argc; ++j) argv[j - 1] = argv[j];
+      argc -= 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Whole-file read (embedding recorded baselines); empty on any failure.
+inline std::string read_file(const std::string& path) {
+  if (path.empty()) return {};
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "warning: cannot read %s\n", path.c_str());
+    return {};
+  }
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  while (!content.empty() &&
+         (content.back() == '\n' || content.back() == '\r')) {
+    content.pop_back();
+  }
+  return content;
 }
 
 /// Writes `content` to `path`, reporting the destination like CsvSeries.

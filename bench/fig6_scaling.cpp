@@ -21,6 +21,7 @@
 #include "app/pipeline.h"
 #include "bench/bench_util.h"
 #include "cluster/scaling_model.h"
+#include "src/perf/alloc_probe.h"
 #include "stats/rng.h"
 
 using namespace astro::cluster;
@@ -33,7 +34,19 @@ namespace {
 // metrics registry.  Written as BENCH_fig6_operators.json (override with
 // --json <path>) so plots and regressions can consume the per-operator
 // breakdown the profiler tables in §III-D are built from.
-std::string run_measured_pipelines(const std::string& json_path) {
+/// Steady-state pipeline summary: one row per engine count, carrying the
+/// two hot-path numbers (split-side tuples/sec and whole-process heap
+/// allocations per tuple, engines + channels + control plane included) that
+/// BENCH_fig6.json tracks across PRs.
+struct MeasuredRow {
+  std::size_t engines = 0;
+  double tuples_per_sec = 0.0;
+  double allocs_per_tuple = 0.0;
+  double sync_rounds = 0.0;
+};
+
+std::string run_measured_pipelines(const std::string& json_path,
+                                   std::vector<MeasuredRow>* rows_out) {
   constexpr std::size_t kDim = 250;
   constexpr std::size_t kTuples = 2000;
   astro::stats::Rng rng(6201);
@@ -45,7 +58,8 @@ std::string run_measured_pipelines(const std::string& json_path) {
 
   std::printf("\n=== Measured pipeline (real operators, d = 250, p = 10, "
               "N = %zu) ===\n\n", kTuples);
-  std::printf("%8s %14s %12s\n", "engines", "split (t/s)", "sync rounds");
+  std::printf("%8s %14s %14s %12s\n", "engines", "split (t/s)",
+              "allocs/tuple", "sync rounds");
 
   std::string json = "{\"dim\":250,\"rank\":10,\"tuples\":2000,\"runs\":[";
   bool first = true;
@@ -57,7 +71,10 @@ std::string run_measured_pipelines(const std::string& json_path) {
     cfg.sync_rate_hz = 2.0;  // the paper's 0.5 s throttle
     cfg.metrics_sample_interval_seconds = 0.05;
     astro::app::StreamingPcaPipeline p(cfg, data);
+    astro::perf::AllocWindow window;
     p.run();
+    const double allocs_per_tuple =
+        double(window.allocations()) / double(kTuples);
 
     double rounds = 0.0;
     const auto snap = p.metrics_registry().snapshot();
@@ -66,7 +83,12 @@ std::string run_measured_pipelines(const std::string& json_path) {
         if (k == "rounds") rounds = v;
       }
     }
-    std::printf("%8zu %14.0f %12.0f\n", engines, p.throughput(), rounds);
+    std::printf("%8zu %14.0f %14.1f %12.0f\n", engines, p.throughput(),
+                allocs_per_tuple, rounds);
+    if (rows_out != nullptr) {
+      rows_out->push_back(
+          {engines, p.throughput(), allocs_per_tuple, rounds});
+    }
 
     if (!first) json += ',';
     first = false;
@@ -152,7 +174,44 @@ int main(int argc, char** argv) {
       lone_remote_slower && distributed_wins && peak_at_20 && single_plateaus;
   std::printf("\nVERDICT: %s\n", ok ? "REPRODUCED" : "NOT reproduced");
 
+  std::vector<MeasuredRow> measured;
   run_measured_pipelines(astro::bench::json_path_from_args(
-      argc, argv, "BENCH_fig6_operators.json"));
+                             argc, argv, "BENCH_fig6_operators.json"),
+                         &measured);
+
+  // Compact before/after summary (BENCH_fig6.json): simulated scaling curve
+  // plus the measured pipeline's steady-state tuples/sec and allocs/tuple,
+  // with an optional embedded baseline (--baseline <path>, a previously
+  // recorded "current" object) so the committed file tracks the trajectory.
+  char buf[192];
+  std::string summary = "{\"bench\":\"fig6\",\"current\":{\"sim\":[";
+  for (std::size_t i = 0; i < engine_counts.size(); ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"engines\":%zu,\"single_tps\":%.0f,"
+                  "\"distributed_tps\":%.0f}",
+                  i ? "," : "", engine_counts[i], single[i], distributed[i]);
+    summary += buf;
+  }
+  summary += "],\"measured\":[";
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"engines\":%zu,\"tuples_per_sec\":%.1f,"
+                  "\"allocs_per_tuple\":%.1f,\"sync_rounds\":%.0f}",
+                  i ? "," : "", measured[i].engines,
+                  measured[i].tuples_per_sec, measured[i].allocs_per_tuple,
+                  measured[i].sync_rounds);
+    summary += buf;
+  }
+  summary += "],\"reproduced\":";
+  summary += ok ? "true" : "false";
+  summary += "},\"baseline_pre_pr\":";
+  const std::string baseline = astro::bench::read_file(
+      astro::bench::take_value_arg(argc, argv, "--baseline", ""));
+  summary += baseline.empty() ? "null" : baseline;
+  summary += "}";
+  astro::bench::write_json_file(
+      astro::bench::take_value_arg(argc, argv, "--summary-json",
+                                   "BENCH_fig6.json"),
+      summary);
   return ok ? 0 : 1;
 }

@@ -1,13 +1,30 @@
-// E10: PCA-kernel micro-benchmarks (google-benchmark): per-tuple streaming
-// updates (classic vs robust, with and without gaps), eigensystem merging,
-// and batch baselines.
+// E10: PCA-kernel micro-benchmarks: per-tuple streaming updates (classic vs
+// robust, with and without gaps), eigensystem merging, and batch baselines
+// (google-benchmark suites), plus a steady-state harness that reports the
+// two numbers the hot-path discipline is graded on — tuples/sec and heap
+// allocations per tuple — and writes them to BENCH_micro_pca.json.
+//
+//   micro_pca                      # steady-state table + JSON + micro suites
+//   micro_pca --steady-only        # just the steady-state harness
+//   micro_pca --json <path>        # JSON destination (default
+//                                  # BENCH_micro_pca.json in the cwd)
+//   micro_pca --baseline <path>    # embed a previously recorded steady-state
+//                                  # object as "baseline_pre_pr" so the
+//                                  # committed file carries before/after
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
 #include "pca/batch_pca.h"
 #include "pca/incremental_pca.h"
 #include "pca/merge.h"
 #include "pca/robust_pca.h"
+#include "src/perf/alloc_probe.h"
 #include "stats/rng.h"
 
 using namespace astro;
@@ -23,6 +40,108 @@ std::vector<linalg::Vector> dataset(std::size_t n, std::size_t d,
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Steady-state harness: initialized engine, pregenerated data, timed loop
+// with the allocation probe around it.  This is the per-tuple data plane the
+// paper's Fig. 6 throughput is made of — no channels, no threads, just
+// observe().
+// ---------------------------------------------------------------------------
+
+struct SteadyRow {
+  std::string name;
+  std::size_t dim = 0;
+  std::size_t rank = 0;
+  std::size_t tuples = 0;
+  double tuples_per_sec = 0.0;
+  double allocs_per_tuple = 0.0;
+};
+
+template <typename Engine>
+SteadyRow measure_steady(std::string name, Engine& engine, std::size_t dim,
+                         std::size_t rank, std::size_t iters,
+                         const std::vector<linalg::Vector>& data) {
+  std::size_t i = 0;
+  while (!engine.initialized()) engine.observe(data[i++ % data.size()]);
+  // Warm the workspace and the allocator before the measured window.
+  for (std::size_t w = 0; w < 32; ++w) engine.observe(data[i++ % data.size()]);
+
+  perf::AllocWindow window;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t n = 0; n < iters; ++n) {
+    engine.observe(data[i++ % data.size()]);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+
+  SteadyRow row;
+  row.name = std::move(name);
+  row.dim = dim;
+  row.rank = rank;
+  row.tuples = iters;
+  row.tuples_per_sec = secs > 0.0 ? double(iters) / secs : 0.0;
+  row.allocs_per_tuple = double(window.allocations()) / double(iters);
+  return row;
+}
+
+std::string steady_json(const std::vector<SteadyRow>& rows) {
+  char buf[256];
+  std::string json = "{\"runs\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"%s\",\"dim\":%zu,\"rank\":%zu,\"tuples\":%zu,"
+                  "\"tuples_per_sec\":%.1f,\"allocs_per_tuple\":%.3f}",
+                  i ? "," : "", rows[i].name.c_str(), rows[i].dim,
+                  rows[i].rank, rows[i].tuples, rows[i].tuples_per_sec,
+                  rows[i].allocs_per_tuple);
+    json += buf;
+  }
+  json += "]}";
+  return json;
+}
+
+std::vector<SteadyRow> run_steady_state() {
+  std::printf("=== Steady-state hot path (tuples/sec, heap allocs/tuple) "
+              "===\n\n");
+  std::printf("%-22s %6s %5s %8s %14s %14s\n", "engine", "dim", "rank",
+              "tuples", "tuples/sec", "allocs/tuple");
+
+  std::vector<SteadyRow> rows;
+  struct Point {
+    std::size_t dim, rank, iters;
+  };
+  const std::vector<Point> points{{250, 10, 4000}, {1000, 10, 1500},
+                                  {2000, 10, 600}};
+
+  for (const Point& pt : points) {
+    const auto data = dataset(512, pt.dim, 11 + pt.dim);
+    pca::IncrementalPcaConfig cfg;
+    cfg.dim = pt.dim;
+    cfg.rank = pt.rank;
+    pca::IncrementalPca engine(cfg);
+    rows.push_back(measure_steady("classic", engine, pt.dim, pt.rank,
+                                  pt.iters, data));
+  }
+  for (const Point& pt : points) {
+    const auto data = dataset(512, pt.dim, 13 + pt.dim);
+    pca::RobustPcaConfig cfg;
+    cfg.dim = pt.dim;
+    cfg.rank = pt.rank;
+    pca::RobustIncrementalPca engine(cfg);
+    rows.push_back(measure_steady("robust", engine, pt.dim, pt.rank, pt.iters,
+                                  data));
+  }
+  for (SteadyRow& r : rows) {
+    std::printf("%-22s %6zu %5zu %8zu %14.0f %14.3f\n", r.name.c_str(), r.dim,
+                r.rank, r.tuples, r.tuples_per_sec, r.allocs_per_tuple);
+  }
+  std::printf("\n");
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark micro suites (unchanged operating points).
+// ---------------------------------------------------------------------------
+
 void BM_ClassicUpdate(benchmark::State& state) {
   const auto d = std::size_t(state.range(0));
   const auto p = std::size_t(state.range(1));
@@ -33,9 +152,16 @@ void BM_ClassicUpdate(benchmark::State& state) {
   const auto data = dataset(512, d, 11);
   std::size_t i = 0;
   while (!engine.initialized()) engine.observe(data[i++ % data.size()]);
+  std::uint64_t tuples = 0;
+  perf::AllocWindow window;
   for (auto _ : state) {
     engine.observe(data[i++ % data.size()]);
+    ++tuples;
   }
+  state.counters["allocs_per_tuple"] =
+      benchmark::Counter(double(window.allocations()) / double(tuples));
+  state.counters["tuples_per_sec"] =
+      benchmark::Counter(double(tuples), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ClassicUpdate)->Args({250, 10})->Args({1000, 10})->Args({2000, 10});
 
@@ -49,9 +175,16 @@ void BM_RobustUpdate(benchmark::State& state) {
   const auto data = dataset(512, d, 13);
   std::size_t i = 0;
   while (!engine.initialized()) engine.observe(data[i++ % data.size()]);
+  std::uint64_t tuples = 0;
+  perf::AllocWindow window;
   for (auto _ : state) {
     engine.observe(data[i++ % data.size()]);
+    ++tuples;
   }
+  state.counters["allocs_per_tuple"] =
+      benchmark::Counter(double(window.allocations()) / double(tuples));
+  state.counters["tuples_per_sec"] =
+      benchmark::Counter(double(tuples), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_RobustUpdate)
     ->Args({250, 5})
@@ -148,4 +281,26 @@ BENCHMARK(BM_SquaredResidual)->Arg(250)->Arg(2000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path =
+      bench::take_json_arg(argc, argv, "BENCH_micro_pca.json");
+  const std::string baseline_path =
+      bench::take_value_arg(argc, argv, "--baseline", "");
+  const bool steady_only = bench::take_switch(argc, argv, "--steady-only");
+
+  const std::vector<SteadyRow> rows = run_steady_state();
+  std::string json = "{\"bench\":\"micro_pca\",\"current\":";
+  json += steady_json(rows);
+  json += ",\"baseline_pre_pr\":";
+  const std::string baseline = bench::read_file(baseline_path);
+  json += baseline.empty() ? "null" : baseline;
+  json += "}";
+  bench::write_json_file(json_path, json);
+
+  if (steady_only) return 0;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -71,21 +71,31 @@ Matrix& Matrix::operator*=(double s) noexcept {
 }
 
 Matrix Matrix::operator*(const Matrix& rhs) const {
+  Matrix out;
+  multiply_into(rhs, out);
+  return out;
+}
+
+void Matrix::multiply_into(const Matrix& rhs, Matrix& out) const {
   if (cols_ != rhs.rows_) {
     throw std::invalid_argument("Matrix product: inner dimensions differ");
   }
-  Matrix out(rows_, rhs.cols_);
-  // i-k-j loop order keeps the innermost accesses contiguous for row-major.
+  out.resize_no_shrink(rows_, rhs.cols_);
+  out.fill(0.0);
+  const std::size_t n = rhs.cols_;
+  // i-k-j loop order: the innermost loop streams one rhs row into one
+  // output row, both contiguous in row-major — the accumulation order over
+  // k matches the naive i-j-k triple loop term for term, so results are
+  // bit-identical to it (pinned by the tolerance-zero regression test).
   for (std::size_t i = 0; i < rows_; ++i) {
+    const double* arow = data_.data() + i * cols_;
+    double* orow = out.data_.data() + i * n;
     for (std::size_t k = 0; k < cols_; ++k) {
-      const double aik = (*this)(i, k);
-      if (aik == 0.0) continue;
-      const double* brow = rhs.data_.data() + k * rhs.cols_;
-      double* orow = out.data_.data() + i * out.cols_;
-      for (std::size_t j = 0; j < rhs.cols_; ++j) orow[j] += aik * brow[j];
+      const double aik = arow[k];
+      const double* brow = rhs.data_.data() + k * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
     }
   }
-  return out;
 }
 
 Vector Matrix::operator*(const Vector& v) const {
@@ -111,33 +121,55 @@ Matrix Matrix::transpose() const {
 }
 
 Vector Matrix::transpose_times(const Vector& v) const {
-  if (rows_ != v.size()) {
-    throw std::invalid_argument("transpose_times: dimension mismatch");
-  }
-  Vector out(cols_);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    const double vi = v[i];
-    if (vi == 0.0) continue;
-    const double* arow = data_.data() + i * cols_;
-    for (std::size_t j = 0; j < cols_; ++j) out[j] += arow[j] * vi;
-  }
+  Vector out;
+  transpose_times_into(v, out);
   return out;
 }
 
+void Matrix::transpose_times_into(const Vector& v, Vector& out) const {
+  if (rows_ != v.size()) {
+    throw std::invalid_argument("transpose_times: dimension mismatch");
+  }
+  out.resize_no_shrink(cols_);
+  out.fill(0.0);
+  // Row-streaming accumulation: each row of A contributes a_i * v[i] to the
+  // whole output, reading A contiguously exactly once.  Per output entry j
+  // the terms arrive in increasing i, matching the naive per-column dot
+  // product bit for bit.  The branchless inner loop vectorizes; the old
+  // `v[i] == 0` skip saved nothing on dense streams and cost a branch per
+  // row.
+  double* o = out.data();
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double vi = v[i];
+    const double* arow = data_.data() + i * cols_;
+    for (std::size_t j = 0; j < cols_; ++j) o[j] += arow[j] * vi;
+  }
+}
+
 Matrix Matrix::gram() const {
-  Matrix out(cols_, cols_);
+  Matrix out;
+  gram_into(out);
+  return out;
+}
+
+void Matrix::gram_into(Matrix& out) const {
+  out.resize_no_shrink(cols_, cols_);
+  out.fill(0.0);
+  // One pass over the rows, accumulating each row's outer product into the
+  // upper triangle (i-k-j order per row; contiguous reads and writes), then
+  // mirror.  Term order per (i, j) entry is increasing row index — the same
+  // as the naive entry-wise dot product, so results are bit-identical.
   for (std::size_t r = 0; r < rows_; ++r) {
     const double* arow = data_.data() + r * cols_;
     for (std::size_t i = 0; i < cols_; ++i) {
       const double ai = arow[i];
-      if (ai == 0.0) continue;
-      for (std::size_t j = i; j < cols_; ++j) out(i, j) += ai * arow[j];
+      double* orow = out.data_.data() + i * cols_;
+      for (std::size_t j = i; j < cols_; ++j) orow[j] += ai * arow[j];
     }
   }
   for (std::size_t i = 0; i < cols_; ++i) {
     for (std::size_t j = 0; j < i; ++j) out(i, j) = out(j, i);
   }
-  return out;
 }
 
 double Matrix::frobenius_norm() const noexcept {

@@ -73,6 +73,24 @@ class Matrix {
   /// this^T * this (the Gram matrix), exploiting symmetry.
   [[nodiscard]] Matrix gram() const;
 
+  /// Write-into variants for the allocation-free hot path: identical
+  /// arithmetic (same accumulation order, so results are bit-identical to
+  /// the value-returning forms), but the output is resized in place with
+  /// resize_no_shrink — zero allocator traffic once the destination has
+  /// reached its high-water capacity.  `out` must not alias `this` / `v`.
+  void multiply_into(const Matrix& rhs, Matrix& out) const;
+  void transpose_times_into(const Vector& v, Vector& out) const;
+  void gram_into(Matrix& out) const;
+
+  /// Resize preserving capacity (see Vector::resize_no_shrink).  Entries
+  /// are NOT re-zeroed when shrinking or reshaping within capacity — the
+  /// workspace contract is that the next kernel overwrites every element.
+  void resize_no_shrink(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols, 0.0);
+  }
+
   /// Frobenius norm.
   [[nodiscard]] double frobenius_norm() const noexcept;
 

@@ -8,8 +8,20 @@
 // direction.  One-sided Jacobi orthogonalizes *columns* pairwise, costing
 // O(d k^2) per sweep for k columns — ideal for k = p+1 << d — and is
 // backward-stable without forming A^T A explicitly at working precision.
+//
+// Two entry styles share one kernel:
+//   - svd()/svd_left(): value-returning, allocate their results — fine for
+//     merges, baselines and tests.
+//   - svd_left_inplace(): the hot-path form.  The caller owns an
+//     SvdWorkspace (the persistent column-major scratch the rotations run
+//     on — columns contiguous, unlike the row-major Matrix layout) and a
+//     ThinUView of preallocated outputs; a steady-state call performs zero
+//     heap allocations.  svd_left() is a thin wrapper over this function,
+//     so the two paths are bit-identical by construction (pinned by
+//     tests/perf/svd_inplace_test).
 
 #include <cstddef>
+#include <vector>
 
 #include "linalg/matrix.h"
 #include "linalg/vector.h"
@@ -41,8 +53,40 @@ struct SvdOptions {
   /// "higher-dimensional data processing performance can be improved by
   /// using a multithreaded SVD processing algorithm".  1 = sequential
   /// cyclic sweep (default; the per-tuple matrices are small enough that
-  /// threads only pay off for wide merge stacks at large d).
+  /// threads only pay off for wide merge stacks at large d).  The threaded
+  /// schedule allocates per sweep — the allocation-free guarantee holds
+  /// for the default sequential path only.
   unsigned threads = 1;
+};
+
+/// Caller-owned scratch for the in-place kernel.  Buffers grow to the
+/// high-water mark of the shapes they have seen and are never shrunk
+/// (resize-no-shrink discipline), so one workspace sized by the first call
+/// serves every subsequent same-shape call allocation-free.  A workspace
+/// carries no result state between calls — every buffer is fully rewritten
+/// — which is what makes reuse bit-identical to a fresh workspace.
+/// Not thread-safe: one workspace per thread.
+struct SvdWorkspace {
+  std::vector<double> colmajor;     ///< m x n working copy, a[c * m + r]
+  std::vector<double> col_norms2;   ///< cached squared column norms (sweeps)
+  std::vector<double> norms;        ///< exact column norms (extraction)
+  std::vector<std::size_t> order;   ///< descending sort permutation
+  std::vector<double> cand;         ///< null-column completion scratch
+  std::vector<double> v_accum;      ///< right-rotation accumulator (full svd)
+
+  /// Pre-grows every buffer for an m x n decomposition (optional — the
+  /// kernel sizes on demand; this just front-loads the one-time growth).
+  void reserve(std::size_t m, std::size_t n);
+};
+
+/// Destination of the in-place thin-U decomposition: preallocated caller
+/// storage, resized in place (no shrink) to m x n / n.  `u` may alias the
+/// input only through distinct objects' storage — i.e. not at all; the
+/// input matrix is copied into the workspace before outputs are written,
+/// but `*u` and `*singular_values` must be distinct objects from `a`.
+struct ThinUView {
+  Matrix* u = nullptr;
+  Vector* singular_values = nullptr;
 };
 
 /// Thin SVD of `a` by one-sided Jacobi.  Works for any m, n (including
@@ -58,5 +102,14 @@ struct ThinUResult {
   Vector singular_values;
 };
 [[nodiscard]] ThinUResult svd_left(const Matrix& a, const SvdOptions& opts = {});
+
+/// Hot-path form of svd_left(): runs the Jacobi sweeps on the workspace's
+/// persistent column-major scratch and writes U / s into the caller's
+/// preallocated storage.  Zero heap allocations at steady state for tall
+/// inputs (m >= n) on the sequential path; a wide input (m < n) falls back
+/// to the allocating full decomposition (never the case on the per-tuple
+/// path, where m = d >> n = p+1).
+void svd_left_inplace(const Matrix& a, SvdWorkspace& workspace, ThinUView out,
+                      const SvdOptions& opts = {});
 
 }  // namespace astro::linalg

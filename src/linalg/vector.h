@@ -71,6 +71,15 @@ class Vector {
   void fill(double value) noexcept;
   void resize(std::size_t n) { data_.resize(n, 0.0); }
 
+  /// Resize preserving capacity: shrinking keeps the allocation, growing
+  /// reallocates at most once per high-water mark.  This is the workspace
+  /// primitive of the allocation-free hot path (DESIGN.md "Hot path &
+  /// memory discipline"): a scratch Vector sized once at engine init is
+  /// re-entered every tuple with no allocator traffic.  New entries (if
+  /// any) are zero; entries below the old size keep their stale values —
+  /// callers overwrite.
+  void resize_no_shrink(std::size_t n) { data_.resize(n, 0.0); }
+
   friend bool operator==(const Vector&, const Vector&) = default;
 
  private:

@@ -31,6 +31,16 @@ linalg::Vector EigenSystem::center(const linalg::Vector& x) const {
   return x - mean_;
 }
 
+void EigenSystem::center_into(const linalg::Vector& x,
+                              linalg::Vector& y) const {
+  const std::size_t d = mean_.size();
+  y.resize_no_shrink(d);
+  const double* xs = x.data();
+  const double* mu = mean_.data();
+  double* ys = y.data();
+  for (std::size_t r = 0; r < d; ++r) ys[r] = xs[r] - mu[r];
+}
+
 linalg::Vector EigenSystem::project(const linalg::Vector& x) const {
   return basis_.transpose_times(center(x));
 }
@@ -63,6 +73,15 @@ double EigenSystem::squared_residual(const linalg::Vector& x) const {
   const linalg::Vector y = center(x);
   const linalg::Vector c = basis_.transpose_times(y);
   return std::max(0.0, y.squared_norm() - c.squared_norm());
+}
+
+double EigenSystem::squared_residual(const linalg::Vector& x,
+                                     linalg::Vector& y_scratch,
+                                     linalg::Vector& coeff_scratch) const {
+  center_into(x, y_scratch);
+  basis_.transpose_times_into(y_scratch, coeff_scratch);
+  return std::max(0.0,
+                  y_scratch.squared_norm() - coeff_scratch.squared_norm());
 }
 
 linalg::Matrix EigenSystem::covariance() const {

@@ -51,6 +51,10 @@ class EigenSystem {
   /// Centered copy y = x − µ.
   [[nodiscard]] linalg::Vector center(const linalg::Vector& x) const;
 
+  /// Allocation-free centering into caller scratch (hot path): y = x − µ,
+  /// bit-identical to center().  `y` must not alias `x`.
+  void center_into(const linalg::Vector& x, linalg::Vector& y) const;
+
   /// Expansion coefficients c = E_pᵀ (x − µ).
   [[nodiscard]] linalg::Vector project(const linalg::Vector& x) const;
 
@@ -63,6 +67,13 @@ class EigenSystem {
   /// Squared residual norm |r|² without materializing r:
   /// |y|² − |E_pᵀ y|² (numerically clamped at 0).
   [[nodiscard]] double squared_residual(const linalg::Vector& x) const;
+
+  /// Workspace overload: same arithmetic (bit-identical result), but the
+  /// centered vector and coefficients land in caller-owned scratch instead
+  /// of fresh allocations.  The scratch contents are overwritten.
+  [[nodiscard]] double squared_residual(const linalg::Vector& x,
+                                        linalg::Vector& y_scratch,
+                                        linalg::Vector& coeff_scratch) const;
 
   /// The truncated covariance approximation E_p Λ_p E_pᵀ (paper eq. 1).
   [[nodiscard]] linalg::Matrix covariance() const;

@@ -12,29 +12,47 @@ void low_rank_update(const linalg::Matrix& basis,
                      const linalg::Vector& y, double gamma,
                      double fresh_weight, std::size_t p, linalg::Matrix* e_out,
                      linalg::Vector* lambda_out) {
+  UpdateWorkspace ws;
+  low_rank_update(basis, eigenvalues, y, gamma, fresh_weight, p, ws, *e_out,
+                  *lambda_out);
+}
+
+void low_rank_update(const linalg::Matrix& basis,
+                     const linalg::Vector& eigenvalues,
+                     const linalg::Vector& y, double gamma,
+                     double fresh_weight, std::size_t p, UpdateWorkspace& ws,
+                     linalg::Matrix& e_out, linalg::Vector& lambda_out) {
   const std::size_t d = y.size();
   const std::size_t k = eigenvalues.size();
 
   // A = [ e_1 sqrt(gamma l_1), ..., e_k sqrt(gamma l_k), y sqrt(w) ]
-  linalg::Matrix a(d, k + 1);
+  // Assembled completely — and decomposed — before e_out / lambda_out are
+  // written, which is what makes aliasing them onto basis / eigenvalues
+  // legal on the engines' in-place path.
+  ws.a.resize_no_shrink(d, k + 1);
   for (std::size_t c = 0; c < k; ++c) {
     const double scale = std::sqrt(std::max(0.0, gamma * eigenvalues[c]));
-    for (std::size_t r = 0; r < d; ++r) a(r, c) = basis(r, c) * scale;
+    for (std::size_t r = 0; r < d; ++r) ws.a(r, c) = basis(r, c) * scale;
   }
   const double yscale = std::sqrt(std::max(0.0, fresh_weight));
-  for (std::size_t r = 0; r < d; ++r) a(r, k) = y[r] * yscale;
+  for (std::size_t r = 0; r < d; ++r) ws.a(r, k) = y[r] * yscale;
 
-  const linalg::ThinUResult svd = linalg::svd_left(a);
+  linalg::svd_left_inplace(ws.a, ws.svd, linalg::ThinUView{&ws.u, &ws.s});
 
-  *e_out = linalg::Matrix(d, p);
-  *lambda_out = linalg::Vector(p);
-  const std::size_t keep = std::min(p, svd.singular_values.size());
+  e_out.resize_no_shrink(d, p);
+  lambda_out.resize_no_shrink(p);
+  const std::size_t keep = std::min(p, ws.s.size());
   for (std::size_t c = 0; c < keep; ++c) {
-    (*lambda_out)[c] = svd.singular_values[c] * svd.singular_values[c];
-    for (std::size_t r = 0; r < d; ++r) (*e_out)(r, c) = svd.u(r, c);
+    lambda_out[c] = ws.s[c] * ws.s[c];
+    for (std::size_t r = 0; r < d; ++r) e_out(r, c) = ws.u(r, c);
   }
   // If p > k+1 (larger rank than columns available) the remaining
-  // eigenpairs stay zero — they fill in as more data arrives.
+  // eigenpairs are zeroed — they fill in as more data arrives.  Explicit
+  // because resize_no_shrink leaves stale values behind.
+  for (std::size_t c = keep; c < p; ++c) {
+    lambda_out[c] = 0.0;
+    for (std::size_t r = 0; r < d; ++r) e_out(r, c) = 0.0;
+  }
 }
 
 IncrementalPca::IncrementalPca(const IncrementalPcaConfig& config)
@@ -72,45 +90,58 @@ void IncrementalPca::initialize_from_buffer() {
   for (const auto& x : init_buffer_) mean += x;
   mean *= 1.0 / double(n);
 
-  // Columns of Y are centered observations / sqrt(n); eigensystem of the
-  // sample covariance is the left SVD of Y.
-  linalg::Matrix y(d, n);
-  for (std::size_t c = 0; c < n; ++c) {
-    for (std::size_t r = 0; r < d; ++r) {
-      y(r, c) = (init_buffer_[c][r] - mean[r]) / std::sqrt(double(n));
+  {
+    // Columns of Y are centered observations / sqrt(n); eigensystem of the
+    // sample covariance is the left SVD of Y.  Scoped so the d x n batch
+    // matrix and its factors are freed before the replay below — the
+    // engine's long-lived footprint should be the eigensystem plus one
+    // workspace, not the init batch.
+    linalg::Matrix y(d, n);
+    for (std::size_t c = 0; c < n; ++c) {
+      for (std::size_t r = 0; r < d; ++r) {
+        y(r, c) = (init_buffer_[c][r] - mean[r]) / std::sqrt(double(n));
+      }
     }
-  }
-  const linalg::ThinUResult svd = linalg::svd_left(y);
+    const linalg::ThinUResult svd = linalg::svd_left(y);
 
-  linalg::Matrix basis(d, config_.rank);
-  linalg::Vector lambda(config_.rank);
-  const std::size_t keep = std::min(config_.rank, svd.singular_values.size());
-  for (std::size_t c = 0; c < keep; ++c) {
-    lambda[c] = svd.singular_values[c] * svd.singular_values[c];
-    for (std::size_t r = 0; r < d; ++r) basis(r, c) = svd.u(r, c);
-  }
+    linalg::Matrix basis(d, config_.rank);
+    linalg::Vector lambda(config_.rank);
+    const std::size_t keep =
+        std::min(config_.rank, svd.singular_values.size());
+    for (std::size_t c = 0; c < keep; ++c) {
+      lambda[c] = svd.singular_values[c] * svd.singular_values[c];
+      for (std::size_t r = 0; r < d; ++r) basis(r, c) = svd.u(r, c);
+    }
 
-  system_ = EigenSystem(std::move(mean), std::move(basis), std::move(lambda),
-                        0.0, stats::RobustRunningSums(config_.alpha), 0);
+    system_ = EigenSystem(std::move(mean), std::move(basis),
+                          std::move(lambda), 0.0,
+                          stats::RobustRunningSums(config_.alpha), 0);
+  }
 
   // Replay the buffer through the running sums so merge weights reflect the
   // data actually absorbed; sigma2 seeds from the mean squared residual.
+  ws_.ensure(d, config_.rank + 1);
   double r2sum = 0.0;
   for (const auto& x : init_buffer_) {
-    const double r2 = system_.squared_residual(x);
+    const double r2 = system_.squared_residual(x, ws_.y, ws_.coeffs);
     system_.mutable_sums().update(1.0, r2);
     system_.count_observation();
     r2sum += r2;
   }
   system_.set_sigma2(r2sum / double(n));
+  // Release the init batch outright: clear() keeps vector capacity (n
+  // observations of d doubles) alive for the engine's whole life otherwise.
   init_buffer_.clear();
+  init_buffer_.shrink_to_fit();
   init_done_ = true;
 }
 
 void IncrementalPca::update(const linalg::Vector& x) {
   // Forgetting count drives both the mean and covariance blend; in the
-  // classic algorithm every observation has unit weight.
-  const double r2 = system_.squared_residual(x);
+  // classic algorithm every observation has unit weight.  Every temporary
+  // lives in ws_ — a steady-state update performs no heap allocation
+  // (pinned by tests/perf/alloc_count_test).
+  const double r2 = system_.squared_residual(x, ws_.y, ws_.coeffs);
   const auto gammas = system_.mutable_sums().update(1.0, r2);
   const double gamma = gammas.g3;  // alpha*u_prev/u
 
@@ -119,14 +150,11 @@ void IncrementalPca::update(const linalg::Vector& x) {
   mean *= gamma;
   mean.axpy(1.0 - gamma, x);
 
-  const linalg::Vector y = system_.center(x);
+  system_.center_into(x, ws_.y);  // against the updated mean
 
-  linalg::Matrix e_new;
-  linalg::Vector lambda_new;
-  low_rank_update(system_.basis(), system_.eigenvalues(), y, gamma,
-                  1.0 - gamma, config_.rank, &e_new, &lambda_new);
-  system_.mutable_basis() = std::move(e_new);
-  system_.mutable_eigenvalues() = std::move(lambda_new);
+  low_rank_update(system_.basis(), system_.eigenvalues(), ws_.y, gamma,
+                  1.0 - gamma, config_.rank, ws_, system_.mutable_basis(),
+                  system_.mutable_eigenvalues());
 
   // Track the (non-robust) mean squared residual as sigma2 for diagnostics.
   const double g = gamma;
@@ -139,6 +167,7 @@ void IncrementalPca::set_eigensystem(EigenSystem system) {
     throw std::invalid_argument("set_eigensystem: shape mismatch");
   }
   system_ = std::move(system);
+  ws_.ensure(config_.dim, config_.rank + 1);
   init_done_ = true;
 }
 

@@ -15,9 +15,11 @@
 // and the skeleton the robust variant builds on.
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "pca/eigensystem.h"
+#include "pca/update_workspace.h"
 
 namespace astro::pca {
 
@@ -49,12 +51,23 @@ class IncrementalPca {
   /// Replace the state wholesale (synchronization installs merged systems).
   void set_eigensystem(EigenSystem system);
 
+  /// Workspace recycling (windowed bucket rolls, crash-recovery engine
+  /// reincarnation): steal this engine's scratch, or install an
+  /// already-grown one.  The adopted workspace is re-ensured to this
+  /// engine's shape on the next init/install, so a mismatched donor only
+  /// costs a one-time grow, never correctness.
+  [[nodiscard]] UpdateWorkspace take_workspace() noexcept {
+    return std::move(ws_);
+  }
+  void adopt_workspace(UpdateWorkspace ws) noexcept { ws_ = std::move(ws); }
+
  private:
   void initialize_from_buffer();
   void update(const linalg::Vector& x);
 
   IncrementalPcaConfig config_;
   EigenSystem system_;
+  UpdateWorkspace ws_;
   std::vector<linalg::Vector> init_buffer_;
   bool init_done_ = false;
 };
@@ -68,5 +81,20 @@ void low_rank_update(const linalg::Matrix& basis,
                      const linalg::Vector& y, double gamma,
                      double fresh_weight, std::size_t p, linalg::Matrix* e_out,
                      linalg::Vector* lambda_out);
+
+/// Hot-path form: the A matrix, SVD scratch and factors live in `ws`; the
+/// new basis / eigenvalues are written into preallocated `e_out` /
+/// `lambda_out` (resized no-shrink, every entry rewritten).  Zero heap
+/// allocations at steady state.  `e_out` / `lambda_out` MAY alias `basis` /
+/// `eigenvalues`: A is fully assembled and decomposed before either output
+/// is touched.  The pointer overload above is a thin wrapper over this one
+/// (temporary workspace), so both paths are bit-identical by construction.
+/// `y` must not live inside `ws`'s own buffers except as `ws.y` (which the
+/// update never touches).
+void low_rank_update(const linalg::Matrix& basis,
+                     const linalg::Vector& eigenvalues,
+                     const linalg::Vector& y, double gamma,
+                     double fresh_weight, std::size_t p, UpdateWorkspace& ws,
+                     linalg::Matrix& e_out, linalg::Vector& lambda_out);
 
 }  // namespace astro::pca

@@ -38,6 +38,9 @@ RobustIncrementalPca::RobustIncrementalPca(const RobustPcaConfig& config)
   // Enforce enough initial samples that the residual scale is meaningful.
   config_.init_count = std::max(config_.init_count, 2 * full + 2);
   init_buffer_.reserve(config_.init_count);
+  // The reject run can never exceed the reset threshold, so reserving it up
+  // front keeps the outlier branch of update() allocation-free too.
+  rejected_residuals_.reserve(config_.reject_reset_threshold);
   if (config_.track_robust_eigenvalues) {
     robust_eigenvalues_ = linalg::Vector(config_.rank);
   }
@@ -166,8 +169,14 @@ void RobustIncrementalPca::initialize_from_buffer() {
     }
   }
 
+  // Release the init batch outright (clear() alone would pin n*d doubles of
+  // capacity for the engine's lifetime) and size the per-tuple workspace
+  // once; every steady-state update() re-enters it allocation-free.
   init_buffer_.clear();
+  init_buffer_.shrink_to_fit();
   init_masks_.clear();
+  init_masks_.shrink_to_fit();
+  ws_.ensure(d, full + 1);
   init_done_ = true;
 }
 
@@ -202,11 +211,14 @@ ObservationReport RobustIncrementalPca::update(const linalg::Vector& x,
     const double eff_dof = std::max(1.0, double(n_obs) - double(p));
     dof_scale = full_dof / eff_dof;
   } else {
-    const linalg::Vector y = system_.center(*xp);
-    const linalg::Vector c = system_.basis().transpose_times(y);
+    // Complete observation: the whole step runs in the engine workspace —
+    // no heap allocation (the gappy branch above allocates freely; gap
+    // patching is the rare case and inherently builds new vectors).
+    system_.center_into(*xp, ws_.y);
+    system_.basis().transpose_times_into(ws_.y, ws_.coeffs);
     double proj = 0.0;
-    for (std::size_t k = 0; k < p; ++k) proj += c[k] * c[k];
-    r2 = std::max(0.0, y.squared_norm() - proj);
+    for (std::size_t k = 0; k < p; ++k) proj += ws_.coeffs[k] * ws_.coeffs[k];
+    r2 = std::max(0.0, ws_.y.squared_norm() - proj);
   }
   rep.squared_residual = r2;
 
@@ -262,20 +274,21 @@ ObservationReport RobustIncrementalPca::update(const linalg::Vector& x,
   //    fresh weight = (1-gamma2) * sigma2 / r2; gamma2 == 1 for outliers, so
   //    their direction never enters the eigensystem.
   if (g.g2 < 1.0 && r2 > kTinyResidual) {
-    const linalg::Vector y = system_.center(*xp);  // against the new mean
+    system_.center_into(*xp, ws_.y);  // against the new mean
     const double fresh = (1.0 - g.g2) * system_.sigma2() / r2;
-    linalg::Matrix e_new;
-    linalg::Vector lambda_new;
-    low_rank_update(system_.basis(), system_.eigenvalues(), y, g.g2, fresh,
-                    system_.rank(), &e_new, &lambda_new);
-    system_.mutable_basis() = std::move(e_new);
-    system_.mutable_eigenvalues() = std::move(lambda_new);
+    low_rank_update(system_.basis(), system_.eigenvalues(), ws_.y, g.g2,
+                    fresh, system_.rank(), ws_, system_.mutable_basis(),
+                    system_.mutable_eigenvalues());
   }
 
   // 8. Optional robust per-component scales (§II-B closing remark): the same
   //    σ² recursion with the residual replaced by the projection onto e_k.
   if (config_.track_robust_eigenvalues) {
-    const linalg::Vector c = system_.project(*xp);
+    // Re-center explicitly: step 7 may have been skipped (outlier), so
+    // ws_.y is not guaranteed to hold x - mu against the current mean.
+    system_.center_into(*xp, ws_.y);
+    system_.basis().transpose_times_into(ws_.y, ws_.coeffs);
+    const linalg::Vector& c = ws_.coeffs;
     for (std::size_t k = 0; k < p; ++k) {
       const double ck2 = c[k] * c[k];
       const double sk2 = std::max(robust_eigenvalues_[k], kTinyResidual);
@@ -306,6 +319,9 @@ void RobustIncrementalPca::set_eigensystem(EigenSystem system) {
     throw std::invalid_argument("set_eigensystem: shape mismatch");
   }
   system_ = std::move(system);
+  // Idempotent: a workspace already at this shape (checkpoint restore,
+  // periodic merge install) is untouched — no reallocation per sync round.
+  ws_.ensure(config_.dim, config_.rank + config_.extra_rank + 1);
   init_done_ = true;
 }
 

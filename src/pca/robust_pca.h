@@ -31,6 +31,7 @@
 
 #include "pca/eigensystem.h"
 #include "pca/gap_fill.h"
+#include "pca/update_workspace.h"
 #include "stats/rho.h"
 
 namespace astro::pca {
@@ -115,6 +116,15 @@ class RobustIncrementalPca {
   /// Install a (merged) eigensystem — the synchronization entry point.
   void set_eigensystem(EigenSystem system);
 
+  /// Workspace recycling (windowed bucket rolls, crash-recovery engine
+  /// reincarnation): steal this engine's scratch or install an
+  /// already-grown one.  See UpdateWorkspace — a recycled workspace is
+  /// behaviorally identical to a fresh one, just pre-grown.
+  [[nodiscard]] UpdateWorkspace take_workspace() noexcept {
+    return std::move(ws_);
+  }
+  void adopt_workspace(UpdateWorkspace ws) noexcept { ws_ = std::move(ws); }
+
  private:
   void initialize_from_buffer();
   ObservationReport update(const linalg::Vector& x, const PixelMask* observed);
@@ -123,6 +133,7 @@ class RobustIncrementalPca {
   std::unique_ptr<stats::RhoFunction> rho_;
   double delta_ = 0.5;
   EigenSystem system_;
+  UpdateWorkspace ws_;
   linalg::Vector robust_eigenvalues_;
   std::vector<linalg::Vector> init_buffer_;
   std::vector<PixelMask> init_masks_;

@@ -1,0 +1,50 @@
+#pragma once
+
+// Per-engine scratch for the allocation-free per-tuple update path
+// (DESIGN.md "Hot path & memory discipline").
+//
+// Every streaming PCA engine owns exactly one UpdateWorkspace, sized once
+// when its eigensystem first exists (initialize_from_buffer /
+// set_eigensystem) and re-entered by every subsequent observe() with zero
+// allocator traffic.  The buffers follow the resize-no-shrink discipline:
+// they grow to the high-water mark of the shapes seen and keep that
+// capacity for the engine's lifetime.  A workspace carries no result state
+// between tuples — every kernel that uses a buffer overwrites it — so a
+// recycled workspace (windowed bucket roll, crash-recovery reincarnation)
+// behaves bit-identically to a fresh one.
+//
+// Not thread-safe: a workspace belongs to the single thread driving its
+// engine, matching the one-engine-one-thread execution model of the
+// stream operators.
+
+#include <cstddef>
+
+#include "linalg/matrix.h"
+#include "linalg/svd.h"
+#include "linalg/vector.h"
+
+namespace astro::pca {
+
+struct UpdateWorkspace {
+  linalg::Matrix a;             ///< the d x (k+1) A matrix of eq. (1)-(3)
+  linalg::Matrix u;             ///< left singular vectors of A
+  linalg::Vector s;             ///< singular values of A
+  linalg::Vector y;             ///< centered observation x - mu
+  linalg::Vector coeffs;        ///< basis expansion coefficients E^T y
+  linalg::SvdWorkspace svd;     ///< Jacobi scratch (column-major copy etc.)
+
+  /// Pre-grows every buffer for a d-dimensional engine whose A matrix has
+  /// `cols` = k+1 columns.  Idempotent and never shrinks, so calling it
+  /// again (checkpoint restore, merge install) on an already-sized
+  /// workspace is free.
+  void ensure(std::size_t d, std::size_t cols) {
+    a.resize_no_shrink(d, cols);
+    u.resize_no_shrink(d, cols);
+    s.resize_no_shrink(cols);
+    y.resize_no_shrink(d);
+    coeffs.resize_no_shrink(cols);
+    svd.reserve(d, cols);
+  }
+};
+
+}  // namespace astro::pca

@@ -54,7 +54,14 @@ void SlidingWindowPca::roll_if_full() {
   if (live_->initialized()) {
     closed_.push_back(live_->eigensystem());
   }
-  live_ = make_engine();
+  // Recycle the retiring bucket's update workspace into the fresh engine:
+  // every bucket shares one dim/rank shape, so the roll costs no workspace
+  // reallocation and the new bucket's first post-init update is already
+  // allocation-free.  The workspace is pure scratch — no window state leaks
+  // across buckets.
+  auto fresh = make_engine();
+  fresh->adopt_workspace(live_->take_workspace());
+  live_ = std::move(fresh);
   live_count_ = 0;
   while (closed_.size() >= config_.buckets) {
     coverage_ -= closed_.front().observations();

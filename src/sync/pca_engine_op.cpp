@@ -63,6 +63,9 @@ void PcaEngineOperator::recover() {
   if (fault_.checkpoints) {
     if (const auto ck = fault_.checkpoints->latest(id_)) {
       double alpha = 0.0;
+      // set_eigensystem sizes the engine's update workspace once (ensure is
+      // idempotent); the replay loop below then runs allocation-free rather
+      // than re-growing scratch per replayed tuple.
       pca_.set_eigensystem(CheckpointStore::decode(ck->blob, &alpha));
       base_tuples = ck->applied_tuples;
       base_outliers = ck->outliers;
@@ -171,7 +174,13 @@ void PcaEngineOperator::run() {
     // standing in for the durable parts of a real deployment.
     {
       std::lock_guard lock(state_mutex_);
+      // The workspace is pure scratch (no eigensystem state lives in it),
+      // standing in for the preallocated buffers a real deployment would
+      // keep across process restarts: salvage it so the reincarnated
+      // engine's recovery replay and steady state stay allocation-free.
+      pca::UpdateWorkspace ws = pca_.take_workspace();
       pca_ = pca::RobustIncrementalPca(pca_config_);
+      pca_.adopt_workspace(std::move(ws));
     }
     set_stop_reason(stream::StopReason::kNone);
     lifecycle_.store(int(EngineLifecycle::kCrashed),

@@ -1,0 +1,114 @@
+// The in-place/allocating equivalence contract of the hot-path SVD:
+// svd_left() is a thin wrapper over svd_left_inplace(), so the two must
+// agree bit for bit — and a REUSED workspace must behave exactly like a
+// fresh one (the workspace carries capacity, never state).
+
+#include "linalg/svd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.h"
+
+namespace astro::linalg {
+namespace {
+
+using astro::stats::Rng;
+
+constexpr int kSeeds = 20;
+
+TEST(SvdInplace, BitIdenticalToAllocatingAcrossSeedsWithReusedWorkspace) {
+  // One workspace survives all 20 decompositions (varying shapes), so this
+  // also pins reused-workspace == fresh-workspace: svd_left() constructs a
+  // fresh workspace internally, and == on Matrix/Vector is exact.
+  SvdWorkspace ws;
+  Matrix u;
+  Vector s;
+  for (int seed = 1; seed <= kSeeds; ++seed) {
+    Rng rng{std::uint64_t(seed)};
+    const std::size_t d = 20 + std::size_t(seed) * 7 % 60;
+    const std::size_t n = 2 + std::size_t(seed) % 9;
+    const Matrix a = rng.gaussian_matrix(d, n);
+
+    const ThinUResult ref = svd_left(a);
+    svd_left_inplace(a, ws, ThinUView{&u, &s});
+
+    EXPECT_EQ(u, ref.u) << "seed " << seed;
+    EXPECT_EQ(s, ref.singular_values) << "seed " << seed;
+    EXPECT_LE(orthonormality_error(u), 1e-10) << "seed " << seed;
+  }
+}
+
+TEST(SvdInplace, RepeatedCallsOnSameWorkspaceAreDeterministic) {
+  Rng rng(99);
+  const Matrix a = rng.gaussian_matrix(40, 6);
+  SvdWorkspace ws;
+  Matrix u1, u2;
+  Vector s1, s2;
+  svd_left_inplace(a, ws, ThinUView{&u1, &s1});
+  svd_left_inplace(a, ws, ThinUView{&u2, &s2});  // warm workspace + outputs
+  EXPECT_EQ(u1, u2);
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(SvdInplace, ShrinkingShapesLeaveNoStaleState) {
+  // Decompose a big matrix, then a smaller one: the workspace and outputs
+  // keep the big capacity but the small result must equal a fresh run.
+  Rng rng(5);
+  const Matrix big = rng.gaussian_matrix(80, 9);
+  const Matrix small = rng.gaussian_matrix(12, 3);
+  SvdWorkspace ws;
+  Matrix u;
+  Vector s;
+  svd_left_inplace(big, ws, ThinUView{&u, &s});
+  svd_left_inplace(small, ws, ThinUView{&u, &s});
+  const ThinUResult ref = svd_left(small);
+  EXPECT_EQ(u, ref.u);
+  EXPECT_EQ(s, ref.singular_values);
+}
+
+TEST(SvdInplace, RankDeficientInputStaysOrthonormal) {
+  // Two duplicated columns: one singular value is (numerically) zero and
+  // extraction must complete the basis, identically on both paths.
+  Rng rng(17);
+  Matrix a = rng.gaussian_matrix(25, 4);
+  for (std::size_t r = 0; r < a.rows(); ++r) a(r, 3) = a(r, 1);
+  SvdWorkspace ws;
+  Matrix u;
+  Vector s;
+  svd_left_inplace(a, ws, ThinUView{&u, &s});
+  const ThinUResult ref = svd_left(a);
+  EXPECT_EQ(u, ref.u);
+  EXPECT_EQ(s, ref.singular_values);
+  EXPECT_LE(orthonormality_error(u), 1e-10);
+}
+
+TEST(SvdInplace, WideInputFallsBackToFullDecomposition) {
+  Rng rng(23);
+  const Matrix a = rng.gaussian_matrix(4, 9);  // m < n
+  SvdWorkspace ws;
+  Matrix u;
+  Vector s;
+  svd_left_inplace(a, ws, ThinUView{&u, &s});
+  const ThinUResult ref = svd_left(a);
+  EXPECT_EQ(u, ref.u);
+  EXPECT_EQ(s, ref.singular_values);
+  EXPECT_EQ(u.rows(), 4u);
+}
+
+TEST(SvdInplace, NullViewAndEmptyInputThrow) {
+  SvdWorkspace ws;
+  Matrix u;
+  Vector s;
+  const Matrix a{{1.0}, {2.0}};
+  EXPECT_THROW(svd_left_inplace(a, ws, ThinUView{nullptr, &s}),
+               std::invalid_argument);
+  EXPECT_THROW(svd_left_inplace(a, ws, ThinUView{&u, nullptr}),
+               std::invalid_argument);
+  EXPECT_THROW(svd_left_inplace(Matrix{}, ws, ThinUView{&u, &s}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace astro::linalg

@@ -1,0 +1,108 @@
+// Equivalence of the workspace-based low_rank_update with the allocating
+// pointer overload (which wraps it), including the aliased-output form the
+// engines use (e_out == basis, lambda_out == eigenvalues).
+
+#include "pca/update_workspace.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/qr.h"
+#include "pca/incremental_pca.h"
+#include "stats/rng.h"
+
+namespace astro::pca {
+namespace {
+
+using astro::stats::Rng;
+using linalg::Matrix;
+using linalg::Vector;
+
+struct Inputs {
+  Matrix basis;
+  Vector eigenvalues;
+  Vector y;
+};
+
+Inputs make_setup(std::uint64_t seed, std::size_t d, std::size_t k) {
+  Rng rng(seed);
+  Inputs s;
+  s.basis = rng.gaussian_matrix(d, k);
+  linalg::orthonormalize_columns(s.basis);
+  s.eigenvalues = Vector(k);
+  for (std::size_t c = 0; c < k; ++c) s.eigenvalues[c] = double(k - c) * 0.7;
+  s.y = rng.gaussian_vector(d);
+  return s;
+}
+
+TEST(LowRankUpdateWorkspace, InPlaceMatchesAllocatingBitForBit) {
+  UpdateWorkspace ws;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const std::size_t d = 12 + std::size_t(seed) * 3;
+    const std::size_t k = 2 + std::size_t(seed) % 4;
+    const Inputs s = make_setup(seed, d, k);
+
+    Matrix e_ref;
+    Vector l_ref;
+    low_rank_update(s.basis, s.eigenvalues, s.y, 0.9, 0.1, k, &e_ref, &l_ref);
+
+    Matrix e_new;
+    Vector l_new;
+    low_rank_update(s.basis, s.eigenvalues, s.y, 0.9, 0.1, k, ws, e_new,
+                    l_new);
+    EXPECT_EQ(e_new, e_ref) << "seed " << seed;
+    EXPECT_EQ(l_new, l_ref) << "seed " << seed;
+  }
+}
+
+TEST(LowRankUpdateWorkspace, AliasedOutputsMatchNonAliased) {
+  // The engine hot path passes its own basis/eigenvalues as both input and
+  // output; A is assembled before the outputs are written, so this must
+  // equal the non-aliased result exactly.
+  const Inputs s = make_setup(42, 30, 5);
+  Matrix e_ref;
+  Vector l_ref;
+  low_rank_update(s.basis, s.eigenvalues, s.y, 0.95, 0.05, 5, &e_ref, &l_ref);
+
+  UpdateWorkspace ws;
+  Matrix basis = s.basis;
+  Vector lambda = s.eigenvalues;
+  low_rank_update(basis, lambda, s.y, 0.95, 0.05, 5, ws, basis, lambda);
+  EXPECT_EQ(basis, e_ref);
+  EXPECT_EQ(lambda, l_ref);
+}
+
+TEST(LowRankUpdateWorkspace, RankLargerThanColumnsZeroFillsTail) {
+  // p > k+1: trailing eigenpairs must come out exactly zero even when the
+  // preallocated outputs hold stale values from a previous call.
+  const Inputs s = make_setup(7, 20, 2);
+  UpdateWorkspace ws;
+  Matrix e_out(20, 6);
+  Vector l_out(6);
+  e_out.fill(123.0);
+  l_out.fill(456.0);
+  low_rank_update(s.basis, s.eigenvalues, s.y, 0.9, 0.1, 6, ws, e_out, l_out);
+
+  Matrix e_ref;
+  Vector l_ref;
+  low_rank_update(s.basis, s.eigenvalues, s.y, 0.9, 0.1, 6, &e_ref, &l_ref);
+  EXPECT_EQ(e_out, e_ref);
+  EXPECT_EQ(l_out, l_ref);
+  for (std::size_t c = 3; c < 6; ++c) {
+    EXPECT_EQ(l_out[c], 0.0);
+    for (std::size_t r = 0; r < 20; ++r) EXPECT_EQ(e_out(r, c), 0.0);
+  }
+}
+
+TEST(LowRankUpdateWorkspace, EnsureIsIdempotent) {
+  UpdateWorkspace ws;
+  ws.ensure(100, 11);
+  const double* a_before = ws.a.data();
+  const double* y_before = ws.y.data();
+  ws.ensure(100, 11);
+  ws.ensure(50, 6);  // smaller: must not shrink or reallocate
+  EXPECT_EQ(ws.a.data(), a_before);
+  EXPECT_EQ(ws.y.data(), y_before);
+}
+
+}  // namespace
+}  // namespace astro::pca
