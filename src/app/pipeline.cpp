@@ -46,10 +46,12 @@ void StreamingPcaPipeline::build(const PipelineConfig& config) {
   exchange_ = std::make_shared<sync::StateExchange>(n);
 
   // Data plane.  Channels register their gauges with the registry under
-  // "chan.<from>-><to>" names.
-  auto source_out =
-      make_named_channel<DataTuple>("chan.source->split",
-                                    config.channel_capacity);
+  // "chan.<from>-><to>" names.  With ingest validation enabled the graph
+  // grows a gatekeeper stage: source -> validate -> split, with rejects
+  // flowing to a bounded dead-letter queue instead of the engines.
+  auto source_out = make_named_channel<DataTuple>(
+      config.validate_ingest ? "chan.source->validate" : "chan.source->split",
+      config.channel_capacity);
   source_out_ = source_out;
   if (generator_) {
     source_ = graph_.add<stream::GeneratorSource>(
@@ -61,14 +63,54 @@ void StreamingPcaPipeline::build(const PipelineConfig& config) {
   }
   registry_.add_operator("source", &source_->metrics(), {}, this);
 
+  stream::ChannelPtr<DataTuple> split_in = source_out;
+  if (config.validate_ingest) {
+    validated_out_ = make_named_channel<DataTuple>("chan.validate->split",
+                                                   config.channel_capacity);
+    dead_letter_channel_ = make_named_channel<stream::DeadLetter>(
+        "chan.validate->dlq", config.dead_letter_capacity);
+    spectra::ValidationPolicy policy = config.validation;
+    if (policy.expected_dim == 0) policy.expected_dim = config.pca.dim;
+    validator_ = graph_.add<stream::ValidateOperator>(
+        "validate", source_out, validated_out_, dead_letter_channel_, policy);
+    registry_.add_operator(
+        "validate", &validator_->metrics(),
+        [v = validator_] {
+          std::vector<std::pair<std::string, double>> extras{
+              {"accepted", double(v->accepted())},
+              {"quarantined", double(v->quarantined())},
+              {"repaired", double(v->repaired())},
+              {"repaired_pixels", double(v->repaired_pixels())},
+              {"dlq_overflow", double(v->dlq_overflow())}};
+          for (int r = 1; r < int(spectra::RejectReason::kCount); ++r) {
+            const auto reason = spectra::RejectReason(r);
+            extras.emplace_back("reason." + spectra::to_string(reason),
+                                double(v->quarantined_for(reason)));
+          }
+          return extras;
+        },
+        this);
+    dead_letter_sink_ = graph_.add<stream::DeadLetterSink>(
+        "dead-letter", dead_letter_channel_, config.dead_letter_retained);
+    registry_.add_operator(
+        "dead-letter", &dead_letter_sink_->metrics(),
+        [s = dead_letter_sink_] {
+          return std::vector<std::pair<std::string, double>>{
+              {"dead_letters", double(s->count())}};
+        },
+        this);
+    split_in = validated_out_;
+  }
+
   std::vector<stream::ChannelPtr<DataTuple>> engine_data;
   for (std::size_t i = 0; i < n; ++i) {
     engine_data.push_back(make_named_channel<DataTuple>(
         "chan.split->pca-" + std::to_string(i), config.channel_capacity));
   }
-  split_ = graph_.add<stream::SplitOperator>("split", source_out, engine_data,
+  split_ = graph_.add<stream::SplitOperator>("split", split_in, engine_data,
                                              config.split,
                                              config.split_workers);
+  engine_data_ = engine_data;  // stop() must be able to unblock the splitter
   registry_.add_operator("split", &split_->metrics(), {}, this);
 
   // Control plane.  Even with sync disabled the engines need control ports
@@ -100,6 +142,8 @@ void StreamingPcaPipeline::build(const PipelineConfig& config) {
     fault_opts.injector = config.fault_injector;
     fault_opts.checkpoints = checkpoint_store_;
     fault_opts.checkpoint_every = checkpoint_every;
+    fault_opts.health_check_every = config.health_check_every_tuples;
+    fault_opts.health_thresholds = config.health_thresholds;
     // Each engine needs a decorrelated init: seed nothing (deterministic
     // PCA), the random split already decorrelates partitions.
     auto* engine = graph_.add<sync::PcaEngineOperator>(
@@ -120,7 +164,12 @@ void StreamingPcaPipeline::build(const PipelineConfig& config) {
               {"merges_skipped", double(s.merges_skipped)},
               {"partition_drops", double(s.partition_drops)},
               {"restarts", double(s.restarts)},
-              {"replayed", double(s.replayed)}};
+              {"replayed", double(s.replayed)},
+              {"health_faults", double(s.health_faults)},
+              {"replay_quarantined", double(s.replay_quarantined)},
+              {"publishes_suppressed", double(s.publishes_suppressed)},
+              {"merges_rejected", double(s.merges_rejected)},
+              {"healthy", engine->healthy() ? 1.0 : 0.0}};
         },
         this);
   }
@@ -162,13 +211,20 @@ void StreamingPcaPipeline::build(const PipelineConfig& config) {
           [sup = supervisor_.get()](std::size_t i) { return sup->alive(i); },
           [sup = supervisor_.get()](std::size_t i) { return sup->restarts(i); });
     }
+    // Health dimension of the merge gate: a quarantined engine (watchdog
+    // tripped, recovery pending) is excluded from sync pairs until its
+    // healthy flag flips back.  Cheap and always correct, so always wired.
+    controller_->set_health([engines = engines_](std::size_t i) {
+      return engines[i]->healthy();
+    });
     registry_.add_operator(
         "sync-controller", &controller_->metrics(),
         [c = controller_] {
           return std::vector<std::pair<std::string, double>>{
               {"rounds", double(c->rounds())},
               {"skipped_dead", double(c->skipped_dead())},
-              {"rejoin_syncs", double(c->rejoin_syncs())}};
+              {"rejoin_syncs", double(c->rejoin_syncs())},
+              {"skipped_unhealthy", double(c->skipped_unhealthy())}};
         },
         this);
     sync_throttle_ = graph_.add<stream::ThrottleOperator<ControlTuple>>(
@@ -257,7 +313,13 @@ void StreamingPcaPipeline::stop() {
   // so nothing else would ever wake the source) and the shared outlier
   // stream (its sink likewise exits on the flag alone).
   if (source_out_) source_out_->close();
+  if (validated_out_) validated_out_->close();
   if (outlier_channel_) outlier_channel_->close();
+  // The engine data ports too: engines exit on their stop flags *without*
+  // draining, so a splitter parked in its blocking-push fallback on a full
+  // port would otherwise never wake (the splitter treats a closed-port
+  // push as a drop and moves on).
+  for (auto& port : engine_data_) port->close();
   // The supervisor is not in the graph; its stop path also closes and
   // drains the ports of any still-crashed engine so the splitter cannot
   // stay blocked on a consumer that will never return.
@@ -287,6 +349,13 @@ pca::EigenSystem StreamingPcaPipeline::result() const {
 
 pca::EigenSystem StreamingPcaPipeline::engine_snapshot(std::size_t i) const {
   return engines_.at(i)->snapshot();
+}
+
+std::vector<bool> StreamingPcaPipeline::engine_health() const {
+  std::vector<bool> out;
+  out.reserve(engines_.size());
+  for (const auto* e : engines_) out.push_back(e->healthy());
+  return out;
 }
 
 std::vector<sync::EngineStats> StreamingPcaPipeline::engine_stats() const {

@@ -17,7 +17,10 @@
 #include <string>
 #include <vector>
 
+#include "pca/health.h"
 #include "pca/robust_pca.h"
+#include "spectra/validate.h"
+#include "stream/dead_letter.h"
 #include "stream/fault.h"
 #include "stream/graph.h"
 #include "stream/registry.h"
@@ -26,6 +29,7 @@
 #include "stream/source.h"
 #include "stream/split.h"
 #include "stream/throttle.h"
+#include "stream/validate_op.h"
 #include "sync/checkpoint_store.h"
 #include "sync/controller.h"
 #include "sync/pca_engine_op.h"
@@ -68,6 +72,20 @@ struct PipelineConfig {
   /// the sync controller degrades to the surviving engines meanwhile.
   bool supervise = false;
   sync::SupervisorConfig supervisor;
+  /// Inserts a ValidateOperator between source and split: every tuple is
+  /// checked (and possibly repaired) against `validation` before it can
+  /// reach an engine; rejects flow to a bounded dead-letter queue with a
+  /// typed reason.  Conservation: accepted + quarantined == ingested.
+  bool validate_ingest = false;
+  /// Validation policy; expected_dim defaults to pca.dim when left 0.
+  spectra::ValidationPolicy validation;
+  std::size_t dead_letter_capacity = 256;  ///< DLQ channel bound
+  std::size_t dead_letter_retained = 64;   ///< rejects kept for forensics
+  /// > 0 arms each engine's numerical-health watchdog: self-check every N
+  /// applied tuples, quarantine + checkpoint-reinit on failure (see
+  /// pca/health.h).  Requires supervise (recovery is the Supervisor's job).
+  std::uint64_t health_check_every_tuples = 0;
+  pca::HealthThresholds health_thresholds;
 };
 
 class StreamingPcaPipeline {
@@ -141,6 +159,21 @@ class StreamingPcaPipeline {
     return checkpoint_store_;
   }
 
+  /// The ingest validator (nullptr unless config.validate_ingest).
+  [[nodiscard]] const stream::ValidateOperator* validator() const noexcept {
+    return validator_;
+  }
+  /// The dead-letter sink (nullptr unless config.validate_ingest).
+  [[nodiscard]] const stream::DeadLetterSink* dead_letters() const noexcept {
+    return dead_letter_sink_;
+  }
+  /// The sync controller (nullptr when synchronization is disabled).
+  [[nodiscard]] const sync::SyncController* sync_controller() const noexcept {
+    return controller_;
+  }
+  /// Live health flags, one per engine (all true without the watchdog).
+  [[nodiscard]] std::vector<bool> engine_health() const;
+
  private:
   void build(const PipelineConfig& config);
   template <typename T>
@@ -164,11 +197,16 @@ class StreamingPcaPipeline {
   stream::FlowGraph graph_;
   stream::Operator* source_ = nullptr;
   stream::ChannelPtr<stream::DataTuple> source_out_;
+  stream::ValidateOperator* validator_ = nullptr;
+  stream::DeadLetterSink* dead_letter_sink_ = nullptr;
+  stream::ChannelPtr<stream::DataTuple> validated_out_;
+  stream::ChannelPtr<stream::DeadLetter> dead_letter_channel_;
   stream::SplitOperator* split_ = nullptr;
   sync::SyncController* controller_ = nullptr;
   stream::Operator* sync_throttle_ = nullptr;
   stream::ChannelPtr<stream::ControlTuple> control_raw_;
   std::vector<sync::PcaEngineOperator*> engines_;
+  std::vector<stream::ChannelPtr<stream::DataTuple>> engine_data_;
   stream::CollectorSink<stream::DataTuple>* outlier_sink_ = nullptr;
   stream::ChannelPtr<stream::DataTuple> outlier_channel_;
   sync::SnapshotPublisher* snapshot_publisher_ = nullptr;

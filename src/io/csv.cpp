@@ -2,82 +2,126 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 namespace astro::io {
 
 namespace {
 
-bool is_missing_field(std::string field) {
-  // Trim whitespace.
-  const auto not_space = [](unsigned char c) { return !std::isspace(c); };
-  field.erase(field.begin(),
-              std::find_if(field.begin(), field.end(), not_space));
-  field.erase(std::find_if(field.rbegin(), field.rend(), not_space).base(),
-              field.end());
-  if (field.empty()) return true;
-  std::transform(field.begin(), field.end(), field.begin(),
-                 [](unsigned char c) { return std::tolower(c); });
-  return field == "nan";
+std::string_view trim(std::string_view s) {
+  const auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+  while (!s.empty() && is_space(s.front())) s.remove_prefix(1);
+  while (!s.empty() && is_space(s.back())) s.remove_suffix(1);
+  return s;
+}
+
+enum class FieldKind { kMissing, kValue, kBad };
+
+/// Full-match numeric parse: the entire (trimmed) field must be one valid
+/// numeral — std::stod's "parse a prefix, ignore the rest" would silently
+/// accept "1.5abc" as 1.5.  Non-finite numerals ("inf", "nan") become
+/// missing pixels: from_chars parses them, but an Inf flux value must
+/// never enter a dataset as observed data.
+FieldKind parse_field(std::string_view raw, double& value) {
+  const std::string_view field = trim(raw);
+  if (field.empty()) return FieldKind::kMissing;
+  double v = 0.0;
+  const auto [end, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), v);
+  if (ec != std::errc{} || end != field.data() + field.size()) {
+    return FieldKind::kBad;
+  }
+  if (!std::isfinite(v)) return FieldKind::kMissing;
+  value = v;
+  return FieldKind::kValue;
 }
 
 }  // namespace
 
-CsvDataset read_csv(std::istream& in) {
-  CsvDataset out;
+CsvReadResult read_csv_checked(std::istream& in) {
+  CsvReadResult out;
   std::string line;
+  std::size_t line_number = 0;
   std::size_t expected_cols = 0;
 
   while (std::getline(in, line)) {
-    if (line.empty()) continue;
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF input
+    if (trim(line).empty()) continue;
+
     std::vector<double> values;
     std::vector<bool> observed;
-    std::stringstream row(line);
-    std::string field;
-    while (std::getline(row, field, ',')) {
-      if (is_missing_field(field)) {
-        values.push_back(0.0);
-        observed.push_back(false);
-      } else {
-        try {
-          const double v = std::stod(field);
-          if (std::isnan(v)) {
-            values.push_back(0.0);
-            observed.push_back(false);
-          } else {
-            values.push_back(v);
-            observed.push_back(true);
-          }
-        } catch (const std::exception&) {
-          throw std::runtime_error("read_csv: unparsable field '" + field +
-                                   "' in row " +
-                                   std::to_string(out.rows.size() + 1));
-        }
+    CsvError error;
+    // Manual comma walk (rather than getline-on-stringstream) so the
+    // trailing-comma case falls out naturally: "1,2," has three fields,
+    // the last one empty (= missing).
+    std::size_t start = 0;
+    bool bad = false;
+    for (std::size_t col = 1; !bad; ++col) {
+      const std::size_t comma = line.find(',', start);
+      const std::size_t len =
+          (comma == std::string::npos ? line.size() : comma) - start;
+      const std::string_view field(line.data() + start, len);
+      double v = 0.0;
+      switch (parse_field(field, v)) {
+        case FieldKind::kMissing:
+          values.push_back(0.0);
+          observed.push_back(false);
+          break;
+        case FieldKind::kValue:
+          values.push_back(v);
+          observed.push_back(true);
+          break;
+        case FieldKind::kBad:
+          error = CsvError{line_number, col,
+                           "unparsable field '" + std::string(trim(field)) +
+                               "'"};
+          bad = true;
+          break;
+      }
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    if (!bad) {
+      if (expected_cols == 0) {
+        expected_cols = values.size();
+      } else if (values.size() != expected_cols) {
+        error = CsvError{line_number, 0,
+                         "row has " + std::to_string(values.size()) +
+                             " columns, expected " +
+                             std::to_string(expected_cols)};
+        bad = true;
       }
     }
-    // A trailing comma means a final empty (missing) field.
-    if (!line.empty() && line.back() == ',') {
-      values.push_back(0.0);
-      observed.push_back(false);
+    if (bad) {
+      // Whole-row rejection: no partial tuple ever reaches the dataset.
+      out.errors.push_back(std::move(error));
+      continue;
     }
-    if (expected_cols == 0) {
-      expected_cols = values.size();
-    } else if (values.size() != expected_cols) {
-      throw std::runtime_error("read_csv: row " +
-                               std::to_string(out.rows.size() + 1) + " has " +
-                               std::to_string(values.size()) +
-                               " columns, expected " +
-                               std::to_string(expected_cols));
-    }
-    out.rows.emplace_back(std::move(values));
+    out.data.rows.emplace_back(std::move(values));
     const bool complete =
         std::all_of(observed.begin(), observed.end(), [](bool b) { return b; });
-    out.masks.push_back(complete ? pca::PixelMask{} : pca::PixelMask(observed));
+    out.data.masks.push_back(complete ? pca::PixelMask{}
+                                      : pca::PixelMask(observed));
   }
   return out;
+}
+
+CsvDataset read_csv(std::istream& in) {
+  CsvReadResult result = read_csv_checked(in);
+  if (!result.ok()) {
+    const CsvError& e = result.errors.front();
+    throw std::runtime_error("read_csv: row " + std::to_string(e.row) +
+                             (e.column > 0
+                                  ? ", column " + std::to_string(e.column)
+                                  : std::string{}) +
+                             ": " + e.message);
+  }
+  return std::move(result.data);
 }
 
 CsvDataset read_csv_file(const std::string& path) {

@@ -20,8 +20,31 @@ struct CsvDataset {
   std::vector<pca::PixelMask> masks;
 };
 
+/// One rejected input row.
+struct CsvError {
+  std::size_t row = 0;     ///< 1-based input row number
+  std::size_t column = 0;  ///< 1-based column; 0 = whole-row defect
+  std::string message;
+};
+
+struct CsvReadResult {
+  CsvDataset data;               ///< the well-formed rows, in input order
+  std::vector<CsvError> errors;  ///< one entry per rejected row
+  [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
+};
+
+/// Strict reader for untrusted files.  Fields parse with a full-match
+/// numeric grammar (std::from_chars): trailing garbage ("1.5abc"), stray
+/// text, or a ragged column count rejects the *whole row* — never a
+/// partial or silently truncated tuple — and records a CsvError carrying
+/// the row/column and cause.  Fields that are empty, "nan", or any
+/// non-finite numeral ("inf") become masked (missing) pixels with value 0,
+/// so no NaN/Inf can ever leak into the returned vectors.
+[[nodiscard]] CsvReadResult read_csv_checked(std::istream& in);
+
 /// Parses CSV from a stream.  Every row must have the same column count;
-/// throws std::runtime_error otherwise.  Fields that are empty or "nan"
+/// throws std::runtime_error on any malformed row (wraps read_csv_checked
+/// and throws its first error).  Fields that are empty or "nan"
 /// (case-insensitive) become masked (missing) pixels with value 0.
 [[nodiscard]] CsvDataset read_csv(std::istream& in);
 

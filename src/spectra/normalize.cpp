@@ -33,37 +33,66 @@ double statistic(std::span<const double> values, NormalizationKind kind,
   return 0.0;
 }
 
-}  // namespace
-
-double normalize(linalg::Vector& flux, NormalizationKind kind) {
-  if (flux.empty()) return 1.0;
-  const double s = statistic(flux.span(), kind, 1.0);
-  if (s == 0.0) return 1.0;
-  flux *= 1.0 / s;
-  return 1.0 / s;
+bool all_observed_finite(const linalg::Vector& flux,
+                         const pca::PixelMask& observed) {
+  for (std::size_t i = 0; i < flux.size(); ++i) {
+    if (!observed.empty() && !observed[i]) continue;
+    if (!std::isfinite(flux[i])) return false;
+  }
+  return true;
 }
 
-double normalize_masked(linalg::Vector& flux, const pca::PixelMask& observed,
-                        NormalizationKind kind) {
-  if (observed.empty()) return normalize(flux, kind);
+}  // namespace
+
+NormalizeResult try_normalize(linalg::Vector& flux, NormalizationKind kind) {
+  if (flux.empty()) return {NormalizeStatus::kEmpty, 1.0};
+  // Finite scan before the statistic: a NaN pixel would make the statistic
+  // NaN, slip past an `s == 0` guard, and `flux *= 1/NaN` would poison the
+  // entire vector.  (It also keeps NaN out of nth_element's comparator,
+  // whose behavior NaN breaks.)
+  if (!all_observed_finite(flux, {})) {
+    return {NormalizeStatus::kNonFinite, 1.0};
+  }
+  const double s = statistic(flux.span(), kind, 1.0);
+  if (s == 0.0) return {NormalizeStatus::kZeroStatistic, 1.0};
+  flux *= 1.0 / s;
+  return {NormalizeStatus::kOk, 1.0 / s};
+}
+
+NormalizeResult try_normalize_masked(linalg::Vector& flux,
+                                     const pca::PixelMask& observed,
+                                     NormalizationKind kind) {
+  if (observed.empty()) return try_normalize(flux, kind);
   if (observed.size() != flux.size()) {
     throw std::invalid_argument("normalize_masked: mask size mismatch");
+  }
+  if (!all_observed_finite(flux, observed)) {
+    return {NormalizeStatus::kNonFinite, 1.0};
   }
   std::vector<double> seen;
   seen.reserve(flux.size());
   for (std::size_t i = 0; i < flux.size(); ++i) {
     if (observed[i]) seen.push_back(flux[i]);
   }
-  if (seen.empty()) return 1.0;
+  if (seen.empty()) return {NormalizeStatus::kEmpty, 1.0};
   // Coverage factor makes |x_obs|^2 an unbiased estimate of |x|^2.
   const double coverage_scale =
       kind == NormalizationKind::kUnitNorm
           ? double(flux.size()) / double(seen.size())
           : 1.0;
   const double s = statistic(seen, kind, coverage_scale);
-  if (s == 0.0) return 1.0;
+  if (s == 0.0) return {NormalizeStatus::kZeroStatistic, 1.0};
   flux *= 1.0 / s;
-  return 1.0 / s;
+  return {NormalizeStatus::kOk, 1.0 / s};
+}
+
+double normalize(linalg::Vector& flux, NormalizationKind kind) {
+  return try_normalize(flux, kind).scale;
+}
+
+double normalize_masked(linalg::Vector& flux, const pca::PixelMask& observed,
+                        NormalizationKind kind) {
+  return try_normalize_masked(flux, observed, kind).scale;
 }
 
 double normalize_to_template(linalg::Vector& flux,
@@ -81,7 +110,11 @@ double normalize_to_template(linalg::Vector& flux,
     xt += flux[i] * reference[i];
     tt += reference[i] * reference[i];
   }
-  if (tt <= 0.0 || xt == 0.0) return 1.0;
+  // The finite check covers NaN/Inf overlaps: a NaN amplitude would
+  // otherwise multiply through and poison the whole spectrum.
+  if (tt <= 0.0 || xt == 0.0 || !std::isfinite(xt) || !std::isfinite(tt)) {
+    return 1.0;
+  }
   const double a = xt / tt;
   flux *= 1.0 / a;
   return 1.0 / a;

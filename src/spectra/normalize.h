@@ -19,16 +19,45 @@ enum class NormalizationKind {
   kMedianFlux,    ///< median pixel value = 1 (robust to strong lines)
 };
 
-/// Normalizes in place over all pixels.  Zero spectra are left untouched.
-/// Returns the scale factor applied (1 / norm-like quantity).
+/// Why a spectrum could not be normalized.  Anything but kOk leaves the
+/// flux untouched — in particular a NaN/Inf pixel must not be multiplied
+/// through the whole vector (`flux *= 1/NaN` would emit an all-NaN
+/// spectrum, silently poisoning every downstream consumer).
+enum class NormalizeStatus {
+  kOk = 0,
+  kEmpty,          ///< empty vector, or a mask with no observed pixels
+  kNonFinite,      ///< NaN/Inf among the (observed) pixels
+  kZeroStatistic,  ///< the norm statistic is exactly 0 (e.g. all-zero flux)
+};
+
+struct NormalizeResult {
+  NormalizeStatus status = NormalizeStatus::kOk;
+  double scale = 1.0;  ///< factor applied to the flux (1.0 unless kOk)
+  [[nodiscard]] bool ok() const noexcept {
+    return status == NormalizeStatus::kOk;
+  }
+};
+
+/// Normalizes in place over all pixels; on any non-kOk status the flux is
+/// left exactly as it arrived so the caller can quarantine it.
+NormalizeResult try_normalize(
+    linalg::Vector& flux, NormalizationKind kind = NormalizationKind::kUnitNorm);
+
+/// Gap-aware variant of try_normalize: the norm statistic is computed from
+/// observed pixels only, scaled by coverage so it is an unbiased estimate
+/// of the full-spectrum statistic (e.g. |x|² ≈ |x_obs|² · d / n_obs for
+/// kUnitNorm).  Missing pixels are scaled along with the rest (they
+/// typically hold a reconstruction or zero).
+NormalizeResult try_normalize_masked(
+    linalg::Vector& flux, const pca::PixelMask& observed,
+    NormalizationKind kind = NormalizationKind::kUnitNorm);
+
+/// Legacy wrapper over try_normalize: returns the scale factor applied,
+/// 1.0 (flux untouched) when normalization was not possible.
 double normalize(linalg::Vector& flux,
                  NormalizationKind kind = NormalizationKind::kUnitNorm);
 
-/// Gap-aware variant: the norm statistic is computed from observed pixels
-/// only, scaled by coverage so it is an unbiased estimate of the full-
-/// spectrum statistic (e.g. |x|² ≈ |x_obs|² · d / n_obs for kUnitNorm).
-/// Missing pixels are scaled along with the rest (they typically hold a
-/// reconstruction or zero).
+/// Legacy wrapper over try_normalize_masked (see above).
 double normalize_masked(linalg::Vector& flux, const pca::PixelMask& observed,
                         NormalizationKind kind = NormalizationKind::kUnitNorm);
 

@@ -1,0 +1,143 @@
+#include "spectra/validate.h"
+
+#include <cmath>
+
+namespace astro::spectra {
+
+std::string to_string(RejectReason r) {
+  switch (r) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kLengthMismatch: return "length_mismatch";
+    case RejectReason::kMaskMismatch: return "mask_mismatch";
+    case RejectReason::kNonFinite: return "non_finite";
+    case RejectReason::kNegativeFlux: return "negative_flux";
+    case RejectReason::kOutOfRange: return "out_of_range";
+    case RejectReason::kZeroFlux: return "zero_flux";
+    case RejectReason::kExcessMasked: return "excess_masked";
+    case RejectReason::kCount: break;
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Linear interpolation across the masked run [lo, hi) from the observed
+/// neighbors at lo-1 and hi; boundary runs extend the nearest observed
+/// value.  Caller guarantees at least one observed pixel exists.
+void interpolate_run(linalg::Vector& values, pca::PixelMask& mask,
+                     std::size_t lo, std::size_t hi) {
+  const std::size_t d = values.size();
+  const bool has_left = lo > 0;
+  const bool has_right = hi < d;
+  const double left = has_left ? values[lo - 1] : values[hi];
+  const double right = has_right ? values[hi] : values[lo - 1];
+  const double span = double(hi - lo) + 1.0;
+  for (std::size_t i = lo; i < hi; ++i) {
+    const double t = double(i - lo + 1) / span;
+    values[i] = has_left && has_right ? left + t * (right - left)
+               : has_left            ? left
+                                     : right;
+    mask[i] = true;
+  }
+}
+
+}  // namespace
+
+ValidationOutcome validate_and_repair(linalg::Vector& values,
+                                      pca::PixelMask& mask,
+                                      const ValidationPolicy& policy) {
+  ValidationOutcome out;
+  const std::size_t d = values.size();
+
+  if (d == 0 ||
+      (policy.expected_dim != 0 && d != policy.expected_dim)) {
+    out.reason = RejectReason::kLengthMismatch;
+    return out;
+  }
+  if (!mask.empty() && mask.size() != d) {
+    out.reason = RejectReason::kMaskMismatch;
+    return out;
+  }
+
+  // Non-finite scan.  Observed NaN/Inf pixels either become masked gaps
+  // (value 0, eligible for repair below) or reject the tuple outright.
+  // Non-finite values hiding *under* an existing mask are zeroed either
+  // way — masked entries are placeholders, and a NaN placeholder would
+  // leak through scale factors applied to the full vector.
+  for (std::size_t i = 0; i < d; ++i) {
+    if (std::isfinite(values[i])) continue;
+    const bool observed = mask.empty() || mask[i];
+    if (observed) {
+      if (!policy.nonfinite_as_masked) {
+        out.reason = RejectReason::kNonFinite;
+        return out;
+      }
+      if (mask.empty()) mask.assign(d, true);  // allocating: defective path
+      mask[i] = false;
+      ++out.masked_nonfinite;
+      out.repaired = true;
+    }
+    values[i] = 0.0;
+  }
+
+  // Range and zero-flux checks over the observed pixels.
+  bool any_observed = false;
+  bool any_nonzero = false;
+  for (std::size_t i = 0; i < d; ++i) {
+    if (!mask.empty() && !mask[i]) continue;
+    any_observed = true;
+    const double v = values[i];
+    if (v < policy.min_flux) {
+      out.reason = RejectReason::kNegativeFlux;
+      return out;
+    }
+    if (std::abs(v) > policy.max_abs_flux) {
+      out.reason = RejectReason::kOutOfRange;
+      return out;
+    }
+    if (v != 0.0) any_nonzero = true;
+  }
+  if (policy.reject_zero_flux && any_observed && !any_nonzero) {
+    out.reason = RejectReason::kZeroFlux;
+    return out;
+  }
+
+  // Repair: interpolate masked runs short enough to trust, in place.
+  std::size_t masked = 0;
+  if (!mask.empty()) {
+    if (!any_observed) {
+      // Nothing to anchor a repair or a projection on.
+      out.reason = RejectReason::kExcessMasked;
+      return out;
+    }
+    std::size_t i = 0;
+    while (i < d) {
+      if (mask[i]) {
+        ++i;
+        continue;
+      }
+      std::size_t j = i;
+      while (j < d && !mask[j]) ++j;
+      const std::size_t run = j - i;
+      if (policy.max_interp_run > 0 && run <= policy.max_interp_run) {
+        interpolate_run(values, mask, i, j);
+        out.repaired_pixels += run;
+        out.repaired = true;
+      } else {
+        masked += run;
+      }
+      i = j;
+    }
+  }
+
+  if (masked > 0 &&
+      double(masked) > policy.max_masked_fraction * double(d)) {
+    out.reason = RejectReason::kExcessMasked;
+    return out;
+  }
+  // Canonical "complete" representation once repair closed every gap.
+  if (!mask.empty() && masked == 0) mask.clear();
+  return out;
+}
+
+}  // namespace astro::spectra

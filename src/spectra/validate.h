@@ -1,0 +1,89 @@
+#pragma once
+
+// Ingest validation and repair for spectra entering the streaming pipeline
+// (DESIGN.md "Data-plane robustness").
+//
+// Real survey spectra carry exactly the defects that break a streaming
+// eigensolver: NaN/Inf flux from bad fibers, sky-line residual spikes,
+// truncated readouts, and masked-pixel runs (Budavári et al., Reliable
+// Eigenspectra for New Generation Surveys).  Every observation is checked
+// against a ValidationPolicy *before* it reaches a PCA engine; a defective
+// tuple is either repaired in place (short masked runs interpolated from
+// their observed neighbors) or rejected with a typed reason, never
+// silently forwarded.
+//
+// The accept and repair paths are allocation-free: scans and interpolation
+// run in place over the caller's buffers.  The only allocating branch is
+// promoting non-finite pixels into a mask on a tuple that arrived without
+// one — a defective-data path by definition.
+
+#include <cstddef>
+#include <limits>
+#include <string>
+
+#include "linalg/vector.h"
+#include "pca/gap_fill.h"
+
+namespace astro::spectra {
+
+/// Why a tuple was quarantined.  kNone means accepted.
+enum class RejectReason : int {
+  kNone = 0,
+  kLengthMismatch,   ///< vector length != the configured dimension
+  kMaskMismatch,     ///< mask present but sized differently from the vector
+  kNonFinite,        ///< NaN/Inf flux (and the policy does not mask them)
+  kNegativeFlux,     ///< observed value below min_flux
+  kOutOfRange,       ///< |observed value| above max_abs_flux
+  kZeroFlux,         ///< every observed pixel is zero (unnormalizable)
+  kExcessMasked,     ///< masked fraction above the threshold after repair
+  kCount,            ///< sentinel: number of reasons (for counter arrays)
+};
+
+[[nodiscard]] std::string to_string(RejectReason r);
+
+struct ValidationPolicy {
+  /// Expected vector length; 0 skips the schema check.
+  std::size_t expected_dim = 0;
+  /// Promote NaN/Inf pixels to masked (value 0) instead of rejecting the
+  /// whole tuple — they then flow through the same repair/threshold logic
+  /// as instrument masks.  false rejects any non-finite pixel outright.
+  bool nonfinite_as_masked = true;
+  /// Reject observed values below this (sky-subtraction can dip slightly
+  /// negative, so the default permits everything; tighten per survey).
+  double min_flux = -std::numeric_limits<double>::infinity();
+  /// Reject observed values with |v| above this (garbled readouts).
+  double max_abs_flux = std::numeric_limits<double>::infinity();
+  /// Reject when every observed pixel is exactly zero — such a spectrum
+  /// cannot be normalized (see spectra/normalize.h) and carries no shape.
+  bool reject_zero_flux = false;
+  /// Masked runs of at most this many pixels are linearly interpolated
+  /// from their observed neighbors (boundary runs extend the nearest
+  /// observed value).  0 disables repair entirely.
+  std::size_t max_interp_run = 0;
+  /// Max fraction of pixels still masked after repair.  1.0 accepts any
+  /// coverage (the gap-aware engines handle masks); lower it to keep
+  /// hopeless tuples out of the eigensystem.
+  double max_masked_fraction = 1.0;
+};
+
+/// What validation did to one tuple.
+struct ValidationOutcome {
+  RejectReason reason = RejectReason::kNone;
+  bool repaired = false;            ///< pixels were interpolated or masked
+  std::size_t repaired_pixels = 0;  ///< masked pixels filled by interpolation
+  std::size_t masked_nonfinite = 0; ///< non-finite pixels demoted to masked
+  [[nodiscard]] bool ok() const noexcept {
+    return reason == RejectReason::kNone;
+  }
+};
+
+/// Validates (and possibly repairs) one observation in place.  On
+/// rejection the buffers may hold partially repaired values — the caller
+/// quarantines the tuple, so the exact contents only matter for forensics.
+/// On acceptance, a mask that became fully observed through repair is
+/// cleared to the canonical "complete" representation (empty mask).
+[[nodiscard]] ValidationOutcome validate_and_repair(
+    linalg::Vector& values, pca::PixelMask& mask,
+    const ValidationPolicy& policy);
+
+}  // namespace astro::spectra

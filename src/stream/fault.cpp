@@ -1,5 +1,10 @@
 #include "stream/fault.h"
 
+#include <cmath>
+#include <limits>
+
+#include "stream/tuple.h"
+
 namespace astro::stream {
 
 namespace {
@@ -22,6 +27,38 @@ std::uint64_t hash_name(const std::string& s) {
 }
 
 }  // namespace
+
+void apply_corruption(DataTuple& tuple, const FaultDecision& decision) {
+  const std::size_t d = tuple.values.size();
+  if (d == 0) return;
+  const std::uint64_t salt = decision.corruption_salt;
+  switch (decision.corruption) {
+    case CorruptionKind::kNaN:
+      tuple.values[std::size_t(salt % d)] =
+          std::numeric_limits<double>::quiet_NaN();
+      break;
+    case CorruptionKind::kInf:
+      tuple.values[std::size_t(salt % d)] =
+          (salt & 1) ? std::numeric_limits<double>::infinity()
+                     : -std::numeric_limits<double>::infinity();
+      break;
+    case CorruptionKind::kTruncate:
+      // A short readout: the vector loses its tail.  The mask (if any) is
+      // deliberately left at its original length — a separately delivered
+      // mask would not shrink with the readout.
+      tuple.values.resize(std::size_t(salt % d));
+      break;
+    case CorruptionKind::kGarble: {
+      const std::size_t hits = d < 4 ? d : 4;
+      for (std::size_t k = 0; k < hits; ++k) {
+        const std::uint64_t h = mix64(salt + k);
+        const double magnitude = 1e30 * (1.0 + double(h >> 40));
+        tuple.values[std::size_t(h % d)] = (h & 1) ? magnitude : -magnitude;
+      }
+      break;
+    }
+  }
+}
 
 void FaultInjector::kill_engine(int engine, std::uint64_t after_tuples) {
   std::lock_guard lock(mutex_);
@@ -73,6 +110,38 @@ void FaultInjector::delay_on_channel(std::string channel,
   channel_events_.push_back(std::move(e));
 }
 
+void FaultInjector::corrupt_on_channel(std::string channel,
+                                       std::uint64_t first_push,
+                                       std::uint64_t count,
+                                       CorruptionKind kind) {
+  std::lock_guard lock(mutex_);
+  ChannelEvent e;
+  e.channel = std::move(channel);
+  e.action = FaultAction::kCorrupt;
+  e.first = first_push;
+  e.count = count;
+  e.kinds = {kind};
+  channel_events_.push_back(std::move(e));
+}
+
+void FaultInjector::corrupt_randomly(std::string channel, double probability,
+                                     std::uint64_t max_corruptions,
+                                     std::vector<CorruptionKind> kinds) {
+  std::lock_guard lock(mutex_);
+  ChannelEvent e;
+  e.channel = std::move(channel);
+  e.action = FaultAction::kCorrupt;
+  e.probability = probability;
+  e.remaining = max_corruptions;
+  e.kinds = kinds.empty()
+                ? std::vector<CorruptionKind>{CorruptionKind::kNaN,
+                                              CorruptionKind::kInf,
+                                              CorruptionKind::kTruncate,
+                                              CorruptionKind::kGarble}
+                : std::move(kinds);
+  channel_events_.push_back(std::move(e));
+}
+
 void FaultInjector::partition_link(int a, int b, std::uint64_t from_epoch,
                                    std::uint64_t until_epoch,
                                    bool bidirectional) {
@@ -115,18 +184,35 @@ FaultDecision FaultInjector::on_push(const std::string& channel,
   std::lock_guard lock(mutex_);
   for (ChannelEvent& e : channel_events_) {
     if (e.channel != channel) continue;
+    // The same salt drives the random-event coin flip, the corruption-kind
+    // cycling and the damage placement: one hash of (seed, channel,
+    // attempt), so a schedule replays bit-exactly run after run.
+    const std::uint64_t salt = mix64(seed_ ^ hash_name(channel) ^ attempt);
     if (e.probability > 0.0) {
       if (e.remaining == 0) continue;
-      const std::uint64_t h = mix64(seed_ ^ hash_name(channel) ^ attempt);
-      const double u = double(h >> 11) * 0x1.0p-53;  // uniform in [0, 1)
-      if (u < e.probability) {
-        --e.remaining;
-        drops_injected_.fetch_add(1, std::memory_order_relaxed);
-        return FaultDecision{FaultAction::kDrop, {}};
+      const double u = double(salt >> 11) * 0x1.0p-53;  // uniform in [0, 1)
+      if (u >= e.probability) continue;
+      --e.remaining;
+      if (e.action == FaultAction::kCorrupt) {
+        corruptions_injected_.fetch_add(1, std::memory_order_relaxed);
+        FaultDecision d;
+        d.action = FaultAction::kCorrupt;
+        d.corruption = e.kinds[std::size_t(mix64(salt) % e.kinds.size())];
+        d.corruption_salt = salt;
+        return d;
       }
-      continue;
+      drops_injected_.fetch_add(1, std::memory_order_relaxed);
+      return FaultDecision{FaultAction::kDrop, {}};
     }
     if (attempt < e.first || attempt >= e.first + e.count) continue;
+    if (e.action == FaultAction::kCorrupt) {
+      corruptions_injected_.fetch_add(1, std::memory_order_relaxed);
+      FaultDecision d;
+      d.action = FaultAction::kCorrupt;
+      d.corruption = e.kinds[std::size_t(mix64(salt) % e.kinds.size())];
+      d.corruption_salt = salt;
+      return d;
+    }
     if (e.action == FaultAction::kDrop) {
       drops_injected_.fetch_add(1, std::memory_order_relaxed);
       return FaultDecision{FaultAction::kDrop, {}};

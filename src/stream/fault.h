@@ -22,6 +22,12 @@
 //                tuple-conservation checks stay exact under injection.
 //   delay      — a channel push is held for a fixed duration before
 //                enqueueing (a slow link; blocking pushes only).
+//   corrupt    — a channel push *lands*, but the tuple is damaged first
+//                (NaN/Inf pixel, truncated vector, garbled values): the
+//                bad-fiber/cosmic-ray defects of real survey streams,
+//                injected at exact, seeded push indices.  Counted in
+//                QueueGauges::corrupted; downstream validation is expected
+//                to quarantine exactly these tuples.
 //   partition  — the simulated link between two engines is cut for a
 //                window of sync epochs: the sender's control-port forward
 //                is dropped and counted in EngineStats::partition_drops.
@@ -40,13 +46,34 @@
 
 namespace astro::stream {
 
-enum class FaultAction { kNone, kDrop, kDelay };
+enum class FaultAction { kNone, kDrop, kDelay, kCorrupt };
+
+/// How a kCorrupt decision damages the tuple.
+enum class CorruptionKind : int {
+  kNaN = 0,   ///< one pixel set to quiet NaN
+  kInf,       ///< one pixel set to ±Inf
+  kTruncate,  ///< the vector is shortened (schema/length defect)
+  kGarble,    ///< several pixels overwritten with huge garbage values
+};
 
 /// What a channel should do with one push attempt.
 struct FaultDecision {
   FaultAction action = FaultAction::kNone;
   std::chrono::microseconds delay{0};
+  CorruptionKind corruption = CorruptionKind::kNaN;
+  /// Seeded salt deciding *where* inside the tuple the damage lands; a
+  /// pure function of (seed, channel, attempt), so replays are exact.
+  std::uint64_t corruption_salt = 0;
 };
+
+struct DataTuple;
+
+/// Damages a DataTuple according to a kCorrupt decision (fault.cpp).  The
+/// generic overload is a no-op so typed channels that cannot meaningfully
+/// corrupt their payload (control tuples, snapshots) ignore the event.
+void apply_corruption(DataTuple& tuple, const FaultDecision& decision);
+template <typename T>
+void apply_corruption(T&, const FaultDecision&) {}
 
 /// Thrown at an engine kill site; the supervised operator catches it at the
 /// top of its run loop, wipes its in-memory state and marks itself crashed.
@@ -88,6 +115,19 @@ class FaultInjector {
   void partition_link(int a, int b, std::uint64_t from_epoch,
                       std::uint64_t until_epoch, bool bidirectional = true);
 
+  /// Corrupt `count` pushes on `channel` starting at 1-based attempt index
+  /// `first_push` with defects of `kind`.
+  void corrupt_on_channel(std::string channel, std::uint64_t first_push,
+                          std::uint64_t count, CorruptionKind kind);
+
+  /// Corrupt each push on `channel` with probability `probability`, at
+  /// most `max_corruptions` times, cycling through `kinds` (empty = all
+  /// four kinds).  Stateless hash of (seed, channel, attempt): exact
+  /// replay across runs, like drop_randomly.
+  void corrupt_randomly(std::string channel, double probability,
+                        std::uint64_t max_corruptions,
+                        std::vector<CorruptionKind> kinds = {});
+
   // --- query sites --------------------------------------------------------
 
   /// Engine data path: true exactly once per matching kill event, when
@@ -123,6 +163,9 @@ class FaultInjector {
   [[nodiscard]] std::uint64_t partition_blocks() const noexcept {
     return partition_blocks_.load(std::memory_order_relaxed);
   }
+  [[nodiscard]] std::uint64_t corruptions_injected() const noexcept {
+    return corruptions_injected_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct KillEvent {
@@ -137,8 +180,9 @@ class FaultInjector {
     std::uint64_t first;   // 1-based attempt window [first, first + count)
     std::uint64_t count;   // window width (deterministic events)
     std::chrono::microseconds delay{0};
-    double probability = 0.0;       // > 0: seeded random drop instead
-    std::uint64_t remaining = 0;    // random-drop budget
+    double probability = 0.0;       // > 0: seeded random event instead
+    std::uint64_t remaining = 0;    // random-event budget
+    std::vector<CorruptionKind> kinds;  // kCorrupt: kinds cycled by salt
   };
   struct PartitionEvent {
     int from;
@@ -156,6 +200,7 @@ class FaultInjector {
   std::atomic<std::uint64_t> drops_injected_{0};
   std::atomic<std::uint64_t> delays_injected_{0};
   std::atomic<std::uint64_t> partition_blocks_{0};
+  std::atomic<std::uint64_t> corruptions_injected_{0};
 };
 
 }  // namespace astro::stream

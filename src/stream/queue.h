@@ -40,13 +40,16 @@ namespace astro::stream {
 /// are distinct so tuple-conservation checks stay exact under injection:
 /// downstream receives `pushed`, the producer believes it sent
 /// `pushed + faulted`, and `rejected` is the producer's own signal to stop
-/// or reroute.
+/// or reroute.  `corrupted` counts pushes that *landed* with injected
+/// damage — they are included in `pushed`, so conservation is unchanged;
+/// the counter lets tests pin down exactly how many bad tuples entered.
 struct QueueGauges {
   std::atomic<std::uint64_t> pushed{0};
   std::atomic<std::uint64_t> popped{0};
   std::atomic<std::uint64_t> rejected{0};      ///< pushes refused (closed/full)
   std::atomic<std::uint64_t> faulted{0};       ///< pushes injected faults ate
   std::atomic<std::uint64_t> delayed{0};       ///< pushes injected faults held
+  std::atomic<std::uint64_t> corrupted{0};     ///< pushes damaged in flight
   std::atomic<std::uint64_t> push_blocked{0};  ///< pushes that had to wait
   std::atomic<std::uint64_t> pop_blocked{0};   ///< pops that had to wait
   std::atomic<std::size_t> depth{0};
@@ -88,6 +91,10 @@ class BoundedQueue {
       gauges_.delayed.fetch_add(1, std::memory_order_relaxed);
       std::this_thread::sleep_for(fault.delay);
     }
+    if (fault.action == FaultAction::kCorrupt) {
+      apply_corruption(item, fault);
+      gauges_.corrupted.fetch_add(1, std::memory_order_relaxed);
+    }
     std::unique_lock lock(mutex_);
     if (items_.size() >= capacity_ && !closed_) {
       gauges_.push_blocked.fetch_add(1, std::memory_order_relaxed);
@@ -116,6 +123,10 @@ class BoundedQueue {
       T swallowed = std::move(item);
       (void)swallowed;
       return true;
+    }
+    if (fault.action == FaultAction::kCorrupt) {
+      apply_corruption(item, fault);
+      gauges_.corrupted.fetch_add(1, std::memory_order_relaxed);
     }
     {
       std::lock_guard lock(mutex_);

@@ -154,6 +154,7 @@ std::string RegistrySnapshot::to_json() const {
     append_field(out, "rejected", q.rejected);
     append_field(out, "faulted", q.faulted);
     append_field(out, "delayed", q.delayed);
+    append_field(out, "corrupted", q.corrupted);
     append_field(out, "push_blocked", q.push_blocked);
     append_field(out, "pop_blocked", q.pop_blocked, /*comma=*/false);
     out += '}';
@@ -232,6 +233,7 @@ RegistrySnapshot MetricsRegistry::snapshot() const {
     q.rejected = e.gauges->rejected.load(std::memory_order_relaxed);
     q.faulted = e.gauges->faulted.load(std::memory_order_relaxed);
     q.delayed = e.gauges->delayed.load(std::memory_order_relaxed);
+    q.corrupted = e.gauges->corrupted.load(std::memory_order_relaxed);
     q.push_blocked = e.gauges->push_blocked.load(std::memory_order_relaxed);
     q.pop_blocked = e.gauges->pop_blocked.load(std::memory_order_relaxed);
     s.queues.push_back(std::move(q));

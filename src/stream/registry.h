@@ -55,6 +55,7 @@ struct QueueSnapshot {
   std::uint64_t rejected = 0;
   std::uint64_t faulted = 0;
   std::uint64_t delayed = 0;
+  std::uint64_t corrupted = 0;
   std::uint64_t push_blocked = 0;
   std::uint64_t pop_blocked = 0;
 };

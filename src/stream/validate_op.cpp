@@ -1,0 +1,71 @@
+#include "stream/validate_op.h"
+
+#include <utility>
+
+namespace astro::stream {
+
+ValidateOperator::ValidateOperator(std::string name, ChannelPtr<DataTuple> in,
+                                   ChannelPtr<DataTuple> out,
+                                   ChannelPtr<DeadLetter> dlq,
+                                   spectra::ValidationPolicy policy)
+    : Operator(std::move(name)),
+      in_(std::move(in)),
+      out_(std::move(out)),
+      dlq_(std::move(dlq)),
+      policy_(policy) {
+  for (auto& c : by_reason_) c.store(0, std::memory_order_relaxed);
+}
+
+void ValidateOperator::run() {
+  DataTuple t;
+  std::uint64_t t_prev = OperatorMetrics::now_ns();
+  while (!stop_requested() && in_->pop(t)) {
+    const std::uint64_t t_popped = OperatorMetrics::now_ns();
+    metrics_.record_pop_wait_ns(t_popped - t_prev);
+    metrics_.record_in(t.wire_bytes());
+
+    const spectra::ValidationOutcome outcome =
+        spectra::validate_and_repair(t.values, t.mask, policy_);
+    const std::uint64_t t_checked = OperatorMetrics::now_ns();
+    metrics_.record_proc_ns(t_checked - t_popped);
+
+    if (outcome.ok()) {
+      if (outcome.repaired) {
+        repaired_.fetch_add(1, std::memory_order_relaxed);
+        repaired_pixels_.fetch_add(outcome.repaired_pixels,
+                                   std::memory_order_relaxed);
+      }
+      const std::size_t bytes = t.wire_bytes();
+      if (out_->push(std::move(t))) {
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        metrics_.record_out(bytes);
+      } else {
+        // Downstream closed under us (shutdown); the tuple is lost with
+        // the pipeline, not quarantined.
+        metrics_.record_dropped();
+      }
+      t_prev = OperatorMetrics::now_ns();
+      metrics_.record_push_wait_ns(t_prev - t_checked);
+      continue;
+    }
+
+    quarantined_.fetch_add(1, std::memory_order_relaxed);
+    by_reason_[std::size_t(outcome.reason)].fetch_add(
+        1, std::memory_order_relaxed);
+    if (dlq_) {
+      DeadLetter letter{std::move(t), outcome.reason};
+      // Non-blocking: a full DLQ must never backpressure the science
+      // stream.  The loss is still accounted for.
+      if (!dlq_->try_push(letter)) {
+        dlq_overflow_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    t_prev = OperatorMetrics::now_ns();
+  }
+  out_->close();
+  if (dlq_) dlq_->close();
+  set_stop_reason(stop_requested() ? StopReason::kRequested
+                                   : StopReason::kUpstreamClosed);
+}
+
+}  // namespace astro::stream

@@ -1,0 +1,86 @@
+#pragma once
+
+// ValidateOperator — the data-plane gatekeeper (DESIGN.md "Data-plane
+// robustness").
+//
+// Sits between the source and the splitter: every observation is checked
+// against a spectra::ValidationPolicy *before* it can reach a PCA engine.
+// Accepted tuples pass through (possibly repaired in place — short masked
+// runs interpolated, non-finite pixels demoted to masked gaps); rejected
+// tuples are wrapped with their typed reason and routed to the dead-letter
+// channel instead.  Nothing is silently dropped:
+//
+//     accepted + quarantined == tuples_in      (always)
+//
+// The accept path is allocation-free: validation scans and repairs run in
+// the tuple's own buffers, and forwarding moves the tuple.  The DLQ push
+// is non-blocking — a full dead-letter channel must never backpressure the
+// science stream — so an overflowing DLQ counts the loss in
+// `dlq_overflow()` rather than stalling ingest.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "spectra/validate.h"
+#include "stream/dead_letter.h"
+#include "stream/operator.h"
+
+namespace astro::stream {
+
+class ValidateOperator final : public Operator {
+ public:
+  static constexpr std::size_t kReasonCount =
+      std::size_t(spectra::RejectReason::kCount);
+
+  /// `dlq` may be null: rejects are then counted and discarded (the counts
+  /// still satisfy conservation; only forensics are lost).
+  ValidateOperator(std::string name, ChannelPtr<DataTuple> in,
+                   ChannelPtr<DataTuple> out, ChannelPtr<DeadLetter> dlq,
+                   spectra::ValidationPolicy policy);
+
+  // --- live counters (any thread) ----------------------------------------
+  [[nodiscard]] std::uint64_t accepted() const noexcept {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t quarantined() const noexcept {
+    return quarantined_.load(std::memory_order_relaxed);
+  }
+  /// Accepted tuples that needed repair (interpolation or NaN-masking).
+  [[nodiscard]] std::uint64_t repaired() const noexcept {
+    return repaired_.load(std::memory_order_relaxed);
+  }
+  /// Masked pixels filled by interpolation, summed over accepted tuples.
+  [[nodiscard]] std::uint64_t repaired_pixels() const noexcept {
+    return repaired_pixels_.load(std::memory_order_relaxed);
+  }
+  /// Rejects lost because the dead-letter channel was full/closed.
+  [[nodiscard]] std::uint64_t dlq_overflow() const noexcept {
+    return dlq_overflow_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t quarantined_for(
+      spectra::RejectReason r) const noexcept {
+    return by_reason_[std::size_t(r)].load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const spectra::ValidationPolicy& policy() const noexcept {
+    return policy_;
+  }
+
+ protected:
+  void run() override;
+
+ private:
+  ChannelPtr<DataTuple> in_;
+  ChannelPtr<DataTuple> out_;
+  ChannelPtr<DeadLetter> dlq_;
+  spectra::ValidationPolicy policy_;
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> quarantined_{0};
+  std::atomic<std::uint64_t> repaired_{0};
+  std::atomic<std::uint64_t> repaired_pixels_{0};
+  std::atomic<std::uint64_t> dlq_overflow_{0};
+  std::array<std::atomic<std::uint64_t>, kReasonCount> by_reason_{};
+};
+
+}  // namespace astro::stream

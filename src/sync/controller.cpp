@@ -28,6 +28,10 @@ void SyncController::set_liveness(LivenessProbe alive,
   generation_ = std::move(generation);
 }
 
+void SyncController::set_health(HealthProbe healthy) {
+  health_ = std::move(healthy);
+}
+
 void SyncController::run() {
   std::uint64_t epoch = 0;
   std::vector<std::uint64_t> seen_generation(engines_, 0);
@@ -37,6 +41,21 @@ void SyncController::run() {
     // command named a dead engine must not terminate the controller — the
     // engine may come back.
     const bool strategy_done = cmds.empty();
+    // Health gate first: a quarantined engine is usually also dead for a
+    // few polls, and "excluded because diverged" is the more specific
+    // reason.  Filtering here keeps a poisoned eigensystem out of every
+    // merge pair, in either role, until recovery flips the probe back.
+    if (health_) {
+      std::erase_if(cmds, [&](const ControlTuple& cmd) {
+        const bool quarantined =
+            !health_(std::size_t(cmd.sender)) ||
+            (cmd.receiver >= 0 && !health_(std::size_t(cmd.receiver)));
+        if (quarantined) {
+          skipped_unhealthy_.fetch_add(1, std::memory_order_relaxed);
+        }
+        return quarantined;
+      });
+    }
     if (alive_) {
       std::erase_if(cmds, [&](const ControlTuple& cmd) {
         const bool dead = !alive_(std::size_t(cmd.sender)) ||
@@ -55,9 +74,11 @@ void SyncController::run() {
           const std::uint64_t gen = generation_(i);
           if (gen == seen_generation[i]) continue;
           if (!alive_(i)) continue;  // still down; catch it next round
+          if (health_ && !health_(i)) continue;  // not clean yet
           seen_generation[i] = gen;
           for (std::size_t peer = 0; peer < engines_; ++peer) {
             if (peer == i || !alive_(peer)) continue;
+            if (health_ && !health_(peer)) continue;
             ControlTuple pull;
             pull.epoch = epoch;
             pull.sender = int(peer);

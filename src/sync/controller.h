@@ -26,6 +26,11 @@ class SyncController final : public stream::Operator {
   using LivenessProbe = std::function<bool(std::size_t engine)>;
   /// Restart-generation probe: advances each time the engine is restarted.
   using GenerationProbe = std::function<std::uint64_t(std::size_t engine)>;
+  /// Health probe: true when the engine's eigensystem passed its last
+  /// numerical self-check (PcaEngineOperator::healthy()).  A diverged
+  /// engine is excluded from merge pairs — in either role — until it
+  /// recovers, so its poisoned state can never reach a healthy peer.
+  using HealthProbe = std::function<bool(std::size_t engine)>;
 
   SyncController(std::string name, std::unique_ptr<SyncStrategy> strategy,
                  std::size_t engines,
@@ -39,6 +44,12 @@ class SyncController final : public stream::Operator {
   /// controller injects a bidirectional re-merge with its lowest-index live
   /// peer, folding the recovered eigensystem back into the cluster.
   void set_liveness(LivenessProbe alive, GenerationProbe generation);
+
+  /// Enables the health dimension of the merge gate (call before start()).
+  /// Orthogonal to liveness: a quarantined engine is typically both
+  /// unhealthy and (briefly) dead, and the health filter runs first so the
+  /// exclusion is attributed to the more specific reason.
+  void set_health(HealthProbe healthy);
 
   [[nodiscard]] const SyncStrategy& strategy() const noexcept {
     return *strategy_;
@@ -56,6 +67,10 @@ class SyncController final : public stream::Operator {
   [[nodiscard]] std::uint64_t rejoin_syncs() const noexcept {
     return rejoin_syncs_.load(std::memory_order_relaxed);
   }
+  /// Commands suppressed because an endpoint was quarantined (unhealthy).
+  [[nodiscard]] std::uint64_t skipped_unhealthy() const noexcept {
+    return skipped_unhealthy_.load(std::memory_order_relaxed);
+  }
 
  protected:
   void run() override;
@@ -67,9 +82,11 @@ class SyncController final : public stream::Operator {
   std::uint64_t max_rounds_;  // 0 = unbounded
   LivenessProbe alive_;            // empty = every engine always live
   GenerationProbe generation_;
+  HealthProbe health_;             // empty = every engine always healthy
   std::atomic<std::uint64_t> rounds_{0};
   std::atomic<std::uint64_t> skipped_dead_{0};
   std::atomic<std::uint64_t> rejoin_syncs_{0};
+  std::atomic<std::uint64_t> skipped_unhealthy_{0};
 };
 
 /// Delivers each throttled control tuple to its *sender* engine's control

@@ -1,6 +1,7 @@
 #include "sync/pca_engine_op.h"
 
 #include <chrono>
+#include <cmath>
 
 namespace astro::sync {
 
@@ -43,6 +44,11 @@ void PcaEngineOperator::maybe_checkpoint_locked() {
   // The init buffer is not snapshotable state; keep logging until the
   // eigensystem exists (the log stays bounded: init_count ≪ the interval).
   if (!pca_.initialized()) return;
+  // Health gate: a non-finite state must never become the "last good
+  // checkpoint" — keep logging and let the watchdog (or the next healthy
+  // interval) decide.  The log keeps growing meanwhile, which is exactly
+  // the information recovery needs.
+  if (!pca::all_finite(pca_.eigensystem())) return;
   EngineCheckpoint ck;
   ck.engine_id = id_;
   ck.applied_tuples = stats_.tuples;
@@ -80,17 +86,43 @@ void PcaEngineOperator::recover() {
   stats_.outliers = base_outliers;
   since_last_sync_ = base_sync;
   for (const DataTuple& t : replay_log_) {
+    // Replay quarantine: the log may contain the very tuple that poisoned
+    // this incarnation (the watchdog fires *after* the damage is applied).
+    // Re-applying it would re-poison the restored state, so invalid tuples
+    // — wrong length, or non-finite observed flux — are skipped and
+    // counted.  They still count as `replayed` pops for conservation.
+    ++stats_.replayed;
+    bool clean = true;
+    const std::size_t expect_d =
+        pca_.initialized() ? pca_.eigensystem().mean().size() : 0;
+    if (expect_d != 0 && t.values.size() != expect_d) clean = false;
+    if (!t.mask.empty() && t.mask.size() != t.values.size()) clean = false;
+    if (clean) {
+      for (std::size_t i = 0; i < t.values.size(); ++i) {
+        const bool observed = t.mask.empty() || t.mask[i];
+        if (observed && !std::isfinite(t.values[i])) {
+          clean = false;
+          break;
+        }
+      }
+    }
+    if (!clean) {
+      ++stats_.replay_quarantined;
+      continue;
+    }
     const pca::ObservationReport rep =
         t.mask.empty() ? pca_.observe(t.values)
                        : pca_.observe(t.values, t.mask);
     ++stats_.tuples;
     ++since_last_sync_;
-    ++stats_.replayed;
     if (rep.outlier) ++stats_.outliers;
     // Replay is silent: outliers were already forwarded by the incarnation
     // that first applied these tuples (data-plane metrics count pops, and
     // replayed tuples were popped exactly once).
   }
+  // The incarnation that comes back is healthy by construction: checkpoint
+  // writes are finite-gated and replay quarantined anything invalid.
+  healthy_.store(true, std::memory_order_relaxed);
 }
 
 void PcaEngineOperator::handle_control(const ControlTuple& cmd) {
@@ -100,6 +132,13 @@ void PcaEngineOperator::handle_control(const ControlTuple& cmd) {
     // Publish our state, then forward the command to the receiver — the
     // "network hop" that carries the eigensystem between instances.
     if (pca_.initialized()) {
+      // Publish gate: never share a non-finite state — a single poisoned
+      // publish would propagate the damage to every merge partner before
+      // the watchdog cadence catches it locally.
+      if (!pca::all_finite(pca_.eigensystem())) {
+        ++stats_.publishes_suppressed;
+        return;
+      }
       exchange_->publish(std::size_t(id_), pca_.eigensystem(), cmd.epoch);
       ++stats_.syncs_sent;
       if (cmd.receiver >= 0 &&
@@ -134,6 +173,12 @@ void PcaEngineOperator::handle_control(const ControlTuple& cmd) {
     }
     const auto remote = exchange_->fetch(std::size_t(cmd.sender));
     if (!remote.has_value()) return;
+    // Merge gate: defense in depth against a peer that published before
+    // its own watchdog (or publish gate) caught the poisoning.
+    if (!pca::all_finite(*remote->system)) {
+      ++stats_.merges_rejected;
+      return;
+    }
     if (fault_.injector &&
         fault_.injector->should_kill_on_merge(id_, stats_.merges_applied)) {
       throw stream::InjectedCrash{};  // lock_guard unwinds the state mutex
@@ -161,6 +206,17 @@ void PcaEngineOperator::handle_control(const ControlTuple& cmd) {
   }
 }
 
+void PcaEngineOperator::wipe_state_for_recovery() {
+  std::lock_guard lock(state_mutex_);
+  // The workspace is pure scratch (no eigensystem state lives in it),
+  // standing in for the preallocated buffers a real deployment would
+  // keep across process restarts: salvage it so the reincarnated
+  // engine's recovery replay and steady state stay allocation-free.
+  pca::UpdateWorkspace ws = pca_.take_workspace();
+  pca_ = pca::RobustIncrementalPca(pca_config_);
+  pca_.adopt_workspace(std::move(ws));
+}
+
 void PcaEngineOperator::run() {
   lifecycle_.store(int(EngineLifecycle::kRunning), std::memory_order_release);
   try {
@@ -172,16 +228,24 @@ void PcaEngineOperator::run() {
     // gone — only the checkpoint plus the replay log can bring it back
     // (recover()).  The operator object, its channels and the log survive,
     // standing in for the durable parts of a real deployment.
+    wipe_state_for_recovery();
+    set_stop_reason(stream::StopReason::kNone);
+    lifecycle_.store(int(EngineLifecycle::kCrashed),
+                     std::memory_order_release);
+  } catch (const pca::NumericalFault& fault) {
+    // Watchdog quarantine: the eigensystem failed its self-check.  The
+    // poisoned state is discarded exactly like a crash — it is *worse*
+    // than no state — and the engine reports unhealthy until recover()
+    // rebuilds it from the last good checkpoint.  Reusing the crash
+    // lifecycle means the Supervisor needs no new machinery: a stalled
+    // heartbeat plus kCrashed already triggers recover() + restart().
+    healthy_.store(false, std::memory_order_relaxed);
+    last_health_fault_.store(int(fault.fault), std::memory_order_relaxed);
     {
       std::lock_guard lock(state_mutex_);
-      // The workspace is pure scratch (no eigensystem state lives in it),
-      // standing in for the preallocated buffers a real deployment would
-      // keep across process restarts: salvage it so the reincarnated
-      // engine's recovery replay and steady state stay allocation-free.
-      pca::UpdateWorkspace ws = pca_.take_workspace();
-      pca_ = pca::RobustIncrementalPca(pca_config_);
-      pca_.adopt_workspace(std::move(ws));
+      ++stats_.health_faults;
     }
+    wipe_state_for_recovery();
     set_stop_reason(stream::StopReason::kNone);
     lifecycle_.store(int(EngineLifecycle::kCrashed),
                      std::memory_order_release);
@@ -227,6 +291,16 @@ void PcaEngineOperator::run_loop() {
     metrics_.record_pop_wait_ns(t_popped - t_pop);
     metrics_.record_in(t.wire_bytes());
 
+    // Structural guard (O(1)): a wrong-length or mask-mismatched tuple
+    // would make observe() throw out of the run loop.  Upstream validation
+    // quarantines these; if one slips past (validation disabled), drop it
+    // here rather than kill the engine over a malformed input.
+    if (t.values.size() != pca_config_.dim ||
+        (!t.mask.empty() && t.mask.size() != t.values.size())) {
+      metrics_.record_dropped();
+      continue;
+    }
+
     pca::ObservationReport report;
     {
       std::lock_guard lock(state_mutex_);
@@ -242,6 +316,17 @@ void PcaEngineOperator::run_loop() {
       ++stats_.tuples;
       ++since_last_sync_;
       if (report.outlier) ++stats_.outliers;
+      // Watchdog cadence: self-check *before* the checkpoint decision so a
+      // just-poisoned state can never be persisted by the same iteration
+      // that detects it.
+      if (fault_.health_check_every > 0 &&
+          stats_.tuples % fault_.health_check_every == 0) {
+        const pca::HealthReport health = pca::check_health(
+            pca_.eigensystem(), fault_.health_thresholds, health_ws_);
+        if (!health.ok()) {
+          throw pca::NumericalFault{health.fault};  // lock_guard unwinds
+        }
+      }
       maybe_checkpoint_locked();
     }
     // Per-tuple update cost — the paper's O(d p²) incremental step.

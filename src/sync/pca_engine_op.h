@@ -24,12 +24,28 @@
 // process death would lose it.  recover() — called by the Supervisor with
 // the thread dead — restores the latest checkpoint and replays the log, so
 // a restarted incarnation resumes with zero lost tuples.
+//
+// Numerical-health watchdog (DESIGN.md "Data-plane robustness"): with
+// `health_check_every` > 0 the engine self-checks its eigensystem every N
+// applied tuples (pca::check_health — finite scan, eigenvalue sanity,
+// basis orthonormality, energy bounds).  A failed check throws
+// pca::NumericalFault, which quarantines the engine exactly like a crash:
+// healthy() flips false (the SyncController's health gate then excludes
+// the engine from merge pairs), the poisoned in-memory state is wiped, and
+// the Supervisor reinitializes it from the last good checkpoint.  Two
+// gates keep the poison from spreading or persisting meanwhile: checkpoint
+// writes and sync publishes are suppressed while the state is non-finite,
+// and a fetched remote snapshot is finite-checked before it is merged.
+// Recovery replay quarantines tuples that are themselves invalid
+// (non-finite or wrong length) so the reinitialized engine cannot be
+// re-poisoned by the WAL.
 
 #include <atomic>
 #include <deque>
 #include <memory>
 #include <vector>
 
+#include "pca/health.h"
 #include "pca/merge.h"
 #include "pca/robust_pca.h"
 #include "stream/fault.h"
@@ -50,6 +66,10 @@ struct EngineStats {
   std::uint64_t partition_drops = 0;   ///< forwards a partitioned link ate
   std::uint64_t restarts = 0;          ///< supervised recoveries
   std::uint64_t replayed = 0;          ///< tuples re-applied during recovery
+  std::uint64_t health_faults = 0;     ///< watchdog trips (NumericalFault)
+  std::uint64_t replay_quarantined = 0;  ///< invalid WAL tuples skipped
+  std::uint64_t publishes_suppressed = 0;  ///< syncs blocked: state non-finite
+  std::uint64_t merges_rejected = 0;   ///< remote snapshots failing the gate
 };
 
 /// Where the engine is in its (possibly multi-incarnation) life — the
@@ -63,6 +83,10 @@ struct EngineFaultOptions {
   std::shared_ptr<stream::FaultInjector> injector;   ///< kill/partition source
   std::shared_ptr<CheckpointStore> checkpoints;      ///< enables WAL + restore
   std::uint64_t checkpoint_every = 0;  ///< applied tuples between snapshots
+  /// Watchdog cadence: self-check the eigensystem every N applied tuples
+  /// (0 disables the watchdog entirely).
+  std::uint64_t health_check_every = 0;
+  pca::HealthThresholds health_thresholds;
 };
 
 class PcaEngineOperator final : public stream::Operator {
@@ -94,10 +118,30 @@ class PcaEngineOperator final : public stream::Operator {
     return EngineLifecycle(lifecycle_.load(std::memory_order_acquire));
   }
 
+  /// False from the moment the watchdog trips until recover() completes.
+  /// The SyncController's health gate reads this to exclude a quarantined
+  /// engine from merge pairs.
+  [[nodiscard]] bool healthy() const noexcept {
+    return healthy_.load(std::memory_order_relaxed);
+  }
+  /// The most recent watchdog fault (kHealthy if it never tripped).
+  [[nodiscard]] pca::HealthFault last_health_fault() const noexcept {
+    return pca::HealthFault(last_health_fault_.load(std::memory_order_relaxed));
+  }
+
   /// Rebuilds the engine state after a crash: restore the latest checkpoint
   /// (if any) and re-apply the replay log.  Must be called with the
   /// operator thread dead (lifecycle kCrashed), before restart().
   void recover();
+
+  /// Supervised relaunch.  Flips the lifecycle out of kCrashed *before*
+  /// the thread spawns: a loaded scheduler can delay the new incarnation
+  /// past several supervisor polls, and the stale kCrashed reading (plus
+  /// the necessarily stalled heartbeat) would misfire a second recovery.
+  void restart() {
+    lifecycle_.store(int(EngineLifecycle::kRunning), std::memory_order_release);
+    stream::Operator::restart();
+  }
 
  protected:
   void run() override;
@@ -106,6 +150,7 @@ class PcaEngineOperator final : public stream::Operator {
   void run_loop();
   void handle_control(const stream::ControlTuple& cmd);
   void maybe_checkpoint_locked();
+  void wipe_state_for_recovery();
 
   int id_;
   pca::RobustPcaConfig pca_config_;
@@ -124,8 +169,11 @@ class PcaEngineOperator final : public stream::Operator {
   /// Write-ahead log of tuples popped since the last checkpoint (guarded by
   /// state_mutex_; empty unless checkpoints are enabled).
   std::deque<stream::DataTuple> replay_log_;
+  pca::HealthWorkspace health_ws_;  // guarded by state_mutex_
   std::atomic<std::uint64_t> heartbeat_{0};
   std::atomic<int> lifecycle_{int(EngineLifecycle::kIdle)};
+  std::atomic<bool> healthy_{true};
+  std::atomic<int> last_health_fault_{int(pca::HealthFault::kHealthy)};
 };
 
 }  // namespace astro::sync

@@ -147,20 +147,22 @@ void Supervisor::run() {
     interruptible_sleep(config_.poll_interval_seconds,
                         [this] { return stop_requested(); });
   }
-  // On a requested shutdown, engines still dead will never drain their
-  // ports; close and empty them so the splitter's blocking push can't
-  // deadlock the pipeline teardown.
+  // On a requested shutdown, nothing else will ever drain the engine
+  // ports: a dead engine never returns, a live one exits on its stop flag
+  // without draining, and an engine can be *mid-crash* — the injector has
+  // fired but the kCrashed store only lands after the unwind — so an
+  // instantaneous lifecycle read must not gate the cleanup.  Close and
+  // empty every non-abandoned engine's ports so the splitter's blocking
+  // push can't deadlock the pipeline teardown.
   if (stop_requested()) {
     for (std::size_t i = 0; i < engines_.size(); ++i) {
       if (watch_[i].abandoned) continue;
-      if (engines_[i]->lifecycle() == EngineLifecycle::kCrashed) {
-        data_ports_[i]->close();
-        control_ports_[i]->close();
-        while (data_ports_[i]->try_pop()) {
-          discarded_tuples_.fetch_add(1, std::memory_order_relaxed);
-        }
-        while (control_ports_[i]->try_pop()) {
-        }
+      data_ports_[i]->close();
+      control_ports_[i]->close();
+      while (data_ports_[i]->try_pop()) {
+        discarded_tuples_.fetch_add(1, std::memory_order_relaxed);
+      }
+      while (control_ports_[i]->try_pop()) {
       }
     }
   }

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 namespace astro::io {
@@ -97,6 +98,88 @@ TEST(Csv, FileRoundTrip) {
   const CsvDataset back = read_csv_file(path);
   ASSERT_EQ(back.rows.size(), 1u);
   EXPECT_EQ(back.rows[0][1], 8.0);
+}
+
+TEST(Csv, PartialNumericParseRejected) {
+  // std::stod would happily parse "1.5abc" as 1.5; the full-match grammar
+  // must reject it instead of silently corrupting the pixel.
+  std::stringstream in("1.5abc,2,3\n");
+  EXPECT_THROW((void)read_csv(in), std::runtime_error);
+}
+
+TEST(Csv, InfinityBecomesMaskedNotData) {
+  std::stringstream in("inf,2,3\n-INF,5,6\nInfinity,8,9\n");
+  const CsvDataset d = read_csv(in);
+  ASSERT_EQ(d.rows.size(), 3u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    ASSERT_EQ(d.masks[r].size(), 3u) << "row " << r;
+    EXPECT_FALSE(d.masks[r][0]) << "row " << r;
+    EXPECT_EQ(d.rows[r][0], 0.0) << "row " << r;
+  }
+}
+
+TEST(Csv, CarriageReturnTolerated) {
+  std::stringstream in("1,2,3\r\n4,5,6\r\n");
+  const CsvDataset d = read_csv(in);
+  ASSERT_EQ(d.rows.size(), 2u);
+  EXPECT_EQ(d.rows[1][2], 6.0);
+  EXPECT_TRUE(d.masks[0].empty());
+}
+
+// Fuzz-style corpus: each broken line is spliced between two good rows;
+// the checked reader must keep both good rows intact, reject the broken
+// row as a whole (never a partial tuple), and report exactly one error
+// with the right line number.
+TEST(CsvChecked, BrokenLineCorpusRejectsWholeRows) {
+  const char* corpus[] = {
+      "1.5abc,2,3",       // trailing garbage on a field
+      "1,2,3 junk",       // trailing garbage after the last field
+      "hello,world,boo",  // non-numeric text
+      "1,2",              // short row
+      "1,2,3,4",          // long row
+      "0x10,2,3",         // hex is not in the decimal grammar
+      "1e,2,3",           // truncated exponent
+      "--5,2,3",          // doubled sign
+      "1.2.3,2,3",        // two decimal points
+      "\xE2\x88\x9E,2,3", // UTF-8 garbage
+      "1,2,3e999junk",    // out-of-range AND garbled
+  };
+  for (const char* broken : corpus) {
+    std::stringstream in(std::string("1,2,3\n") + broken + "\n4,5,6\n");
+    const CsvReadResult result = read_csv_checked(in);
+    ASSERT_EQ(result.data.rows.size(), 2u) << "corpus line: " << broken;
+    EXPECT_EQ(result.data.rows[0][0], 1.0) << "corpus line: " << broken;
+    EXPECT_EQ(result.data.rows[1][2], 6.0) << "corpus line: " << broken;
+    ASSERT_EQ(result.errors.size(), 1u) << "corpus line: " << broken;
+    EXPECT_EQ(result.errors[0].row, 2u) << "corpus line: " << broken;
+    EXPECT_FALSE(result.errors[0].message.empty());
+    for (const auto& row : result.data.rows) {
+      for (double v : row) EXPECT_TRUE(std::isfinite(v));
+    }
+  }
+}
+
+TEST(CsvChecked, CleanInputHasNoErrors) {
+  std::stringstream in("1,2,3\n4,,6\nnan,5,6\n");
+  const CsvReadResult result = read_csv_checked(in);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.data.rows.size(), 3u);
+}
+
+TEST(CsvChecked, ErrorCarriesColumnForFieldDefects) {
+  std::stringstream in("1,zzz,3\n");
+  const CsvReadResult result = read_csv_checked(in);
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_EQ(result.errors[0].row, 1u);
+  EXPECT_EQ(result.errors[0].column, 2u);
+}
+
+TEST(CsvChecked, RaggedRowErrorHasWholeRowColumn) {
+  std::stringstream in("1,2,3\n4,5\n");
+  const CsvReadResult result = read_csv_checked(in);
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_EQ(result.errors[0].row, 2u);
+  EXPECT_EQ(result.errors[0].column, 0u);
 }
 
 }  // namespace

@@ -14,8 +14,10 @@
 #include <vector>
 
 #include "linalg/svd.h"
+#include "pca/health.h"
 #include "pca/incremental_pca.h"
 #include "pca/robust_pca.h"
+#include "spectra/validate.h"
 #include "stats/rng.h"
 
 namespace astro {
@@ -141,6 +143,62 @@ TEST(AllocCount, WriteIntoKernelsAreAllocationFreeWhenWarm) {
   const std::uint64_t allocs = window.allocations();
 
   EXPECT_EQ(allocs, 0u) << "warm write-into kernels allocated";
+}
+
+TEST(AllocCount, ValidateAcceptPathIsAllocationFree) {
+  // The ingest gate sits on every tuple: its accept path (clean tuple,
+  // in-place scans, optional short-run interpolation over an existing
+  // mask) must not touch the allocator.  Only the defective branch that
+  // promotes NaN pixels into a brand-new mask may allocate.
+  spectra::ValidationPolicy policy;
+  policy.expected_dim = kDim;
+  policy.max_abs_flux = 1e6;
+  policy.max_interp_run = 2;
+
+  const auto data = make_stream(401, kSteadyCalls);
+  std::vector<Vector> tuples = data;         // warm, owned buffers
+  pca::PixelMask gappy(kDim, true);
+  gappy[kDim / 2] = false;                   // one short run to interpolate
+  std::vector<pca::PixelMask> masks(kSteadyCalls);
+  for (std::size_t i = 0; i < kSteadyCalls; i += 2) masks[i] = gappy;
+
+  perf::AllocWindow window;
+  std::size_t accepted = 0;
+  for (std::size_t i = 0; i < kSteadyCalls; ++i) {
+    const auto out = spectra::validate_and_repair(tuples[i], masks[i], policy);
+    if (out.ok()) ++accepted;
+  }
+  const std::uint64_t allocs = window.allocations();
+
+  EXPECT_EQ(allocs, 0u) << "validation accept/repair path allocated";
+  EXPECT_EQ(accepted, kSteadyCalls);
+}
+
+TEST(AllocCount, HealthCheckIsAllocationFreeWhenWarm) {
+  // The watchdog runs on a tuple-count cadence inside the engine's state
+  // lock; a warm workspace must keep it off the allocator.
+  pca::IncrementalPcaConfig cfg;
+  cfg.dim = kDim;
+  cfg.rank = kRank;
+  pca::IncrementalPca engine(cfg);
+  const auto data = make_stream(409, cfg.init_count + kWarmup);
+  for (const auto& x : data) engine.observe(x);
+  ASSERT_TRUE(engine.initialized());
+
+  pca::HealthWorkspace ws;
+  pca::HealthThresholds thresholds;
+  ASSERT_TRUE(pca::check_health(engine.eigensystem(), thresholds, ws).ok());
+
+  perf::AllocWindow window;
+  bool ok = true;
+  for (int i = 0; i < 100; ++i) {
+    ok = ok && pca::check_health(engine.eigensystem(), thresholds, ws).ok();
+    ok = ok && pca::all_finite(engine.eigensystem());
+  }
+  const std::uint64_t allocs = window.allocations();
+
+  EXPECT_EQ(allocs, 0u) << "warm health check allocated";
+  EXPECT_TRUE(ok);
 }
 
 TEST(AllocCount, ProbeCountsAllocations) {

@@ -1,0 +1,147 @@
+// Property (20 seeds): a corrupted stream behind strict validation (repair
+// off) converges to the same eigensystem as the clean stream with the
+// corrupt tuples removed — for both the classic and the robust engine.
+// Validation must therefore (a) reject every damaged tuple, and (b) pass
+// accepted tuples through bit-untouched; any silent mutation or leaked
+// defect breaks the equivalence.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "pca/incremental_pca.h"
+#include "pca/robust_pca.h"
+#include "pca/subspace.h"
+#include "spectra/validate.h"
+#include "stats/rng.h"
+#include "stream/fault.h"
+#include "stream/tuple.h"
+#include "tests/pca/test_data.h"
+
+namespace astro {
+namespace {
+
+using pca::testing::draw;
+using pca::testing::make_model;
+using stats::Rng;
+
+constexpr std::size_t kDim = 12;
+constexpr std::size_t kRank = 2;
+constexpr std::size_t kTuples = 400;
+
+/// Damage tuple `i` deterministically, cycling through all four kinds.
+stream::DataTuple corrupt_copy(const linalg::Vector& clean, std::size_t i,
+                               std::uint64_t seed) {
+  stream::DataTuple t;
+  t.values = clean;
+  stream::FaultDecision d;
+  d.action = stream::FaultAction::kCorrupt;
+  d.corruption = stream::CorruptionKind(i % 4);
+  d.corruption_salt = seed * 7919 + i;
+  stream::apply_corruption(t, d);
+  return t;
+}
+
+bool is_corrupt_index(std::size_t i) { return i % 13 == 5; }
+
+spectra::ValidationPolicy strict_policy() {
+  spectra::ValidationPolicy p;
+  p.expected_dim = kDim;
+  p.nonfinite_as_masked = false;  // repair off
+  p.max_interp_run = 0;
+  p.max_abs_flux = 1e6;
+  return p;
+}
+
+void expect_systems_match(const pca::EigenSystem& a, const pca::EigenSystem& b,
+                          std::uint64_t seed, const char* engine) {
+  ASSERT_EQ(a.observations(), b.observations()) << engine << " seed " << seed;
+  // Identical accepted sequences make the bases agree entry by entry (up to
+  // a column sign) — a stronger statement than a subspace angle, whose
+  // acos-near-1 floor sits at ~sqrt(eps) and would mask real drift anyway.
+  ASSERT_EQ(a.basis().cols(), b.basis().cols());
+  for (std::size_t c = 0; c < a.basis().cols(); ++c) {
+    double dot = 0.0;
+    for (std::size_t r = 0; r < a.basis().rows(); ++r) {
+      dot += a.basis()(r, c) * b.basis()(r, c);
+    }
+    const double sign = dot < 0.0 ? -1.0 : 1.0;
+    for (std::size_t r = 0; r < a.basis().rows(); ++r) {
+      EXPECT_NEAR(a.basis()(r, c), sign * b.basis()(r, c), 1e-8)
+          << engine << " seed " << seed << " basis(" << r << "," << c << ")";
+    }
+  }
+  for (std::size_t k = 0; k < a.eigenvalues().size(); ++k) {
+    EXPECT_NEAR(a.eigenvalues()[k], b.eigenvalues()[k],
+                1e-8 * (1.0 + std::abs(a.eigenvalues()[k])))
+        << engine << " seed " << seed << " lambda " << k;
+  }
+  for (std::size_t r = 0; r < a.mean().size(); ++r) {
+    EXPECT_NEAR(a.mean()[r], b.mean()[r], 1e-8)
+        << engine << " seed " << seed << " mean " << r;
+  }
+}
+
+TEST(ConvergenceProperty, ValidatedCorruptStreamMatchesCleanMinusCorrupt) {
+  const spectra::ValidationPolicy policy = strict_policy();
+
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed * 104729);
+    const auto model = make_model(rng, kDim, kRank, 2.0, 0.05);
+    std::vector<linalg::Vector> clean;
+    for (std::size_t i = 0; i < kTuples; ++i) clean.push_back(draw(model, rng));
+
+    pca::IncrementalPcaConfig classic_cfg;
+    classic_cfg.dim = kDim;
+    classic_cfg.rank = kRank;
+    pca::RobustPcaConfig robust_cfg;
+    robust_cfg.dim = kDim;
+    robust_cfg.rank = kRank;
+
+    // Guarded streams: corrupt tuples injected, validation filters.
+    pca::IncrementalPca classic_guarded(classic_cfg);
+    pca::RobustIncrementalPca robust_guarded(robust_cfg);
+    std::size_t injected = 0;
+    std::size_t quarantined = 0;
+    for (std::size_t i = 0; i < kTuples; ++i) {
+      stream::DataTuple t;
+      if (is_corrupt_index(i)) {
+        t = corrupt_copy(clean[i], i, seed);
+        ++injected;
+      } else {
+        t.values = clean[i];
+      }
+      const spectra::ValidationOutcome out =
+          spectra::validate_and_repair(t.values, t.mask, policy);
+      if (!out.ok()) {
+        ++quarantined;
+        continue;
+      }
+      classic_guarded.observe(t.values);
+      robust_guarded.observe(t.values);
+    }
+    // Every injected defect was caught, and nothing else was.
+    ASSERT_GT(injected, 0u);
+    ASSERT_EQ(quarantined, injected) << "seed " << seed;
+
+    // Reference streams: the clean data with the corrupt indices removed.
+    pca::IncrementalPca classic_ref(classic_cfg);
+    pca::RobustIncrementalPca robust_ref(robust_cfg);
+    for (std::size_t i = 0; i < kTuples; ++i) {
+      if (is_corrupt_index(i)) continue;
+      classic_ref.observe(clean[i]);
+      robust_ref.observe(clean[i]);
+    }
+
+    expect_systems_match(classic_guarded.eigensystem(),
+                         classic_ref.eigensystem(), seed, "classic");
+    expect_systems_match(robust_guarded.eigensystem(),
+                         robust_ref.eigensystem(), seed, "robust");
+    EXPECT_TRUE(std::isfinite(robust_guarded.eigensystem().sigma2()));
+  }
+}
+
+}  // namespace
+}  // namespace astro

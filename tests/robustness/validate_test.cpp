@@ -1,0 +1,199 @@
+// Unit coverage for ingest validation (spectra/validate.h): every
+// RejectReason must be reachable through its policy knob, repairs must be
+// exact (linear interpolation over short masked runs), and an accepted
+// clean tuple must come back bit-identical.
+
+#include "spectra/validate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace astro::spectra {
+namespace {
+
+ValidationPolicy strict_policy(std::size_t dim) {
+  ValidationPolicy p;
+  p.expected_dim = dim;
+  p.nonfinite_as_masked = false;
+  return p;
+}
+
+TEST(Validate, CleanTupleAcceptedUntouched) {
+  linalg::Vector v{1.0, 2.0, 3.0};
+  pca::PixelMask mask;
+  const ValidationOutcome out = validate_and_repair(v, mask, strict_policy(3));
+  EXPECT_TRUE(out.ok());
+  EXPECT_FALSE(out.repaired);
+  EXPECT_EQ(v[1], 2.0);
+  EXPECT_TRUE(mask.empty());
+}
+
+TEST(Validate, LengthMismatchRejected) {
+  linalg::Vector v{1.0, 2.0};
+  pca::PixelMask mask;
+  EXPECT_EQ(validate_and_repair(v, mask, strict_policy(3)).reason,
+            RejectReason::kLengthMismatch);
+}
+
+TEST(Validate, EmptyVectorIsLengthMismatchEvenWithoutSchema) {
+  linalg::Vector v;
+  pca::PixelMask mask;
+  EXPECT_EQ(validate_and_repair(v, mask, ValidationPolicy{}).reason,
+            RejectReason::kLengthMismatch);
+}
+
+TEST(Validate, MaskSizeMismatchRejected) {
+  linalg::Vector v{1.0, 2.0, 3.0};
+  pca::PixelMask mask(2, true);
+  EXPECT_EQ(validate_and_repair(v, mask, strict_policy(3)).reason,
+            RejectReason::kMaskMismatch);
+}
+
+TEST(Validate, NanRejectedWhenMaskingDisabled) {
+  linalg::Vector v{1.0, std::nan(""), 3.0};
+  pca::PixelMask mask;
+  EXPECT_EQ(validate_and_repair(v, mask, strict_policy(3)).reason,
+            RejectReason::kNonFinite);
+}
+
+TEST(Validate, NanDemotedToMaskWhenEnabled) {
+  linalg::Vector v{1.0, std::nan(""), 3.0};
+  pca::PixelMask mask;
+  ValidationPolicy p;
+  p.expected_dim = 3;
+  p.nonfinite_as_masked = true;  // but no interpolation
+  const ValidationOutcome out = validate_and_repair(v, mask, p);
+  EXPECT_TRUE(out.ok());
+  EXPECT_TRUE(out.repaired);
+  EXPECT_EQ(out.masked_nonfinite, 1u);
+  ASSERT_EQ(mask.size(), 3u);
+  EXPECT_FALSE(mask[1]);
+  EXPECT_EQ(v[1], 0.0);  // placeholder, never NaN
+}
+
+TEST(Validate, NanUnderExistingMaskIsZeroedSilently) {
+  // A NaN placeholder under the mask is not observed data, but it must
+  // still be scrubbed: scale factors multiply the whole buffer.
+  linalg::Vector v{1.0, std::nan(""), 3.0};
+  pca::PixelMask mask{true, false, true};
+  const ValidationOutcome out = validate_and_repair(v, mask, strict_policy(3));
+  EXPECT_TRUE(out.ok());
+  EXPECT_EQ(out.masked_nonfinite, 0u);  // it was already masked
+  EXPECT_EQ(v[1], 0.0);
+}
+
+TEST(Validate, NegativeFluxThresholdRejects) {
+  linalg::Vector v{1.0, -5.0, 3.0};
+  pca::PixelMask mask;
+  ValidationPolicy p = strict_policy(3);
+  p.min_flux = -1.0;
+  EXPECT_EQ(validate_and_repair(v, mask, p).reason,
+            RejectReason::kNegativeFlux);
+  v[1] = -0.5;  // sky-subtraction dip inside the tolerance
+  EXPECT_TRUE(validate_and_repair(v, mask, p).ok());
+}
+
+TEST(Validate, OutOfRangeRejectsGarbledReadout) {
+  linalg::Vector v{1.0, 1e30, 3.0};
+  pca::PixelMask mask;
+  ValidationPolicy p = strict_policy(3);
+  p.max_abs_flux = 1e6;
+  EXPECT_EQ(validate_and_repair(v, mask, p).reason, RejectReason::kOutOfRange);
+}
+
+TEST(Validate, ZeroFluxRejectedOnlyWhenOptedIn) {
+  linalg::Vector v{0.0, 0.0, 0.0};
+  pca::PixelMask mask;
+  ValidationPolicy p = strict_policy(3);
+  EXPECT_TRUE(validate_and_repair(v, mask, p).ok());
+  p.reject_zero_flux = true;
+  EXPECT_EQ(validate_and_repair(v, mask, p).reason, RejectReason::kZeroFlux);
+}
+
+TEST(Validate, ShortMaskedRunInterpolatedLinearly) {
+  linalg::Vector v{1.0, 0.0, 0.0, 4.0};
+  pca::PixelMask mask{true, false, false, true};
+  ValidationPolicy p = strict_policy(4);
+  p.max_interp_run = 2;
+  const ValidationOutcome out = validate_and_repair(v, mask, p);
+  EXPECT_TRUE(out.ok());
+  EXPECT_TRUE(out.repaired);
+  EXPECT_EQ(out.repaired_pixels, 2u);
+  EXPECT_NEAR(v[1], 2.0, 1e-15);
+  EXPECT_NEAR(v[2], 3.0, 1e-15);
+  // Fully repaired: the canonical complete representation is an empty mask.
+  EXPECT_TRUE(mask.empty());
+}
+
+TEST(Validate, BoundaryRunExtendsNearestObservedValue) {
+  linalg::Vector v{0.0, 0.0, 5.0, 7.0};
+  pca::PixelMask mask{false, false, true, true};
+  ValidationPolicy p = strict_policy(4);
+  p.max_interp_run = 2;
+  EXPECT_TRUE(validate_and_repair(v, mask, p).ok());
+  EXPECT_EQ(v[0], 5.0);
+  EXPECT_EQ(v[1], 5.0);
+}
+
+TEST(Validate, LongRunLeftMaskedNotExtrapolated) {
+  linalg::Vector v{1.0, 0.0, 0.0, 0.0, 5.0};
+  pca::PixelMask mask{true, false, false, false, true};
+  ValidationPolicy p = strict_policy(5);
+  p.max_interp_run = 2;  // the run is 3: too long to trust
+  const ValidationOutcome out = validate_and_repair(v, mask, p);
+  EXPECT_TRUE(out.ok());
+  EXPECT_EQ(out.repaired_pixels, 0u);
+  ASSERT_EQ(mask.size(), 5u);
+  EXPECT_FALSE(mask[2]);  // still a gap for the gap-aware engines
+}
+
+TEST(Validate, ExcessMaskedFractionRejects) {
+  linalg::Vector v{1.0, 0.0, 0.0, 0.0};
+  pca::PixelMask mask{true, false, false, false};
+  ValidationPolicy p = strict_policy(4);
+  p.max_masked_fraction = 0.5;  // 3/4 masked: hopeless coverage
+  EXPECT_EQ(validate_and_repair(v, mask, p).reason,
+            RejectReason::kExcessMasked);
+}
+
+TEST(Validate, AllMaskedIsExcessMaskedEvenAtDefaultThreshold) {
+  linalg::Vector v{0.0, 0.0};
+  pca::PixelMask mask(2, false);
+  EXPECT_EQ(validate_and_repair(v, mask, strict_policy(2)).reason,
+            RejectReason::kExcessMasked);
+}
+
+TEST(Validate, NanMaskingFeedsInterpolationPipeline) {
+  // The composed repair path: a NaN pixel is demoted to a mask gap, then
+  // the gap is short enough to interpolate — the tuple comes out complete.
+  linalg::Vector v{1.0, std::numeric_limits<double>::infinity(), 3.0};
+  pca::PixelMask mask;
+  ValidationPolicy p;
+  p.expected_dim = 3;
+  p.nonfinite_as_masked = true;
+  p.max_interp_run = 1;
+  const ValidationOutcome out = validate_and_repair(v, mask, p);
+  EXPECT_TRUE(out.ok());
+  EXPECT_EQ(out.masked_nonfinite, 1u);
+  EXPECT_EQ(out.repaired_pixels, 1u);
+  EXPECT_NEAR(v[1], 2.0, 1e-15);
+  EXPECT_TRUE(mask.empty());
+}
+
+TEST(Validate, ReasonNamesAreStableMetricKeys) {
+  // These strings are metric extra names ("reason.<name>") in the registry
+  // JSON; renaming one silently breaks dashboards.
+  EXPECT_EQ(to_string(RejectReason::kNone), "none");
+  EXPECT_EQ(to_string(RejectReason::kLengthMismatch), "length_mismatch");
+  EXPECT_EQ(to_string(RejectReason::kMaskMismatch), "mask_mismatch");
+  EXPECT_EQ(to_string(RejectReason::kNonFinite), "non_finite");
+  EXPECT_EQ(to_string(RejectReason::kNegativeFlux), "negative_flux");
+  EXPECT_EQ(to_string(RejectReason::kOutOfRange), "out_of_range");
+  EXPECT_EQ(to_string(RejectReason::kZeroFlux), "zero_flux");
+  EXPECT_EQ(to_string(RejectReason::kExcessMasked), "excess_masked");
+}
+
+}  // namespace
+}  // namespace astro::spectra

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 namespace astro::spectra {
 namespace {
 
@@ -83,6 +86,86 @@ TEST(NormalizeMasked, AllMissingUntouched) {
   const double s = normalize_masked(v, pca::PixelMask(2, false));
   EXPECT_EQ(s, 1.0);
   EXPECT_EQ(v[0], 1.0);
+}
+
+TEST(TryNormalize, ZeroFluxTypedRejection) {
+  linalg::Vector v{0.0, 0.0, 0.0};
+  const NormalizeResult r = try_normalize(v);
+  EXPECT_EQ(r.status, NormalizeStatus::kZeroStatistic);
+  EXPECT_EQ(r.scale, 1.0);
+  EXPECT_EQ(v[0], 0.0);  // untouched
+}
+
+TEST(TryNormalize, NanInputRejectedWithoutPoisoning) {
+  // The historical bug: statistic(NaN) = NaN slips past `s == 0`, and
+  // `flux *= 1/NaN` emits an all-NaN spectrum.  The typed path must leave
+  // the vector exactly as it arrived.
+  linalg::Vector v{1.0, std::nan(""), 3.0};
+  const NormalizeResult r = try_normalize(v);
+  EXPECT_EQ(r.status, NormalizeStatus::kNonFinite);
+  EXPECT_EQ(v[0], 1.0);
+  EXPECT_EQ(v[2], 3.0);
+  EXPECT_TRUE(std::isnan(v[1]));
+}
+
+TEST(TryNormalize, InfInputRejected) {
+  linalg::Vector v{1.0, std::numeric_limits<double>::infinity()};
+  EXPECT_EQ(try_normalize(v).status, NormalizeStatus::kNonFinite);
+  EXPECT_EQ(v[0], 1.0);
+}
+
+TEST(TryNormalize, EmptyVector) {
+  linalg::Vector v;
+  EXPECT_EQ(try_normalize(v).status, NormalizeStatus::kEmpty);
+}
+
+TEST(TryNormalize, MedianOfZerosRejected) {
+  // Median 0 on a mostly-zero spectrum: another zero-statistic case.
+  linalg::Vector v{0.0, 0.0, 0.0, 0.0, 5.0};
+  EXPECT_EQ(try_normalize(v, NormalizationKind::kMedianFlux).status,
+            NormalizeStatus::kZeroStatistic);
+  EXPECT_EQ(v[4], 5.0);
+}
+
+TEST(TryNormalizeMasked, NanUnderMaskIsIgnored) {
+  // Non-finite values hiding under the mask are not observed data; the
+  // observed pixels normalize as usual (the scale multiplies the masked
+  // NaN too, but NaN placeholders are the gap-filling layer's problem).
+  linalg::Vector v{3.0, std::nan(""), 4.0};
+  pca::PixelMask mask{true, false, true};
+  const NormalizeResult r = try_normalize_masked(v, mask);
+  EXPECT_EQ(r.status, NormalizeStatus::kOk);
+  EXPECT_TRUE(std::isfinite(v[0]));
+  EXPECT_TRUE(std::isfinite(v[2]));
+}
+
+TEST(TryNormalizeMasked, ObservedNanRejected) {
+  linalg::Vector v{3.0, std::nan(""), 4.0};
+  pca::PixelMask mask{true, true, true};
+  EXPECT_EQ(try_normalize_masked(v, mask).status,
+            NormalizeStatus::kNonFinite);
+  EXPECT_EQ(v[0], 3.0);
+}
+
+TEST(TryNormalizeMasked, AllMissingIsEmpty) {
+  linalg::Vector v{1.0, 2.0};
+  EXPECT_EQ(try_normalize_masked(v, pca::PixelMask(2, false)).status,
+            NormalizeStatus::kEmpty);
+}
+
+TEST(NormalizeLegacy, NanInputLeavesVectorUntouched) {
+  linalg::Vector v{1.0, std::nan(""), 3.0};
+  const double s = normalize(v);
+  EXPECT_EQ(s, 1.0);
+  EXPECT_EQ(v[0], 1.0);  // no all-NaN poisoning through the legacy API
+}
+
+TEST(NormalizeToTemplate, NanOverlapLeavesFluxUntouched) {
+  linalg::Vector flux{1.0, std::nan("")};
+  linalg::Vector reference{1.0, 1.0};
+  const double s = normalize_to_template(flux, {}, reference);
+  EXPECT_EQ(s, 1.0);
+  EXPECT_EQ(flux[0], 1.0);
 }
 
 }  // namespace
