@@ -40,6 +40,7 @@ namespace {
 /// BENCH_fig6.json tracks across PRs.
 struct MeasuredRow {
   std::size_t engines = 0;
+  std::size_t batch_max = 1;  ///< engine micro-batch cap (DESIGN.md)
   double tuples_per_sec = 0.0;
   double allocs_per_tuple = 0.0;
   double sync_rounds = 0.0;
@@ -58,43 +59,48 @@ std::string run_measured_pipelines(const std::string& json_path,
 
   std::printf("\n=== Measured pipeline (real operators, d = 250, p = 10, "
               "N = %zu) ===\n\n", kTuples);
-  std::printf("%8s %14s %14s %12s\n", "engines", "split (t/s)",
+  std::printf("%8s %6s %14s %14s %12s\n", "engines", "batch", "split (t/s)",
               "allocs/tuple", "sync rounds");
 
   std::string json = "{\"dim\":250,\"rank\":10,\"tuples\":2000,\"runs\":[";
   bool first = true;
-  for (std::size_t engines : {std::size_t(1), std::size_t(2), std::size_t(4)}) {
-    astro::app::PipelineConfig cfg;
-    cfg.pca.dim = kDim;
-    cfg.pca.rank = 10;
-    cfg.engines = engines;
-    cfg.sync_rate_hz = 2.0;  // the paper's 0.5 s throttle
-    cfg.metrics_sample_interval_seconds = 0.05;
-    astro::app::StreamingPcaPipeline p(cfg, data);
-    astro::perf::AllocWindow window;
-    p.run();
-    const double allocs_per_tuple =
-        double(window.allocations()) / double(kTuples);
+  for (std::size_t batch_max : {std::size_t(1), std::size_t(8)}) {
+    for (std::size_t engines :
+         {std::size_t(1), std::size_t(2), std::size_t(4)}) {
+      astro::app::PipelineConfig cfg;
+      cfg.pca.dim = kDim;
+      cfg.pca.rank = 10;
+      cfg.engines = engines;
+      cfg.sync_rate_hz = 2.0;  // the paper's 0.5 s throttle
+      cfg.metrics_sample_interval_seconds = 0.05;
+      cfg.batch_max = batch_max;
+      astro::app::StreamingPcaPipeline p(cfg, data);
+      astro::perf::AllocWindow window;
+      p.run();
+      const double allocs_per_tuple =
+          double(window.allocations()) / double(kTuples);
 
-    double rounds = 0.0;
-    const auto snap = p.metrics_registry().snapshot();
-    if (const auto* ctl = snap.find_operator("sync-controller")) {
-      for (const auto& [k, v] : ctl->extras) {
-        if (k == "rounds") rounds = v;
+      double rounds = 0.0;
+      const auto snap = p.metrics_registry().snapshot();
+      if (const auto* ctl = snap.find_operator("sync-controller")) {
+        for (const auto& [k, v] : ctl->extras) {
+          if (k == "rounds") rounds = v;
+        }
       }
-    }
-    std::printf("%8zu %14.0f %14.1f %12.0f\n", engines, p.throughput(),
-                allocs_per_tuple, rounds);
-    if (rows_out != nullptr) {
-      rows_out->push_back(
-          {engines, p.throughput(), allocs_per_tuple, rounds});
-    }
+      std::printf("%8zu %6zu %14.0f %14.1f %12.0f\n", engines, batch_max,
+                  p.throughput(), allocs_per_tuple, rounds);
+      if (rows_out != nullptr) {
+        rows_out->push_back(
+            {engines, batch_max, p.throughput(), allocs_per_tuple, rounds});
+      }
 
-    if (!first) json += ',';
-    first = false;
-    json += "{\"engines\":" + std::to_string(engines) + ",\"metrics\":";
-    json += p.metrics_json();  // already a JSON object: embed verbatim
-    json += '}';
+      if (!first) json += ',';
+      first = false;
+      json += "{\"engines\":" + std::to_string(engines) +
+              ",\"batch_max\":" + std::to_string(batch_max) + ",\"metrics\":";
+      json += p.metrics_json();  // already a JSON object: embed verbatim
+      json += '}';
+    }
   }
   json += "]}";
   astro::bench::write_json_file(json_path, json);
@@ -195,9 +201,10 @@ int main(int argc, char** argv) {
   summary += "],\"measured\":[";
   for (std::size_t i = 0; i < measured.size(); ++i) {
     std::snprintf(buf, sizeof(buf),
-                  "%s{\"engines\":%zu,\"tuples_per_sec\":%.1f,"
+                  "%s{\"engines\":%zu,\"batch_max\":%zu,"
+                  "\"tuples_per_sec\":%.1f,"
                   "\"allocs_per_tuple\":%.1f,\"sync_rounds\":%.0f}",
-                  i ? "," : "", measured[i].engines,
+                  i ? "," : "", measured[i].engines, measured[i].batch_max,
                   measured[i].tuples_per_sec, measured[i].allocs_per_tuple,
                   measured[i].sync_rounds);
     summary += buf;

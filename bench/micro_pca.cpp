@@ -52,6 +52,7 @@ struct SteadyRow {
   std::size_t dim = 0;
   std::size_t rank = 0;
   std::size_t tuples = 0;
+  std::size_t batch = 1;  ///< tuples absorbed per SVD (1 = per-tuple path)
   double tuples_per_sec = 0.0;
   double allocs_per_tuple = 0.0;
 };
@@ -89,21 +90,100 @@ std::string steady_json(const std::vector<SteadyRow>& rows) {
   for (std::size_t i = 0; i < rows.size(); ++i) {
     std::snprintf(buf, sizeof(buf),
                   "%s{\"name\":\"%s\",\"dim\":%zu,\"rank\":%zu,\"tuples\":%zu,"
-                  "\"tuples_per_sec\":%.1f,\"allocs_per_tuple\":%.3f}",
+                  "\"batch\":%zu,\"tuples_per_sec\":%.1f,"
+                  "\"allocs_per_tuple\":%.3f}",
                   i ? "," : "", rows[i].name.c_str(), rows[i].dim,
-                  rows[i].rank, rows[i].tuples, rows[i].tuples_per_sec,
-                  rows[i].allocs_per_tuple);
+                  rows[i].rank, rows[i].tuples, rows[i].batch,
+                  rows[i].tuples_per_sec, rows[i].allocs_per_tuple);
     json += buf;
   }
   json += "]}";
   return json;
 }
 
+/// Batched counterpart of measure_steady: same engine, same stream, but
+/// absorbed `b` tuples per observe_batch call (one SVD each).  The pointer
+/// array lives outside the measured window, matching the stream engine's
+/// reused batch_xs_ scratch.
+SteadyRow measure_steady_batched(std::string name, pca::IncrementalPca& engine,
+                                 std::size_t dim, std::size_t rank,
+                                 std::size_t iters, std::size_t b,
+                                 const std::vector<linalg::Vector>& data) {
+  std::size_t i = 0;
+  while (!engine.initialized()) engine.observe(data[i++ % data.size()]);
+  std::vector<const linalg::Vector*> ptrs(b);
+  auto fill = [&] {
+    for (std::size_t k = 0; k < b; ++k) ptrs[k] = &data[i++ % data.size()];
+  };
+  for (std::size_t w = 0; w < 32 / b + 1; ++w) {  // warm the widened ws
+    fill();
+    engine.observe_batch(ptrs.data(), b);
+  }
+
+  const std::size_t batches = iters / b;
+  perf::AllocWindow window;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t n = 0; n < batches; ++n) {
+    fill();
+    engine.observe_batch(ptrs.data(), b);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+
+  SteadyRow row;
+  row.name = std::move(name);
+  row.dim = dim;
+  row.rank = rank;
+  row.tuples = batches * b;
+  row.batch = b;
+  row.tuples_per_sec = secs > 0.0 ? double(batches * b) / secs : 0.0;
+  row.allocs_per_tuple = double(window.allocations()) / double(batches * b);
+  return row;
+}
+
+SteadyRow measure_steady_batched(std::string name,
+                                 pca::RobustIncrementalPca& engine,
+                                 std::size_t dim, std::size_t rank,
+                                 std::size_t iters, std::size_t b,
+                                 const std::vector<linalg::Vector>& data) {
+  std::size_t i = 0;
+  while (!engine.initialized()) engine.observe(data[i++ % data.size()]);
+  std::vector<const linalg::Vector*> ptrs(b);
+  std::vector<pca::ObservationReport> reports(b);
+  auto fill = [&] {
+    for (std::size_t k = 0; k < b; ++k) ptrs[k] = &data[i++ % data.size()];
+  };
+  for (std::size_t w = 0; w < 32 / b + 1; ++w) {
+    fill();
+    engine.observe_batch(ptrs.data(), b, reports.data());
+  }
+
+  const std::size_t batches = iters / b;
+  perf::AllocWindow window;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t n = 0; n < batches; ++n) {
+    fill();
+    engine.observe_batch(ptrs.data(), b, reports.data());
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+
+  SteadyRow row;
+  row.name = std::move(name);
+  row.dim = dim;
+  row.rank = rank;
+  row.tuples = batches * b;
+  row.batch = b;
+  row.tuples_per_sec = secs > 0.0 ? double(batches * b) / secs : 0.0;
+  row.allocs_per_tuple = double(window.allocations()) / double(batches * b);
+  return row;
+}
+
 std::vector<SteadyRow> run_steady_state() {
   std::printf("=== Steady-state hot path (tuples/sec, heap allocs/tuple) "
               "===\n\n");
-  std::printf("%-22s %6s %5s %8s %14s %14s\n", "engine", "dim", "rank",
-              "tuples", "tuples/sec", "allocs/tuple");
+  std::printf("%-22s %6s %5s %8s %5s %14s %14s\n", "engine", "dim", "rank",
+              "tuples", "batch", "tuples/sec", "allocs/tuple");
 
   std::vector<SteadyRow> rows;
   struct Point {
@@ -130,9 +210,31 @@ std::vector<SteadyRow> run_steady_state() {
     rows.push_back(measure_steady("robust", engine, pt.dim, pt.rank, pt.iters,
                                   data));
   }
+  // Micro-batched path (DESIGN.md "Micro-batching"): same operating points,
+  // b = 8 tuples per SVD.  The b = 1 rows above are the baseline the batch
+  // speedup is graded against.
+  for (const Point& pt : points) {
+    const auto data = dataset(512, pt.dim, 11 + pt.dim);
+    pca::IncrementalPcaConfig cfg;
+    cfg.dim = pt.dim;
+    cfg.rank = pt.rank;
+    pca::IncrementalPca engine(cfg);
+    rows.push_back(measure_steady_batched("classic-b8", engine, pt.dim,
+                                          pt.rank, pt.iters, 8, data));
+  }
+  for (const Point& pt : points) {
+    const auto data = dataset(512, pt.dim, 13 + pt.dim);
+    pca::RobustPcaConfig cfg;
+    cfg.dim = pt.dim;
+    cfg.rank = pt.rank;
+    pca::RobustIncrementalPca engine(cfg);
+    rows.push_back(measure_steady_batched("robust-b8", engine, pt.dim,
+                                          pt.rank, pt.iters, 8, data));
+  }
   for (SteadyRow& r : rows) {
-    std::printf("%-22s %6zu %5zu %8zu %14.0f %14.3f\n", r.name.c_str(), r.dim,
-                r.rank, r.tuples, r.tuples_per_sec, r.allocs_per_tuple);
+    std::printf("%-22s %6zu %5zu %8zu %5zu %14.0f %14.3f\n", r.name.c_str(),
+                r.dim, r.rank, r.tuples, r.batch, r.tuples_per_sec,
+                r.allocs_per_tuple);
   }
   std::printf("\n");
   return rows;

@@ -149,12 +149,14 @@ void StreamingPcaPipeline::build(const PipelineConfig& config) {
     auto* engine = graph_.add<sync::PcaEngineOperator>(
         "pca-" + std::to_string(i), int(i), config.pca, engine_data[i],
         engine_control[i], exchange_, engine_control, policy,
-        outlier_channel_, std::move(fault_opts));
+        outlier_channel_, std::move(fault_opts), config.batch_max);
     engines_.push_back(engine);
     registry_.add_operator(
         "pca-" + std::to_string(i), &engine->metrics(),
         [engine] {
           const sync::EngineStats s = engine->stats();
+          const stream::HistogramSnapshot batch =
+              engine->batch_size_histogram().snapshot();
           return std::vector<std::pair<std::string, double>>{
               {"data_tuples", double(s.tuples)},
               {"outliers", double(s.outliers)},
@@ -169,7 +171,16 @@ void StreamingPcaPipeline::build(const PipelineConfig& config) {
               {"replay_quarantined", double(s.replay_quarantined)},
               {"publishes_suppressed", double(s.publishes_suppressed)},
               {"merges_rejected", double(s.merges_rejected)},
-              {"healthy", engine->healthy() ? 1.0 : 0.0}};
+              {"healthy", engine->healthy() ? 1.0 : 0.0},
+              // Micro-batching (DESIGN.md): lock acquisitions that applied
+              // data, the batch-size distribution they absorbed, and the
+              // controller's current target.
+              {"batches", double(s.batches)},
+              {"batch_size_mean", batch.mean()},
+              {"batch_size_p50", batch.p50()},
+              {"batch_size_p95", batch.p95()},
+              {"batch_size_max", double(batch.max)},
+              {"batch_target", double(engine->adaptive_batch())}};
         },
         this);
   }

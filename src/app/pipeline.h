@@ -50,6 +50,15 @@ struct PipelineConfig {
   double independence_factor = 1.5;           ///< the paper's 1.5·N gate
   std::uint64_t independence_fallback = 10000; ///< used when alpha == 1
   std::size_t channel_capacity = 1024;
+  /// Upper bound on the engines' micro-batch size (DESIGN.md
+  /// "Micro-batching"): each engine drains up to this many tuples per
+  /// state-lock acquisition and absorbs them with one thin SVD, with the
+  /// actual size adapting in [1, batch_max] to input-queue depth.  1 (the
+  /// default) reproduces the per-tuple engine exactly; > 1 trades bounded
+  /// robust-weight staleness (at most batch_max - 1 updates) for SVD and
+  /// lock amortization.  Malformed inputs still count per tuple — see
+  /// `validate_ingest` for keeping them out of the batch entirely.
+  std::size_t batch_max = 1;
   double source_rate = 0.0;  ///< tuples/s cap at the source; 0 = unthrottled
   bool collect_outliers = false;
   /// > 0 runs a SnapshotPublisher sampling every engine at this interval —

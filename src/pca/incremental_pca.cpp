@@ -55,6 +55,38 @@ void low_rank_update(const linalg::Matrix& basis,
   }
 }
 
+void low_rank_update_batch(const linalg::Matrix& basis,
+                           const linalg::Vector& eigenvalues,
+                           double history_scale, std::size_t batch,
+                           std::size_t p, UpdateWorkspace& ws,
+                           linalg::Matrix& e_out, linalg::Vector& lambda_out) {
+  const std::size_t d = basis.rows();
+  const std::size_t k = eigenvalues.size();
+  ws.a.resize_no_shrink(d, k + batch);  // no-op when the caller sized it
+
+  // The fresh columns [k, k+batch) are already in place (caller contract);
+  // only the history block needs assembling before the decomposition.
+  for (std::size_t c = 0; c < k; ++c) {
+    const double scale =
+        std::sqrt(std::max(0.0, history_scale * eigenvalues[c]));
+    for (std::size_t r = 0; r < d; ++r) ws.a(r, c) = basis(r, c) * scale;
+  }
+
+  linalg::svd_left_inplace(ws.a, ws.svd, linalg::ThinUView{&ws.u, &ws.s});
+
+  e_out.resize_no_shrink(d, p);
+  lambda_out.resize_no_shrink(p);
+  const std::size_t keep = std::min(p, ws.s.size());
+  for (std::size_t c = 0; c < keep; ++c) {
+    lambda_out[c] = ws.s[c] * ws.s[c];
+    for (std::size_t r = 0; r < d; ++r) e_out(r, c) = ws.u(r, c);
+  }
+  for (std::size_t c = keep; c < p; ++c) {
+    lambda_out[c] = 0.0;
+    for (std::size_t r = 0; r < d; ++r) e_out(r, c) = 0.0;
+  }
+}
+
 IncrementalPca::IncrementalPca(const IncrementalPcaConfig& config)
     : config_(config), system_(config.dim, config.rank, config.alpha) {
   if (config.dim == 0) {
@@ -80,6 +112,69 @@ void IncrementalPca::observe(const linalg::Vector& x) {
     return;
   }
   update(x);
+}
+
+void IncrementalPca::observe_batch(const linalg::Vector* const* xs,
+                                   std::size_t n) {
+  std::size_t j = 0;
+  // The init buffer wants tuples one at a time (it may complete mid-batch).
+  while (j < n && !init_done_) observe(*xs[j++]);
+  if (j == n) return;
+  const std::size_t b = n - j;
+  if (b == 1) {
+    update(*xs[j]);
+    return;
+  }
+  for (std::size_t i = j; i < n; ++i) {
+    if (xs[i]->size() != config_.dim) {
+      throw std::invalid_argument("observe_batch: wrong dimensionality");
+    }
+  }
+
+  const std::size_t p = config_.rank;
+  const std::size_t d = config_.dim;
+  ws_.ensure(d, p + b);
+  ws_.a.resize_no_shrink(d, p + b);
+
+  // Pass 1 — per-tuple scalar recursions, sequenced exactly like b
+  // observe() calls: residual against the pre-batch basis and the running
+  // mean, forgetting-sum advance, mean blend, σ² diagnostic.  Each tuple's
+  // fresh direction is centered against its own updated mean straight into
+  // its A column (the batched center kernel); the column's weight is only
+  // known once the later tuples' γ exist, so scaling is deferred.
+  linalg::Vector& mean = system_.mutable_mean();
+  for (std::size_t i = 0; i < b; ++i) {
+    const linalg::Vector& x = *xs[j + i];
+    const double r2 = system_.squared_residual(x, ws_.y, ws_.coeffs);
+    const auto gammas = system_.mutable_sums().update(1.0, r2);
+    const double gamma = gammas.g3;
+    mean *= gamma;
+    mean.axpy(1.0 - gamma, x);
+    ws_.a.set_col_diff_scaled(p + i, x, mean, 1.0);
+    ws_.batch_gammas[i] = gamma;
+    system_.set_sigma2(gamma * system_.sigma2() + (1.0 - gamma) * r2);
+    system_.count_observation();
+  }
+
+  // Pass 2 — unroll the covariance recursion without intermediate
+  // truncation:  C_b = (∏γ_i) C_0 + Σ_j (1−γ_j)(∏_{i>j}γ_i) y_j y_jᵀ.
+  // Sweeping the suffix product right-to-left prices every column.
+  double suffix = 1.0;
+  for (std::size_t i = b; i-- > 0;) {
+    const double w = (1.0 - ws_.batch_gammas[i]) * suffix;
+    ws_.a.scale_col(p + i, std::sqrt(std::max(0.0, w)));
+    suffix *= ws_.batch_gammas[i];
+  }
+
+  low_rank_update_batch(system_.basis(), system_.eigenvalues(), suffix, b, p,
+                        ws_, system_.mutable_basis(),
+                        system_.mutable_eigenvalues());
+}
+
+void IncrementalPca::observe_batch(const std::vector<linalg::Vector>& xs) {
+  std::vector<const linalg::Vector*> ptrs(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) ptrs[i] = &xs[i];
+  observe_batch(ptrs.data(), ptrs.size());
 }
 
 void IncrementalPca::initialize_from_buffer() {

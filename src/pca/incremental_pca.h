@@ -39,6 +39,22 @@ class IncrementalPca {
   /// Consume one observation; cheap O(d p²) once initialized.
   void observe(const linalg::Vector& x);
 
+  /// Consume a micro-batch of `n` observations with ONE thin SVD
+  /// (DESIGN.md "Micro-batching").  Per-tuple scalar state — the
+  /// forgetting sums, the mean recursion and the σ² diagnostic — advances
+  /// sequentially exactly as n observe() calls would; only the
+  /// eigensystem update is batched, decomposing the d x (p+n) matrix
+  ///   A = [ E √(G Λ) | y_1 √w_1 | ... | y_n √w_n ],
+  /// G = ∏ γ_j and w_j = (1−γ_j) ∏_{i>j} γ_i, which is the eq. (1)-(3)
+  /// recursion unrolled WITHOUT the intermediate rank-p truncations.  When
+  /// the data lies in the retained subspace the truncations discard
+  /// nothing and the batched result equals the sequential one (pinned to
+  /// 1e-10 by tests); on general data the batch keeps strictly more of the
+  /// update mass than the sequential path.  Tuples still inside the init
+  /// phase are buffered individually.
+  void observe_batch(const linalg::Vector* const* xs, std::size_t n);
+  void observe_batch(const std::vector<linalg::Vector>& xs);
+
   /// The current estimate.  Valid (non-empty basis) once `initialized()`.
   [[nodiscard]] const EigenSystem& eigensystem() const noexcept {
     return system_;
@@ -96,5 +112,21 @@ void low_rank_update(const linalg::Matrix& basis,
                      const linalg::Vector& y, double gamma,
                      double fresh_weight, std::size_t p, UpdateWorkspace& ws,
                      linalg::Matrix& e_out, linalg::Vector& lambda_out);
+
+/// Micro-batched form: absorbs `batch` fresh directions in one thin SVD of
+/// the d x (k+batch) matrix A = [ E √(history_scale·Λ) | c_1 | ... | c_b ].
+/// Caller contract: ws.a is already resized to d x (k+batch) and its
+/// columns [k, k+batch) hold the fresh directions, each pre-scaled by the
+/// square root of its blended weight (see IncrementalPca::observe_batch for
+/// the weight algebra); `history_scale` is the product of the per-tuple
+/// history coefficients.  Like the per-tuple form, A is fully assembled and
+/// decomposed before the outputs are written, so `e_out` / `lambda_out`
+/// may alias `basis` / `eigenvalues`.  Zero heap allocations once ws has
+/// reached this shape.
+void low_rank_update_batch(const linalg::Matrix& basis,
+                           const linalg::Vector& eigenvalues,
+                           double history_scale, std::size_t batch,
+                           std::size_t p, UpdateWorkspace& ws,
+                           linalg::Matrix& e_out, linalg::Vector& lambda_out);
 
 }  // namespace astro::pca

@@ -79,6 +79,151 @@ ObservationReport RobustIncrementalPca::observe(const linalg::Vector& x,
   return update(x, &observed);
 }
 
+void RobustIncrementalPca::observe_batch(const linalg::Vector* const* xs,
+                                         std::size_t n,
+                                         ObservationReport* reports) {
+  std::size_t j = 0;
+  // Init-phase tuples are buffered one at a time (the batch decomposition
+  // may complete mid-batch, at which point the remainder streams).
+  while (j < n && !init_done_) {
+    reports[j] = observe(*xs[j]);
+    ++j;
+  }
+  // The robust-eigenvalue recursion (§II-B closing remark) needs the
+  // post-update basis after every tuple — batching it would change the
+  // quantity tracked, not just its arithmetic — so it pins the engine to
+  // the sequential path.
+  if (config_.track_robust_eigenvalues) {
+    for (; j < n; ++j) reports[j] = observe(*xs[j]);
+    return;
+  }
+  if (j == n) return;
+  const std::size_t b = n - j;
+  if (b == 1) {
+    reports[j] = update(*xs[j], nullptr);
+    return;
+  }
+  for (std::size_t i = j; i < n; ++i) {
+    if (xs[i]->size() != config_.dim) {
+      throw std::invalid_argument("observe_batch: wrong dimensionality");
+    }
+  }
+
+  const std::size_t p = config_.rank;
+  const std::size_t full = config_.rank + config_.extra_rank;
+  const std::size_t d = config_.dim;
+  ws_.ensure(d, full + b);
+  ws_.a.resize_no_shrink(d, full + b);
+
+  // Pass 1 — the sequential steps 2-6 and 9 of update() per tuple, with one
+  // difference: the basis every residual (and therefore every weight and
+  // outlier decision) is judged against is the PRE-BATCH one, at most b-1
+  // updates stale.  Accepted tuples stage their centered direction in an A
+  // column; rejected ones (γ₂ = 1) contribute nothing, exactly like the
+  // sequential outlier branch.
+  linalg::Vector& mean = system_.mutable_mean();
+  std::size_t applied = 0;
+  for (std::size_t i = 0; i < b; ++i) {
+    const linalg::Vector& x = *xs[j + i];
+    ObservationReport rep;
+
+    system_.center_into(x, ws_.y);
+    system_.basis().transpose_times_into(ws_.y, ws_.coeffs);
+    double proj = 0.0;
+    for (std::size_t k = 0; k < p; ++k) proj += ws_.coeffs[k] * ws_.coeffs[k];
+    const double r2 = std::max(0.0, ws_.y.squared_norm() - proj);
+    rep.squared_residual = r2;
+
+    const double sigma2_old = std::max(system_.sigma2(), kTinyResidual);
+    rep.t = r2 / sigma2_old;
+    rep.weight = rho_->weight(rep.t);
+    rep.scale_weight = rho_->scale_weight(rep.t);
+    rep.outlier = rep.t >= rho_->rejection_point();
+    if (rep.outlier) {
+      ++outliers_flagged_;
+      if (config_.reject_reset_threshold > 0) {
+        rejected_residuals_.push_back(std::sqrt(r2));
+        if (++consecutive_rejects_ >= config_.reject_reset_threshold) {
+          stats::MScaleOptions mopts;
+          mopts.delta = delta_;
+          const double s2 =
+              stats::m_scale(rejected_residuals_, *rho_, mopts).sigma2;
+          if (s2 > 0.0) system_.set_sigma2(s2);
+          rejected_residuals_.clear();
+          consecutive_rejects_ = 0;
+          ++scale_resets_;
+        }
+      }
+    } else {
+      consecutive_rejects_ = 0;
+      rejected_residuals_.clear();
+    }
+
+    const auto g = system_.mutable_sums().update(rep.weight, rep.weight * r2);
+
+    mean *= g.g1;
+    mean.axpy(1.0 - g.g1, x);
+
+    const double sigma2_base = std::max(system_.sigma2(), kTinyResidual);
+    const double sigma2_new =
+        g.g3 * sigma2_base + (1.0 - g.g3) * rep.scale_weight * r2 / delta_;
+    system_.set_sigma2(std::max(sigma2_new, kTinyResidual));
+
+    // Covariance contribution (sequential step 7): stage the direction and
+    // remember its per-tuple blending pair (γ̂ = γ₂, fresh weight).  The
+    // skip cases — outlier (γ₂ == 1) and a residual too tiny to normalize —
+    // leave C untouched sequentially, which the batch reproduces by
+    // treating their history coefficient as exactly 1.
+    if (g.g2 < 1.0 && r2 > kTinyResidual) {
+      ws_.a.set_col_diff_scaled(full + applied, x, mean, 1.0);
+      ws_.batch_gammas[applied] = g.g2;
+      ws_.batch_weights[applied] = (1.0 - g.g2) * system_.sigma2() / r2;
+      ++applied;
+    }
+
+    system_.count_observation();
+    reports[j + i] = rep;
+  }
+
+  // Pass 2 — price the accepted columns by the unrolled recursion
+  //   C_b = (∏γ̂_i) C_0 + Σ_j fresh_j (∏_{i>j} γ̂_i) y_j y_jᵀ
+  // and decompose once.  applied == 0 (every tuple rejected/skipped) means
+  // C is untouched: no SVD at all, again matching the sequential path.
+  // Rejected tuples leave their reserved columns unused; they are zeroed
+  // rather than the matrix reshaped (a row-major resize would scramble the
+  // staged columns), and zero columns pass through the SVD inert.
+  if (applied > 0) {
+    double suffix = 1.0;
+    for (std::size_t i = applied; i-- > 0;) {
+      const double w = ws_.batch_weights[i] * suffix;
+      ws_.a.scale_col(full + i, std::sqrt(std::max(0.0, w)));
+      suffix *= ws_.batch_gammas[i];
+    }
+    for (std::size_t i = applied; i < b; ++i) {
+      for (std::size_t r = 0; r < d; ++r) ws_.a(r, full + i) = 0.0;
+    }
+    low_rank_update_batch(system_.basis(), system_.eigenvalues(), suffix, b,
+                          system_.rank(), ws_, system_.mutable_basis(),
+                          system_.mutable_eigenvalues());
+  }
+
+  updates_since_qr_ += b;
+  if (config_.reorthonormalize_every > 0 &&
+      updates_since_qr_ >= config_.reorthonormalize_every) {
+    system_.reorthonormalize();
+    updates_since_qr_ = 0;
+  }
+}
+
+std::vector<ObservationReport> RobustIncrementalPca::observe_batch(
+    const std::vector<linalg::Vector>& xs) {
+  std::vector<const linalg::Vector*> ptrs(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) ptrs[i] = &xs[i];
+  std::vector<ObservationReport> reports(xs.size());
+  observe_batch(ptrs.data(), ptrs.size(), reports.data());
+  return reports;
+}
+
 void RobustIncrementalPca::initialize_from_buffer() {
   const std::size_t n = init_buffer_.size();
   const std::size_t d = config_.dim;

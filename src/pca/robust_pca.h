@@ -83,6 +83,23 @@ class RobustIncrementalPca {
   /// Consume an observation with missing pixels (mask[i] == observed).
   ObservationReport observe(const linalg::Vector& x, const PixelMask& observed);
 
+  /// Consume a micro-batch of `n` complete observations with one thin SVD
+  /// (DESIGN.md "Micro-batching"), writing one report per tuple into
+  /// `reports` (must have room for n).  Robust semantics stay PER TUPLE:
+  /// each observation's residual, weight and outlier decision are computed
+  /// against the pre-batch basis (that staleness is the documented cost of
+  /// b > 1 — the basis a tuple is judged against is at most b−1 updates
+  /// old), while the mean, σ² and forgetting-sum recursions advance
+  /// sequentially exactly as n observe() calls would.  Outliers (w = 0)
+  /// contribute γ₂ = 1 and no column, identical to the sequential path.
+  /// Tuples still inside the init phase are buffered individually, and
+  /// engines tracking robust eigenvalues fall back to the sequential path
+  /// (the per-component recursion needs the post-update basis per tuple).
+  void observe_batch(const linalg::Vector* const* xs, std::size_t n,
+                     ObservationReport* reports);
+  std::vector<ObservationReport> observe_batch(
+      const std::vector<linalg::Vector>& xs);
+
   /// The full internal eigensystem (rank p+q).
   [[nodiscard]] const EigenSystem& eigensystem() const noexcept {
     return system_;

@@ -26,17 +26,25 @@
 namespace astro::pca {
 
 struct UpdateWorkspace {
-  linalg::Matrix a;             ///< the d x (k+1) A matrix of eq. (1)-(3)
-  linalg::Matrix u;             ///< left singular vectors of A
+  linalg::Matrix a;             ///< the d x (k+b) A matrix of eq. (1)-(3)
+  linalg::Matrix u;             ///< left singular vectors of A (widened thin-U)
   linalg::Vector s;             ///< singular values of A
   linalg::Vector y;             ///< centered observation x - mu
   linalg::Vector coeffs;        ///< basis expansion coefficients E^T y
   linalg::SvdWorkspace svd;     ///< Jacobi scratch (column-major copy etc.)
+  /// Micro-batch scalar scratch (DESIGN.md "Micro-batching"): one slot per
+  /// batched tuple for the history coefficient γ̂_j and the fresh weight of
+  /// the tuple's A column.  Sized by ensure()'s `cols` like everything
+  /// else, so the b=1 path pays two 1-element vectors and the batched path
+  /// is allocation-free at steady state.
+  linalg::Vector batch_gammas;
+  linalg::Vector batch_weights;
 
   /// Pre-grows every buffer for a d-dimensional engine whose A matrix has
-  /// `cols` = k+1 columns.  Idempotent and never shrinks, so calling it
-  /// again (checkpoint restore, merge install) on an already-sized
-  /// workspace is free.
+  /// `cols` columns — k+1 for the per-tuple path, k+b for a micro-batch of
+  /// b observations.  Idempotent and never shrinks, so calling it again
+  /// (checkpoint restore, merge install, batch-size growth) on an
+  /// already-sized workspace is free once the high-water shape is reached.
   void ensure(std::size_t d, std::size_t cols) {
     a.resize_no_shrink(d, cols);
     u.resize_no_shrink(d, cols);
@@ -44,6 +52,8 @@ struct UpdateWorkspace {
     y.resize_no_shrink(d);
     coeffs.resize_no_shrink(cols);
     svd.reserve(d, cols);
+    batch_gammas.resize_no_shrink(cols);
+    batch_weights.resize_no_shrink(cols);
   }
 };
 

@@ -53,6 +53,15 @@ void SlidingWindowPca::roll_if_full() {
   if (live_count_ < bucket_size_) return;
   if (live_->initialized()) {
     closed_.push_back(live_->eigensystem());
+    closed_counts_.push_back(live_count_);
+  } else {
+    // A bucket that never initialized (e.g. its entire slice was buffered
+    // gappy/degenerate data) is dropped, and the tuples fed to it leave
+    // the window with it.  Failing to retire them here made coverage_
+    // drift upward without bound — the arrival side counted them but the
+    // eviction side (which subtracts per-closed-bucket counts) never saw
+    // them.
+    coverage_ -= live_count_;
   }
   // Recycle the retiring bucket's update workspace into the fresh engine:
   // every bucket shares one dim/rank shape, so the roll costs no workspace
@@ -64,7 +73,13 @@ void SlidingWindowPca::roll_if_full() {
   live_ = std::move(fresh);
   live_count_ = 0;
   while (closed_.size() >= config_.buckets) {
-    coverage_ -= closed_.front().observations();
+    // Retire exactly the tuples this bucket's arrival added.  The old code
+    // subtracted the evicted eigensystem's observations(), a number the
+    // robust engine's init replay and merge re-baselining can decouple
+    // from tuples fed — over many rolls coverage_ drifted and could even
+    // underflow.  The self-tracked count cannot disagree with arrival.
+    coverage_ -= closed_counts_.front();
+    closed_counts_.pop_front();
     closed_.pop_front();
   }
 }
@@ -82,6 +97,24 @@ ObservationReport SlidingWindowPca::observe(const linalg::Vector& x,
   ++live_count_;
   ++coverage_;
   return live_->observe(x, mask);
+}
+
+void SlidingWindowPca::observe_batch(const linalg::Vector* const* xs,
+                                     std::size_t n,
+                                     ObservationReport* reports) {
+  std::size_t off = 0;
+  while (off < n) {
+    roll_if_full();
+    // Never let a sub-batch straddle a roll: each chunk fills at most the
+    // live bucket's remaining capacity, so bucket membership — and
+    // therefore window expiry — is identical to the tuple-by-tuple path.
+    const std::size_t room = bucket_size_ - live_count_;
+    const std::size_t m = std::min(n - off, room);
+    live_->observe_batch(xs + off, m, reports + off);
+    live_count_ += m;
+    coverage_ += m;
+    off += m;
+  }
 }
 
 std::optional<EigenSystem> SlidingWindowPca::eigensystem() const {

@@ -51,6 +51,13 @@ class SlidingWindowPca {
   ObservationReport observe(const linalg::Vector& x);
   ObservationReport observe(const linalg::Vector& x, const PixelMask& mask);
 
+  /// Consume a micro-batch, splitting it at bucket boundaries: a batch
+  /// never spans a roll, so every sub-batch lands in exactly the bucket it
+  /// would have reached tuple by tuple and expiry stays exact at bucket
+  /// granularity.  One report per tuple, as with observe().
+  void observe_batch(const linalg::Vector* const* xs, std::size_t n,
+                     ObservationReport* reports);
+
   /// The current window estimate: merge of all live buckets, truncated to
   /// `rank`.  Nullopt until the first bucket has initialized.
   [[nodiscard]] std::optional<EigenSystem> eigensystem() const;
@@ -73,6 +80,12 @@ class SlidingWindowPca {
   std::unique_ptr<RobustIncrementalPca> live_;
   std::size_t live_count_ = 0;
   std::deque<EigenSystem> closed_;  // oldest first
+  /// Tuples fed to each closed bucket, parallel to closed_.  Eviction
+  /// retires exactly what arrival added — coverage_ is Σ closed_counts_ +
+  /// live_count_ by construction, so it can neither drift nor underflow
+  /// (an engine's observations() is NOT that number: a bucket that never
+  /// initializes reports zero, and merge installs re-baseline it).
+  std::deque<std::uint64_t> closed_counts_;
   std::uint64_t coverage_ = 0;
 };
 

@@ -165,6 +165,16 @@ bool FaultInjector::should_kill(int engine, std::uint64_t applied_tuples) {
   return false;
 }
 
+std::optional<std::uint64_t> FaultInjector::next_kill_at(int engine) const {
+  std::lock_guard lock(mutex_);
+  std::optional<std::uint64_t> next;
+  for (const KillEvent& k : kills_) {
+    if (k.on_merge || k.fired || k.engine != engine) continue;
+    if (!next || k.at < *next) next = k.at;
+  }
+  return next;
+}
+
 bool FaultInjector::should_kill_on_merge(int engine,
                                          std::uint64_t merges_applied) {
   std::lock_guard lock(mutex_);

@@ -41,6 +41,7 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -137,6 +138,13 @@ class FaultInjector {
   /// Engine merge path: true exactly once per matching merge-kill event.
   [[nodiscard]] bool should_kill_on_merge(int engine,
                                           std::uint64_t merges_applied);
+
+  /// Smallest unfired data-path kill trigger for `engine`, if any.  A
+  /// non-mutating probe for the micro-batched engine loop: a batch is split
+  /// so the per-tuple should_kill() check lands on exactly the applied
+  /// count the schedule names, keeping kill placement — and therefore every
+  /// recovery scenario — identical to the unbatched engine.
+  [[nodiscard]] std::optional<std::uint64_t> next_kill_at(int engine) const;
 
   /// Channel push site (`attempt` is 1-based per channel).
   [[nodiscard]] FaultDecision on_push(const std::string& channel,

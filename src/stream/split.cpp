@@ -36,8 +36,17 @@ std::size_t SplitOperator::choose_target(stats::Rng& rng,
     case SplitStrategy::kRoundRobin:
       return rr_state++ % outs_.size();
     case SplitStrategy::kLeastLoaded: {
-      std::size_t best = 0, best_size = outs_[0]->size();
-      for (std::size_t i = 1; i < outs_.size(); ++i) {
+      // Rotate the scan's starting point per decision: a fixed scan from
+      // index 0 with a strict `<` hands every tie to the lowest index, and
+      // at startup (all queues empty) or under light load (all equal) that
+      // funnels the whole stream at engine 0.  Starting each scan one slot
+      // further spreads tie wins uniformly across the minima.
+      const std::size_t n = outs_.size();
+      const std::size_t start =
+          rr_counter_.fetch_add(1, std::memory_order_relaxed) % n;
+      std::size_t best = start, best_size = outs_[start]->size();
+      for (std::size_t k = 1; k < n; ++k) {
+        const std::size_t i = (start + k) % n;
         const std::size_t s = outs_[i]->size();
         if (s < best_size) {
           best = i;
@@ -65,11 +74,18 @@ void SplitOperator::worker_loop(std::size_t worker_index) {
     metrics_.record_proc_ns(t_routed - t_popped);
 
     // Non-blocking first: a full target means a slow engine; reroute to the
-    // least loaded queue rather than stall the whole stream.
+    // least loaded queue rather than stall the whole stream.  The reroute
+    // scan rotates its start like choose_target's kLeastLoaded: a fixed
+    // 0-first scan gave every tie to the lowest index, piling rerouted
+    // traffic onto engine 0 exactly when queues were uniformly full.
     const std::size_t bytes = t.wire_bytes();
     if (!outs_[target]->try_push(t)) {
+      const std::size_t n = outs_.size();
+      const std::size_t start =
+          rr_counter_.fetch_add(1, std::memory_order_relaxed) % n;
       std::size_t best = target, best_size = outs_[target]->size();
-      for (std::size_t i = 0; i < outs_.size(); ++i) {
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t i = (start + k) % n;
         const std::size_t s = outs_[i]->size();
         if (s < best_size) {
           best = i;

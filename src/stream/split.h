@@ -54,7 +54,10 @@ class SplitOperator final : public Operator {
   std::size_t workers_;
   std::uint64_t seed_;
   std::vector<std::thread> extra_workers_;
-  std::atomic<std::uint64_t> rr_counter_{0};
+  /// Rotating start offset for least-loaded tie-breaking (choose_target and
+  /// the reroute fallback): mutable because routing decisions are made from
+  /// const context but the rotation is bookkeeping, not observable state.
+  mutable std::atomic<std::uint64_t> rr_counter_{0};
   std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
 };
 

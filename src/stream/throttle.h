@@ -4,9 +4,13 @@
 //
 // In the paper it paces the synchronization control tuples ("the
 // synchronization throttle rate was set to 0.5 seconds"); it works on any
-// tuple type.  Pacing is absolute: output never exceeds `rate` tuples per
-// second from operator start, implemented by sleeping until each tuple's
-// due time.
+// tuple type.  Pacing is a token bucket with burst capacity 1: each
+// emission is due one period after the previous one actually went out, so
+// consecutive emissions are never closer than 1/rate.  (The earlier
+// absolute schedule — tuple i due at start + i/rate — banked credit during
+// an upstream stall and then burst at full speed until it caught up with
+// the wall-clock schedule; re-anchoring to the last emission forfeits
+// credit an idle gap would otherwise accrue.)
 
 #include <chrono>
 #include <thread>
@@ -29,8 +33,16 @@ class ThrottleOperator final : public Operator {
  protected:
   void run() override {
     using Clock = std::chrono::steady_clock;
-    const auto started = Clock::now();
-    std::uint64_t emitted = 0;
+    const auto period =
+        rate_ > 0.0 ? std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(1.0 / rate_))
+                    : Clock::duration::zero();
+    // One token, available immediately; sleeping until next_due IS the
+    // refill.  A due time in the past (input was idle longer than a
+    // period) makes sleep_until return at once — the stale credit is
+    // forfeited rather than banked, so a post-stall catch-up burst cannot
+    // happen.
+    auto next_due = Clock::now();
 
     T item;
     std::uint64_t t_prev = OperatorMetrics::now_ns();
@@ -38,19 +50,17 @@ class ThrottleOperator final : public Operator {
       const std::uint64_t t_popped = OperatorMetrics::now_ns();
       metrics_.record_pop_wait_ns(t_popped - t_prev);
       metrics_.record_in();
-      if (rate_ > 0.0) {
-        const auto due = started + std::chrono::duration_cast<Clock::duration>(
-                                       std::chrono::duration<double>(
-                                           double(emitted) / rate_));
-        std::this_thread::sleep_until(due);
-      }
+      if (rate_ > 0.0) std::this_thread::sleep_until(next_due);
       // The pacing sleep is deliberate delay, not blocking: only the push
       // itself counts toward push_wait.
       const std::uint64_t t_push = OperatorMetrics::now_ns();
       if (!out_->push(std::move(item))) break;
       t_prev = OperatorMetrics::now_ns();
       metrics_.record_push_wait_ns(t_prev - t_push);
-      ++emitted;
+      // Re-anchor to the emission that actually happened (not the schedule
+      // slot): even when the push itself blocked on a full queue, the next
+      // tuple is spaced a full period behind it.
+      if (rate_ > 0.0) next_due = Clock::now() + period;
       metrics_.record_out();
     }
     out_->close();

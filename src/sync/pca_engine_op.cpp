@@ -15,7 +15,7 @@ PcaEngineOperator::PcaEngineOperator(
     std::shared_ptr<StateExchange> exchange,
     std::vector<stream::ChannelPtr<ControlTuple>> peer_control,
     IndependencePolicy policy, stream::ChannelPtr<DataTuple> outlier_out,
-    EngineFaultOptions fault_options)
+    EngineFaultOptions fault_options, std::size_t batch_max)
     : Operator(std::move(name)),
       id_(engine_id),
       pca_config_(pca_config),
@@ -26,7 +26,14 @@ PcaEngineOperator::PcaEngineOperator(
       peer_control_(std::move(peer_control)),
       policy_(policy),
       outlier_out_(std::move(outlier_out)),
-      fault_(std::move(fault_options)) {}
+      fault_(std::move(fault_options)),
+      batch_max_(batch_max == 0 ? 1 : batch_max) {
+  // Reserved once: the drain loop and report emission then run
+  // allocation-free at any batch size the controller picks.
+  batch_.reserve(batch_max_);
+  batch_xs_.reserve(batch_max_);
+  batch_reports_.reserve(batch_max_);
+}
 
 pca::EigenSystem PcaEngineOperator::snapshot() const {
   std::lock_guard lock(state_mutex_);
@@ -36,6 +43,82 @@ pca::EigenSystem PcaEngineOperator::snapshot() const {
 EngineStats PcaEngineOperator::stats() const {
   std::lock_guard lock(state_mutex_);
   return stats_;
+}
+
+void PcaEngineOperator::apply_batch_locked() {
+  const std::size_t nb = batch_.size();
+  ++stats_.batches;
+  // WAL discipline: the WHOLE drained batch is logged before any of it is
+  // applied, so a kill anywhere inside the batch loses nothing — every
+  // popped tuple is either inside the last checkpoint or in the log, and
+  // recovery replays the log strictly per tuple.  Checkpointing is
+  // deferred to the end of the batch: maybe_checkpoint_locked() truncates
+  // the log, and a mid-batch truncation would drop logged-but-unapplied
+  // tuples.
+  if (fault_.checkpoints) {
+    for (const DataTuple& t : batch_) replay_log_.push_back(t);
+  }
+  std::size_t applied = 0;
+  while (applied < nb) {
+    if (fault_.injector && fault_.injector->should_kill(id_, stats_.tuples)) {
+      throw stream::InjectedCrash{};  // lock_guard unwinds the state mutex
+    }
+    // Sub-batch splitting keeps per-tuple counter semantics exact: a chunk
+    // never crosses the next health-check boundary or the next scheduled
+    // kill trigger, so the watchdog and the fault schedule fire at
+    // precisely the applied-tuple counts the unbatched engine would see.
+    std::size_t chunk = nb - applied;
+    if (fault_.health_check_every > 0) {
+      const std::uint64_t to_boundary =
+          fault_.health_check_every -
+          (stats_.tuples % fault_.health_check_every);
+      chunk = std::min<std::size_t>(chunk, std::size_t(to_boundary));
+    }
+    if (fault_.injector) {
+      if (const auto at = fault_.injector->next_kill_at(id_);
+          at.has_value() && *at > stats_.tuples) {
+        chunk = std::min<std::size_t>(chunk, std::size_t(*at - stats_.tuples));
+      }
+    }
+    // Masked tuples take the sequential gap-patching path; maximal
+    // unmasked runs are absorbed by one batched update each.
+    const std::size_t chunk_end = applied + chunk;
+    std::size_t i = applied;
+    while (i < chunk_end) {
+      if (!batch_[i].mask.empty()) {
+        batch_reports_[i] = pca_.observe(batch_[i].values, batch_[i].mask);
+        ++i;
+      } else {
+        std::size_t run_end = i + 1;
+        while (run_end < chunk_end && batch_[run_end].mask.empty()) ++run_end;
+        batch_xs_.clear();
+        for (std::size_t r = i; r < run_end; ++r) {
+          batch_xs_.push_back(&batch_[r].values);
+        }
+        pca_.observe_batch(batch_xs_.data(), batch_xs_.size(),
+                           batch_reports_.data() + i);
+        i = run_end;
+      }
+    }
+    for (std::size_t r = applied; r < chunk_end; ++r) {
+      if (batch_reports_[r].outlier) ++stats_.outliers;
+    }
+    stats_.tuples += chunk;
+    since_last_sync_ += chunk;
+    applied = chunk_end;
+    // Watchdog cadence: self-check *before* the checkpoint decision so a
+    // just-poisoned state can never be persisted by the same batch that
+    // detects it.
+    if (fault_.health_check_every > 0 &&
+        stats_.tuples % fault_.health_check_every == 0) {
+      const pca::HealthReport health = pca::check_health(
+          pca_.eigensystem(), fault_.health_thresholds, health_ws_);
+      if (!health.ok()) {
+        throw pca::NumericalFault{health.fault};  // lock_guard unwinds
+      }
+    }
+  }
+  maybe_checkpoint_locked();
 }
 
 void PcaEngineOperator::maybe_checkpoint_locked() {
@@ -285,59 +368,81 @@ void PcaEngineOperator::run_loop() {
     const std::uint64_t t_pop = stream::OperatorMetrics::now_ns();
     if (!data_in_->pop_for(t, 1ms)) {
       if (data_in_->closed() && data_in_->size() == 0) data_open = false;
+      // Idle tick: decay the controller toward per-tuple mode so the first
+      // tuples after a lull see minimal batching latency.
+      const std::size_t cur = adaptive_batch_.load(std::memory_order_relaxed);
+      if (cur > 1) {
+        adaptive_batch_.store(cur / 2, std::memory_order_relaxed);
+      }
       continue;
     }
     const std::uint64_t t_popped = stream::OperatorMetrics::now_ns();
     metrics_.record_pop_wait_ns(t_popped - t_pop);
-    metrics_.record_in(t.wire_bytes());
 
-    // Structural guard (O(1)): a wrong-length or mask-mismatched tuple
-    // would make observe() throw out of the run loop.  Upstream validation
-    // quarantines these; if one slips past (validation disabled), drop it
-    // here rather than kill the engine over a malformed input.
+    // Backpressure-adaptive batch sizing: a deep input queue means latency
+    // is already queue-bound, so amortizing the SVD (and the state lock)
+    // over more tuples is free; an empty queue means the stream is slower
+    // than the engine and per-tuple updates give the best tail latency.
+    std::size_t target = adaptive_batch_.load(std::memory_order_relaxed);
+    const std::size_t depth = data_in_->size();
+    if (depth == 0) {
+      target = std::max<std::size_t>(1, target / 2);
+    } else if (depth >= target && target < batch_max_) {
+      target = std::min(batch_max_, target * 2);
+    }
+    adaptive_batch_.store(target, std::memory_order_relaxed);
+
+    // Drain up to `target` tuples without blocking.  The structural guard
+    // (O(1)) runs per tuple as before: a wrong-length or mask-mismatched
+    // tuple would make observe() throw out of the run loop, so it is
+    // dropped here rather than kill the engine over a malformed input.
+    batch_.clear();
+    metrics_.record_in(t.wire_bytes());
     if (t.values.size() != pca_config_.dim ||
         (!t.mask.empty() && t.mask.size() != t.values.size())) {
       metrics_.record_dropped();
-      continue;
+    } else {
+      batch_.push_back(std::move(t));
     }
+    while (batch_.size() < target) {
+      auto more = data_in_->try_pop();
+      if (!more.has_value()) break;
+      metrics_.record_in(more->wire_bytes());
+      if (more->values.size() != pca_config_.dim ||
+          (!more->mask.empty() && more->mask.size() != more->values.size())) {
+        metrics_.record_dropped();
+        continue;
+      }
+      batch_.push_back(std::move(*more));
+    }
+    if (batch_.empty()) continue;
 
-    pca::ObservationReport report;
+    const std::size_t nb = batch_.size();
+    batch_hist_.record(nb);
+    batch_reports_.assign(nb, pca::ObservationReport{});
     {
       std::lock_guard lock(state_mutex_);
-      // WAL discipline: log before apply, so a kill between the two loses
-      // nothing — the in-flight tuple is replayed on recovery.
-      if (fault_.checkpoints) replay_log_.push_back(t);
-      if (fault_.injector &&
-          fault_.injector->should_kill(id_, stats_.tuples)) {
-        throw stream::InjectedCrash{};
-      }
-      report = t.mask.empty() ? pca_.observe(t.values)
-                              : pca_.observe(t.values, t.mask);
-      ++stats_.tuples;
-      ++since_last_sync_;
-      if (report.outlier) ++stats_.outliers;
-      // Watchdog cadence: self-check *before* the checkpoint decision so a
-      // just-poisoned state can never be persisted by the same iteration
-      // that detects it.
-      if (fault_.health_check_every > 0 &&
-          stats_.tuples % fault_.health_check_every == 0) {
-        const pca::HealthReport health = pca::check_health(
-            pca_.eigensystem(), fault_.health_thresholds, health_ws_);
-        if (!health.ok()) {
-          throw pca::NumericalFault{health.fault};  // lock_guard unwinds
-        }
-      }
-      maybe_checkpoint_locked();
+      apply_batch_locked();
     }
-    // Per-tuple update cost — the paper's O(d p²) incremental step.
-    metrics_.record_proc_ns(stream::OperatorMetrics::now_ns() - t_popped);
-    if (report.outlier && outlier_out_ != nullptr) {
-      const std::size_t bytes = t.wire_bytes();
-      const std::uint64_t t_push = stream::OperatorMetrics::now_ns();
-      if (outlier_out_->push(std::move(t))) {
-        metrics_.record_push_wait_ns(stream::OperatorMetrics::now_ns() -
-                                     t_push);
-        metrics_.record_out(bytes);
+    // Amortized per-tuple update cost — the paper's O(d p²) incremental
+    // step, divided by the batch the one SVD absorbed.  One sample per
+    // tuple (not per batch) keeps the proc-time histogram's weighting
+    // per-tuple, directly comparable across batch sizes.
+    const std::uint64_t batch_ns =
+        stream::OperatorMetrics::now_ns() - t_popped;
+    for (std::size_t i = 0; i < nb; ++i) {
+      metrics_.record_proc_ns(batch_ns / nb);
+    }
+    if (outlier_out_ != nullptr) {
+      for (std::size_t i = 0; i < nb; ++i) {
+        if (!batch_reports_[i].outlier) continue;
+        const std::size_t bytes = batch_[i].wire_bytes();
+        const std::uint64_t t_push = stream::OperatorMetrics::now_ns();
+        if (outlier_out_->push(std::move(batch_[i]))) {
+          metrics_.record_push_wait_ns(stream::OperatorMetrics::now_ns() -
+                                       t_push);
+          metrics_.record_out(bytes);
+        }
       }
     }
   }

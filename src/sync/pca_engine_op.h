@@ -49,6 +49,7 @@
 #include "pca/merge.h"
 #include "pca/robust_pca.h"
 #include "stream/fault.h"
+#include "stream/histogram.h"
 #include "stream/operator.h"
 #include "sync/checkpoint_store.h"
 #include "sync/exchange.h"
@@ -70,6 +71,9 @@ struct EngineStats {
   std::uint64_t replay_quarantined = 0;  ///< invalid WAL tuples skipped
   std::uint64_t publishes_suppressed = 0;  ///< syncs blocked: state non-finite
   std::uint64_t merges_rejected = 0;   ///< remote snapshots failing the gate
+  std::uint64_t batches = 0;           ///< state-lock acquisitions that
+                                       ///< applied >= 1 data tuple (== tuples
+                                       ///< when batch_max is 1)
 };
 
 /// Where the engine is in its (possibly multi-incarnation) life — the
@@ -100,7 +104,8 @@ class PcaEngineOperator final : public stream::Operator {
                         peer_control,
                     IndependencePolicy policy,
                     stream::ChannelPtr<stream::DataTuple> outlier_out = nullptr,
-                    EngineFaultOptions fault_options = {});
+                    EngineFaultOptions fault_options = {},
+                    std::size_t batch_max = 1);
 
   /// Thread-safe snapshot of the current eigensystem.
   [[nodiscard]] pca::EigenSystem snapshot() const;
@@ -116,6 +121,18 @@ class PcaEngineOperator final : public stream::Operator {
   }
   [[nodiscard]] EngineLifecycle lifecycle() const noexcept {
     return EngineLifecycle(lifecycle_.load(std::memory_order_acquire));
+  }
+
+  /// Batch-size distribution: one sample per state-lock acquisition that
+  /// applied data (the value is how many tuples it absorbed).  Wait-free to
+  /// read from any thread; feeds the metrics registry's engine extras.
+  [[nodiscard]] const stream::LatencyHistogram& batch_size_histogram()
+      const noexcept {
+    return batch_hist_;
+  }
+  /// The adaptive controller's current target batch size, in [1, batch_max].
+  [[nodiscard]] std::size_t adaptive_batch() const noexcept {
+    return adaptive_batch_.load(std::memory_order_relaxed);
   }
 
   /// False from the moment the watchdog trips until recover() completes.
@@ -149,6 +166,7 @@ class PcaEngineOperator final : public stream::Operator {
  private:
   void run_loop();
   void handle_control(const stream::ControlTuple& cmd);
+  void apply_batch_locked();
   void maybe_checkpoint_locked();
   void wipe_state_for_recovery();
 
@@ -162,6 +180,21 @@ class PcaEngineOperator final : public stream::Operator {
   IndependencePolicy policy_;
   stream::ChannelPtr<stream::DataTuple> outlier_out_;
   EngineFaultOptions fault_;
+
+  /// Micro-batching (DESIGN.md "Micro-batching"): cap on tuples absorbed
+  /// per state-lock acquisition.  1 reproduces the per-tuple engine
+  /// exactly; > 1 lets the backpressure-adaptive controller amortize one
+  /// thin SVD (and one lock round-trip) over up to batch_max tuples.
+  std::size_t batch_max_;
+  /// Current controller target in [1, batch_max_]: doubles while the input
+  /// queue is at least this deep (backpressure — latency is already queue-
+  /// bound, so amortize), halves toward 1 when the queue runs empty (idle —
+  /// per-tuple latency wins).  Atomic only for observability reads.
+  std::atomic<std::size_t> adaptive_batch_{1};
+  std::vector<stream::DataTuple> batch_;              // drained, pre-guard
+  std::vector<const linalg::Vector*> batch_xs_;       // contiguous run view
+  std::vector<pca::ObservationReport> batch_reports_; // one per batch tuple
+  stream::LatencyHistogram batch_hist_;
 
   mutable std::mutex state_mutex_;  // guards pca_ for snapshot()
   std::uint64_t since_last_sync_ = 0;

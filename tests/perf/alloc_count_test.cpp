@@ -108,6 +108,71 @@ TEST(AllocCount, RobustObserveWithOutliersIsAllocationFree) {
   EXPECT_GT(outliers, 0u) << "test vacuous: no outlier was actually flagged";
 }
 
+TEST(AllocCount, ClassicObserveBatchIsAllocationFreeAtSteadyState) {
+  // The batched path widens the workspace to d x (p + b); once warm at that
+  // shape, absorbing a full batch — one SVD per b tuples — must stay off
+  // the allocator exactly like the per-tuple path.
+  constexpr std::size_t kBatch = 8;
+  pca::IncrementalPcaConfig cfg;
+  cfg.dim = kDim;
+  cfg.rank = kRank;
+  pca::IncrementalPca engine(cfg);
+
+  const auto data = make_stream(606, cfg.init_count + kWarmup + kSteadyCalls);
+  std::size_t i = 0;
+  std::vector<const Vector*> ptrs(kBatch);
+  for (; i < cfg.init_count + kWarmup; i += kBatch) {
+    for (std::size_t k = 0; k < kBatch; ++k) ptrs[k] = &data[i + k];
+    engine.observe_batch(ptrs.data(), kBatch);  // warms the widened ws
+  }
+  ASSERT_TRUE(engine.initialized());
+
+  perf::AllocWindow window;
+  for (; i + kBatch <= data.size(); i += kBatch) {
+    for (std::size_t k = 0; k < kBatch; ++k) ptrs[k] = &data[i + k];
+    engine.observe_batch(ptrs.data(), kBatch);
+  }
+  const std::uint64_t allocs = window.allocations();
+
+  EXPECT_EQ(allocs, 0u) << "classic observe_batch allocated on the hot path";
+  EXPECT_LE(engine.eigensystem().basis_drift(), 1e-8);
+}
+
+TEST(AllocCount, RobustObserveBatchIsAllocationFreeAtSteadyState) {
+  constexpr std::size_t kBatch = 8;
+  pca::RobustPcaConfig cfg;
+  cfg.dim = kDim;
+  cfg.rank = kRank;
+  pca::RobustIncrementalPca engine(cfg);
+
+  auto data = make_stream(707, cfg.init_count + kWarmup + kSteadyCalls);
+  // Gross outliers inside the measured region: the rejected-tuple branch
+  // (zero-filled A columns, γ₂ = 1 bookkeeping) must also be free.
+  for (std::size_t i = cfg.init_count + kWarmup; i < data.size(); i += 20) {
+    for (std::size_t r = 0; r < kDim; ++r) data[i][r] *= 50.0;
+  }
+  std::size_t i = 0;
+  std::vector<const Vector*> ptrs(kBatch);
+  std::vector<pca::ObservationReport> reports(kBatch);
+  for (; i < cfg.init_count + kWarmup; i += kBatch) {
+    for (std::size_t k = 0; k < kBatch; ++k) ptrs[k] = &data[i + k];
+    engine.observe_batch(ptrs.data(), kBatch, reports.data());
+  }
+  ASSERT_TRUE(engine.initialized());
+
+  perf::AllocWindow window;
+  std::uint64_t outliers = 0;
+  for (; i + kBatch <= data.size(); i += kBatch) {
+    for (std::size_t k = 0; k < kBatch; ++k) ptrs[k] = &data[i + k];
+    engine.observe_batch(ptrs.data(), kBatch, reports.data());
+    for (const auto& r : reports) outliers += r.outlier ? 1 : 0;
+  }
+  const std::uint64_t allocs = window.allocations();
+
+  EXPECT_EQ(allocs, 0u) << "robust observe_batch allocated on the hot path";
+  EXPECT_GT(outliers, 0u) << "test vacuous: no outlier in the batched region";
+}
+
 TEST(AllocCount, SvdLeftInplaceIsAllocationFreeWhenWarm) {
   stats::Rng rng(404);
   const Matrix a = rng.gaussian_matrix(kDim, kRank + 1);

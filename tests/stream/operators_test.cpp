@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <thread>
+#include <vector>
 
 #include "stream/graph.h"
 #include "stream/sink.h"
@@ -88,6 +90,45 @@ TEST(Throttle, PacesTuples) {
   const auto elapsed = std::chrono::steady_clock::now() - start;
   EXPECT_EQ(sink->count(), 40u);
   EXPECT_GE(elapsed, 70ms);  // 40 at 500/s ~ 78 ms minimum
+}
+
+TEST(Throttle, NoBurstAfterUpstreamStall) {
+  // Regression: the throttle used an absolute schedule (tuple i due at
+  // start + i/rate), so an upstream stall banked credit and the backlog was
+  // then emitted in a single catch-up burst.  The token bucket with burst
+  // capacity 1 re-anchors to the last emission: consecutive emissions are
+  // never closer than one period, stall or no stall.
+  constexpr double kRate = 100.0;  // period 10 ms
+  auto in = make_channel<DataTuple>(64);
+  auto out = make_channel<DataTuple>(64);
+  FlowGraph graph;
+  graph.add<ThrottleOperator<DataTuple>>("throttle", in, out, kRate);
+  std::vector<std::chrono::steady_clock::time_point> emits;
+  graph.add<CallbackSink<DataTuple>>("sink", out, [&](const DataTuple&) {
+    emits.push_back(std::chrono::steady_clock::now());
+  });
+  graph.start();
+
+  auto feed = [&](std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      DataTuple t;
+      t.values = linalg::Vector(1);
+      ASSERT_TRUE(in->push(std::move(t)));
+    }
+  };
+  feed(4);
+  std::this_thread::sleep_for(60ms);  // stall: 6 periods of "credit"
+  feed(6);
+  in->close();
+  graph.wait();
+
+  ASSERT_EQ(emits.size(), 10u);
+  // Inter-emit spacing never beats 1/rate (small scheduling allowance; the
+  // old catch-up burst produced sub-millisecond gaps after the stall).
+  for (std::size_t i = 1; i < emits.size(); ++i) {
+    EXPECT_GE(emits[i] - emits[i - 1], 7ms) << "between emits " << i - 1
+                                            << " and " << i;
+  }
 }
 
 TEST(CallbackSink, InvokedPerTuple) {

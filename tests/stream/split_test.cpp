@@ -94,6 +94,26 @@ TEST(Split, LeastLoadedDeliversEverything) {
   EXPECT_EQ(h.total_received(), 1000u);
 }
 
+TEST(Split, LeastLoadedRotatesTieBreaks) {
+  // Regression: with consumers keeping every queue near-empty, the
+  // least-loaded scan almost always sees a tie — and the old scan started
+  // at index 0 every time, funnelling essentially the whole stream to
+  // target 0.  The rotating start offset must spread ties across targets.
+  SplitHarness h(900, 3, SplitStrategy::kLeastLoaded);
+  h.run();
+  EXPECT_EQ(h.total_received(), 900u);
+  const auto counts = h.split->per_target_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    // Strictly-least-loaded still biases under racing drains, so only pin
+    // what the bug broke: no target may starve (old code left targets 1 and
+    // 2 with a handful of reroutes) and the counts must reconcile.
+    EXPECT_GT(counts[i], 150u) << "target " << i << " starved";
+    EXPECT_EQ(counts[i], h.sinks[i]->count());
+  }
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0ull), 900ull);
+}
+
 TEST(Split, MultiWorkerDeliversEverything) {
   SplitHarness h(3000, 4, SplitStrategy::kRandom, /*workers=*/3);
   h.run();
