@@ -258,12 +258,40 @@ void StreamingPcaPipeline::build(const PipelineConfig& config) {
     registry_.add_operator("outliers", &outlier_sink_->metrics(), {}, this);
   }
 
-  if (config.snapshot_interval_seconds > 0.0) {
+  // Serving layer + in-flight snapshot feed share one sampling loop: the
+  // SnapshotPublisher both emits the SnapshotTuple stream and (when serving
+  // is enabled) publishes the merged healthy-engine eigensystem as the next
+  // lock-free version readers query through serve_server().
+  if (config.serve.enabled) {
+    serve::ServeConfig serve_cfg;
+    serve_cfg.max_in_flight = config.serve.max_in_flight;
+    serve_cfg.anomaly_threshold = config.serve.anomaly_threshold;
+    serve_server_ = std::make_unique<serve::SnapshotServer>(serve_cfg);
+    registry_.add_operator(
+        "serve", &serve_server_->metrics(),
+        [srv = serve_server_.get()] {
+          return std::vector<std::pair<std::string, double>>{
+              {"version", double(srv->version())},
+              {"queries", double(srv->queries())},
+              {"rejected", double(srv->rejected())},
+              {"cache_hits", double(srv->cache_hits())},
+              {"cache_misses", double(srv->cache_misses())},
+              {"publishes_suppressed", double(srv->publishes_suppressed())},
+              {"retired_depth", double(srv->retired_depth())},
+              {"in_flight", double(srv->admission().in_flight())},
+              {"budget", double(srv->admission().budget())}};
+        },
+        this);
+  }
+  if (config.snapshot_interval_seconds > 0.0 || config.serve.enabled) {
+    const double interval = config.snapshot_interval_seconds > 0.0
+                                ? config.snapshot_interval_seconds
+                                : config.serve.publish_interval_seconds;
     auto snapshot_channel = make_named_channel<sync::SnapshotTuple>(
         "chan.snapshots->snapshot-log", 4096);
     snapshot_publisher_ = graph_.add<sync::SnapshotPublisher>(
-        "snapshots", engines_, snapshot_channel,
-        config.snapshot_interval_seconds);
+        "snapshots", engines_, snapshot_channel, interval,
+        serve_server_.get());
     registry_.add_operator("snapshots", &snapshot_publisher_->metrics(), {},
                            this);
     snapshot_sink_ = graph_.add<stream::CollectorSink<sync::SnapshotTuple>>(

@@ -19,6 +19,7 @@
 
 #include "pca/health.h"
 #include "pca/robust_pca.h"
+#include "serve/snapshot_server.h"
 #include "spectra/validate.h"
 #include "stream/dead_letter.h"
 #include "stream/fault.h"
@@ -95,6 +96,23 @@ struct PipelineConfig {
   /// pca/health.h).  Requires supervise (recovery is the Supervisor's job).
   std::uint64_t health_check_every_tuples = 0;
   pca::HealthThresholds health_thresholds;
+  /// Serving layer (DESIGN.md "Serving layer").  When enabled the pipeline
+  /// owns a serve::SnapshotServer and the SnapshotPublisher's sampling loop
+  /// doubles as its writer: every publish interval the healthy engines'
+  /// eigensystems are merged and swapped in as the next immutable version,
+  /// which concurrent readers query lock-free via serve_server().
+  struct ServeOptions {
+    bool enabled = false;
+    /// Writer cadence.  Used when snapshot_interval_seconds == 0; otherwise
+    /// the snapshot feed's interval drives both (one sampling loop).
+    double publish_interval_seconds = 0.05;
+    /// Admission budget: queries in flight beyond this are rejected with
+    /// QueryStatus::kOverloaded (never queued, never blocked).
+    std::size_t max_in_flight = 64;
+    /// residual_score() flags score > threshold as anomalous (0 disables).
+    double anomaly_threshold = 0.0;
+  };
+  ServeOptions serve;
 };
 
 class StreamingPcaPipeline {
@@ -176,6 +194,11 @@ class StreamingPcaPipeline {
   [[nodiscard]] const stream::DeadLetterSink* dead_letters() const noexcept {
     return dead_letter_sink_;
   }
+  /// The serving layer (nullptr unless config.serve.enabled).  Thread-safe:
+  /// query it from any number of threads while the pipeline runs.
+  [[nodiscard]] serve::SnapshotServer* serve_server() const noexcept {
+    return serve_server_.get();
+  }
   /// The sync controller (nullptr when synchronization is disabled).
   [[nodiscard]] const sync::SyncController* sync_controller() const noexcept {
     return controller_;
@@ -203,6 +226,10 @@ class StreamingPcaPipeline {
   PipelineConfig config_;
   stream::MetricsRegistry registry_;
   std::vector<std::shared_ptr<void>> channels_;
+  // Declared before graph_: the SnapshotPublisher operator (owned by the
+  // graph) holds a raw pointer to the server, so the server must be
+  // destroyed after the graph joins and destroys the publisher.
+  std::unique_ptr<serve::SnapshotServer> serve_server_;
   stream::FlowGraph graph_;
   stream::Operator* source_ = nullptr;
   stream::ChannelPtr<stream::DataTuple> source_out_;

@@ -1,0 +1,85 @@
+#pragma once
+
+// Admission control for the serving layer: a bounded in-flight query
+// budget with typed, non-blocking rejection (DESIGN.md "Serving layer").
+//
+// The ingest side backpressures through bounded channels; the serve side
+// must NOT — a query that cannot be admitted is rejected immediately with
+// QueryStatus::kOverloaded rather than parked on a queue, because a
+// million-user read path that blocks under load converts overload into
+// latency collapse for everyone.  The gate is two relaxed/acq_rel atomics:
+// admission costs one fetch_add on the hot path and never takes a lock, so
+// the reader path stays wait-free and allocation-free.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace astro::serve {
+
+class AdmissionControl {
+ public:
+  /// `budget` = maximum concurrently admitted queries.  0 rejects
+  /// everything (a drain/maintenance mode, and the deterministic way for
+  /// tests to exercise the rejection path).
+  explicit AdmissionControl(std::size_t budget) noexcept : budget_(budget) {}
+
+  AdmissionControl(const AdmissionControl&) = delete;
+  AdmissionControl& operator=(const AdmissionControl&) = delete;
+
+  /// Claims one in-flight slot; false (and a `rejected` tick) when the
+  /// budget is exhausted.  Never blocks.
+  [[nodiscard]] bool try_acquire() noexcept {
+    const std::size_t prev = in_flight_.fetch_add(1, std::memory_order_acq_rel);
+    if (prev >= budget_) {
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Returns a slot claimed by a successful try_acquire().
+  void release() noexcept {
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  [[nodiscard]] std::size_t budget() const noexcept { return budget_; }
+  [[nodiscard]] std::size_t in_flight() const noexcept {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t admitted() const noexcept {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t rejected() const noexcept {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const std::size_t budget_;
+  std::atomic<std::size_t> in_flight_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+};
+
+/// RAII ticket: admitted exactly when `ok()`.  Movable-from never
+/// double-releases.
+class AdmissionTicket {
+ public:
+  explicit AdmissionTicket(AdmissionControl& gate) noexcept
+      : gate_(&gate), admitted_(gate.try_acquire()) {}
+  ~AdmissionTicket() {
+    if (admitted_) gate_->release();
+  }
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+
+  [[nodiscard]] bool ok() const noexcept { return admitted_; }
+
+ private:
+  AdmissionControl* gate_;
+  bool admitted_;
+};
+
+}  // namespace astro::serve

@@ -1,0 +1,141 @@
+#pragma once
+
+// RcuCell<T> — single-writer RCU publication cell with wait-free readers.
+//
+// Why not std::atomic<std::shared_ptr<T>>?  Two reasons, both load-bearing
+// for the serving layer's contract (DESIGN.md "Serving layer"):
+//
+//   1. It is not lock-free (is_always_lock_free == false): libstdc++'s
+//      _Sp_atomic guards the pointer pair with a spinlock packed into the
+//      control-block pointer's LSB, so a reader holding that bit stalls
+//      the writer's store() — "readers never block the writer" would be
+//      false at the one spot where it matters most.
+//   2. In GCC 12 the reader unlock is a *relaxed* fetch_sub (GCC PR
+//      101761), so there is no happens-before edge between a reader's read
+//      of the raw pointer and the writer's next write of it.  TSan rightly
+//      reports the race; the concurrency suite must run clean without
+//      suppressions.
+//
+// Protocol (all cell atomics seq_cst; the proofs below lean on the single
+// total order S over seq_cst operations):
+//
+//   reader:  b = epoch & 1; readers[b]++; p = ptr; sp = p->shared_from_this();
+//            readers[b]--; return sp;
+//     Four atomic ops and one refcount increment, no loops, no CAS —
+//     wait-free, and the writer is never touched.
+//
+//   writer (externally serialized; publish() holds the writer mutex):
+//     retire current owner -> store new raw pointer -> one reap pass ->
+//     flip epoch.  A retired version is destroyed only after EACH reader
+//     bucket has been observed at zero at least once SINCE its retirement.
+//
+// Grace-period argument.  Suppose a reader still dereferences a retired
+// version V.  Its pointer load returned V, so in S that load precedes the
+// writer's replacing store (a seq_cst load reads the latest preceding
+// seq_cst store).  The reader's bucket increment precedes its pointer load,
+// hence also precedes every post-retirement bucket check.  So when a check
+// reads 0, every such reader has already decremented — i.e. finished its
+// critical section.  The decrement (seq_cst => release) synchronizes with
+// the check (seq_cst => acquire), so destruction happens-after every reader
+// access: provable by TSan, not just by argument.  Readers with a stale
+// epoch may be counted in either bucket, which is why BOTH buckets must hit
+// zero; flipping the epoch each pass steers new readers away from one
+// bucket so it can drain even under a continuous query load.
+//
+// The writer never waits: a reap pass is a single check of both buckets,
+// and entries that have not drained simply ride to the next publish.  The
+// retired list is bounded by how many publishes overlap one reader critical
+// section (microseconds), observable via retired_depth().
+//
+// T must derive std::enable_shared_from_this<T> and be managed by
+// shared_ptr (RcuCell::store enforces the latter).  Destroying the cell
+// while readers are active is undefined, exactly as for any atomic slot.
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace astro::serve {
+
+template <typename T>
+class RcuCell {
+ public:
+  using Ptr = std::shared_ptr<const T>;
+
+  RcuCell() = default;
+  RcuCell(const RcuCell&) = delete;
+  RcuCell& operator=(const RcuCell&) = delete;
+  ~RcuCell() = default;  // precondition: no reader in flight
+
+  /// Wait-free reader-side load; nullptr before the first store.  The
+  /// returned shared_ptr keeps the generation alive for as long as the
+  /// caller holds it — that, not the cell, is the grace period's currency.
+  [[nodiscard]] Ptr load() const noexcept {
+    const std::size_t b =
+        static_cast<std::size_t>(epoch_.load(std::memory_order_seq_cst) & 1u);
+    readers_[b].fetch_add(1, std::memory_order_seq_cst);
+    Ptr out;
+    if (const T* p = ptr_.load(std::memory_order_seq_cst)) {
+      // Safe: the bucket count pins p against reaping, and p is always
+      // owned by a shared_ptr (store() takes one), so bad_weak_ptr is
+      // impossible.
+      out = p->shared_from_this();
+    }
+    readers_[b].fetch_sub(1, std::memory_order_seq_cst);
+    return out;
+  }
+
+  /// Writer-side publish.  NOT self-serializing: callers must hold their
+  /// own writer lock (SnapshotServer::publish does).  Never blocks on
+  /// readers; superseded generations are reaped opportunistically here.
+  void store(Ptr next) {
+    if (current_owner_ != nullptr) {
+      retired_.push_back(Retired{std::move(current_owner_), {false, false}});
+    }
+    current_owner_ = std::move(next);
+    ptr_.store(current_owner_.get(), std::memory_order_seq_cst);
+
+    // One reap pass: note which buckets are empty *now* (i.e. after every
+    // retirement recorded above), release entries whose both flags are set,
+    // then flip the epoch so the other bucket drains before the next pass.
+    const bool zero0 = readers_[0].load(std::memory_order_seq_cst) == 0;
+    const bool zero1 = readers_[1].load(std::memory_order_seq_cst) == 0;
+    std::size_t keep = 0;
+    for (auto& r : retired_) {
+      r.seen_zero[0] = r.seen_zero[0] || zero0;
+      r.seen_zero[1] = r.seen_zero[1] || zero1;
+      if (!(r.seen_zero[0] && r.seen_zero[1])) {
+        retired_[keep++] = std::move(r);
+      }
+    }
+    retired_.resize(keep);  // dropped entries release their shared_ptr here
+    retired_depth_.store(keep, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+  }
+
+  /// Superseded generations awaiting their grace period (writer-updated,
+  /// readable anywhere).  Drains to 0 when readers go quiet.
+  [[nodiscard]] std::size_t retired_depth() const noexcept {
+    return retired_depth_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Retired {
+    Ptr owner;
+    bool seen_zero[2];
+  };
+
+  std::atomic<const T*> ptr_{nullptr};
+  std::atomic<std::uint64_t> epoch_{0};
+  mutable std::array<std::atomic<std::uint64_t>, 2> readers_{};
+  // Writer-owned (serialized by the caller's writer lock):
+  Ptr current_owner_;
+  std::vector<Retired> retired_;
+  std::atomic<std::size_t> retired_depth_{0};
+};
+
+}  // namespace astro::serve

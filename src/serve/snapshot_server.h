@@ -1,0 +1,199 @@
+#pragma once
+
+// SnapshotServer — the read side of the system (DESIGN.md "Serving
+// layer"): lock-free publication of versioned eigensystems plus the query
+// API the paper's survey use-case needs while the stream is still being
+// absorbed.
+//
+//   writer (one):   publish(system, engine) — builds an immutable
+//                   EigenSystemVersion and publishes it through an epoch-
+//                   based RcuCell (rcu.h).  Never waits on readers — not
+//                   even on the publication slot's own machinery (which is
+//                   why it is not std::atomic<std::shared_ptr>; see rcu.h).
+//   readers (many): project / residual_score / top_k_components — load the
+//                   current version wait-free (bucketed epoch counter plus
+//                   one refcount increment), answer against that frozen
+//                   generation, and release it.  A query in flight keeps
+//                   its version alive across any number of concurrent
+//                   swaps; readers never block each other or the writer.
+//
+// Consistency guarantees (the serve test suite's contract):
+//   * Monotonic versions: the current slot only ever moves forward, so the
+//     sequence of versions any single reader observes is non-decreasing.
+//   * No torn reads: every answer is computed against exactly one
+//     immutable version, and carries that version's (version, engine,
+//     observations) triple so callers can prove it.
+//   * Exact cache invalidation: the top-k cache lives inside the version
+//     (version.h), so a cache hit can never return another generation's
+//     values.
+//
+// The steady-state reader path is allocation-free: the version load is a
+// refcount bump, the centered/coefficient scratch lives in a caller-owned
+// QueryWorkspace (resize_no_shrink), and top-k hits return a shared
+// immutable result.  Proven by the alloc-probe perf suite.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "linalg/vector.h"
+#include "pca/eigensystem.h"
+#include "serve/admission.h"
+#include "serve/rcu.h"
+#include "serve/version.h"
+#include "stream/metrics.h"
+
+namespace astro::serve {
+
+/// Typed query outcome.  Everything except kOk is a *rejection* — the
+/// server never blocks a caller.
+enum class QueryStatus : int {
+  kOk = 0,
+  kNoVersion,     ///< nothing published yet
+  kOverloaded,    ///< admission budget exhausted; retry later
+  kBadDimension,  ///< spectrum length != the served basis dimension
+  kBadRank,       ///< k outside [1, rank of the served version]
+};
+
+[[nodiscard]] const char* to_string(QueryStatus s) noexcept;
+
+/// Per-reader-thread scratch; reused across queries so the steady state
+/// stays off the allocator.  Never shared between threads.
+struct QueryWorkspace {
+  linalg::Vector centered;      // x - mu
+  linalg::Vector coefficients;  // E^T (x - mu) scratch for residuals
+};
+
+/// Answer to project(): expansion coefficients in the served basis.
+struct ProjectionResult {
+  std::uint64_t version = 0;
+  int engine = -1;
+  std::uint64_t observations = 0;
+  linalg::Vector coefficients;  ///< rank-sized; reused via resize_no_shrink
+};
+
+/// Answer to residual_score(): hyperplane-fit residual of the spectrum
+/// against the served basis — the paper's outlier statistic, servable as
+/// an anomaly score.
+struct ResidualResult {
+  std::uint64_t version = 0;
+  int engine = -1;
+  std::uint64_t observations = 0;
+  double squared_residual = 0.0;  ///< |(I - EE^T)(x - mu)|^2
+  double sigma2 = 0.0;            ///< residual M-scale of the version
+  double score = 0.0;             ///< t = r^2 / sigma^2 (0 when sigma^2 = 0)
+  bool anomalous = false;         ///< score above the configured threshold
+};
+
+struct ServeConfig {
+  /// Maximum concurrently admitted queries (the admission budget).
+  std::size_t max_in_flight = 64;
+  /// residual_score flags `anomalous` when score > threshold (0 disables
+  /// flagging; the score itself is always returned).
+  double anomaly_threshold = 0.0;
+};
+
+class SnapshotServer {
+ public:
+  explicit SnapshotServer(ServeConfig config = {});
+
+  // --- writer side --------------------------------------------------------
+
+  /// Publishes `system` as the next version and returns its number
+  /// (versions start at 1).  `engine` tags the source engine (-1 = merged
+  /// across engines); `published_us` is the caller's publish timestamp.
+  /// Thread-safe, but designed for a single writer (the publisher loop);
+  /// concurrent publishers serialize on a writer mutex that readers never
+  /// touch.
+  std::uint64_t publish(pca::EigenSystem system, int engine,
+                        std::int64_t published_us);
+
+  /// Writer-side accounting for a publish round skipped because every
+  /// source engine was poison-gated (PR 4): readers keep the last good
+  /// version, and the skip is visible in the metrics.
+  void note_publish_suppressed() noexcept {
+    publishes_suppressed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // --- reader side --------------------------------------------------------
+
+  /// The current version, nullptr before the first publish.  Wait-free;
+  /// the returned pointer keeps that generation (and its cache) alive.
+  [[nodiscard]] std::shared_ptr<const EigenSystemVersion> current()
+      const noexcept {
+    return current_.load();
+  }
+
+  /// Expansion coefficients c = E^T (x - mu) of `spectrum` in the served
+  /// basis.  kOk fills `out` (coefficients reused via resize_no_shrink)
+  /// and tags it with the answering version.
+  QueryStatus project(const linalg::Vector& spectrum, QueryWorkspace& ws,
+                      ProjectionResult& out) const;
+
+  /// Residual anomaly score of `spectrum` against the served basis.
+  QueryStatus residual_score(const linalg::Vector& spectrum,
+                             QueryWorkspace& ws, ResidualResult& out) const;
+
+  /// The leading k components of the served version, from the per-version
+  /// cache (filled on first request per (version, k), invalidated — by
+  /// construction — at version swap).
+  QueryStatus top_k_components(std::size_t k,
+                               std::shared_ptr<const TopKResult>& out) const;
+
+  // --- observability ------------------------------------------------------
+
+  /// Latest published version number (0 = none).  Monotone.
+  [[nodiscard]] std::uint64_t version() const noexcept {
+    return version_counter_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t publishes_suppressed() const noexcept {
+    return publishes_suppressed_.load(std::memory_order_relaxed);
+  }
+  /// Total queries received (admitted or not), across all three APIs.
+  [[nodiscard]] std::uint64_t queries() const noexcept {
+    return queries_.load(std::memory_order_relaxed);
+  }
+  /// Queries rejected by the admission gate.
+  [[nodiscard]] std::uint64_t rejected() const noexcept {
+    return admission_.rejected();
+  }
+  [[nodiscard]] std::uint64_t cache_hits() const noexcept {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t cache_misses() const noexcept {
+    return cache_misses_.load(std::memory_order_relaxed);
+  }
+  /// Superseded versions still awaiting their RCU grace period (rcu.h).
+  /// Bounded by publish-vs-query overlap; drains to 0 when readers pause.
+  [[nodiscard]] std::size_t retired_depth() const noexcept {
+    return current_.retired_depth();
+  }
+
+  [[nodiscard]] AdmissionControl& admission() noexcept { return admission_; }
+  [[nodiscard]] const AdmissionControl& admission() const noexcept {
+    return admission_;
+  }
+  [[nodiscard]] const ServeConfig& config() const noexcept { return config_; }
+
+  /// Query-latency instrumentation: every admitted query records its
+  /// service time in the proc histogram and ticks tuples in/out, so the
+  /// metrics registry exports serve latency percentiles like any
+  /// operator's.
+  [[nodiscard]] const stream::OperatorMetrics& metrics() const noexcept {
+    return metrics_;
+  }
+
+ private:
+  ServeConfig config_;
+  RcuCell<EigenSystemVersion> current_;
+  std::atomic<std::uint64_t> version_counter_{0};
+  std::mutex writer_mutex_;  // serializes publishers only
+  mutable AdmissionControl admission_;
+  mutable std::atomic<std::uint64_t> queries_{0};
+  mutable std::atomic<std::uint64_t> cache_hits_{0};
+  mutable std::atomic<std::uint64_t> cache_misses_{0};
+  std::atomic<std::uint64_t> publishes_suppressed_{0};
+  mutable stream::OperatorMetrics metrics_;
+};
+
+}  // namespace astro::serve

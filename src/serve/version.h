@@ -1,0 +1,129 @@
+#pragma once
+
+// Versioned eigensystem publication — the read side's unit of consistency
+// (DESIGN.md "Serving layer").
+//
+// The paper's deployments *serve* eigenspectra while the stream is still
+// being absorbed ("early results are invaluable when processing
+// petabytes"); Fegaras' incremental-query work makes the same demand: the
+// incrementally maintained result must be continuously queryable.  The
+// serving layer realizes that with RCU-style versioned publication:
+//
+//   * An EigenSystemVersion is IMMUTABLE after construction: version
+//     number, engine id, observation counter and the full eigensystem
+//     (basis + spectrum) are frozen together, so any reader holding the
+//     object sees one internally consistent publish — torn reads are
+//     impossible by construction, not by locking discipline.
+//   * The writer publishes a shared_ptr<const EigenSystemVersion> through
+//     an RcuCell (rcu.h); readers load it wait-free and keep the version
+//     alive for exactly as long as their query runs.  A superseded version
+//     is reaped after its grace period, and the last shared_ptr out frees
+//     it — the writer never waits on readers.
+//   * The per-version top-k result cache lives INSIDE the version object,
+//     so "cache invalidated exactly at version swap" is structural: a new
+//     version arrives with an empty cache, and the old version's cached
+//     results die with the version.  A cached entry can therefore never
+//     outlive — or be served against — a publish it does not belong to.
+//     Slots are write-once (nullptr -> entry, installed by CAS, never
+//     replaced), so a reader holding the version may use a cached entry's
+//     raw pointer for the version's whole lifetime.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "pca/eigensystem.h"
+
+namespace astro::serve {
+
+/// Immutable answer to top_k_components(k): the leading k components of
+/// one published version, shareable across any number of readers.
+struct TopKResult {
+  std::uint64_t version = 0;       ///< publish this answer belongs to
+  int engine = -1;                 ///< engine id of that publish
+  std::uint64_t observations = 0;  ///< observation counter of that publish
+  linalg::Vector eigenvalues;      ///< leading k eigenvalues, descending
+  linalg::Matrix components;       ///< d x k leading eigenvectors
+  double sigma2 = 0.0;             ///< residual M-scale of the publish
+  double retained_variance = 0.0;  ///< sum of the k returned eigenvalues
+};
+
+/// One published eigensystem generation.  Immutable after construction
+/// except for the lazily filled (but value-immutable) top-k cache slots.
+/// Derives enable_shared_from_this so RcuCell readers can re-acquire
+/// ownership from the raw published pointer (rcu.h).
+class EigenSystemVersion
+    : public std::enable_shared_from_this<EigenSystemVersion> {
+ public:
+  EigenSystemVersion(std::uint64_t version, int engine,
+                     std::int64_t published_us, pca::EigenSystem system)
+      : version_(version),
+        engine_(engine),
+        published_us_(published_us),
+        system_(std::move(system)),
+        topk_(system_.rank()) {}
+
+  EigenSystemVersion(const EigenSystemVersion&) = delete;
+  EigenSystemVersion& operator=(const EigenSystemVersion&) = delete;
+
+  ~EigenSystemVersion() {
+    for (auto& slot : topk_) {
+      delete slot.load(std::memory_order_relaxed);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+  [[nodiscard]] int engine() const noexcept { return engine_; }
+  [[nodiscard]] std::int64_t published_us() const noexcept {
+    return published_us_;
+  }
+  /// The observation counter frozen with this publish.
+  [[nodiscard]] std::uint64_t observations() const noexcept {
+    return system_.observations();
+  }
+  [[nodiscard]] const pca::EigenSystem& system() const noexcept {
+    return system_;
+  }
+  [[nodiscard]] std::size_t dim() const noexcept { return system_.dim(); }
+  [[nodiscard]] std::size_t rank() const noexcept { return system_.rank(); }
+
+  /// Cached top-k answer, nullptr on a cold slot.  Wait-free load; a
+  /// non-null entry is immutable, tagged with this version's number, and
+  /// valid for this version's whole lifetime (write-once slot).
+  [[nodiscard]] const TopKResult* cached_top_k(std::size_t k) const noexcept {
+    if (k == 0 || k > topk_.size()) return nullptr;
+    return topk_[k - 1].load(std::memory_order_acquire);
+  }
+
+  /// Installs a freshly built answer; the FIRST install wins and the
+  /// version takes ownership (freed in the destructor).  A losing
+  /// candidate — concurrent fills build identical values from the
+  /// immutable system — is discarded, and the resident entry is returned
+  /// either way.
+  const TopKResult* install_top_k(
+      std::size_t k, std::unique_ptr<const TopKResult> result) const {
+    if (k == 0 || k > topk_.size() || result == nullptr) return nullptr;
+    const TopKResult* expected = nullptr;
+    const TopKResult* candidate = result.get();
+    if (topk_[k - 1].compare_exchange_strong(expected, candidate,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+      result.release();
+      return candidate;
+    }
+    return expected;  // lost the race; unique_ptr frees the duplicate
+  }
+
+ private:
+  std::uint64_t version_;
+  int engine_;
+  std::int64_t published_us_;
+  pca::EigenSystem system_;
+  /// Slot k-1 caches top_k_components(k).  Write-once: nullptr until the
+  /// first install, then fixed; entries are owned by this version and
+  /// freed with it.  mutable is cache-fill only.
+  mutable std::vector<std::atomic<const TopKResult*>> topk_;
+};
+
+}  // namespace astro::serve

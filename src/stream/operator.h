@@ -59,8 +59,11 @@ class Operator {
     });
   }
 
-  /// Cooperative stop: the run loop checks stop_requested().
-  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+  /// Cooperative stop: the run loop checks stop_requested().  Virtual so
+  /// an operator parked in an interval wait (e.g. SnapshotPublisher's
+  /// publish cadence) can wake its condition variable immediately instead
+  /// of discovering the flag at the next poll.
+  virtual void request_stop() { stop_.store(true, std::memory_order_relaxed); }
 
   void join() {
     if (thread_.joinable()) thread_.join();

@@ -1,18 +1,64 @@
 #include "sync/snapshot_publisher.h"
 
 #include <chrono>
-#include <thread>
+
+#include "pca/health.h"
+#include "pca/merge.h"
 
 namespace astro::sync {
 
 SnapshotPublisher::SnapshotPublisher(std::string name,
                                      std::vector<PcaEngineOperator*> engines,
                                      stream::ChannelPtr<SnapshotTuple> out,
-                                     double interval_seconds)
+                                     double interval_seconds,
+                                     serve::SnapshotServer* server)
     : Operator(std::move(name)),
       engines_(std::move(engines)),
       out_(std::move(out)),
-      interval_seconds_(interval_seconds) {}
+      interval_seconds_(interval_seconds),
+      server_(server) {}
+
+void SnapshotPublisher::request_stop() {
+  stream::Operator::request_stop();
+  // The flag store above happens-before the notify via the mutex: the run
+  // loop re-checks stop_requested() under stop_mutex_, so a request landing
+  // between its predicate check and the wait cannot be missed.
+  std::lock_guard lock(stop_mutex_);
+  stop_cv_.notify_all();
+}
+
+void SnapshotPublisher::publish_to_server() {
+  // The serving layer's poison discipline (PR 4): a watchdog-quarantined
+  // engine must not contribute to what millions of readers see, and a
+  // non-finite snapshot must never be published at all.  Gathering is
+  // per-engine — one gated engine suppresses its own contribution, not the
+  // round; only a round with NO eligible engine is suppressed entirely
+  // (readers then keep serving the previous version).
+  std::vector<pca::EigenSystem> eligible;
+  int single_engine = -1;
+  for (PcaEngineOperator* engine : engines_) {
+    if (!engine->healthy()) continue;
+    pca::EigenSystem state = engine->snapshot();
+    if (!state.initialized()) continue;
+    if (!pca::all_finite(state)) continue;
+    single_engine = engine->engine_id();
+    eligible.push_back(std::move(state));
+  }
+  if (eligible.empty()) {
+    server_->note_publish_suppressed();
+    return;
+  }
+  const auto now_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now().time_since_epoch())
+                          .count();
+  if (eligible.size() == 1) {
+    server_->publish(std::move(eligible.front()), single_engine, now_us);
+    return;
+  }
+  // Pooled estimate across engines — the same combination the final
+  // result() uses, tagged engine -1; observation counters sum in merge().
+  server_->publish(pca::merge(eligible), -1, now_us);
+}
 
 void SnapshotPublisher::run() {
   using Clock = std::chrono::steady_clock;
@@ -24,9 +70,12 @@ void SnapshotPublisher::run() {
         started + std::chrono::duration_cast<Clock::duration>(
                       std::chrono::duration<double>(double(round + 1) *
                                                     interval_seconds_));
-    // Sleep in short slices so a stop request is honored promptly.
-    while (!stop_requested() && Clock::now() < due) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    {
+      // Interval wait, woken immediately by request_stop() — teardown never
+      // waits out the interval and the parked publisher costs no polling
+      // wakeups.
+      std::unique_lock lock(stop_mutex_);
+      stop_cv_.wait_until(lock, due, [&] { return stop_requested(); });
     }
     if (stop_requested()) break;
     ++round;
@@ -57,6 +106,7 @@ void SnapshotPublisher::run() {
       metrics_.record_push_wait_ns(stream::OperatorMetrics::now_ns() - t_push);
       metrics_.record_out();
     }
+    if (server_ != nullptr) publish_to_server();
   }
   out_->close();
   set_stop_reason(stream::StopReason::kRequested);

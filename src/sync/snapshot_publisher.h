@@ -9,11 +9,27 @@
 // interval and emits a compact summary tuple per engine — a live feed of
 // the converging solution that downstream consumers (dashboards, steering
 // logic, the examples) read like any other stream.
+//
+// With a serve::SnapshotServer attached, the same sampling loop is also the
+// serving layer's WRITER (DESIGN.md "Serving layer"): each round it merges
+// the healthy engines' eigensystems and publishes the result as the next
+// immutable version readers query lock-free.  Publication honors the PR 4
+// poison gates — an unhealthy (watchdog-quarantined) engine, an
+// uninitialized one, or a non-finite snapshot is excluded from the merge,
+// and a round with no eligible engine publishes nothing (readers keep the
+// last good version; the skip is counted).
+//
+// Shutdown latency: the interval wait is a condition-variable wait woken by
+// request_stop(), so pipeline teardown never pays up to interval_seconds
+// (nor a polling loop's wakeup tax) for a publisher parked mid-interval.
 
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "pca/eigensystem.h"
+#include "serve/snapshot_server.h"
 #include "stream/operator.h"
 #include "sync/pca_engine_op.h"
 
@@ -34,19 +50,32 @@ class SnapshotPublisher final : public stream::Operator {
  public:
   /// Samples `engines` every `interval_seconds` and pushes one
   /// SnapshotTuple per engine per round.  Stops when its output closes or
-  /// stop is requested (the pipeline requests stop at shutdown).
+  /// stop is requested (the pipeline requests stop at shutdown).  With
+  /// `server` non-null, each round additionally publishes the merged
+  /// healthy-engine eigensystem as a new served version.
   SnapshotPublisher(std::string name,
                     std::vector<PcaEngineOperator*> engines,
                     stream::ChannelPtr<SnapshotTuple> out,
-                    double interval_seconds);
+                    double interval_seconds,
+                    serve::SnapshotServer* server = nullptr);
+
+  /// Wakes the interval wait so a parked publisher exits immediately.
+  void request_stop() override;
 
  protected:
   void run() override;
 
  private:
+  /// Merge the healthy engines' snapshots into the served version for this
+  /// round; a round with no eligible engine is counted as suppressed.
+  void publish_to_server();
+
   std::vector<PcaEngineOperator*> engines_;
   stream::ChannelPtr<SnapshotTuple> out_;
   double interval_seconds_;
+  serve::SnapshotServer* server_;
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
 };
 
 }  // namespace astro::sync

@@ -17,6 +17,7 @@
 #include "pca/health.h"
 #include "pca/incremental_pca.h"
 #include "pca/robust_pca.h"
+#include "serve/snapshot_server.h"
 #include "spectra/validate.h"
 #include "stats/rng.h"
 
@@ -264,6 +265,52 @@ TEST(AllocCount, HealthCheckIsAllocationFreeWhenWarm) {
 
   EXPECT_EQ(allocs, 0u) << "warm health check allocated";
   EXPECT_TRUE(ok);
+}
+
+TEST(AllocCount, ServeReaderPathIsAllocationFreeAtSteadyState) {
+  // The serving layer's reader contract (DESIGN.md "Serving layer"): once
+  // a reader's workspace is warm, project / residual_score / cached top-k
+  // queries perform ZERO heap allocations — the version load is a
+  // shared_ptr refcount bump, the scratch reuses caller-owned capacity,
+  // and a cache hit hands back the shared immutable result.
+  pca::RobustPcaConfig cfg;
+  cfg.dim = kDim;
+  cfg.rank = kRank;
+  pca::RobustIncrementalPca engine(cfg);
+  const auto data = make_stream(501, cfg.init_count + kWarmup);
+  for (const auto& x : data) engine.observe(x);
+  ASSERT_TRUE(engine.initialized());
+
+  serve::SnapshotServer server;
+  ASSERT_EQ(server.publish(engine.eigensystem(), 0, 1), 1u);
+
+  serve::QueryWorkspace ws;
+  serve::ProjectionResult proj;
+  serve::ResidualResult res;
+  std::shared_ptr<const serve::TopKResult> topk;
+  const Vector probe = data.back();
+  // Warm-up: sizes the workspace/result capacities and fills the top-k
+  // cache slot (the one legitimate allocation site, paid once per
+  // (version, k)).
+  ASSERT_EQ(server.project(probe, ws, proj), serve::QueryStatus::kOk);
+  ASSERT_EQ(server.residual_score(probe, ws, res), serve::QueryStatus::kOk);
+  ASSERT_EQ(server.top_k_components(kRank, topk), serve::QueryStatus::kOk);
+
+  perf::AllocWindow window;
+  bool ok = true;
+  for (std::size_t i = 0; i < kSteadyCalls; ++i) {
+    ok = ok && server.project(probe, ws, proj) == serve::QueryStatus::kOk;
+    ok = ok &&
+         server.residual_score(probe, ws, res) == serve::QueryStatus::kOk;
+    ok = ok &&
+         server.top_k_components(kRank, topk) == serve::QueryStatus::kOk;
+  }
+  const std::uint64_t allocs = window.allocations();
+
+  EXPECT_EQ(allocs, 0u) << "serve reader path allocated at steady state";
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(server.cache_misses(), 1u);  // warm-up only; the loop all hit
+  EXPECT_EQ(server.cache_hits(), kSteadyCalls);
 }
 
 TEST(AllocCount, ProbeCountsAllocations) {

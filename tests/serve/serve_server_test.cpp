@@ -1,0 +1,279 @@
+// SnapshotServer functional suite: version lifecycle, the three query
+// APIs, typed rejection (including deterministic admission-gate
+// exhaustion), per-version cache accounting, and the pipeline wiring
+// (serve config block + metrics registry export).
+
+#include "serve/snapshot_server.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+
+#include "app/pipeline.h"
+#include "pca/robust_pca.h"
+#include "stats/rng.h"
+#include "tests/pca/test_data.h"
+
+namespace astro::serve {
+namespace {
+
+using pca::testing::draw;
+using pca::testing::make_model;
+using stats::Rng;
+
+/// A trained robust eigensystem to serve (deterministic per seed).
+pca::EigenSystem trained_system(std::uint64_t seed, std::size_t d = 12,
+                                std::size_t p = 3) {
+  Rng rng(seed);
+  const auto model = make_model(rng, d, p, 2.0, 0.05);
+  pca::RobustPcaConfig cfg;
+  cfg.dim = d;
+  cfg.rank = p;
+  pca::RobustIncrementalPca engine(cfg);
+  for (int i = 0; i < 400; ++i) engine.observe(draw(model, rng));
+  return engine.eigensystem();
+}
+
+TEST(SnapshotServer, VersionsAreMonotoneAndStartAtOne) {
+  SnapshotServer server;
+  EXPECT_EQ(server.version(), 0u);
+  EXPECT_EQ(server.current(), nullptr);
+
+  auto sys = trained_system(11);
+  EXPECT_EQ(server.publish(sys, 0, 100), 1u);
+  EXPECT_EQ(server.publish(sys, 1, 200), 2u);
+  EXPECT_EQ(server.publish(sys, -1, 300), 3u);
+  EXPECT_EQ(server.version(), 3u);
+
+  const auto v = server.current();
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->version(), 3u);
+  EXPECT_EQ(v->engine(), -1);
+  EXPECT_EQ(v->published_us(), 300);
+  EXPECT_EQ(v->observations(), sys.observations());
+}
+
+TEST(SnapshotServer, QueriesBeforeFirstPublishAreTypedRejections) {
+  SnapshotServer server;
+  QueryWorkspace ws;
+  ProjectionResult proj;
+  ResidualResult res;
+  std::shared_ptr<const TopKResult> topk;
+  const linalg::Vector x(12);
+
+  EXPECT_EQ(server.project(x, ws, proj), QueryStatus::kNoVersion);
+  EXPECT_EQ(server.residual_score(x, ws, res), QueryStatus::kNoVersion);
+  EXPECT_EQ(server.top_k_components(1, topk), QueryStatus::kNoVersion);
+  EXPECT_EQ(server.queries(), 3u);
+  EXPECT_EQ(server.rejected(), 0u);  // admitted, then typed-rejected
+}
+
+TEST(SnapshotServer, DimensionAndRankChecksReject) {
+  SnapshotServer server;
+  server.publish(trained_system(13), 0, 1);
+  QueryWorkspace ws;
+  ProjectionResult proj;
+  std::shared_ptr<const TopKResult> topk;
+
+  const linalg::Vector wrong(7);
+  EXPECT_EQ(server.project(wrong, ws, proj), QueryStatus::kBadDimension);
+  EXPECT_EQ(server.top_k_components(0, topk), QueryStatus::kBadRank);
+  EXPECT_EQ(server.top_k_components(4, topk), QueryStatus::kBadRank);
+  EXPECT_EQ(topk, nullptr);
+}
+
+TEST(SnapshotServer, ProjectionMatchesEigenSystemDirectly) {
+  SnapshotServer server;
+  const auto sys = trained_system(17);
+  server.publish(sys, 2, 1);
+
+  Rng rng(171);
+  QueryWorkspace ws;
+  ProjectionResult proj;
+  for (int i = 0; i < 10; ++i) {
+    const linalg::Vector x = rng.gaussian_vector(12);
+    ASSERT_EQ(server.project(x, ws, proj), QueryStatus::kOk);
+    EXPECT_EQ(proj.version, 1u);
+    EXPECT_EQ(proj.engine, 2);
+    EXPECT_EQ(proj.observations, sys.observations());
+    const linalg::Vector expect = sys.project(x);
+    ASSERT_EQ(proj.coefficients.size(), expect.size());
+    for (std::size_t j = 0; j < expect.size(); ++j) {
+      EXPECT_NEAR(proj.coefficients[j], expect[j], 1e-12);
+    }
+  }
+}
+
+TEST(SnapshotServer, ResidualScoreMatchesEigenSystemDirectly) {
+  ServeConfig cfg;
+  cfg.anomaly_threshold = 10.0;
+  SnapshotServer server(cfg);
+  const auto sys = trained_system(19);
+  server.publish(sys, 0, 1);
+
+  Rng rng(191);
+  QueryWorkspace ws;
+  ResidualResult res;
+  for (int i = 0; i < 10; ++i) {
+    const linalg::Vector x = rng.gaussian_vector(12);
+    ASSERT_EQ(server.residual_score(x, ws, res), QueryStatus::kOk);
+    EXPECT_NEAR(res.squared_residual, sys.squared_residual(x), 1e-12);
+    EXPECT_DOUBLE_EQ(res.sigma2, sys.sigma2());
+    ASSERT_GT(res.sigma2, 0.0);
+    EXPECT_NEAR(res.score, res.squared_residual / res.sigma2, 1e-12);
+    EXPECT_EQ(res.anomalous, res.score > 10.0);
+  }
+}
+
+TEST(SnapshotServer, TopKCacheHitsMissesAndExactInvalidation) {
+  SnapshotServer server;
+  const auto sys = trained_system(23);
+  server.publish(sys, 0, 1);
+
+  std::shared_ptr<const TopKResult> a, b;
+  ASSERT_EQ(server.top_k_components(2, a), QueryStatus::kOk);
+  EXPECT_EQ(server.cache_misses(), 1u);
+  EXPECT_EQ(server.cache_hits(), 0u);
+  ASSERT_EQ(server.top_k_components(2, b), QueryStatus::kOk);
+  EXPECT_EQ(server.cache_misses(), 1u);
+  EXPECT_EQ(server.cache_hits(), 1u);
+  // A hit serves the very same immutable object.
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(a->version, 1u);
+  ASSERT_EQ(a->eigenvalues.size(), 2u);
+  EXPECT_NEAR(a->eigenvalues[0], sys.eigenvalues()[0], 1e-15);
+  EXPECT_NEAR(a->eigenvalues[1], sys.eigenvalues()[1], 1e-15);
+  EXPECT_NEAR(a->retained_variance,
+              sys.eigenvalues()[0] + sys.eigenvalues()[1], 1e-12);
+  ASSERT_EQ(a->components.rows(), sys.dim());
+  ASSERT_EQ(a->components.cols(), 2u);
+  for (std::size_t r = 0; r < sys.dim(); ++r) {
+    EXPECT_DOUBLE_EQ(a->components(r, 0), sys.basis()(r, 0));
+    EXPECT_DOUBLE_EQ(a->components(r, 1), sys.basis()(r, 1));
+  }
+
+  // Version swap: the new generation arrives with an empty cache — the
+  // next request is a miss (exact invalidation), and its answer is tagged
+  // with the new version, never the old one's values.
+  server.publish(trained_system(29), 1, 2);
+  std::shared_ptr<const TopKResult> c;
+  ASSERT_EQ(server.top_k_components(2, c), QueryStatus::kOk);
+  EXPECT_EQ(server.cache_misses(), 2u);
+  EXPECT_EQ(c->version, 2u);
+  EXPECT_NE(c.get(), a.get());
+  // The superseded version's cache is still valid *for that version*: a
+  // reader that loaded version 1 before the swap still gets version-1
+  // answers (a is alive and tagged 1), proving hits can never be stale.
+  EXPECT_EQ(a->version, 1u);
+}
+
+TEST(SnapshotServer, AdmissionBudgetExhaustionRejectsImmediately) {
+  ServeConfig cfg;
+  cfg.max_in_flight = 2;
+  SnapshotServer server(cfg);
+  server.publish(trained_system(31), 0, 1);
+
+  // Deterministically exhaust the budget by squatting both slots.
+  ASSERT_TRUE(server.admission().try_acquire());
+  ASSERT_TRUE(server.admission().try_acquire());
+  EXPECT_EQ(server.admission().in_flight(), 2u);
+
+  QueryWorkspace ws;
+  ProjectionResult proj;
+  ResidualResult res;
+  std::shared_ptr<const TopKResult> topk;
+  const linalg::Vector x(12);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(server.project(x, ws, proj), QueryStatus::kOverloaded);
+  EXPECT_EQ(server.residual_score(x, ws, res), QueryStatus::kOverloaded);
+  EXPECT_EQ(server.top_k_components(1, topk), QueryStatus::kOverloaded);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  // Rejection, not queueing: overload answers return immediately.
+  EXPECT_LT(elapsed, std::chrono::milliseconds(100));
+  EXPECT_EQ(server.rejected(), 3u);
+
+  // Releasing the squatted slots restores service.
+  server.admission().release();
+  server.admission().release();
+  EXPECT_EQ(server.project(x, ws, proj), QueryStatus::kOk);
+  EXPECT_EQ(server.admission().in_flight(), 0u);
+}
+
+TEST(AdmissionControl, CountsAndZeroBudgetDrainMode) {
+  AdmissionControl gate(1);
+  EXPECT_TRUE(gate.try_acquire());
+  EXPECT_FALSE(gate.try_acquire());
+  gate.release();
+  EXPECT_TRUE(gate.try_acquire());
+  gate.release();
+  EXPECT_EQ(gate.admitted(), 2u);
+  EXPECT_EQ(gate.rejected(), 1u);
+  EXPECT_EQ(gate.in_flight(), 0u);
+
+  AdmissionControl drain(0);
+  EXPECT_FALSE(drain.try_acquire());
+  EXPECT_EQ(drain.rejected(), 1u);
+}
+
+TEST(SnapshotServer, PipelineServeBlockWiresServerAndMetrics) {
+  Rng rng(733);
+  const auto model = make_model(rng, 12, 2, 2.0, 0.05);
+  std::vector<linalg::Vector> data;
+  for (int i = 0; i < 3000; ++i) data.push_back(draw(model, rng));
+
+  app::PipelineConfig cfg;
+  cfg.pca.dim = 12;
+  cfg.pca.rank = 2;
+  cfg.engines = 2;
+  cfg.sync_rate_hz = 0.0;
+  cfg.source_rate = 6000.0;  // ~0.5 s run, several publish rounds
+  cfg.serve.enabled = true;
+  cfg.serve.publish_interval_seconds = 0.02;
+  cfg.serve.max_in_flight = 8;
+  app::StreamingPcaPipeline pipeline(cfg, data);
+  ASSERT_NE(pipeline.serve_server(), nullptr);
+  pipeline.run();
+
+  SnapshotServer* server = pipeline.serve_server();
+  EXPECT_GT(server->version(), 0u);
+  const auto v = server->current();
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->dim(), 12u);
+  EXPECT_EQ(v->rank(), 2u);
+  EXPECT_GT(v->observations(), 0u);
+
+  // The server outlives the graph: queries still answer after the run, and
+  // the answer matches the pipeline's merged result when the last publish
+  // saw both engines (engine tag -1 = merged).
+  QueryWorkspace ws;
+  ProjectionResult proj;
+  ASSERT_EQ(server->project(data[0], ws, proj), QueryStatus::kOk);
+  EXPECT_EQ(proj.version, server->version());
+
+  // Registry export: the serve operator row with its counters.
+  const std::string json = pipeline.metrics_json();
+  EXPECT_NE(json.find("\"serve\""), std::string::npos);
+  EXPECT_NE(json.find("\"version\""), std::string::npos);
+  EXPECT_NE(json.find("\"rejected\""), std::string::npos);
+  EXPECT_NE(json.find("\"cache_hits\""), std::string::npos);
+  EXPECT_NE(json.find("\"publishes_suppressed\""), std::string::npos);
+}
+
+TEST(SnapshotServer, ServeDisabledByDefault) {
+  Rng rng(739);
+  const auto model = make_model(rng, 12, 2, 2.0, 0.05);
+  std::vector<linalg::Vector> data;
+  for (int i = 0; i < 300; ++i) data.push_back(draw(model, rng));
+  app::PipelineConfig cfg;
+  cfg.pca.dim = 12;
+  cfg.pca.rank = 2;
+  cfg.engines = 2;
+  app::StreamingPcaPipeline pipeline(cfg, data);
+  EXPECT_EQ(pipeline.serve_server(), nullptr);
+  pipeline.run();
+  EXPECT_EQ(pipeline.metrics_json().find("\"serve\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace astro::serve
