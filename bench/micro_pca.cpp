@@ -21,6 +21,7 @@
 
 #include "bench/bench_util.h"
 #include "pca/batch_pca.h"
+#include "pca/exact_ipca.h"
 #include "pca/incremental_pca.h"
 #include "pca/merge.h"
 #include "pca/robust_pca.h"
@@ -96,6 +97,22 @@ std::string steady_json(const std::vector<SteadyRow>& rows) {
                   rows[i].rank, rows[i].tuples, rows[i].batch,
                   rows[i].tuples_per_sec, rows[i].allocs_per_tuple);
     json += buf;
+  }
+  // Exact-vs-truncated cost ratio per operating point: how many times
+  // slower the O(d^2) reference recursion is than the classic rank-p
+  // update it oracles for (>= 1; grows ~ d/p).
+  json += "],\"exact_vs_truncated_cost_ratio\":[";
+  bool first = true;
+  for (const SteadyRow& exact : rows) {
+    if (exact.name != "exact" || exact.tuples_per_sec <= 0.0) continue;
+    for (const SteadyRow& classic : rows) {
+      if (classic.name != "classic" || classic.dim != exact.dim) continue;
+      std::snprintf(buf, sizeof(buf), "%s{\"dim\":%zu,\"rank\":%zu,\"ratio\":%.2f}",
+                    first ? "" : ",", exact.dim, exact.rank,
+                    classic.tuples_per_sec / exact.tuples_per_sec);
+      json += buf;
+      first = false;
+    }
   }
   json += "]}";
   return json;
@@ -209,6 +226,19 @@ std::vector<SteadyRow> run_steady_state() {
     pca::RobustIncrementalPca engine(cfg);
     rows.push_back(measure_steady("robust", engine, pt.dim, pt.rank, pt.iters,
                                   data));
+  }
+  // Exact reference mode (DESIGN.md "Exact reference mode"): the O(d^2)
+  // full-second-moment recursion at the same operating points.  Its cost
+  // relative to the classic rank-p path is the exact_vs_truncated ratio
+  // recorded in the JSON — the price of the oracle, quantified.
+  for (const Point& pt : points) {
+    const auto data = dataset(512, pt.dim, 11 + pt.dim);
+    pca::ExactIpcaConfig cfg;
+    cfg.dim = pt.dim;
+    cfg.rank = pt.rank;
+    pca::ExactIpca engine(cfg);
+    rows.push_back(measure_steady("exact", engine, pt.dim, pt.rank,
+                                  pt.iters / 4 + 1, data));
   }
   // Micro-batched path (DESIGN.md "Micro-batching"): same operating points,
   // b = 8 tuples per SVD.  The b = 1 rows above are the baseline the batch

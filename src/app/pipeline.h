@@ -40,7 +40,12 @@
 namespace astro::app {
 
 struct PipelineConfig {
-  pca::RobustPcaConfig pca;     ///< per-engine algorithm configuration
+  /// Per-engine algorithm configuration.  `pca.mode` is the pipeline's
+  /// mode knob: kTruncated (default) runs the paper's rank-p low-rank
+  /// updates, kExact the full-second-moment reference recursion (DESIGN.md
+  /// "Exact reference mode") — batching, checkpoints, sync merges, and
+  /// serving all ride the same engines either way.
+  pca::RobustPcaConfig pca;
   std::size_t engines = 4;     ///< parallel PCA instances
   stream::SplitStrategy split = stream::SplitStrategy::kRandom;
   std::size_t split_workers = 1;

@@ -1,0 +1,36 @@
+#include "linalg/principal_angles.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/svd.h"
+
+namespace astro::linalg {
+
+Vector principal_angle_cosines(const Matrix& u, const Matrix& v) {
+  if (u.rows() != v.rows()) {
+    throw std::invalid_argument("principal_angle_cosines: ambient dim differs");
+  }
+  if (u.cols() == 0 || v.cols() == 0) return Vector();  // empty subspace
+  const Matrix cross = u.transpose() * v;
+  Vector s = svd_left(cross).singular_values;
+  for (auto& x : s) x = std::clamp(x, 0.0, 1.0);
+  std::sort(s.begin(), s.end(), std::greater<double>());
+  return s;
+}
+
+Vector principal_angles(const Matrix& u, const Matrix& v) {
+  Vector angles = principal_angle_cosines(u, v);
+  for (auto& x : angles) x = std::acos(x);
+  return angles;
+}
+
+double max_principal_angle_radians(const Matrix& u, const Matrix& v) {
+  const Vector cos = principal_angle_cosines(u, v);
+  if (cos.size() == 0) return M_PI / 2.0;
+  // Cosines are sorted descending, so the last one is the largest angle.
+  return std::acos(cos[cos.size() - 1]);
+}
+
+}  // namespace astro::linalg

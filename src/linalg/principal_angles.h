@@ -1,0 +1,37 @@
+#pragma once
+
+// Principal angles between the column spans of two matrices — the
+// subspace-distance vocabulary the differential-oracle suite is written
+// in (DESIGN.md "Exact reference mode").
+//
+// For U (d x p) and V (d x q) with orthonormal columns, the cosines of
+// the principal angles 0 <= theta_1 <= ... <= theta_k (k = min(p, q)) are
+// the singular values of U^T V (Bjorck & Golub 1973).  theta_k — the
+// LARGEST angle — bounds how far any direction of the smaller subspace
+// can stray from the other, which is exactly the "truncated-mode error
+// against the exact reference" statistic the oracle asserts on.
+//
+// Accuracy note: the arccos formulation resolves angles down to about
+// 1e-8 radians (cos theta saturates at 1 in double precision below
+// that); tests asserting near-equality of subspaces should compare
+// against bounds >= 1e-7 rad rather than machine epsilon.
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace astro::linalg {
+
+/// Cosines of the principal angles between span(u) and span(v), sorted
+/// descending (i.e. angles ascending) and clamped to [0, 1].  Both inputs
+/// must share the ambient dimension and have orthonormal columns.
+[[nodiscard]] Vector principal_angle_cosines(const Matrix& u, const Matrix& v);
+
+/// Principal angles in radians, ascending: acos of the clamped cosines.
+[[nodiscard]] Vector principal_angles(const Matrix& u, const Matrix& v);
+
+/// The largest principal angle in radians — pi/2 when either subspace is
+/// empty (nothing constrains the other).
+[[nodiscard]] double max_principal_angle_radians(const Matrix& u,
+                                                 const Matrix& v);
+
+}  // namespace astro::linalg

@@ -1,0 +1,150 @@
+#pragma once
+
+// Exact incremental PCA — the drift-free reference mode (DESIGN.md
+// "Exact reference mode"; Lippi & Ceccarelli 1901.07922; ROADMAP
+// "exact-IPCA modes").
+//
+// Instead of truncating to rank p at every step (the paper's eq. 10 via
+// the low-rank A-matrix SVD), this engine carries the FULL d x d
+// forgetting-weighted second central moment exactly and only
+// eigendecomposes at emit points:
+//
+//   u_n   = alpha u_{n-1} + 1          (running weight, W_n = sum alpha^{n-i})
+//   gamma = alpha u_{n-1} / u_n
+//   y~    = x_n - mu_{n-1}
+//   C_n   = gamma C_{n-1} + gamma (1 - gamma) y~ y~^T
+//   mu_n  = gamma mu_{n-1} + (1 - gamma) x_n
+//
+// which reproduces the weighted batch moments
+//
+//   mu_n = (1/W_n) sum_i alpha^{n-i} x_i
+//   C_n  = (1/W_n) sum_i alpha^{n-i} (x_i - mu_n)(x_i - mu_n)^T
+//
+// exactly for ANY alpha in (0, 1] — the oracle suite proves this at
+// 1e-10 against an offline recompute at every emit point.  (The
+// truncated recursion's fresh-direction weight differs from the exact
+// one by a factor gamma even before truncation; that correction is the
+// "exact implementation" half of the reference paper.)
+//
+// Per-observation cost is O(d^2) — versus O(d p^2) truncated — so this
+// is a production option only for small d, and always the test oracle.
+// The steady-state observe() path is allocation-free (the centered
+// scratch lives in the shared UpdateWorkspace; the scatter is updated in
+// place), proven by the alloc-probe perf suite.
+//
+// Emits (eigensystem()) are lazy: the eigendecomposition runs only when
+// the state changed since the last emit.  Each emit applies the
+// reference paper's continuity corrections (pca/continuity.h):
+// crossing-aware ordering against the previously emitted basis, then
+// the deterministic sign convention — so consecutive emits never flip a
+// component's sign or swap identities across an eigenvalue crossing.
+// The emitted system is FULL RANK (d components): it is a lossless
+// carrier of the scatter through the existing ASPC checkpoint
+// encode/decode and merge()/sync paths (rank-d merge pooling is exact),
+// which is what makes exact mode invariant to mid-stream
+// checkpoint -> crash -> restore.  Use reported_system() for the rank-p
+// view downstream consumers (serving, gap patching) expect.
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "pca/eigensystem.h"
+#include "pca/update_workspace.h"
+#include "stats/running.h"
+
+namespace astro::pca {
+
+/// Which update recursion a PCA engine runs (PipelineConfig knob: set
+/// `pca.mode` — see README).
+enum class PcaMode : int {
+  kTruncated = 0,  ///< rank-p low-rank updates (the paper's eq. 10)
+  kExact = 1,      ///< full second-moment state, eigendecomposed per emit
+};
+
+struct ExactIpcaConfig {
+  std::size_t dim = 0;    ///< data dimensionality d
+  std::size_t rank = 5;   ///< reported components p (emits stay rank d)
+  double alpha = 1.0;     ///< forgetting factor; 1 - 1/N for window N
+  /// Observations absorbed before emits are published (initialized()).
+  /// The exact recursion needs no init batch — state is exact from the
+  /// first tuple — this only gates downstream consumers the way the
+  /// truncated engines' init phase does.
+  std::size_t init_count = 2;
+};
+
+class ExactIpca {
+ public:
+  explicit ExactIpca(const ExactIpcaConfig& config);
+
+  /// Absorb one complete observation.  O(d^2), allocation-free at steady
+  /// state.
+  void observe(const linalg::Vector& x);
+
+  /// Absorb a micro-batch.  The exact recursion needs no batch algebra —
+  /// rank-1 updates are already exact — so this is a sequential loop and
+  /// therefore bit-identical to n observe() calls for every batch size
+  /// (the batching-invariance half of the oracle property is structural).
+  void observe_batch(const linalg::Vector* const* xs, std::size_t n);
+  void observe_batch(const std::vector<linalg::Vector>& xs);
+
+  /// The full-rank (d-component) continuity-corrected emit.  Lazy: the
+  /// eigendecomposition runs only if the state changed since the last
+  /// call.  Before initialized() this returns an empty (rank-0) system.
+  [[nodiscard]] const EigenSystem& eigensystem() const;
+
+  /// The rank-min(p, d) truncation of the emit — what downstream
+  /// consumers (serving, reports) see.
+  [[nodiscard]] EigenSystem reported_system() const;
+
+  [[nodiscard]] bool initialized() const noexcept {
+    return installed_ || observations_ >= config_.init_count;
+  }
+  [[nodiscard]] const ExactIpcaConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] std::uint64_t observations() const noexcept {
+    return observations_;
+  }
+
+  /// Direct state accessors for the oracle suite.
+  [[nodiscard]] const linalg::Vector& mean() const noexcept { return mean_; }
+  [[nodiscard]] const linalg::Matrix& scatter() const noexcept { return c_; }
+
+  /// Install an eigensystem — checkpoint restore and sync entry point.
+  /// A rank-d system (our own emits) restores the scatter losslessly:
+  /// C = sum_k lambda_k e_k e_k^T.  A lower-rank system is installed with
+  /// its residual energy sigma^2 spread isotropically over the orthogonal
+  /// complement (energy-preserving, subspace-exact, detail lossy).  The
+  /// installed basis seeds continuity tracking, so emits after a restore
+  /// stay sign- and order-continuous with emits before it.
+  void set_eigensystem(EigenSystem system);
+
+  /// Workspace recycling — same contract as the truncated engines.
+  [[nodiscard]] UpdateWorkspace take_workspace() noexcept {
+    return std::move(ws_);
+  }
+  void adopt_workspace(UpdateWorkspace ws) noexcept { ws_ = std::move(ws); }
+
+ private:
+  void refresh_emit() const;
+
+  ExactIpcaConfig config_;
+  linalg::Vector mean_;
+  linalg::Matrix c_;  // d x d forgetting-weighted second central moment
+  stats::RobustRunningSums sums_;
+  std::uint64_t observations_ = 0;
+  bool installed_ = false;
+  UpdateWorkspace ws_;
+
+  // Lazy emit cache.  Mutable because eigensystem() is conceptually const
+  // (a pure function of the absorbed stream); all engine-operator calls
+  // arrive under the engine state mutex, matching the truncated engines'
+  // external-synchronization contract.
+  mutable EigenSystem emitted_;
+  mutable linalg::Matrix prev_top_;  // last emitted tracked block
+  mutable bool emit_valid_ = false;
+};
+
+}  // namespace astro::pca

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "linalg/svd.h"
+#include "pca/continuity.h"
 
 namespace astro::pca {
 
@@ -88,6 +89,12 @@ EigenSystem merge(std::span<const EigenSystem> systems,
     observations += s.observations();
   }
   sigma2 = usum > 0.0 ? sigma2 / usum : 0.0;
+
+  // Merge is a publish boundary (sync installs, pooled serve snapshots,
+  // final results): pin the SVD's arbitrary per-column signs to the
+  // deterministic convention so merged bases are reproducible across
+  // runs and restarts (pca/continuity.h).
+  apply_sign_convention(basis);
 
   return EigenSystem(std::move(mean), std::move(basis), std::move(lambda),
                      sigma2, sums, observations);

@@ -29,6 +29,18 @@ RobustIncrementalPca::RobustIncrementalPca(const RobustPcaConfig& config)
   if (config.alpha <= 0.0 || config.alpha > 1.0) {
     throw std::invalid_argument("RobustIncrementalPca: alpha in (0, 1]");
   }
+  if (config.mode == PcaMode::kExact) {
+    // Exact reference mode: delegate the whole recursion to ExactIpca.
+    // Its internal "full" rank mirrors the truncated engine's p+q so gap
+    // patching and serve views keep their shapes; emits are rank d.
+    ExactIpcaConfig ec;
+    ec.dim = config.dim;
+    ec.rank = full;
+    ec.alpha = config.alpha;
+    ec.init_count = config.init_count;
+    exact_ = std::make_unique<ExactIpca>(ec);
+    return;
+  }
   delta_ = config.delta > 0.0 ? config.delta : rho_->gaussian_expectation();
   if (delta_ > 1.0) {
     throw std::invalid_argument("RobustIncrementalPca: delta must be <= 1");
@@ -50,6 +62,16 @@ ObservationReport RobustIncrementalPca::observe(const linalg::Vector& x) {
   if (x.size() != config_.dim) {
     throw std::invalid_argument("observe: wrong dimensionality");
   }
+  if (exact_) {
+    // Exact mode absorbs every tuple at unit weight — there is no robust
+    // down-weighting and therefore no outlier flagging on this path.
+    ObservationReport rep;
+    rep.pending_init = !exact_->initialized();
+    exact_->observe(x);
+    rep.weight = 1.0;
+    rep.scale_weight = 1.0;
+    return rep;
+  }
   if (!init_done_) {
     init_buffer_.push_back(x);
     init_masks_.emplace_back();  // complete observation
@@ -65,6 +87,25 @@ ObservationReport RobustIncrementalPca::observe(const linalg::Vector& x,
                                                 const PixelMask& observed) {
   if (x.size() != config_.dim || observed.size() != config_.dim) {
     throw std::invalid_argument("observe(masked): wrong dimensionality");
+  }
+  if (exact_) {
+    ObservationReport rep;
+    rep.pending_init = !exact_->initialized();
+    rep.weight = 1.0;
+    rep.scale_weight = 1.0;
+    if (!exact_->initialized()) {
+      // No basis to patch against yet; absorb raw (gaps wash out under
+      // the forgetting weight, same spirit as the init-phase mean impute).
+      exact_->observe(x);
+      return rep;
+    }
+    // Patch against the same rank-(p+q) view the truncated engine uses —
+    // the full rank-d emit could reproduce *anything* through the masked
+    // least squares, which would defeat the patch's purpose.
+    GapFillResult fill = fill_gaps(exact_->reported_system(), x, observed);
+    rep.patched_pixels = fill.missing;
+    exact_->observe(fill.patched);
+    return rep;
   }
   if (!init_done_) {
     // The initializing batch cannot patch gaps (no basis yet); fill missing
@@ -82,6 +123,13 @@ ObservationReport RobustIncrementalPca::observe(const linalg::Vector& x,
 void RobustIncrementalPca::observe_batch(const linalg::Vector* const* xs,
                                          std::size_t n,
                                          ObservationReport* reports) {
+  if (exact_) {
+    // The exact recursion needs no batch algebra — per-tuple rank-1
+    // updates are already exact — so batching is a pass-through loop,
+    // bit-identical to the sequential path for every batch size.
+    for (std::size_t i = 0; i < n; ++i) reports[i] = observe(*xs[i]);
+    return;
+  }
   std::size_t j = 0;
   // Init-phase tuples are buffered one at a time (the batch decomposition
   // may complete mid-batch, at which point the remainder streams).
@@ -454,11 +502,28 @@ ObservationReport RobustIncrementalPca::update(const linalg::Vector& x,
 }
 
 EigenSystem RobustIncrementalPca::reported_system() const {
+  if (exact_) {
+    const EigenSystem& full = exact_->eigensystem();
+    if (!full.initialized()) return full;
+    return truncate(full, std::min(config_.rank, config_.dim));
+  }
   if (config_.extra_rank == 0) return system_;
   return truncate(system_, config_.rank);
 }
 
+EigenSystem RobustIncrementalPca::serve_system() const {
+  if (!exact_) return system_;
+  return exact_->reported_system();
+}
+
 void RobustIncrementalPca::set_eigensystem(EigenSystem system) {
+  if (exact_) {
+    // Exact mode accepts any rank <= d: rank-d emits restore the scatter
+    // losslessly (checkpoint path), lower ranks install lossily with the
+    // residual energy spread over the complement (sync merge path).
+    exact_->set_eigensystem(std::move(system));
+    return;
+  }
   if (system.dim() != config_.dim ||
       system.rank() != config_.rank + config_.extra_rank) {
     throw std::invalid_argument("set_eigensystem: shape mismatch");

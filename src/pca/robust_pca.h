@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "pca/eigensystem.h"
+#include "pca/exact_ipca.h"
 #include "pca/gap_fill.h"
 #include "pca/update_workspace.h"
 #include "stats/rho.h"
@@ -41,6 +42,13 @@ struct RobustPcaConfig {
   std::size_t rank = 5;       ///< reported components p
   std::size_t extra_rank = 0; ///< q extra components for gap residuals (§II-D)
   double alpha = 1.0;         ///< forgetting factor; 1 − 1/N for window N
+  /// Update recursion (DESIGN.md "Exact reference mode"): kTruncated runs
+  /// the paper's rank-p low-rank updates; kExact delegates to ExactIpca —
+  /// full d x d second-moment state, eigendecomposed (with continuity
+  /// corrections) per emit, O(d^2)/tuple.  Exact mode is the drift-free
+  /// oracle and a production option for small d; the robust weighting,
+  /// outlier flagging, and scale machinery below do not apply to it.
+  PcaMode mode = PcaMode::kTruncated;
   std::string rho = "bisquare";
   /// Breakdown parameter δ of eq. (5); <= 0 selects the Gaussian-consistency
   /// value for the chosen ρ (σ estimates the stddev on clean data).
@@ -100,18 +108,34 @@ class RobustIncrementalPca {
   std::vector<ObservationReport> observe_batch(
       const std::vector<linalg::Vector>& xs);
 
-  /// The full internal eigensystem (rank p+q).
-  [[nodiscard]] const EigenSystem& eigensystem() const noexcept {
-    return system_;
+  /// The full internal eigensystem: rank p+q truncated, rank d exact (the
+  /// exact emit is the lossless checkpoint/merge carrier).  Exact-mode
+  /// emits are lazy, so this is no longer noexcept.
+  [[nodiscard]] const EigenSystem& eigensystem() const {
+    return exact_ ? exact_->eigensystem() : system_;
   }
 
   /// The reported rank-p eigensystem (a copy; equal to eigensystem() when
-  /// extra_rank == 0).
+  /// extra_rank == 0 in truncated mode).
   [[nodiscard]] EigenSystem reported_system() const;
 
-  [[nodiscard]] bool initialized() const noexcept { return init_done_; }
+  /// The system the serving layer publishes: eigensystem() itself in
+  /// truncated mode (bit-identical to the pre-exact-mode behavior), the
+  /// rank-(p+q) continuity view in exact mode — serving the full rank-d
+  /// emit would make every residual score trivially ~0.
+  [[nodiscard]] EigenSystem serve_system() const;
+
+  [[nodiscard]] bool initialized() const noexcept {
+    return exact_ ? exact_->initialized() : init_done_;
+  }
   [[nodiscard]] const RobustPcaConfig& config() const noexcept { return config_; }
-  [[nodiscard]] double sigma2() const noexcept { return system_.sigma2(); }
+  [[nodiscard]] double sigma2() const {
+    return exact_ ? exact_->eigensystem().sigma2() : system_.sigma2();
+  }
+
+  /// The exact-mode delegate (nullptr in truncated mode) — exposed for
+  /// the oracle suite's direct state assertions.
+  [[nodiscard]] const ExactIpca* exact() const noexcept { return exact_.get(); }
   [[nodiscard]] const stats::RhoFunction& rho() const noexcept { return *rho_; }
   [[nodiscard]] double delta() const noexcept { return delta_; }
 
@@ -138,15 +162,22 @@ class RobustIncrementalPca {
   /// already-grown one.  See UpdateWorkspace — a recycled workspace is
   /// behaviorally identical to a fresh one, just pre-grown.
   [[nodiscard]] UpdateWorkspace take_workspace() noexcept {
-    return std::move(ws_);
+    return exact_ ? exact_->take_workspace() : std::move(ws_);
   }
-  void adopt_workspace(UpdateWorkspace ws) noexcept { ws_ = std::move(ws); }
+  void adopt_workspace(UpdateWorkspace ws) noexcept {
+    if (exact_) {
+      exact_->adopt_workspace(std::move(ws));
+    } else {
+      ws_ = std::move(ws);
+    }
+  }
 
  private:
   void initialize_from_buffer();
   ObservationReport update(const linalg::Vector& x, const PixelMask* observed);
 
   RobustPcaConfig config_;
+  std::unique_ptr<ExactIpca> exact_;  ///< non-null iff mode == kExact
   std::unique_ptr<stats::RhoFunction> rho_;
   double delta_ = 0.5;
   EigenSystem system_;

@@ -2,26 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 
+#include "linalg/principal_angles.h"
 #include "linalg/svd.h"
 
 namespace astro::pca {
 
 linalg::Vector principal_angle_cosines(const linalg::Matrix& a,
                                        const linalg::Matrix& b) {
-  if (a.rows() != b.rows()) {
-    throw std::invalid_argument("principal_angle_cosines: ambient dim differs");
-  }
-  // Singular values of A^T B are the cosines (A, B orthonormal-column).
-  const linalg::Matrix cross = a.transpose() * b;
-  linalg::Vector s = linalg::svd_left(cross).singular_values;
-  for (auto& x : s) x = std::clamp(x, 0.0, 1.0);
-  return s;
+  // Shared with the oracle suite's subspace-distance vocabulary.
+  return linalg::principal_angle_cosines(a, b);
 }
 
 double subspace_affinity(const linalg::Matrix& a, const linalg::Matrix& b) {
-  const linalg::Vector cos = principal_angle_cosines(a, b);
+  const linalg::Vector cos = pca::principal_angle_cosines(a, b);
   if (cos.size() == 0) return 0.0;
   double acc = 0.0;
   for (double c : cos) acc += c * c;
@@ -29,11 +23,7 @@ double subspace_affinity(const linalg::Matrix& a, const linalg::Matrix& b) {
 }
 
 double max_principal_angle(const linalg::Matrix& a, const linalg::Matrix& b) {
-  const linalg::Vector cos = principal_angle_cosines(a, b);
-  if (cos.size() == 0) return M_PI / 2.0;
-  double smallest = 1.0;
-  for (double c : cos) smallest = std::min(smallest, c);
-  return std::acos(smallest);
+  return linalg::max_principal_angle_radians(a, b);
 }
 
 double projection_distance(const linalg::Matrix& a, const linalg::Matrix& b) {

@@ -40,6 +40,11 @@ pca::EigenSystem PcaEngineOperator::snapshot() const {
   return pca_.eigensystem();
 }
 
+pca::EigenSystem PcaEngineOperator::serve_snapshot() const {
+  std::lock_guard lock(state_mutex_);
+  return pca_.serve_system();
+}
+
 EngineStats PcaEngineOperator::stats() const {
   std::lock_guard lock(state_mutex_);
   return stats_;

@@ -110,6 +110,13 @@ class PcaEngineOperator final : public stream::Operator {
   /// Thread-safe snapshot of the current eigensystem.
   [[nodiscard]] pca::EigenSystem snapshot() const;
 
+  /// Thread-safe snapshot of the system the serving layer should
+  /// publish: identical to snapshot() in truncated mode, the rank-(p+q)
+  /// continuity view in exact mode (the rank-d exact emit is a state
+  /// carrier, not a servable basis — see RobustIncrementalPca::
+  /// serve_system()).
+  [[nodiscard]] pca::EigenSystem serve_snapshot() const;
+
   [[nodiscard]] EngineStats stats() const;
   [[nodiscard]] int engine_id() const noexcept { return id_; }
 

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "pca/continuity.h"
 #include "pca/health.h"
 #include "pca/merge.h"
 
@@ -38,7 +39,9 @@ void SnapshotPublisher::publish_to_server() {
   int single_engine = -1;
   for (PcaEngineOperator* engine : engines_) {
     if (!engine->healthy()) continue;
-    pca::EigenSystem state = engine->snapshot();
+    // The serve view, not the raw state: identical for truncated engines,
+    // the rank-(p+q) continuity view for exact-mode ones.
+    pca::EigenSystem state = engine->serve_snapshot();
     if (!state.initialized()) continue;
     if (!pca::all_finite(state)) continue;
     single_engine = engine->engine_id();
@@ -52,11 +55,17 @@ void SnapshotPublisher::publish_to_server() {
                           std::chrono::steady_clock::now().time_since_epoch())
                           .count();
   if (eligible.size() == 1) {
+    // Publish boundary: pin component signs to the deterministic
+    // convention so served top-k answers are stable across engine
+    // restarts and publisher rounds (pca/continuity.h).  Idempotent —
+    // exact-mode views already obey it.
+    pca::apply_sign_convention(eligible.front());
     server_->publish(std::move(eligible.front()), single_engine, now_us);
     return;
   }
   // Pooled estimate across engines — the same combination the final
-  // result() uses, tagged engine -1; observation counters sum in merge().
+  // result() uses, tagged engine -1; observation counters sum in merge()
+  // (whose output already carries the deterministic sign convention).
   server_->publish(pca::merge(eligible), -1, now_us);
 }
 

@@ -1,0 +1,193 @@
+// Sign-convention stability at the publication boundaries (ISSUE 7,
+// satellite 2).  The convention — each eigenvector's largest-|entry|
+// coordinate is positive — is applied wherever a basis becomes visible
+// outside an engine: at merge() and at the SnapshotPublisher's serve
+// publishes.  These tests pin that down and drill the end-to-end
+// kill -> checkpoint-restore -> serve path: the top-k components a client
+// reads after a crash must carry the same signs as before it.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "app/pipeline.h"
+#include "pca/continuity.h"
+#include "pca/exact_ipca.h"
+#include "pca/merge.h"
+#include "pca/robust_pca.h"
+#include "stats/rng.h"
+#include "stream/fault.h"
+#include "sync/checkpoint_store.h"
+#include "tests/pca/test_data.h"
+
+namespace astro {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+using pca::EigenSystem;
+using pca::PcaMode;
+using pca::testing::draw;
+using pca::testing::make_model;
+using stats::Rng;
+
+bool obeys_sign_convention(const Matrix& basis) {
+  for (std::size_t c = 0; c < basis.cols(); ++c) {
+    std::size_t arg = 0;
+    double best = std::abs(basis(0, c));
+    for (std::size_t r = 1; r < basis.rows(); ++r) {
+      if (std::abs(basis(r, c)) > best) {
+        best = std::abs(basis(r, c));
+        arg = r;
+      }
+    }
+    if (basis(arg, c) < 0.0) return false;
+  }
+  return true;
+}
+
+TEST(SignStability, MergeOutputObeysSignConvention) {
+  Rng rng(977);
+  const auto model = make_model(rng, 14, 3, 3.0, 0.02);
+
+  pca::RobustPcaConfig cfg;
+  cfg.dim = 14;
+  cfg.rank = 3;
+  pca::RobustIncrementalPca a(cfg), b(cfg);
+  for (std::size_t i = 0; i < 240; ++i) {
+    (i % 2 == 0 ? a : b).observe(draw(model, rng));
+  }
+  const EigenSystem merged = pca::merge(a.eigensystem(), b.eigensystem());
+  EXPECT_TRUE(obeys_sign_convention(merged.basis()));
+}
+
+TEST(SignStability, CheckpointRoundTripIsByteAndSignStable) {
+  Rng rng(1409);
+  const auto model = make_model(rng, 10, 3, 2.5, 0.05);
+
+  pca::ExactIpcaConfig cfg;
+  cfg.dim = 10;
+  cfg.rank = 3;
+  pca::ExactIpca engine(cfg);
+  for (std::size_t i = 0; i < 200; ++i) engine.observe(draw(model, rng));
+
+  const EigenSystem& emit = engine.eigensystem();
+  EXPECT_TRUE(obeys_sign_convention(emit.basis()));
+
+  // ASPC is a raw-double binary format: encoding the decoded system must
+  // reproduce the original bytes exactly, so restarts can never introduce
+  // drift — sign flips included — through serialization alone.
+  const std::string blob = sync::CheckpointStore::encode(emit, 1.0);
+  double alpha = 0.0;
+  const EigenSystem restored = sync::CheckpointStore::decode(blob, &alpha);
+  EXPECT_EQ(alpha, 1.0);
+  EXPECT_EQ(sync::CheckpointStore::encode(restored, alpha), blob);
+  EXPECT_TRUE(obeys_sign_convention(restored.basis()));
+  for (std::size_t c = 0; c < emit.rank(); ++c) {
+    for (std::size_t r = 0; r < emit.dim(); ++r) {
+      ASSERT_EQ(restored.basis()(r, c), emit.basis()(r, c));
+    }
+  }
+
+  // A fresh engine seeded from the restored carrier emits the same signs.
+  pca::ExactIpca resumed(cfg);
+  resumed.set_eigensystem(restored);
+  const EigenSystem& reemit = resumed.eigensystem();
+  EXPECT_TRUE(obeys_sign_convention(reemit.basis()));
+  for (std::size_t c = 0; c < cfg.rank; ++c) {
+    double dot = 0.0;
+    for (std::size_t r = 0; r < cfg.dim; ++r) {
+      dot += reemit.basis()(r, c) * emit.basis()(r, c);
+    }
+    EXPECT_GT(dot, 0.999) << "column " << c;
+  }
+}
+
+// The regression drill: run a served pipeline, kill an engine mid-stream,
+// let the supervisor restore it from its checkpoint, and verify the top-k
+// components a serve client reads afterwards obey the sign convention and
+// point the same way as the pipeline's own final result.
+class ServeSignDrill : public ::testing::TestWithParam<PcaMode> {};
+
+TEST_P(ServeSignDrill, TopKSignsSurviveKillAndRestore) {
+  constexpr std::size_t kDim = 12, kRank = 3, kTotal = 600;
+  Rng rng(4211);
+  const auto model = make_model(rng, kDim, kRank, 3.0, 0.02);
+  std::vector<Vector> data;
+  for (std::size_t i = 0; i < kTotal; ++i) data.push_back(draw(model, rng));
+
+  app::PipelineConfig cfg;
+  cfg.pca.dim = kDim;
+  cfg.pca.rank = kRank;
+  cfg.pca.mode = GetParam();
+  cfg.engines = 2;
+  cfg.split = stream::SplitStrategy::kRoundRobin;
+  cfg.sync_rate_hz = 0.0;
+  cfg.supervise = true;
+  cfg.checkpoint_every_tuples = 64;
+  cfg.serve.enabled = true;
+  cfg.serve.publish_interval_seconds = 0.01;
+  // Pace the replay (~200 ms end to end) so the publisher gets many rounds
+  // after the engine-1 restore; an unthrottled replay can finish inside
+  // one publish interval and leave the server empty.
+  cfg.source_rate = 3000.0;
+
+  auto schedule = std::make_shared<stream::FaultInjector>();
+  schedule->kill_engine(1, 180);
+  cfg.fault_injector = schedule;
+
+  app::StreamingPcaPipeline pipeline(cfg, data);
+  pipeline.run();
+
+  ASSERT_NE(pipeline.serve_server(), nullptr);
+  ASSERT_GE(pipeline.serve_server()->version(), 1u);
+  std::shared_ptr<const serve::TopKResult> topk;
+  ASSERT_EQ(pipeline.serve_server()->top_k_components(kRank, topk),
+            serve::QueryStatus::kOk);
+  EXPECT_TRUE(obeys_sign_convention(topk->components));
+
+  // The served basis and the final merged result describe the same
+  // subspace with the same orientation: positive signed overlap per slot.
+  const EigenSystem result = pipeline.result();
+  for (std::size_t c = 0; c < kRank; ++c) {
+    double dot = 0.0;
+    for (std::size_t r = 0; r < kDim; ++r) {
+      dot += topk->components(r, c) * result.basis()(r, c);
+    }
+    EXPECT_GT(dot, 0.0) << "column " << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, ServeSignDrill,
+                         ::testing::Values(PcaMode::kTruncated,
+                                           PcaMode::kExact));
+
+TEST(SignStability, PublisherSignFixIsIdempotentOnConvention) {
+  // apply_sign_convention at the publish boundary must be a no-op on a
+  // basis that already satisfies the rule — double application (merge
+  // path then publisher path) can never flip anything back.
+  Rng rng(31);
+  const auto model = make_model(rng, 8, 2, 2.0, 0.05);
+  pca::ExactIpcaConfig cfg;
+  cfg.dim = 8;
+  cfg.rank = 2;
+  pca::ExactIpca engine(cfg);
+  for (std::size_t i = 0; i < 120; ++i) engine.observe(draw(model, rng));
+
+  Matrix once = engine.eigensystem().basis();
+  pca::apply_sign_convention(once);
+  Matrix twice = once;
+  pca::apply_sign_convention(twice);
+  for (std::size_t c = 0; c < once.cols(); ++c) {
+    for (std::size_t r = 0; r < once.rows(); ++r) {
+      ASSERT_EQ(once(r, c), twice(r, c));
+    }
+  }
+  EXPECT_TRUE(obeys_sign_convention(once));
+}
+
+}  // namespace
+}  // namespace astro

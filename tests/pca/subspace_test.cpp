@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "linalg/principal_angles.h"
 #include "stats/rng.h"
 
 namespace astro::pca {
@@ -36,7 +37,7 @@ TEST(Subspace, OrthogonalSubspaces) {
 TEST(Subspace, PartialOverlap) {
   const auto a = axes(6, {0, 1});
   const auto b = axes(6, {1, 2});
-  const linalg::Vector cos = principal_angle_cosines(a, b);
+  const linalg::Vector cos = pca::principal_angle_cosines(a, b);
   EXPECT_NEAR(cos[0], 1.0, 1e-12);  // shared axis 1
   EXPECT_NEAR(cos[1], 0.0, 1e-12);
   EXPECT_NEAR(subspace_affinity(a, b), std::sqrt(0.5), 1e-12);
@@ -65,7 +66,7 @@ TEST(Subspace, KnownAngle) {
 }
 
 TEST(Subspace, DifferentAmbientDimThrows) {
-  EXPECT_THROW((void)principal_angle_cosines(linalg::Matrix(4, 2),
+  EXPECT_THROW((void)pca::principal_angle_cosines(linalg::Matrix(4, 2),
                                              linalg::Matrix(5, 2)),
                std::invalid_argument);
 }
@@ -73,9 +74,81 @@ TEST(Subspace, DifferentAmbientDimThrows) {
 TEST(Subspace, DifferentRanksUseMin) {
   const auto a = axes(6, {0, 1, 2});
   const auto b = axes(6, {0});
-  const linalg::Vector cos = principal_angle_cosines(a, b);
+  const linalg::Vector cos = pca::principal_angle_cosines(a, b);
   EXPECT_EQ(cos.size(), 1u);
   EXPECT_NEAR(cos[0], 1.0, 1e-12);
+}
+
+// The shared linalg::principal_angles utility (ISSUE 7, satellite 1) —
+// hand-computed 2d/3d cases, checked through the linalg header directly so
+// the pca/subspace wrappers and any other caller agree on one definition.
+
+TEST(PrincipalAngles, HandComputed2dLineVsLine) {
+  // Lines spanned by e0 and by (cos t, sin t): the single principal angle
+  // is exactly t.
+  const double t = 0.4;
+  linalg::Matrix u(2, 1), v(2, 1);
+  u(0, 0) = 1.0;
+  v(0, 0) = std::cos(t);
+  v(1, 0) = std::sin(t);
+  const linalg::Vector cosines = linalg::principal_angle_cosines(u, v);
+  ASSERT_EQ(cosines.size(), 1u);
+  EXPECT_NEAR(cosines[0], std::cos(t), 1e-12);
+  const linalg::Vector angles = linalg::principal_angles(u, v);
+  ASSERT_EQ(angles.size(), 1u);
+  EXPECT_NEAR(angles[0], t, 1e-10);
+  EXPECT_NEAR(linalg::max_principal_angle_radians(u, v), t, 1e-10);
+}
+
+TEST(PrincipalAngles, HandComputed3dPlaneVsTiltedPlane) {
+  // x-y plane versus the plane spanned by x and (cos t) y + (sin t) z:
+  // angles are {0, t}; cosines descend {1, cos t}; angles ascend {0, t}.
+  const double t = 1.1;
+  const linalg::Matrix u = axes(3, {0, 1});
+  linalg::Matrix v(3, 2);
+  v(0, 0) = 1.0;
+  v(1, 1) = std::cos(t);
+  v(2, 1) = std::sin(t);
+  const linalg::Vector cosines = linalg::principal_angle_cosines(u, v);
+  ASSERT_EQ(cosines.size(), 2u);
+  EXPECT_NEAR(cosines[0], 1.0, 1e-12);
+  EXPECT_NEAR(cosines[1], std::cos(t), 1e-12);
+  const linalg::Vector angles = linalg::principal_angles(u, v);
+  EXPECT_NEAR(angles[0], 0.0, 1e-7);  // acos resolution floor near 0
+  EXPECT_NEAR(angles[1], t, 1e-10);
+  EXPECT_NEAR(linalg::max_principal_angle_radians(u, v), t, 1e-10);
+}
+
+TEST(PrincipalAngles, HandComputed3dFullyOrthogonal) {
+  const linalg::Matrix u = axes(3, {0});
+  const linalg::Matrix v = axes(3, {1, 2});
+  const linalg::Vector cosines = linalg::principal_angle_cosines(u, v);
+  ASSERT_EQ(cosines.size(), 1u);  // min(rank u, rank v)
+  EXPECT_NEAR(cosines[0], 0.0, 1e-12);
+  EXPECT_NEAR(linalg::max_principal_angle_radians(u, v), M_PI / 2.0, 1e-12);
+}
+
+TEST(PrincipalAngles, EmptySubspaceGivesRightAngleMax) {
+  // Degenerate: no columns to compare — the conservative max is pi/2.
+  EXPECT_NEAR(linalg::max_principal_angle_radians(linalg::Matrix(3, 0),
+                                                  linalg::Matrix(3, 2)),
+              M_PI / 2.0, 1e-12);
+}
+
+TEST(PrincipalAngles, OrderedAndSignBlind) {
+  // Negating a column or permuting columns changes neither the cosine set
+  // nor its ordering (descending by construction).
+  const double t = 0.6;
+  linalg::Matrix u = axes(3, {0, 1});
+  linalg::Matrix v(3, 2);
+  v(0, 1) = -1.0;  // shared axis, negated, in the other column slot
+  v(1, 0) = std::cos(t);
+  v(2, 0) = std::sin(t);
+  const linalg::Vector cosines = linalg::principal_angle_cosines(u, v);
+  ASSERT_EQ(cosines.size(), 2u);
+  EXPECT_GE(cosines[0], cosines[1]);
+  EXPECT_NEAR(cosines[0], 1.0, 1e-12);
+  EXPECT_NEAR(cosines[1], std::cos(t), 1e-12);
 }
 
 TEST(Alignment, Basics) {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "linalg/svd.h"
+#include "pca/exact_ipca.h"
 #include "pca/health.h"
 #include "pca/incremental_pca.h"
 #include "pca/robust_pca.h"
@@ -107,6 +108,29 @@ TEST(AllocCount, RobustObserveWithOutliersIsAllocationFree) {
 
   EXPECT_EQ(allocs, 0u) << "outlier handling allocated on the hot path";
   EXPECT_GT(outliers, 0u) << "test vacuous: no outlier was actually flagged";
+}
+
+TEST(AllocCount, ExactObserveIsAllocationFreeAtSteadyState) {
+  // The exact reference engine's observe() is a rank-1 in-place update of
+  // the d x d second-moment matrix — no SVD, no emit.  Steady state must
+  // be allocation-free exactly like the truncated engines; only the lazy
+  // eigensystem() emit (outside the window) pays an eigendecomposition.
+  pca::ExactIpcaConfig cfg;
+  cfg.dim = kDim;
+  cfg.rank = kRank;
+  pca::ExactIpca engine(cfg);
+
+  const auto data = make_stream(808, cfg.init_count + kWarmup + kSteadyCalls);
+  std::size_t i = 0;
+  for (; i < cfg.init_count + kWarmup; ++i) engine.observe(data[i]);
+  ASSERT_TRUE(engine.initialized());
+
+  perf::AllocWindow window;
+  for (; i < data.size(); ++i) engine.observe(data[i]);
+  const std::uint64_t allocs = window.allocations();
+
+  EXPECT_EQ(allocs, 0u) << "exact observe() allocated on the hot path";
+  EXPECT_EQ(engine.observations(), data.size());
 }
 
 TEST(AllocCount, ClassicObserveBatchIsAllocationFreeAtSteadyState) {
