@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Gate a fresh fig6 bench run against the committed baseline.
+
+Usage:
+    python3 bench/check_regression.py FRESH.json [BASELINE.json]
+
+FRESH.json is a BENCH_fig6.json produced by a just-built bench/fig6_scaling
+run; BASELINE.json defaults to the committed BENCH_fig6.json at the repo
+root.  The gate fails (exit 1) when, over the measured pipeline rows keyed
+by (engines, batch_max):
+
+  * any fresh row's tuples_per_sec falls more than --tolerance (default
+    10%) below the same row in the baseline's "current" measurements, or
+  * any fresh row reports allocs_per_tuple > 0 — the steady-state data
+    plane is supposed to be allocation-free, so a single leaked alloc per
+    tuple is a regression regardless of throughput.
+
+Rows present in only one file are reported but don't fail the gate (engine
+counts may be added or dropped deliberately); the throughput check also
+skips rows whose baseline predates the zero-alloc work (allocs_per_tuple
+> 0 in the baseline) only in the sense that those baselines are still
+compared — the bar never loosens, it only rises with each committed run.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def measured_rows(doc):
+    """Extract {(engines, batch_max): row} from a BENCH_fig6.json object."""
+    current = doc.get("current", doc)  # tolerate a bare {"measured": [...]}
+    rows = current.get("measured", [])
+    return {(int(r["engines"]), int(r.get("batch_max", 1))): r for r in rows}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("fresh", help="BENCH_fig6.json from the fresh run")
+    ap.add_argument(
+        "baseline",
+        nargs="?",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_fig6.json"),
+        help="committed BENCH_fig6.json to gate against (default: repo root)",
+    )
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed fractional throughput drop (default 0.10 = 10%%)",
+    )
+    args = ap.parse_args()
+
+    with open(args.fresh) as f:
+        fresh = measured_rows(json.load(f))
+    with open(args.baseline) as f:
+        base = measured_rows(json.load(f))
+
+    if not fresh:
+        print("FAIL: no measured rows in", args.fresh)
+        return 1
+
+    failures = []
+    for key in sorted(base):
+        engines, batch = key
+        if key not in fresh:
+            print(f"note: e={engines} b={batch} in baseline only (skipped)")
+            continue
+        f_tps = float(fresh[key]["tuples_per_sec"])
+        b_tps = float(base[key]["tuples_per_sec"])
+        floor = (1.0 - args.tolerance) * b_tps
+        verdict = "ok"
+        if f_tps < floor:
+            verdict = "THROUGHPUT REGRESSION"
+            failures.append(
+                f"e={engines} b={batch}: {f_tps:.0f} t/s < "
+                f"{floor:.0f} (baseline {b_tps:.0f} - {args.tolerance:.0%})"
+            )
+        print(
+            f"e={engines} b={batch}: fresh {f_tps:>10.0f} t/s  "
+            f"baseline {b_tps:>10.0f} t/s  [{verdict}]"
+        )
+
+    for key in sorted(fresh):
+        engines, batch = key
+        allocs = float(fresh[key].get("allocs_per_tuple", 0.0))
+        if allocs > 0.0:
+            failures.append(
+                f"e={engines} b={batch}: allocs_per_tuple = {allocs} > 0"
+            )
+            print(f"e={engines} b={batch}: ALLOCS/TUPLE {allocs} > 0")
+        if key not in base:
+            print(f"note: e={engines} b={batch} in fresh only (no gate)")
+
+    if failures:
+        print("\nFAIL:")
+        for msg in failures:
+            print(" -", msg)
+        return 1
+    print("\nPASS: no throughput regression, steady state allocation-free")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,6 +45,23 @@ void StreamingPcaPipeline::build(const PipelineConfig& config) {
   const std::size_t n = config.engines;
   exchange_ = std::make_shared<sync::StateExchange>(n);
 
+  // Payload arena (ISSUE 8): sized so the whole pipeline can be full of
+  // in-flight tuples — every data channel at capacity, each engine's
+  // staging batch, plus slack for tuples held by operator threads — without
+  // the pool ever growing.  Overriding via arena_capacity trades memory
+  // for growth-count noise, never correctness.
+  if (config.pca.dim > 0) {
+    std::size_t slabs = config.arena_capacity;
+    if (slabs == 0) {
+      const std::size_t data_channels = 1 +
+                                        (config.validate_ingest ? 1 : 0) + n +
+                                        (config.collect_outliers ? 1 : 0);
+      slabs = data_channels * config.channel_capacity +
+              n * (std::max<std::size_t>(config.batch_max, 1) + 4) + 64;
+    }
+    arena_ = std::make_unique<stream::TupleArena>(config.pca.dim, slabs);
+  }
+
   // Data plane.  Channels register their gauges with the registry under
   // "chan.<from>-><to>" names.  With ingest validation enabled the graph
   // grows a gatekeeper stage: source -> validate -> split, with rejects
@@ -54,14 +71,34 @@ void StreamingPcaPipeline::build(const PipelineConfig& config) {
       config.channel_capacity);
   source_out_ = source_out;
   if (generator_) {
-    source_ = graph_.add<stream::GeneratorSource>(
+    auto* src = graph_.add<stream::GeneratorSource>(
         "source", std::move(generator_), source_out, config.source_rate);
+    src->set_arena(arena_.get());
+    source_ = src;
   } else {
-    source_ = graph_.add<stream::ReplaySource>(
+    auto* src = graph_.add<stream::ReplaySource>(
         "source", std::move(replay_data_), std::move(replay_masks_),
         source_out, config.source_rate);
+    src->set_arena(arena_.get());
+    source_ = src;
   }
-  registry_.add_operator("source", &source_->metrics(), {}, this);
+  // The source also reports the arena's occupancy gauges: a steady `grown`
+  // rate here means the pool is undersized (or slabs leak out of the
+  // recycle loop, e.g. via collected outliers).
+  registry_.add_operator(
+      "source", &source_->metrics(),
+      arena_ ? stream::MetricsRegistry::Extras([a = arena_.get()] {
+        const stream::ArenaGauges& g = a->gauges();
+        return std::vector<std::pair<std::string, double>>{
+            {"arena_free_slabs", double(g.free_slabs.load())},
+            {"arena_preallocated", double(g.preallocated)},
+            {"arena_leased", double(g.leased.load())},
+            {"arena_grown", double(g.grown.load())},
+            {"arena_renewed", double(g.renewed.load())},
+            {"arena_released", double(g.released.load())}};
+      })
+             : stream::MetricsRegistry::Extras{},
+      this);
 
   stream::ChannelPtr<DataTuple> split_in = source_out;
   if (config.validate_ingest) {
@@ -73,6 +110,7 @@ void StreamingPcaPipeline::build(const PipelineConfig& config) {
     if (policy.expected_dim == 0) policy.expected_dim = config.pca.dim;
     validator_ = graph_.add<stream::ValidateOperator>(
         "validate", source_out, validated_out_, dead_letter_channel_, policy);
+    validator_->set_arena(arena_.get());
     registry_.add_operator(
         "validate", &validator_->metrics(),
         [v = validator_] {
@@ -150,6 +188,7 @@ void StreamingPcaPipeline::build(const PipelineConfig& config) {
         "pca-" + std::to_string(i), int(i), config.pca, engine_data[i],
         engine_control[i], exchange_, engine_control, policy,
         outlier_channel_, std::move(fault_opts), config.batch_max);
+    engine->set_arena(arena_.get());
     engines_.push_back(engine);
     registry_.add_operator(
         "pca-" + std::to_string(i), &engine->metrics(),
@@ -157,6 +196,8 @@ void StreamingPcaPipeline::build(const PipelineConfig& config) {
           const sync::EngineStats s = engine->stats();
           const stream::HistogramSnapshot batch =
               engine->batch_size_histogram().snapshot();
+          const stream::HistogramSnapshot hold =
+              engine->state_lock_hold_histogram().snapshot();
           return std::vector<std::pair<std::string, double>>{
               {"data_tuples", double(s.tuples)},
               {"outliers", double(s.outliers)},
@@ -180,7 +221,14 @@ void StreamingPcaPipeline::build(const PipelineConfig& config) {
               {"batch_size_p50", batch.p50()},
               {"batch_size_p95", batch.p95()},
               {"batch_size_max", double(batch.max)},
-              {"batch_target", double(engine->adaptive_batch())}};
+              {"batch_target", double(engine->adaptive_batch())},
+              // Contention observability (ISSUE 8): how long the engine
+              // holds its state lock per acquisition.  Read together with
+              // the channels' blocked-time histograms to localize stalls.
+              {"lock_holds", double(hold.total)},
+              {"lock_hold_ns_p50", hold.p50()},
+              {"lock_hold_ns_p95", hold.p95()},
+              {"lock_hold_ns_max", double(hold.max)}};
         },
         this);
   }

@@ -30,6 +30,7 @@
 #include "stream/source.h"
 #include "stream/split.h"
 #include "stream/throttle.h"
+#include "stream/tuple_arena.h"
 #include "stream/validate_op.h"
 #include "sync/checkpoint_store.h"
 #include "sync/controller.h"
@@ -65,6 +66,15 @@ struct PipelineConfig {
   /// lock amortization.  Malformed inputs still count per tuple — see
   /// `validate_ingest` for keeping them out of the batch entirely.
   std::size_t batch_max = 1;
+  /// Payload-arena capacity in slabs (ISSUE 8, DESIGN.md "Tuple lifecycle
+  /// & SIMD dispatch").  The pipeline owns a stream::TupleArena of fixed-d
+  /// payload slabs; the source leases one per tuple, operators pass it by
+  /// move, and the engines release it after apply — so at steady state the
+  /// data plane allocates nothing per tuple.  0 (the default) auto-sizes to
+  /// cover every data channel full plus per-engine staging headroom; any
+  /// other value is used verbatim.  Undersizing degrades gracefully: an
+  /// exhausted pool falls back to counted heap growth, never blocking.
+  std::size_t arena_capacity = 0;
   double source_rate = 0.0;  ///< tuples/s cap at the source; 0 = unthrottled
   bool collect_outliers = false;
   /// > 0 runs a SnapshotPublisher sampling every engine at this interval —
@@ -231,6 +241,11 @@ class StreamingPcaPipeline {
   PipelineConfig config_;
   stream::MetricsRegistry registry_;
   std::vector<std::shared_ptr<void>> channels_;
+  // Declared before graph_: operators hold non-owning arena pointers, so
+  // the pool must be destroyed after the graph joins and destroys them.
+  // Slabs still leased by in-flight tuples are owned by those tuples (the
+  // payload is a plain vector); destroying the arena frees only the pool.
+  std::unique_ptr<stream::TupleArena> arena_;
   // Declared before graph_: the SnapshotPublisher operator (owned by the
   // graph) holds a raw pointer to the server, so the server must be
   // destroyed after the graph joins and destroys the publisher.

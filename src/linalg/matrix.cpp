@@ -1,5 +1,7 @@
 #include "linalg/matrix.h"
 
+#include "linalg/simd.h"
+
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
@@ -87,13 +89,16 @@ void Matrix::multiply_into(const Matrix& rhs, Matrix& out) const {
   // output row, both contiguous in row-major — the accumulation order over
   // k matches the naive i-j-k triple loop term for term, so results are
   // bit-identical to it (pinned by the tolerance-zero regression test).
+  // The inner axpy goes through the runtime SIMD dispatch; every tier is
+  // element-wise mul/add without FMA, preserving the bit-identity.
+  const simd::Kernels& kn = simd::active();
   for (std::size_t i = 0; i < rows_; ++i) {
     const double* arow = data_.data() + i * cols_;
     double* orow = out.data_.data() + i * n;
     for (std::size_t k = 0; k < cols_; ++k) {
       const double aik = arow[k];
       const double* brow = rhs.data_.data() + k * n;
-      for (std::size_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
+      kn.axpy(orow, brow, aik, n);
     }
   }
 }
@@ -139,10 +144,11 @@ void Matrix::transpose_times_into(const Vector& v, Vector& out) const {
   // `v[i] == 0` skip saved nothing on dense streams and cost a branch per
   // row.
   double* o = out.data();
+  const simd::Kernels& kn = simd::active();
   for (std::size_t i = 0; i < rows_; ++i) {
     const double vi = v[i];
     const double* arow = data_.data() + i * cols_;
-    for (std::size_t j = 0; j < cols_; ++j) o[j] += arow[j] * vi;
+    kn.axpy(o, arow, vi, cols_);
   }
 }
 
@@ -156,13 +162,14 @@ void Matrix::transpose_times_into(const Matrix& rhs, Matrix& out) const {
   // the outer product a_r b_r^T, reading both operands contiguously; per
   // output entry the terms arrive in increasing r, matching the naive
   // column-dot-column product bit for bit.
+  const simd::Kernels& kn = simd::active();
   for (std::size_t r = 0; r < rows_; ++r) {
     const double* arow = data_.data() + r * cols_;
     const double* brow = rhs.data_.data() + r * rhs.cols_;
     for (std::size_t i = 0; i < cols_; ++i) {
       const double ai = arow[i];
       double* orow = out.data_.data() + i * rhs.cols_;
-      for (std::size_t j = 0; j < rhs.cols_; ++j) orow[j] += ai * brow[j];
+      kn.axpy(orow, brow, ai, rhs.cols_);
     }
   }
 }
@@ -200,12 +207,13 @@ void Matrix::gram_into(Matrix& out) const {
   // upper triangle (i-k-j order per row; contiguous reads and writes), then
   // mirror.  Term order per (i, j) entry is increasing row index — the same
   // as the naive entry-wise dot product, so results are bit-identical.
+  const simd::Kernels& kn = simd::active();
   for (std::size_t r = 0; r < rows_; ++r) {
     const double* arow = data_.data() + r * cols_;
     for (std::size_t i = 0; i < cols_; ++i) {
       const double ai = arow[i];
       double* orow = out.data_.data() + i * cols_;
-      for (std::size_t j = i; j < cols_; ++j) orow[j] += ai * arow[j];
+      kn.axpy(orow + i, arow + i, ai, cols_ - i);
     }
   }
   for (std::size_t i = 0; i < cols_; ++i) {

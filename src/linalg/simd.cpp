@@ -1,0 +1,259 @@
+#include "linalg/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define ASTRO_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define ASTRO_SIMD_X86 0
+#endif
+
+namespace astro::linalg::simd {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar tier: verbatim the PR 3 hand-unrolled loops.  The vector tiers
+// below reproduce these chains lane for lane; keep them in sync.
+
+double dot_scalar(const double* a, const double* b, std::size_t n) {
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  double a4 = 0.0, a5 = 0.0, a6 = 0.0, a7 = 0.0;
+  std::size_t r = 0;
+  for (; r + 8 <= n; r += 8) {
+    a0 += a[r] * b[r];
+    a1 += a[r + 1] * b[r + 1];
+    a2 += a[r + 2] * b[r + 2];
+    a3 += a[r + 3] * b[r + 3];
+    a4 += a[r + 4] * b[r + 4];
+    a5 += a[r + 5] * b[r + 5];
+    a6 += a[r + 6] * b[r + 6];
+    a7 += a[r + 7] * b[r + 7];
+  }
+  double tail = 0.0;
+  for (; r < n; ++r) tail += a[r] * b[r];
+  return (((a0 + a1) + (a2 + a3)) + ((a4 + a5) + (a6 + a7))) + tail;
+}
+
+void axpy_scalar(double* y, const double* x, double alpha, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void rotate2_scalar(double* x, double* y, double c, double s, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double xi = x[i], yi = y[i];
+    x[i] = c * xi - s * yi;
+    y[i] = s * xi + c * yi;
+  }
+}
+
+constexpr Kernels kScalarKernels{dot_scalar, axpy_scalar, rotate2_scalar,
+                                 Mode::kScalar};
+
+#if ASTRO_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// AVX2 tier.  Compiled with per-function target attributes so the rest of
+// the binary keeps the baseline ISA; only ever called after cpuid says yes.
+// No FMA: mul then add, like the scalar code the compiler emits.
+
+__attribute__((target("avx2"))) double dot_avx2(const double* a,
+                                                const double* b,
+                                                std::size_t n) {
+  // acc0 lanes = scalar chains a0..a3, acc1 lanes = chains a4..a7.
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::size_t r = 0;
+  for (; r + 8 <= n; r += 8) {
+    acc0 = _mm256_add_pd(
+        acc0, _mm256_mul_pd(_mm256_loadu_pd(a + r), _mm256_loadu_pd(b + r)));
+    acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(_mm256_loadu_pd(a + r + 4),
+                                             _mm256_loadu_pd(b + r + 4)));
+  }
+  alignas(32) double lo[4], hi[4];
+  _mm256_store_pd(lo, acc0);
+  _mm256_store_pd(hi, acc1);
+  double tail = 0.0;
+  for (; r < n; ++r) tail += a[r] * b[r];
+  return (((lo[0] + lo[1]) + (lo[2] + lo[3])) +
+          ((hi[0] + hi[1]) + (hi[2] + hi[3]))) +
+         tail;
+}
+
+__attribute__((target("avx2"))) void axpy_avx2(double* y, const double* x,
+                                               double alpha, std::size_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        y + i, _mm256_add_pd(_mm256_loadu_pd(y + i),
+                             _mm256_mul_pd(va, _mm256_loadu_pd(x + i))));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+__attribute__((target("avx2"))) void rotate2_avx2(double* x, double* y,
+                                                  double c, double s,
+                                                  std::size_t n) {
+  const __m256d vc = _mm256_set1_pd(c);
+  const __m256d vs = _mm256_set1_pd(s);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d xv = _mm256_loadu_pd(x + i);
+    const __m256d yv = _mm256_loadu_pd(y + i);
+    _mm256_storeu_pd(
+        x + i, _mm256_sub_pd(_mm256_mul_pd(vc, xv), _mm256_mul_pd(vs, yv)));
+    _mm256_storeu_pd(
+        y + i, _mm256_add_pd(_mm256_mul_pd(vs, xv), _mm256_mul_pd(vc, yv)));
+  }
+  for (; i < n; ++i) {
+    const double xi = x[i], yi = y[i];
+    x[i] = c * xi - s * yi;
+    y[i] = s * xi + c * yi;
+  }
+}
+
+constexpr Kernels kAvx2Kernels{dot_avx2, axpy_avx2, rotate2_avx2, Mode::kAvx2};
+
+// ---------------------------------------------------------------------------
+// AVX-512 tier.  One 8-wide accumulator IS the scalar 8-chain unroll.
+
+__attribute__((target("avx512f"))) double dot_avx512(const double* a,
+                                                     const double* b,
+                                                     std::size_t n) {
+  __m512d acc = _mm512_setzero_pd();
+  std::size_t r = 0;
+  for (; r + 8 <= n; r += 8) {
+    acc = _mm512_add_pd(
+        acc, _mm512_mul_pd(_mm512_loadu_pd(a + r), _mm512_loadu_pd(b + r)));
+  }
+  alignas(64) double lanes[8];
+  _mm512_store_pd(lanes, acc);
+  double tail = 0.0;
+  for (; r < n; ++r) tail += a[r] * b[r];
+  return (((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+          ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]))) +
+         tail;
+}
+
+__attribute__((target("avx512f"))) void axpy_avx512(double* y, const double* x,
+                                                    double alpha,
+                                                    std::size_t n) {
+  const __m512d va = _mm512_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm512_storeu_pd(
+        y + i, _mm512_add_pd(_mm512_loadu_pd(y + i),
+                             _mm512_mul_pd(va, _mm512_loadu_pd(x + i))));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+__attribute__((target("avx512f"))) void rotate2_avx512(double* x, double* y,
+                                                       double c, double s,
+                                                       std::size_t n) {
+  const __m512d vc = _mm512_set1_pd(c);
+  const __m512d vs = _mm512_set1_pd(s);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d xv = _mm512_loadu_pd(x + i);
+    const __m512d yv = _mm512_loadu_pd(y + i);
+    _mm512_storeu_pd(
+        x + i, _mm512_sub_pd(_mm512_mul_pd(vc, xv), _mm512_mul_pd(vs, yv)));
+    _mm512_storeu_pd(
+        y + i, _mm512_add_pd(_mm512_mul_pd(vs, xv), _mm512_mul_pd(vc, yv)));
+  }
+  for (; i < n; ++i) {
+    const double xi = x[i], yi = y[i];
+    x[i] = c * xi - s * yi;
+    y[i] = s * xi + c * yi;
+  }
+}
+
+constexpr Kernels kAvx512Kernels{dot_avx512, axpy_avx512, rotate2_avx512,
+                                 Mode::kAvx512};
+
+#endif  // ASTRO_SIMD_X86
+
+std::atomic<const Kernels*> g_active{nullptr};
+
+const Kernels* resolve_startup() noexcept {
+  Mode m = detect();
+  if (const char* env = std::getenv("ASTRO_SIMD")) {
+    if (auto parsed = parse_mode(env)) {
+      // Never select a tier the CPU can't run; a bogus override degrades to
+      // the detected best rather than crashing on an illegal instruction.
+      if (*parsed <= m) m = *parsed;
+    }
+  }
+  const Kernels* table = &kernels_for(m);
+  const Kernels* expected = nullptr;
+  g_active.compare_exchange_strong(expected, table,
+                                   std::memory_order_acq_rel);
+  return g_active.load(std::memory_order_acquire);
+}
+
+}  // namespace
+
+Mode detect() noexcept {
+#if ASTRO_SIMD_X86 && defined(__GNUC__)
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx512f")) return Mode::kAvx512;
+  if (__builtin_cpu_supports("avx2")) return Mode::kAvx2;
+#endif
+  return Mode::kScalar;
+}
+
+const Kernels& kernels_for(Mode m) noexcept {
+#if ASTRO_SIMD_X86
+  switch (m) {
+    case Mode::kAvx512:
+      return kAvx512Kernels;
+    case Mode::kAvx2:
+      return kAvx2Kernels;
+    case Mode::kScalar:
+      break;
+  }
+#else
+  (void)m;
+#endif
+  return kScalarKernels;
+}
+
+const Kernels& active() noexcept {
+  const Kernels* k = g_active.load(std::memory_order_acquire);
+  if (k == nullptr) k = resolve_startup();
+  return *k;
+}
+
+Mode active_mode() noexcept { return active().mode; }
+
+bool set_mode(Mode m) noexcept {
+  if (m > detect()) return false;
+  g_active.store(&kernels_for(m), std::memory_order_release);
+  return true;
+}
+
+std::optional<Mode> parse_mode(std::string_view name) noexcept {
+  if (name == "auto") return detect();
+  if (name == "scalar") return Mode::kScalar;
+  if (name == "avx2") return Mode::kAvx2;
+  if (name == "avx512") return Mode::kAvx512;
+  return std::nullopt;
+}
+
+const char* mode_name(Mode m) noexcept {
+  switch (m) {
+    case Mode::kAvx512:
+      return "avx512";
+    case Mode::kAvx2:
+      return "avx2";
+    case Mode::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+}  // namespace astro::linalg::simd

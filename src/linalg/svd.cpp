@@ -1,5 +1,7 @@
 #include "linalg/svd.h"
 
+#include "linalg/simd.h"
+
 #include <algorithm>
 #include <atomic>
 #include <cmath>
@@ -23,31 +25,14 @@ struct ColView {
   double* col(std::size_t c) const { return a + c * m; }
 };
 
-// Inner product with eight independent accumulator chains.  Without
-// -ffast-math the compiler must keep a single `acc +=` reduction serial —
-// one FP-add latency per element — so the Jacobi pair visits (one dot per
-// pair, the bulk of steady-state work) run ~4-8x slower than the ALU
-// allows.  Splitting the sum into independent chains fills the pipeline;
-// the deterministic fixed-stride order keeps results reproducible
-// run-to-run (both SVD entry points share this code, preserving their
-// bit-identity).
+// Inner product with eight independent accumulator chains, routed through
+// the runtime SIMD dispatch (simd.h).  The scalar tier is the PR 3
+// hand-unrolled 8-chain reduction; the AVX2/AVX-512 tiers lay the same
+// chains across vector lanes with the same pinned reduction order and no
+// FMA, so every tier is bit-identical (both SVD entry points share this
+// code, preserving their bit-identity).
 double dot8(const double* a, const double* b, std::size_t m) {
-  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
-  double a4 = 0.0, a5 = 0.0, a6 = 0.0, a7 = 0.0;
-  std::size_t r = 0;
-  for (; r + 8 <= m; r += 8) {
-    a0 += a[r] * b[r];
-    a1 += a[r + 1] * b[r + 1];
-    a2 += a[r + 2] * b[r + 2];
-    a3 += a[r + 3] * b[r + 3];
-    a4 += a[r + 4] * b[r + 4];
-    a5 += a[r + 5] * b[r + 5];
-    a6 += a[r + 6] * b[r + 6];
-    a7 += a[r + 7] * b[r + 7];
-  }
-  double tail = 0.0;
-  for (; r < m; ++r) tail += a[r] * b[r];
-  return (((a0 + a1) + (a2 + a3)) + ((a4 + a5) + (a6 + a7))) + tail;
+  return simd::active().dot(a, b, m);
 }
 
 // Copies `src` (row-major) into the workspace buffer in column-major order
@@ -90,21 +75,14 @@ bool rotate_pair(const ColView& w, std::vector<double>* v, double* norms2,
                    (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
   const double c = 1.0 / std::sqrt(1.0 + t * t);
   const double s = c * t;
-  for (std::size_t r = 0; r < m; ++r) {
-    const double wi = ci[r], wj = cj[r];
-    ci[r] = c * wi - s * wj;
-    cj[r] = s * wi + c * wj;
-  }
+  const simd::Kernels& k = simd::active();
+  k.rotate2(ci, cj, c, s, m);
   norms2[i] = std::max(0.0, alpha - t * gamma);
   norms2[j] = std::max(0.0, beta + t * gamma);
   if (v != nullptr) {
     double* vi = v->data() + i * n;
     double* vj = v->data() + j * n;
-    for (std::size_t r = 0; r < n; ++r) {
-      const double x = vi[r], y = vj[r];
-      vi[r] = c * x - s * y;
-      vj[r] = s * x + c * y;
-    }
+    k.rotate2(vi, vj, c, s, n);
   }
   return true;
 }

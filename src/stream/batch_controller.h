@@ -1,0 +1,84 @@
+#pragma once
+
+// Backpressure-adaptive batch-target controller with hysteresis (ISSUE 8).
+//
+// The PR 5 controller reacted to the *instantaneous* queue depth: double
+// the target when the queue looked deep, halve when it looked empty.  On a
+// bursty arrival pattern (a square wave: a burst fills the queue, then a
+// lull drains it) that thrashes between b=1 and b=max every few drains —
+// each flip re-sizing the SVD problem and re-shaping the state-lock hold
+// time, which is exactly the batching/contention interaction that made
+// b=8 lose on multi-engine runs.
+//
+// Three classic control elements fix it:
+//   - the depth signal is EWMA-smoothed (weight w: ewma += w*(depth-ewma)),
+//   - a move requires the smoothed history and the instantaneous sample to
+//     agree, so a single deep or empty sample cannot move the target, and
+//   - every target change starts a hold-down of `hold_ticks` ticks during
+//     which the target is frozen, bounding the change rate regardless of
+//     how wild the input gets.
+//
+// Pure logic, single-threaded (one controller per engine thread), no
+// clocks: a "tick" is one drain attempt, which keeps the regression test
+// deterministic.
+
+#include <algorithm>
+#include <cstddef>
+
+namespace astro::stream {
+
+class AdaptiveBatchController {
+ public:
+  struct Config {
+    std::size_t max = 1;         ///< batch_max: target stays in [1, max]
+    double ewma_weight = 0.125;  ///< depth smoothing (1/8: ~8-tick memory)
+    std::size_t hold_ticks = 16; ///< freeze after any change
+  };
+
+  explicit AdaptiveBatchController(Config cfg) : cfg_(cfg) {
+    if (cfg_.max == 0) cfg_.max = 1;
+    if (cfg_.ewma_weight <= 0.0 || cfg_.ewma_weight > 1.0) {
+      cfg_.ewma_weight = 0.125;
+    }
+  }
+
+  /// One drain attempt observed `depth` queued tuples (0 for an idle tick).
+  /// Returns the batch target to use for the next drain.
+  ///
+  /// A move needs the smoothed history (EWMA as of the *previous* tick)
+  /// AND the instantaneous sample to agree — so no single sample, however
+  /// extreme, can move the target: a lone spike fails the history check
+  /// when it arrives and fails the instantaneous check once its residue
+  /// reaches the EWMA.
+  std::size_t tick(std::size_t depth) noexcept {
+    const double prior = ewma_;
+    ewma_ += cfg_.ewma_weight * (double(depth) - ewma_);
+    if (hold_ > 0) {
+      --hold_;
+      return target_;
+    }
+    if (target_ < cfg_.max && prior >= double(target_) &&
+        depth >= target_) {
+      // Sustained backlog at least one full batch deep: amortize harder.
+      target_ = std::min(cfg_.max, target_ * 2);
+      hold_ = cfg_.hold_ticks;
+    } else if (target_ > 1 && prior < double(target_) / 4.0 &&
+               depth < target_) {
+      // Sustained near-idle: decay toward per-tuple latency.
+      target_ /= 2;
+      hold_ = cfg_.hold_ticks;
+    }
+    return target_;
+  }
+
+  [[nodiscard]] std::size_t target() const noexcept { return target_; }
+  [[nodiscard]] double smoothed_depth() const noexcept { return ewma_; }
+
+ private:
+  Config cfg_;
+  double ewma_ = 0.0;
+  std::size_t target_ = 1;
+  std::size_t hold_ = 0;
+};
+
+}  // namespace astro::stream

@@ -30,10 +30,12 @@ class OperatorMetrics {
   }
 
   void record_in(std::size_t bytes = 0) noexcept {
+    stamp_first_io();
     tuples_in_.fetch_add(1, std::memory_order_relaxed);
     bytes_in_.fetch_add(bytes, std::memory_order_relaxed);
   }
   void record_out(std::size_t bytes = 0) noexcept {
+    stamp_first_io();
     tuples_out_.fetch_add(1, std::memory_order_relaxed);
     bytes_out_.fetch_add(bytes, std::memory_order_relaxed);
   }
@@ -53,6 +55,7 @@ class OperatorMetrics {
     // Clear any previous stop first so a restarted operator measures to
     // "now" again instead of to the stale stop timestamp.
     stop_ns_.store(0, std::memory_order_relaxed);
+    first_io_ns_.store(0, std::memory_order_relaxed);
     start_ns_.store(now_ns(), std::memory_order_relaxed);
   }
   void mark_stop() noexcept {
@@ -95,13 +98,38 @@ class OperatorMetrics {
     return end > start ? double(end - start) * 1e-9 : 0.0;
   }
 
-  /// Output tuples per elapsed second.
+  /// Wall seconds the operator has been *active*: from its first tuple
+  /// (in or out) to mark_stop (or now).  Excludes the spawn-to-first-tuple
+  /// gap, which on a loaded single-core box can be many milliseconds of
+  /// pure scheduler delay while the rest of the graph starts — time the
+  /// operator spent with literally nothing to do.  Falls back to the
+  /// start timestamp while no tuple has flowed yet.
+  [[nodiscard]] double active_seconds() const noexcept {
+    std::uint64_t start = first_io_ns_.load(std::memory_order_relaxed);
+    if (start == 0) start = start_ns_.load(std::memory_order_relaxed);
+    if (start == 0) return 0.0;
+    std::uint64_t end = stop_ns_.load(std::memory_order_relaxed);
+    if (end == 0) end = now_ns();
+    return end > start ? double(end - start) * 1e-9 : 0.0;
+  }
+
+  /// Output tuples per *active* second (see active_seconds()): the rate the
+  /// operator sustained while the stream was actually flowing through it.
   [[nodiscard]] double throughput() const noexcept {
-    const double s = elapsed_seconds();
+    const double s = active_seconds();
     return s > 0.0 ? double(tuples_out()) / s : 0.0;
   }
 
  private:
+  /// First record_in/record_out after mark_start.  Only the operator
+  /// thread records tuples, so the unsynchronized check-then-store is a
+  /// single-writer idiom; readers (sampler threads) see 0 or the stamp.
+  void stamp_first_io() noexcept {
+    if (first_io_ns_.load(std::memory_order_relaxed) == 0) {
+      first_io_ns_.store(now_ns(), std::memory_order_relaxed);
+    }
+  }
+
   std::atomic<std::uint64_t> tuples_in_{0};
   std::atomic<std::uint64_t> tuples_out_{0};
   std::atomic<std::uint64_t> bytes_in_{0};
@@ -109,6 +137,7 @@ class OperatorMetrics {
   std::atomic<std::uint64_t> dropped_{0};
   std::atomic<std::uint64_t> start_ns_{0};
   std::atomic<std::uint64_t> stop_ns_{0};
+  std::atomic<std::uint64_t> first_io_ns_{0};
   LatencyHistogram proc_;
   LatencyHistogram push_wait_;
   LatencyHistogram pop_wait_;

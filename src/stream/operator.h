@@ -38,8 +38,12 @@ class Operator {
   /// restart() to launch a fresh incarnation after the previous one exited.
   void start() {
     if (thread_.joinable()) return;
-    metrics_.mark_start();
+    // The elapsed window is stamped from inside the operator thread: on a
+    // loaded box the gap between std::thread construction and the first
+    // scheduled slice can reach milliseconds, and charging that to the
+    // operator skews every throughput number derived from elapsed time.
     thread_ = std::thread([this] {
+      metrics_.mark_start();
       run();
       metrics_.mark_stop();
     });
@@ -52,8 +56,8 @@ class Operator {
   /// restart must not override a shutdown in progress.
   void restart() {
     join();
-    metrics_.mark_start();
     thread_ = std::thread([this] {
+      metrics_.mark_start();
       run();
       metrics_.mark_stop();
     });

@@ -7,6 +7,16 @@
 // pop blocks until data or close.  close() drains: consumers keep popping
 // what remains, then receive false.
 //
+// Storage is a fixed-capacity ring of in-place slots (ISSUE 8): a push
+// move-assigns into the tail slot, a pop move-assigns out of the head
+// slot and leaves the slot's moved-from payload buffers behind for the
+// next push to re-steal.  No node allocation ever happens after
+// construction — unlike the former std::deque backing, whose block churn
+// charged the data plane ~1 allocation every few tuples.  Ring invariants:
+// `count_` live items start at `head_`; indices advance modulo capacity;
+// a slot is written only by push and read only by pop, always under the
+// mutex.
+//
 // Lock/notify discipline (audited): every mutator releases the mutex
 // *before* notifying so a woken waiter never immediately blocks on the
 // still-held lock.  push/pop notify after unlock; try_push/try_pop scope
@@ -14,22 +24,24 @@
 // critical section.
 //
 // The channel also carries its own gauges (depth, high watermark, traffic
-// and blocking counters) so a metrics sampler can observe "the data
-// channels traffic" (paper §III-D) without touching the queue lock: gauges
-// are relaxed atomics updated while the mutex is held.
+// and blocking counters, and since ISSUE 8 blocked-time histograms) so a
+// metrics sampler can observe "the data channels traffic" (paper §III-D)
+// without touching the queue lock: gauges are relaxed atomics updated
+// while the mutex is held.
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <vector>
 
 #include "stream/fault.h"
+#include "stream/histogram.h"
 
 namespace astro::stream {
 
@@ -43,6 +55,12 @@ namespace astro::stream {
 /// or reroute.  `corrupted` counts pushes that *landed* with injected
 /// damage — they are included in `pushed`, so conservation is unchanged;
 /// the counter lets tests pin down exactly how many bad tuples entered.
+///
+/// `push_blocked`/`pop_blocked` count waits; the matching `*_blocked_ns`
+/// histograms record how long each wait lasted (wait-free to record and to
+/// snapshot), so contention shows up as a distribution, not just a rate —
+/// the observability that exposed the batching/state-lock interaction this
+/// refactor fixed.
 struct QueueGauges {
   std::atomic<std::uint64_t> pushed{0};
   std::atomic<std::uint64_t> popped{0};
@@ -55,12 +73,15 @@ struct QueueGauges {
   std::atomic<std::size_t> depth{0};
   std::atomic<std::size_t> high_watermark{0};
   std::size_t capacity = 0;
+  LatencyHistogram push_blocked_ns;  ///< producer wait durations
+  LatencyHistogram pop_blocked_ns;   ///< consumer wait durations
 };
 
 template <typename T>
 class BoundedQueue {
  public:
-  explicit BoundedQueue(std::size_t capacity = 1024) : capacity_(capacity) {
+  explicit BoundedQueue(std::size_t capacity = 1024)
+      : capacity_(capacity == 0 ? 1 : capacity), slots_(capacity_) {
     gauges_.capacity = capacity_;
   }
 
@@ -96,15 +117,17 @@ class BoundedQueue {
       gauges_.corrupted.fetch_add(1, std::memory_order_relaxed);
     }
     std::unique_lock lock(mutex_);
-    if (items_.size() >= capacity_ && !closed_) {
+    if (count_ >= capacity_ && !closed_) {
       gauges_.push_blocked.fetch_add(1, std::memory_order_relaxed);
-      not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+      const auto t0 = std::chrono::steady_clock::now();
+      not_full_.wait(lock, [&] { return count_ < capacity_ || closed_; });
+      gauges_.push_blocked_ns.record(elapsed_ns(t0));
     }
     if (closed_) {
       gauges_.rejected.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
-    items_.push_back(std::move(item));
+    put_locked(std::move(item));
     note_depth_locked();
     lock.unlock();
     not_empty_.notify_one();
@@ -130,11 +153,11 @@ class BoundedQueue {
     }
     {
       std::lock_guard lock(mutex_);
-      if (closed_ || items_.size() >= capacity_) {
+      if (closed_ || count_ >= capacity_) {
         gauges_.rejected.fetch_add(1, std::memory_order_relaxed);
         return false;
       }
-      items_.push_back(std::move(item));
+      put_locked(std::move(item));
       note_depth_locked();
     }
     not_empty_.notify_one();
@@ -144,13 +167,14 @@ class BoundedQueue {
   /// Blocks until an item or close+empty.  Returns false on exhausted close.
   bool pop(T& out) {
     std::unique_lock lock(mutex_);
-    if (items_.empty() && !closed_) {
+    if (count_ == 0 && !closed_) {
       gauges_.pop_blocked.fetch_add(1, std::memory_order_relaxed);
-      not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+      const auto t0 = std::chrono::steady_clock::now();
+      not_empty_.wait(lock, [&] { return count_ != 0 || closed_; });
+      gauges_.pop_blocked_ns.record(elapsed_ns(t0));
     }
-    if (items_.empty()) return false;
-    out = std::move(items_.front());
-    items_.pop_front();
+    if (count_ == 0) return false;
+    out = take_locked();
     note_pop_locked();
     lock.unlock();
     not_full_.notify_one();
@@ -163,20 +187,55 @@ class BoundedQueue {
   template <typename Rep, typename Period>
   bool pop_for(T& out, std::chrono::duration<Rep, Period> timeout) {
     std::unique_lock lock(mutex_);
-    if (items_.empty() && !closed_) {
+    if (count_ == 0 && !closed_) {
       gauges_.pop_blocked.fetch_add(1, std::memory_order_relaxed);
-      if (!not_empty_.wait_for(lock, timeout,
-                               [&] { return !items_.empty() || closed_; })) {
-        return false;
-      }
+      const auto t0 = std::chrono::steady_clock::now();
+      const bool ready = not_empty_.wait_for(
+          lock, timeout, [&] { return count_ != 0 || closed_; });
+      gauges_.pop_blocked_ns.record(elapsed_ns(t0));
+      if (!ready) return false;
     }
-    if (items_.empty()) return false;
-    out = std::move(items_.front());
-    items_.pop_front();
+    if (count_ == 0) return false;
+    out = take_locked();
     note_pop_locked();
     lock.unlock();
     not_full_.notify_one();
     return true;
+  }
+
+  /// Drains up to `max` items into `out` (appended) in ONE lock round-trip
+  /// — the engine's batched drain, so queue contention no longer scales
+  /// with the batch size.  Blocks like pop_for only when the queue is
+  /// empty; once any item is available it takes what is there (up to
+  /// `max`) without waiting for more.  Returns the number of items
+  /// appended; 0 on timeout or exhausted close.  Callers reserve `out` up
+  /// front, so the appends never allocate.
+  template <typename Rep, typename Period>
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max,
+                        std::chrono::duration<Rep, Period> timeout) {
+    if (max == 0) return 0;
+    std::unique_lock lock(mutex_);
+    if (count_ == 0 && !closed_) {
+      gauges_.pop_blocked.fetch_add(1, std::memory_order_relaxed);
+      const auto t0 = std::chrono::steady_clock::now();
+      const bool ready = not_empty_.wait_for(
+          lock, timeout, [&] { return count_ != 0 || closed_; });
+      gauges_.pop_blocked_ns.record(elapsed_ns(t0));
+      if (!ready) return 0;
+    }
+    const std::size_t n = count_ < max ? count_ : max;
+    if (n == 0) return 0;
+    for (std::size_t i = 0; i < n; ++i) out.push_back(take_locked());
+    gauges_.popped.fetch_add(n, std::memory_order_relaxed);
+    gauges_.depth.store(count_, std::memory_order_relaxed);
+    lock.unlock();
+    // n slots freed at once; wake every blocked producer, not just one.
+    if (n > 1) {
+      not_full_.notify_all();
+    } else {
+      not_full_.notify_one();
+    }
+    return n;
   }
 
   /// Non-blocking pop.
@@ -184,9 +243,8 @@ class BoundedQueue {
     std::optional<T> out;
     {
       std::lock_guard lock(mutex_);
-      if (items_.empty()) return out;
-      out = std::move(items_.front());
-      items_.pop_front();
+      if (count_ == 0) return out;
+      out = take_locked();
       note_pop_locked();
     }
     not_full_.notify_one();
@@ -205,7 +263,7 @@ class BoundedQueue {
 
   [[nodiscard]] std::size_t size() const {
     std::lock_guard lock(mutex_);
-    return items_.size();
+    return count_;
   }
 
   [[nodiscard]] bool closed() const {
@@ -235,10 +293,33 @@ class BoundedQueue {
     return hook(attempt);
   }
 
+  static std::uint64_t elapsed_ns(
+      std::chrono::steady_clock::time_point t0) noexcept {
+    return std::uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count());
+  }
+
+  // Ring primitives; run with mutex_ held.  The popped slot keeps its
+  // moved-from payload (e.g. a vector whose buffer was stolen), which the
+  // next put_locked's move-assign destroys — empty, so destroying it frees
+  // nothing and the ring stays allocation-silent at steady state.
+  void put_locked(T&& item) {
+    slots_[(head_ + count_) % capacity_] = std::move(item);
+    ++count_;
+  }
+
+  T take_locked() {
+    T out = std::move(slots_[head_]);
+    head_ = (head_ + 1) % capacity_;
+    --count_;
+    return out;
+  }
+
   // Both helpers run with mutex_ held, so the read-modify-write on the
   // high watermark cannot race another writer; readers load relaxed.
   void note_depth_locked() noexcept {
-    const std::size_t d = items_.size();
+    const std::size_t d = count_;
     gauges_.pushed.fetch_add(1, std::memory_order_relaxed);
     gauges_.depth.store(d, std::memory_order_relaxed);
     if (d > gauges_.high_watermark.load(std::memory_order_relaxed)) {
@@ -247,14 +328,16 @@ class BoundedQueue {
   }
   void note_pop_locked() noexcept {
     gauges_.popped.fetch_add(1, std::memory_order_relaxed);
-    gauges_.depth.store(items_.size(), std::memory_order_relaxed);
+    gauges_.depth.store(count_, std::memory_order_relaxed);
   }
 
   const std::size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
-  std::deque<T> items_;
+  std::vector<T> slots_;     // fixed ring storage; sized once, never resized
+  std::size_t head_ = 0;     // index of the oldest live item
+  std::size_t count_ = 0;    // live items
   bool closed_ = false;
   QueueGauges gauges_;
   FaultHook fault_hook_;

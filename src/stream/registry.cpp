@@ -156,7 +156,10 @@ std::string RegistrySnapshot::to_json() const {
     append_field(out, "delayed", q.delayed);
     append_field(out, "corrupted", q.corrupted);
     append_field(out, "push_blocked", q.push_blocked);
-    append_field(out, "pop_blocked", q.pop_blocked, /*comma=*/false);
+    append_field(out, "pop_blocked", q.pop_blocked);
+    append_histogram(out, "push_blocked_ns", q.push_blocked_ns);
+    out += ',';
+    append_histogram(out, "pop_blocked_ns", q.pop_blocked_ns);
     out += '}';
   }
   out += "]}";
@@ -236,6 +239,8 @@ RegistrySnapshot MetricsRegistry::snapshot() const {
     q.corrupted = e.gauges->corrupted.load(std::memory_order_relaxed);
     q.push_blocked = e.gauges->push_blocked.load(std::memory_order_relaxed);
     q.pop_blocked = e.gauges->pop_blocked.load(std::memory_order_relaxed);
+    q.push_blocked_ns = e.gauges->push_blocked_ns.snapshot();
+    q.pop_blocked_ns = e.gauges->pop_blocked_ns.snapshot();
     s.queues.push_back(std::move(q));
   }
   return s;

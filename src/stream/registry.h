@@ -58,6 +58,8 @@ struct QueueSnapshot {
   std::uint64_t corrupted = 0;
   std::uint64_t push_blocked = 0;
   std::uint64_t pop_blocked = 0;
+  HistogramSnapshot push_blocked_ns;  ///< producer wait-time distribution
+  HistogramSnapshot pop_blocked_ns;   ///< consumer wait-time distribution
 };
 
 struct RegistrySnapshot {

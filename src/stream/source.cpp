@@ -36,8 +36,19 @@ void GeneratorSource::run() {
     DataTuple t;
     t.seq = seq++;
     t.timestamp_us = now_us();
-    t.values = std::move(next->values);
-    t.mask = std::move(next->mask);
+    if (arena_) {
+      // Leased payload: the generated item is *copied* into pooled buffers
+      // (capacity-reusing assignments — no allocation at steady state).
+      // Moving the generator's buffers in instead would feed one fresh heap
+      // payload per tuple into the recycle loop and grow the pool without
+      // bound.
+      arena_->acquire(t);
+      t.values = next->values;
+      t.mask = next->mask;
+    } else {
+      t.values = std::move(next->values);
+      t.mask = std::move(next->mask);
+    }
     const std::size_t bytes = t.wire_bytes();
     const std::uint64_t t_push = OperatorMetrics::now_ns();
     if (!out_->push(std::move(t))) {
@@ -65,6 +76,9 @@ void ReplaySource::run() {
     DataTuple t;
     t.seq = i;
     t.timestamp_us = now_us();
+    // With an arena the copies below land in leased buffers (capacity
+    // reused); without one they allocate per tuple, as before.
+    if (arena_) arena_->acquire(t);
     t.values = data_[i];
     if (i < masks_.size()) t.mask = masks_[i];
     const std::size_t bytes = t.wire_bytes();

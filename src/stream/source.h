@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "stream/operator.h"
+#include "stream/tuple_arena.h"
 
 namespace astro::stream {
 
@@ -41,6 +42,13 @@ class GeneratorSource final : public Operator {
         out_(std::move(out)),
         max_rate_(max_rate) {}
 
+  /// Wires the payload arena (may be null = heap payloads).  Each emitted
+  /// tuple then carries a leased slab: the generated item is copied into
+  /// pooled buffers (a capacity-reusing copy), so the payload the pipeline
+  /// recycles is the arena's, not a fresh heap object per tuple.  The
+  /// generator's own buffers remain its business.  Call before start().
+  void set_arena(TupleArena* arena) noexcept { arena_ = arena; }
+
  protected:
   void run() override;
 
@@ -56,6 +64,7 @@ class GeneratorSource final : public Operator {
   MaskedGenerator gen_;
   ChannelPtr<DataTuple> out_;
   double max_rate_;  // 0 = unthrottled
+  TupleArena* arena_ = nullptr;  // non-owning; null = heap payloads
 };
 
 /// Replays a fixed dataset (optionally with per-observation masks), in
@@ -79,6 +88,11 @@ class ReplaySource final : public Operator {
         out_(std::move(out)),
         max_rate_(max_rate) {}
 
+  /// Wires the payload arena (see GeneratorSource::set_arena): each replayed
+  /// observation is copied into a leased slab instead of a per-tuple heap
+  /// copy of the dataset row.  Call before start().
+  void set_arena(TupleArena* arena) noexcept { arena_ = arena; }
+
  protected:
   void run() override;
 
@@ -87,6 +101,7 @@ class ReplaySource final : public Operator {
   std::vector<pca::PixelMask> masks_;
   ChannelPtr<DataTuple> out_;
   double max_rate_;  // 0 = unthrottled
+  TupleArena* arena_ = nullptr;  // non-owning; null = heap payloads
 };
 
 }  // namespace astro::stream

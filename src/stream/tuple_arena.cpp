@@ -1,0 +1,68 @@
+#include "stream/tuple_arena.h"
+
+namespace astro::stream {
+
+TupleArena::TupleArena(std::size_t dim, std::size_t prealloc) {
+  gauges_.dim = dim;
+  gauges_.preallocated = prealloc;
+  // Headroom on the free-list vector itself: releases beyond the
+  // preallocated population (pool growth under a burst) should not
+  // reallocate the spine on the data path.
+  free_.reserve(prealloc * 2 + 64);
+  for (std::size_t i = 0; i < prealloc; ++i) {
+    Slab s;
+    s.values.resize_no_shrink(dim);
+    s.mask.assign(dim, false);  // bake full mask capacity...
+    s.mask.clear();             // ...but hand out empty (= dense) masks
+    free_.push_back(std::move(s));
+  }
+  gauges_.free_slabs.store(free_.size(), std::memory_order_relaxed);
+}
+
+void TupleArena::acquire(DataTuple& t) {
+  const std::size_t d = gauges_.dim;
+  if (t.values.size() != 0) {
+    // Lease renewal: the tuple still carries a slab (e.g. a source reusing
+    // its staging tuple after a failed push) — resize in place.
+    t.values.resize_no_shrink(d);
+    t.mask.clear();
+    gauges_.renewed.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    if (!free_.empty()) {
+      Slab& s = free_.back();
+      t.values = std::move(s.values);
+      t.mask = std::move(s.mask);
+      free_.pop_back();
+      gauges_.free_slabs.store(free_.size(), std::memory_order_relaxed);
+      gauges_.leased.fetch_add(1, std::memory_order_relaxed);
+      t.values.resize_no_shrink(d);
+      t.mask.clear();
+      return;
+    }
+  }
+  // Pool exhausted: degrade to a fresh allocation (counted), never block.
+  t.values.resize_no_shrink(d);
+  t.mask.clear();
+  gauges_.grown.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TupleArena::release(DataTuple& t) noexcept {
+  if (t.values.size() == 0 && t.mask.empty()) return;  // moved-from: no lease
+  Slab s;
+  s.values = std::move(t.values);
+  s.mask = std::move(t.mask);
+  std::lock_guard lock(mutex_);
+  free_.push_back(std::move(s));
+  gauges_.free_slabs.store(free_.size(), std::memory_order_relaxed);
+  gauges_.released.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TupleArena::release_all(std::vector<DataTuple>& batch) noexcept {
+  for (DataTuple& t : batch) release(t);
+  batch.clear();
+}
+
+}  // namespace astro::stream

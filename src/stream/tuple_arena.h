@@ -1,0 +1,96 @@
+#pragma once
+
+// TupleArena — free-list pool of fixed-d tuple payload slabs (ISSUE 8,
+// DESIGN.md "Tuple lifecycle & SIMD dispatch").
+//
+// A DataTuple's payload (the d-entry value vector plus the optional pixel
+// mask) is the only per-tuple heap object in the data plane.  The arena
+// makes that payload a *lease*: the source acquires a slab, the tuple
+// carries it by move through the channels and operators, and whoever
+// finishes with the tuple releases the slab back — so at steady state the
+// pipeline allocates nothing per tuple.
+//
+// Ownership rules:
+//   - the pipeline owns the arena; operators hold non-owning pointers and
+//     may be wired without one (null arena => plain heap payloads, the
+//     pre-ISSUE-8 behavior);
+//   - acquire() hands `t` a slab sized to `dim` with a cleared mask; if
+//     `t` already carries a payload buffer it is reused in place (a lease
+//     renewal, not a second lease);
+//   - release() takes the payload back and leaves `t` empty; releasing an
+//     empty (moved-from) tuple is a no-op, so "release everything in the
+//     staging buffer" is always safe after some tuples were forwarded
+//     downstream by move;
+//   - the free list never shrinks while the arena lives; slabs that leave
+//     the pipeline for good (quarantined forensics copies, collected
+//     outliers) are simply regrown on demand (`grown` gauge).
+//
+// Exhaustion degrades, never blocks: an acquire on an empty free list
+// falls back to a fresh allocation and counts it, so an undersized arena
+// shows up in the gauges instead of deadlocking the source.
+//
+// Thread-safe: one mutex around the free list (acquire/release are O(1)
+// moves), relaxed-atomic occupancy gauges readable without it.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "stream/tuple.h"
+
+namespace astro::stream {
+
+/// Occupancy gauges, sampled lock-free.  `leased + grown` = total
+/// acquires; `released` = payloads returned; `free_slabs` = current pool
+/// size.  A steady `grown` rate means the arena is undersized (or slabs
+/// are leaking out of the recycle loop).
+struct ArenaGauges {
+  std::atomic<std::uint64_t> leased{0};    ///< acquires served from the pool
+  std::atomic<std::uint64_t> grown{0};     ///< acquires that allocated fresh
+  std::atomic<std::uint64_t> renewed{0};   ///< acquires reusing the tuple's own buffer
+  std::atomic<std::uint64_t> released{0};  ///< payloads returned to the pool
+  std::atomic<std::size_t> free_slabs{0};  ///< current free-list size
+  std::size_t preallocated = 0;            ///< slabs built at construction
+  std::size_t dim = 0;                     ///< payload dimension
+};
+
+class TupleArena {
+ public:
+  /// Builds the pool with `prealloc` ready slabs of dimension `dim` (mask
+  /// capacity included), so a correctly sized pipeline never grows it.
+  TupleArena(std::size_t dim, std::size_t prealloc);
+
+  TupleArena(const TupleArena&) = delete;
+  TupleArena& operator=(const TupleArena&) = delete;
+
+  /// Leases a payload into `t`: values sized to dim (contents
+  /// unspecified), mask empty with dim capacity.  Reuses `t`'s own buffer
+  /// when it already carries one.
+  void acquire(DataTuple& t);
+
+  /// Returns `t`'s payload to the pool and leaves `t` empty.  No-op for
+  /// an empty (moved-from) tuple.
+  void release(DataTuple& t) noexcept;
+
+  /// Releases every tuple in `batch` (skipping moved-from ones) and
+  /// clears it — the engine's end-of-drain sweep and its exception-path
+  /// cleanup.
+  void release_all(std::vector<DataTuple>& batch) noexcept;
+
+  [[nodiscard]] const ArenaGauges& gauges() const noexcept { return gauges_; }
+  [[nodiscard]] std::size_t dim() const noexcept { return gauges_.dim; }
+
+ private:
+  struct Slab {
+    linalg::Vector values;
+    pca::PixelMask mask;
+  };
+
+  std::mutex mutex_;
+  std::vector<Slab> free_;
+  ArenaGauges gauges_;
+};
+
+}  // namespace astro::stream

@@ -53,13 +53,23 @@ void ValidateOperator::run() {
     by_reason_[std::size_t(outcome.reason)].fetch_add(
         1, std::memory_order_relaxed);
     if (dlq_) {
-      DeadLetter letter{std::move(t), outcome.reason};
+      DeadLetter letter;
+      letter.reason = outcome.reason;
+      if (arena_) {
+        // Copy-on-quarantine: the forensics copy may allocate (rejects are
+        // the rare path), so the leased slab can return to the pool below
+        // instead of leaving the pipeline inside the DLQ retention buffer.
+        letter.tuple = t;
+      } else {
+        letter.tuple = std::move(t);
+      }
       // Non-blocking: a full DLQ must never backpressure the science
       // stream.  The loss is still accounted for.
       if (!dlq_->try_push(letter)) {
         dlq_overflow_.fetch_add(1, std::memory_order_relaxed);
       }
     }
+    if (arena_) arena_->release(t);
     t_prev = OperatorMetrics::now_ns();
   }
   out_->close();

@@ -25,6 +25,7 @@
 #include "spectra/validate.h"
 #include "stream/dead_letter.h"
 #include "stream/operator.h"
+#include "stream/tuple_arena.h"
 
 namespace astro::stream {
 
@@ -67,6 +68,14 @@ class ValidateOperator final : public Operator {
     return policy_;
   }
 
+  /// Wires the payload arena (may be null).  Repair already runs in the
+  /// tuple's own buffers; with an arena the *quarantine* path changes from
+  /// move-into-DLQ to copy-on-quarantine: forensics get their own heap
+  /// copy (the rare path may allocate) and the leased slab returns to the
+  /// pool instead of leaking into the DLQ retention buffer.  Call before
+  /// start().
+  void set_arena(TupleArena* arena) noexcept { arena_ = arena; }
+
  protected:
   void run() override;
 
@@ -75,6 +84,7 @@ class ValidateOperator final : public Operator {
   ChannelPtr<DataTuple> out_;
   ChannelPtr<DeadLetter> dlq_;
   spectra::ValidationPolicy policy_;
+  TupleArena* arena_ = nullptr;  // non-owning; null = heap payloads
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> quarantined_{0};
   std::atomic<std::uint64_t> repaired_{0};

@@ -1,5 +1,6 @@
 #include "sync/pca_engine_op.h"
 
+#include <thread>
 #include <chrono>
 #include <cmath>
 
@@ -7,6 +8,24 @@ namespace astro::sync {
 
 using stream::ControlTuple;
 using stream::DataTuple;
+
+namespace {
+/// Records how long the state lock was *held* (not waited for): construct
+/// after acquisition, records on scope exit — including exception unwinds,
+/// so injected crashes mid-apply still leave a sample.
+class ScopedHoldTimer {
+ public:
+  explicit ScopedHoldTimer(stream::LatencyHistogram& hist) noexcept
+      : hist_(hist), t0_(stream::OperatorMetrics::now_ns()) {}
+  ~ScopedHoldTimer() { hist_.record(stream::OperatorMetrics::now_ns() - t0_); }
+  ScopedHoldTimer(const ScopedHoldTimer&) = delete;
+  ScopedHoldTimer& operator=(const ScopedHoldTimer&) = delete;
+
+ private:
+  stream::LatencyHistogram& hist_;
+  std::uint64_t t0_;
+};
+}  // namespace
 
 PcaEngineOperator::PcaEngineOperator(
     std::string name, int engine_id, const pca::RobustPcaConfig& pca_config,
@@ -27,12 +46,24 @@ PcaEngineOperator::PcaEngineOperator(
       policy_(policy),
       outlier_out_(std::move(outlier_out)),
       fault_(std::move(fault_options)),
-      batch_max_(batch_max == 0 ? 1 : batch_max) {
+      batch_max_(batch_max == 0 ? 1 : batch_max),
+      controller_(stream::AdaptiveBatchController::Config{
+          .max = batch_max == 0 ? 1 : batch_max}) {
   // Reserved once: the drain loop and report emission then run
   // allocation-free at any batch size the controller picks.
   batch_.reserve(batch_max_);
   batch_xs_.reserve(batch_max_);
   batch_reports_.reserve(batch_max_);
+  // Pre-warm the update workspace for the largest batch the controller can
+  // drain: ensure() is idempotent and never shrinks, so the first full-size
+  // batched SVD finds its scratch already sized instead of growing it on
+  // the data path.
+  if (pca_config_.dim > 0) {
+    pca::UpdateWorkspace ws = pca_.take_workspace();
+    ws.ensure(pca_config_.dim,
+              pca_config_.rank + pca_config_.extra_rank + batch_max_);
+    pca_.adopt_workspace(std::move(ws));
+  }
 }
 
 pca::EigenSystem PcaEngineOperator::snapshot() const {
@@ -53,16 +84,13 @@ EngineStats PcaEngineOperator::stats() const {
 void PcaEngineOperator::apply_batch_locked() {
   const std::size_t nb = batch_.size();
   ++stats_.batches;
-  // WAL discipline: the WHOLE drained batch is logged before any of it is
-  // applied, so a kill anywhere inside the batch loses nothing — every
-  // popped tuple is either inside the last checkpoint or in the log, and
-  // recovery replays the log strictly per tuple.  Checkpointing is
-  // deferred to the end of the batch: maybe_checkpoint_locked() truncates
-  // the log, and a mid-batch truncation would drop logged-but-unapplied
-  // tuples.
-  if (fault_.checkpoints) {
-    for (const DataTuple& t : batch_) replay_log_.push_back(t);
-  }
+  // WAL discipline: the caller logged the WHOLE drained batch (outside the
+  // state lock — the log is engine-thread-only) before acquiring the lock,
+  // so a kill anywhere inside the batch loses nothing — every popped tuple
+  // is either inside the last checkpoint or in the log, and recovery
+  // replays the log strictly per tuple.  Checkpointing is deferred to the
+  // end of the batch: maybe_checkpoint_locked() truncates the log, and a
+  // mid-batch truncation would drop logged-but-unapplied tuples.
   std::size_t applied = 0;
   while (applied < nb) {
     if (fault_.injector && fault_.injector->should_kill(id_, stats_.tuples)) {
@@ -126,9 +154,23 @@ void PcaEngineOperator::apply_batch_locked() {
   maybe_checkpoint_locked();
 }
 
+void PcaEngineOperator::wal_append(const DataTuple& t) {
+  // Slot reuse: copy-assign into a retired entry when one exists — its
+  // payload buffers (value vector, mask) keep their capacity across
+  // truncations, so the steady-state WAL write is a memcpy-sized copy with
+  // zero allocation.  push_back only while the log grows toward its
+  // high-water mark.
+  if (replay_log_size_ < replay_log_.size()) {
+    replay_log_[replay_log_size_] = t;
+  } else {
+    replay_log_.push_back(t);
+  }
+  ++replay_log_size_;
+}
+
 void PcaEngineOperator::maybe_checkpoint_locked() {
   if (!fault_.checkpoints || fault_.checkpoint_every == 0) return;
-  if (replay_log_.size() < fault_.checkpoint_every) return;
+  if (replay_log_size_ < fault_.checkpoint_every) return;
   // The init buffer is not snapshotable state; keep logging until the
   // eigensystem exists (the log stays bounded: init_count ≪ the interval).
   if (!pca_.initialized()) return;
@@ -144,8 +186,10 @@ void PcaEngineOperator::maybe_checkpoint_locked() {
   ck.since_last_sync = since_last_sync_;
   ck.blob = CheckpointStore::encode(pca_.eigensystem(), pca_config_.alpha);
   fault_.checkpoints->put(std::move(ck));
-  // Everything up to here is durable; the WAL restarts from empty.
-  replay_log_.clear();
+  // Everything up to here is durable; the WAL restarts from empty.  The
+  // rewind keeps the retired entries (and their payload capacity) in place
+  // for wal_append to reuse next interval.
+  replay_log_size_ = 0;
 }
 
 void PcaEngineOperator::recover() {
@@ -173,7 +217,8 @@ void PcaEngineOperator::recover() {
   stats_.tuples = base_tuples;
   stats_.outliers = base_outliers;
   since_last_sync_ = base_sync;
-  for (const DataTuple& t : replay_log_) {
+  for (std::size_t li = 0; li < replay_log_size_; ++li) {
+    const DataTuple& t = replay_log_[li];
     // Replay quarantine: the log may contain the very tuple that poisoned
     // this incarnation (the watchdog fires *after* the damage is applied).
     // Re-applying it would re-poison the restored state, so invalid tuples
@@ -215,6 +260,7 @@ void PcaEngineOperator::recover() {
 
 void PcaEngineOperator::handle_control(const ControlTuple& cmd) {
   std::lock_guard lock(state_mutex_);
+  ScopedHoldTimer hold(state_lock_hold_ns_);
   ++stats_.control_in;
   if (cmd.sender == id_) {
     // Publish our state, then forward the command to the receiver — the
@@ -315,7 +361,10 @@ void PcaEngineOperator::run() {
     // Simulated hard crash: this incarnation's in-memory eigensystem is
     // gone — only the checkpoint plus the replay log can bring it back
     // (recover()).  The operator object, its channels and the log survive,
-    // standing in for the durable parts of a real deployment.
+    // standing in for the durable parts of a real deployment.  Leased
+    // payloads in the staging buffer go back to the pool: the WAL holds
+    // copies, so recovery does not need them.
+    if (arena_) arena_->release_all(batch_);
     wipe_state_for_recovery();
     set_stop_reason(stream::StopReason::kNone);
     lifecycle_.store(int(EngineLifecycle::kCrashed),
@@ -333,6 +382,7 @@ void PcaEngineOperator::run() {
       std::lock_guard lock(state_mutex_);
       ++stats_.health_faults;
     }
+    if (arena_) arena_->release_all(batch_);
     wipe_state_for_recovery();
     set_stop_reason(stream::StopReason::kNone);
     lifecycle_.store(int(EngineLifecycle::kCrashed),
@@ -369,64 +419,65 @@ void PcaEngineOperator::run_loop() {
       continue;
     }
 
-    DataTuple t;
+    // Backpressure-adaptive batch sizing: a deep input queue means latency
+    // is already queue-bound, so amortizing the SVD (and the state lock)
+    // over more tuples is free; an empty queue means the stream is slower
+    // than the engine and per-tuple updates give the best tail latency.
+    // The controller smooths the depth signal and rate-limits its moves
+    // (see batch_controller.h) — one tick per drain attempt, idle drains
+    // included, so a lull decays the target without a special case.
+    const std::size_t target = controller_.tick(data_in_->size());
+    adaptive_batch_.store(target, std::memory_order_relaxed);
+
+    // One lock round-trip drains the whole batch: queue contention no
+    // longer scales with the batch size (the old pop_for + try_pop loop
+    // took target+1 lock acquisitions per batch).
+    batch_.clear();
     const std::uint64_t t_pop = stream::OperatorMetrics::now_ns();
-    if (!data_in_->pop_for(t, 1ms)) {
+    const std::size_t got = data_in_->pop_batch(batch_, target, 1ms);
+    if (got == 0) {
       if (data_in_->closed() && data_in_->size() == 0) data_open = false;
-      // Idle tick: decay the controller toward per-tuple mode so the first
-      // tuples after a lull see minimal batching latency.
-      const std::size_t cur = adaptive_batch_.load(std::memory_order_relaxed);
-      if (cur > 1) {
-        adaptive_batch_.store(cur / 2, std::memory_order_relaxed);
-      }
       continue;
     }
     const std::uint64_t t_popped = stream::OperatorMetrics::now_ns();
     metrics_.record_pop_wait_ns(t_popped - t_pop);
 
-    // Backpressure-adaptive batch sizing: a deep input queue means latency
-    // is already queue-bound, so amortizing the SVD (and the state lock)
-    // over more tuples is free; an empty queue means the stream is slower
-    // than the engine and per-tuple updates give the best tail latency.
-    std::size_t target = adaptive_batch_.load(std::memory_order_relaxed);
-    const std::size_t depth = data_in_->size();
-    if (depth == 0) {
-      target = std::max<std::size_t>(1, target / 2);
-    } else if (depth >= target && target < batch_max_) {
-      target = std::min(batch_max_, target * 2);
-    }
-    adaptive_batch_.store(target, std::memory_order_relaxed);
-
-    // Drain up to `target` tuples without blocking.  The structural guard
-    // (O(1)) runs per tuple as before: a wrong-length or mask-mismatched
-    // tuple would make observe() throw out of the run loop, so it is
-    // dropped here rather than kill the engine over a malformed input.
-    batch_.clear();
-    metrics_.record_in(t.wire_bytes());
-    if (t.values.size() != pca_config_.dim ||
-        (!t.mask.empty() && t.mask.size() != t.values.size())) {
-      metrics_.record_dropped();
-    } else {
-      batch_.push_back(std::move(t));
-    }
-    while (batch_.size() < target) {
-      auto more = data_in_->try_pop();
-      if (!more.has_value()) break;
-      metrics_.record_in(more->wire_bytes());
-      if (more->values.size() != pca_config_.dim ||
-          (!more->mask.empty() && more->mask.size() != more->values.size())) {
+    // Structural guard (O(1) per tuple), compacting in place: a
+    // wrong-length or mask-mismatched tuple would make observe() throw out
+    // of the run loop, so it is dropped here — its payload going back to
+    // the arena — rather than kill the engine over a malformed input.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < got; ++i) {
+      metrics_.record_in(batch_[i].wire_bytes());
+      if (batch_[i].values.size() != pca_config_.dim ||
+          (!batch_[i].mask.empty() &&
+           batch_[i].mask.size() != batch_[i].values.size())) {
         metrics_.record_dropped();
+        if (arena_) arena_->release(batch_[i]);
         continue;
       }
-      batch_.push_back(std::move(*more));
+      if (kept != i) batch_[kept] = std::move(batch_[i]);
+      ++kept;
     }
+    batch_.resize(kept);
     if (batch_.empty()) continue;
+
+    // WAL append happens OUTSIDE the state lock (the log is engine-thread-
+    // only): snapshot readers and control traffic no longer wait behind
+    // per-tuple log copies.  Ordering is unchanged — the whole batch is
+    // durable in the log before any of it mutates the eigensystem.
+    if (fault_.checkpoints) {
+      for (const DataTuple& t : batch_) wal_append(t);
+    }
 
     const std::size_t nb = batch_.size();
     batch_hist_.record(nb);
     batch_reports_.assign(nb, pca::ObservationReport{});
     {
+      // The state lock now covers exactly the eigensystem mutation (plus
+      // the checkpoint encode, which reads the fresh state).
       std::lock_guard lock(state_mutex_);
+      ScopedHoldTimer hold(state_lock_hold_ns_);
       apply_batch_locked();
     }
     // Amortized per-tuple update cost — the paper's O(d p²) incremental
@@ -449,6 +500,26 @@ void PcaEngineOperator::run_loop() {
           metrics_.record_out(bytes);
         }
       }
+    }
+    // Applied payloads go back to the pool; forwarded outliers left by
+    // move, so the sweep skips their husks (their slabs leave the pipeline
+    // with them — the arena regrows on demand).
+    if (arena_) arena_->release_all(batch_);
+    // Hand the processor over periodically.  Batched draining made the
+    // engine CPU-hungry in long stretches; on a box with fewer cores than
+    // engines that lets each engine burn a full scheduler slice (~4-20 ms)
+    // while the source and splitter sit runnable-but-starved, which shows
+    // up as multi-millisecond stalls at the head of the stream.  Pre-batch
+    // engines yielded implicitly via their per-tuple blocking pops; this
+    // keeps that cooperative behavior (a no-op when cores outnumber
+    // runnable threads).  The yield fires on a fixed *tuple* stride, not
+    // per batch: yielding every batch would hand small-batch engines 8x
+    // the scheduler courtesy of batch_max=8 ones, inverting the batching
+    // win whenever upstream competes for the same cores.
+    tuples_since_yield_ += nb;
+    if (tuples_since_yield_ >= kYieldStride) {
+      tuples_since_yield_ = 0;
+      std::this_thread::yield();
     }
   }
   // Note: the outlier channel is shared by every engine; the pipeline (its

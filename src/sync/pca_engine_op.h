@@ -41,16 +41,17 @@
 // re-poisoned by the WAL.
 
 #include <atomic>
-#include <deque>
 #include <memory>
 #include <vector>
 
 #include "pca/health.h"
 #include "pca/merge.h"
 #include "pca/robust_pca.h"
+#include "stream/batch_controller.h"
 #include "stream/fault.h"
 #include "stream/histogram.h"
 #include "stream/operator.h"
+#include "stream/tuple_arena.h"
 #include "sync/checkpoint_store.h"
 #include "sync/exchange.h"
 #include "sync/independence.h"
@@ -142,6 +143,22 @@ class PcaEngineOperator final : public stream::Operator {
     return adaptive_batch_.load(std::memory_order_relaxed);
   }
 
+  /// State-lock hold-time distribution: one sample per acquisition the
+  /// engine thread makes (batch apply and control handling).  Together with
+  /// the channels' blocked-time histograms this localizes contention — a
+  /// fat lock-hold tail with thin queue waits means the eigensystem work
+  /// itself is the bottleneck, not the plumbing.  Wait-free to read.
+  [[nodiscard]] const stream::LatencyHistogram& state_lock_hold_histogram()
+      const noexcept {
+    return state_lock_hold_ns_;
+  }
+
+  /// Wires the payload arena (may be null = heap payloads).  The engine
+  /// releases batch payloads back after applying them — including on the
+  /// structural-drop and crash-unwinding paths — so leased slabs recycle
+  /// instead of leaking.  Call before start().
+  void set_arena(stream::TupleArena* arena) noexcept { arena_ = arena; }
+
   /// False from the moment the watchdog trips until recover() completes.
   /// The SyncController's health gate reads this to exclude a quarantined
   /// engine from merge pairs.
@@ -176,6 +193,7 @@ class PcaEngineOperator final : public stream::Operator {
   void apply_batch_locked();
   void maybe_checkpoint_locked();
   void wipe_state_for_recovery();
+  void wal_append(const stream::DataTuple& t);
 
   int id_;
   pca::RobustPcaConfig pca_config_;
@@ -193,22 +211,42 @@ class PcaEngineOperator final : public stream::Operator {
   /// exactly; > 1 lets the backpressure-adaptive controller amortize one
   /// thin SVD (and one lock round-trip) over up to batch_max tuples.
   std::size_t batch_max_;
-  /// Current controller target in [1, batch_max_]: doubles while the input
-  /// queue is at least this deep (backpressure — latency is already queue-
-  /// bound, so amortize), halves toward 1 when the queue runs empty (idle —
-  /// per-tuple latency wins).  Atomic only for observability reads.
+  /// Hysteretic batch-target controller (ISSUE 8): EWMA-smoothed depth,
+  /// history+instantaneous agreement to move, hold-down after every change.
+  /// Replaces the PR 5 instantaneous double/halve logic, which flapped on
+  /// bursty arrivals.  Engine-thread-only; ticked once per drain attempt.
+  stream::AdaptiveBatchController controller_;
+  /// Mirror of the controller's target for observability reads (metrics
+  /// extras, tests); the controller itself is single-threaded state.
   std::atomic<std::size_t> adaptive_batch_{1};
+  /// Payload arena (non-owning, may be null).  Drained batch payloads are
+  /// released back after apply; forwarded outliers leave by move and are
+  /// skipped by the release sweep.
+  stream::TupleArena* arena_ = nullptr;
   std::vector<stream::DataTuple> batch_;              // drained, pre-guard
   std::vector<const linalg::Vector*> batch_xs_;       // contiguous run view
   std::vector<pca::ObservationReport> batch_reports_; // one per batch tuple
   stream::LatencyHistogram batch_hist_;
+  stream::LatencyHistogram state_lock_hold_ns_;  // per-acquisition hold time
 
   mutable std::mutex state_mutex_;  // guards pca_ for snapshot()
   std::uint64_t since_last_sync_ = 0;
   EngineStats stats_;
-  /// Write-ahead log of tuples popped since the last checkpoint (guarded by
-  /// state_mutex_; empty unless checkpoints are enabled).
-  std::deque<stream::DataTuple> replay_log_;
+  /// Write-ahead log of tuples popped since the last checkpoint (empty
+  /// unless checkpoints are enabled).  A slot-reusing vector: the live log
+  /// is the first `replay_log_size_` entries, truncation just rewinds the
+  /// count, and wal_append copy-assigns into retired slots — their payload
+  /// capacity survives, so steady-state logging allocates nothing.
+  /// Engine-thread-only (appends happen *outside* the state lock, on the
+  /// drain path; maybe_checkpoint_locked truncates from the same thread;
+  /// recover() runs with the thread dead), so no lock guards it.
+  std::vector<stream::DataTuple> replay_log_;
+  std::size_t replay_log_size_ = 0;
+  /// Cooperative-scheduling stride (see the drain loop): the engine yields
+  /// the processor after roughly this many applied tuples, independent of
+  /// the micro-batch size the controller picked.
+  static constexpr std::size_t kYieldStride = 8;
+  std::size_t tuples_since_yield_ = 0;  // engine-thread-only
   pca::HealthWorkspace health_ws_;  // guarded by state_mutex_
   std::atomic<std::uint64_t> heartbeat_{0};
   std::atomic<int> lifecycle_{int(EngineLifecycle::kIdle)};

@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "app/pipeline.h"
 #include "linalg/svd.h"
 #include "pca/exact_ipca.h"
 #include "pca/health.h"
@@ -335,6 +336,57 @@ TEST(AllocCount, ServeReaderPathIsAllocationFreeAtSteadyState) {
   EXPECT_TRUE(ok);
   EXPECT_EQ(server.cache_misses(), 1u);  // warm-up only; the loop all hit
   EXPECT_EQ(server.cache_hits(), kSteadyCalls);
+}
+
+TEST(AllocCount, FullPipelineSteadyStateIsAllocationFreePerTuple) {
+  // The e2e version of the per-class probes above (ISSUE 8): the WHOLE
+  // pipeline — replay source leasing arena slabs, ingest validation,
+  // splitter, ring channels, four batching engines — must have ~zero
+  // *marginal* allocation cost per tuple once warm.
+  //
+  // Differential two-run design: a pipeline run has a real fixed
+  // allocation budget (thread spawns, per-engine init-phase buffering,
+  // gtest plumbing) that a single AllocWindow cannot separate from the
+  // per-tuple cost.  So run two pipelines identical in everything but
+  // stream length and attribute the allocation *difference* to the extra
+  // tuples.  Sync, outlier collection, checkpoints, and the samplers stay
+  // off: their cadences are wall-clock-driven, which would make the two
+  // runs differ by more than the stream length.
+  constexpr std::size_t kEngines = 4;
+  constexpr std::size_t kWarmTuples = 600;
+  constexpr std::size_t kExtraTuples = 1000;
+
+  const auto run_pipeline = [](std::size_t tuples) -> std::uint64_t {
+    stats::Rng rng(7707);  // same seed: the warm prefix is identical
+    std::vector<Vector> data;
+    data.reserve(tuples);
+    for (std::size_t i = 0; i < tuples; ++i) {
+      data.push_back(rng.gaussian_vector(kDim));
+    }
+    app::PipelineConfig cfg;
+    cfg.pca.dim = kDim;
+    cfg.pca.rank = kRank;
+    cfg.engines = kEngines;
+    cfg.batch_max = 8;
+    cfg.validate_ingest = true;
+    cfg.sync_rate_hz = 0.0;      // no control plane (see above)
+    cfg.channel_capacity = 128;  // keeps the arena prealloc modest
+    app::StreamingPcaPipeline pipeline(cfg, std::move(data));
+
+    perf::AllocWindow window;
+    pipeline.run();
+    return window.allocations();
+  };
+
+  const std::uint64_t base = run_pipeline(kWarmTuples);
+  const std::uint64_t longer = run_pipeline(kWarmTuples + kExtraTuples);
+  const double per_tuple =
+      longer <= base ? 0.0
+                     : double(longer - base) / double(kExtraTuples);
+
+  EXPECT_LT(per_tuple, 0.05)
+      << "full pipeline allocated per tuple at steady state: base run "
+      << base << " allocs, longer run " << longer;
 }
 
 TEST(AllocCount, ProbeCountsAllocations) {

@@ -280,5 +280,94 @@ TEST(BoundedQueue, MultipleProducersAndConsumers) {
   EXPECT_EQ(sum.load(), 3 * kPerProducer);
 }
 
+// --- pop_batch (ISSUE 8: one-lock batched drains) ------------------------
+
+TEST(BoundedQueue, PopBatchTakesUpToMaxWithoutWaitingForMore) {
+  BoundedQueue<int> q(8);
+  for (int i = 1; i <= 5; ++i) q.push(i);
+  std::vector<int> out;
+  out.reserve(8);
+  // More available than max: take exactly max, FIFO order.
+  EXPECT_EQ(q.pop_batch(out, 3, 10ms), 3u);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], 2);
+  EXPECT_EQ(out[2], 3);
+  // Fewer available than max: take what is there, do not wait for more.
+  EXPECT_EQ(q.pop_batch(out, 10, 10ms), 2u);
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[3], 4);
+  EXPECT_EQ(out[4], 5);
+  EXPECT_EQ(q.gauges().popped.load(), 5u);
+  EXPECT_EQ(q.gauges().depth.load(), 0u);
+}
+
+TEST(BoundedQueue, PopBatchTimesOutEmptyAndDrainsAfterClose) {
+  BoundedQueue<int> q(4);
+  std::vector<int> out;
+  out.reserve(4);
+  EXPECT_EQ(q.pop_batch(out, 4, 1ms), 0u);  // timeout, nothing taken
+  EXPECT_TRUE(out.empty());
+  q.push(7);
+  q.close();
+  EXPECT_EQ(q.pop_batch(out, 4, 1ms), 1u);  // backlog drains after close
+  EXPECT_EQ(q.pop_batch(out, 4, 1ms), 0u);  // exhausted close
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 7);
+}
+
+TEST(BoundedQueue, PopBatchUnblocksAllWaitingProducers) {
+  BoundedQueue<int> q(2);
+  q.push(1);
+  q.push(2);
+  // Two producers block on the full queue; one pop_batch frees both slots
+  // and must wake both (notify_all), or one would hang until close.
+  std::thread p1([&] { q.push(3); });
+  std::thread p2([&] { q.push(4); });
+  while (q.gauges().push_blocked.load() < 2) std::this_thread::yield();
+  std::vector<int> out;
+  out.reserve(4);
+  EXPECT_EQ(q.pop_batch(out, 2, 100ms), 2u);
+  p1.join();
+  p2.join();
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.gauges().push_blocked_ns.snapshot().total, 2u);
+}
+
+TEST(BoundedQueue, BlockedTimeHistogramsRecordWaits) {
+  BoundedQueue<int> q(1);
+  // Consumer wait: pop_for on empty queue records one pop_blocked sample.
+  int v = 0;
+  EXPECT_FALSE(q.pop_for(v, 1ms));
+  EXPECT_EQ(q.gauges().pop_blocked.load(), 1u);
+  const auto pop_hist = q.gauges().pop_blocked_ns.snapshot();
+  EXPECT_EQ(pop_hist.total, 1u);
+  EXPECT_GE(pop_hist.max, 100000u);  // waited at least 0.1ms of the 1ms
+
+  // Producer wait: fill the queue, block a push, then free a slot.
+  q.push(1);
+  std::thread blocked([&] { q.push(2); });
+  while (q.gauges().push_blocked.load() < 1) std::this_thread::yield();
+  ASSERT_TRUE(q.pop(v));
+  blocked.join();
+  EXPECT_EQ(q.gauges().push_blocked_ns.snapshot().total, 1u);
+}
+
+TEST(BoundedQueue, RingWrapsAroundManyTimesPreservingFifo) {
+  BoundedQueue<int> q(3);  // tiny ring: forces head wrap every 3 items
+  int next_push = 0, next_pop = 0;
+  for (int round = 0; round < 50; ++round) {
+    q.push(next_push++);
+    q.push(next_push++);
+    int v = 0;
+    ASSERT_TRUE(q.pop(v));
+    EXPECT_EQ(v, next_pop++);
+    ASSERT_TRUE(q.pop(v));
+    EXPECT_EQ(v, next_pop++);
+  }
+  EXPECT_EQ(q.gauges().pushed.load(), 100u);
+  EXPECT_EQ(q.gauges().popped.load(), 100u);
+}
+
 }  // namespace
 }  // namespace astro::stream
