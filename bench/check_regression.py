@@ -1,19 +1,25 @@
 #!/usr/bin/env python3
-"""Gate a fresh fig6 bench run against the committed baseline.
+"""Gate a fresh bench run against the committed baseline.
 
 Usage:
     python3 bench/check_regression.py FRESH.json [BASELINE.json]
 
 FRESH.json is a BENCH_fig6.json produced by a just-built bench/fig6_scaling
-run; BASELINE.json defaults to the committed BENCH_fig6.json at the repo
-root.  The gate fails (exit 1) when, over the measured pipeline rows keyed
-by (engines, batch_max):
+run, or a BENCH_transport.json from bench/transport_stream (pass the
+committed BENCH_transport.json as BASELINE.json); BASELINE.json defaults
+to the committed BENCH_fig6.json at the repo root.  The gate fails
+(exit 1) when, over the measured pipeline rows keyed by
+(transport, engines, batch_max) — transport defaults to "local" for files
+that predate the field:
 
   * any fresh row's tuples_per_sec falls more than --tolerance (default
     10%) below the same row in the baseline's "current" measurements, or
-  * any fresh row reports allocs_per_tuple > 0 — the steady-state data
-    plane is supposed to be allocation-free, so a single leaked alloc per
-    tuple is a regression regardless of throughput.
+  * any fresh *local-path* row reports allocs_per_tuple > 0 — the
+    steady-state in-process data plane is supposed to be allocation-free,
+    so a single leaked alloc per tuple is a regression regardless of
+    throughput.  Rows behind the TCP transport ("tcp", "wire") serialize
+    every tuple by design and are exempt from the allocation gate (their
+    throughput is still gated).
 
 Rows present in only one file are reported but don't fail the gate (engine
 counts may be added or dropped deliberately); the throughput check also
@@ -29,10 +35,23 @@ from pathlib import Path
 
 
 def measured_rows(doc):
-    """Extract {(engines, batch_max): row} from a BENCH_fig6.json object."""
+    """Extract {(transport, engines, batch_max): row} from a BENCH_*.json."""
     current = doc.get("current", doc)  # tolerate a bare {"measured": [...]}
     rows = current.get("measured", [])
-    return {(int(r["engines"]), int(r.get("batch_max", 1))): r for r in rows}
+    return {
+        (
+            str(r.get("transport", "local")),
+            int(r["engines"]),
+            int(r.get("batch_max", 1)),
+        ): r
+        for r in rows
+    }
+
+
+def row_label(key):
+    transport, engines, batch = key
+    label = f"e={engines} b={batch}"
+    return label if transport == "local" else f"{transport} {label}"
 
 
 def main():
@@ -63,9 +82,8 @@ def main():
 
     failures = []
     for key in sorted(base):
-        engines, batch = key
         if key not in fresh:
-            print(f"note: e={engines} b={batch} in baseline only (skipped)")
+            print(f"note: {row_label(key)} in baseline only (skipped)")
             continue
         f_tps = float(fresh[key]["tuples_per_sec"])
         b_tps = float(base[key]["tuples_per_sec"])
@@ -74,24 +92,24 @@ def main():
         if f_tps < floor:
             verdict = "THROUGHPUT REGRESSION"
             failures.append(
-                f"e={engines} b={batch}: {f_tps:.0f} t/s < "
+                f"{row_label(key)}: {f_tps:.0f} t/s < "
                 f"{floor:.0f} (baseline {b_tps:.0f} - {args.tolerance:.0%})"
             )
         print(
-            f"e={engines} b={batch}: fresh {f_tps:>10.0f} t/s  "
+            f"{row_label(key)}: fresh {f_tps:>10.0f} t/s  "
             f"baseline {b_tps:>10.0f} t/s  [{verdict}]"
         )
 
     for key in sorted(fresh):
-        engines, batch = key
+        transport = key[0]
         allocs = float(fresh[key].get("allocs_per_tuple", 0.0))
-        if allocs > 0.0:
+        if transport == "local" and allocs > 0.0:
             failures.append(
-                f"e={engines} b={batch}: allocs_per_tuple = {allocs} > 0"
+                f"{row_label(key)}: allocs_per_tuple = {allocs} > 0"
             )
-            print(f"e={engines} b={batch}: ALLOCS/TUPLE {allocs} > 0")
+            print(f"{row_label(key)}: ALLOCS/TUPLE {allocs} > 0")
         if key not in base:
-            print(f"note: e={engines} b={batch} in fresh only (no gate)")
+            print(f"note: {row_label(key)} in fresh only (no gate)")
 
     if failures:
         print("\nFAIL:")

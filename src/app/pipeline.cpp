@@ -50,7 +50,11 @@ void StreamingPcaPipeline::build(const PipelineConfig& config) {
   // staging batch, plus slack for tuples held by operator threads — without
   // the pool ever growing.  Overriding via arena_capacity trades memory
   // for growth-count noise, never correctness.
-  if (config.pca.dim > 0) {
+  // The transport path serializes every tuple onto a socket and decodes a
+  // fresh one on the far side, so the arena's recycle loop cannot close —
+  // skip it and let payloads be plain heap vectors (the local path keeps
+  // its zero-alloc arena).
+  if (config.pca.dim > 0 && !config.transport.enabled) {
     std::size_t slabs = config.arena_capacity;
     if (slabs == 0) {
       const std::size_t data_channels = 1 +
@@ -66,8 +70,11 @@ void StreamingPcaPipeline::build(const PipelineConfig& config) {
   // "chan.<from>-><to>" names.  With ingest validation enabled the graph
   // grows a gatekeeper stage: source -> validate -> split, with rejects
   // flowing to a bounded dead-letter queue instead of the engines.
+  const std::string ingest_stage =
+      config.validate_ingest ? "validate" : "split";
   auto source_out = make_named_channel<DataTuple>(
-      config.validate_ingest ? "chan.source->validate" : "chan.source->split",
+      config.transport.enabled ? "chan.source->uplink"
+                               : "chan.source->" + ingest_stage,
       config.channel_capacity);
   source_out_ = source_out;
   if (generator_) {
@@ -100,16 +107,81 @@ void StreamingPcaPipeline::build(const PipelineConfig& config) {
              : stream::MetricsRegistry::Extras{},
       this);
 
-  stream::ChannelPtr<DataTuple> split_in = source_out;
+  // Optional transport stage (DESIGN.md "Transport"): the source's output
+  // crosses a real socket before it reaches validate/split.  The server is
+  // constructed first (it binds in its constructor, so the sink's connect
+  // retries always have a listener to find) and serves sessions until the
+  // sink's kBye ends the stream.
+  if (config.transport.enabled) {
+    transport_out_ = make_named_channel<DataTuple>(
+        "chan.downlink->" + ingest_stage, config.channel_capacity);
+    stream::TcpServerOptions server_opts;
+    server_opts.ack_every = config.transport.ack_every;
+    server_opts.exit_on_bye = true;
+    downlink_ = graph_.add<stream::TcpTupleServer>(
+        "downlink", config.transport.port, transport_out_,
+        /*max_connections=*/0, server_opts);
+    uplink_ = graph_.add<stream::TcpTupleSink>("uplink", downlink_->port(),
+                                               source_out,
+                                               config.transport.tcp);
+    registry_.add_operator(
+        "uplink", &uplink_->metrics(),
+        [s = uplink_] {
+          const stream::TcpSinkCounters c = s->counters();
+          return std::vector<std::pair<std::string, double>>{
+              {"accepted", double(c.accepted)},
+              {"acked", double(c.acked)},
+              {"lossy_dropped", double(c.lossy_dropped)},
+              {"frames_sent", double(c.frames_sent)},
+              {"retransmits", double(c.retransmits)},
+              {"sessions", double(c.sessions)},
+              {"reconnects", double(c.reconnects)},
+              {"connect_failures", double(c.connect_failures)},
+              {"acks_received", double(c.acks_received)},
+              {"outages", double(c.outages)},
+              {"backoff_ms_last", double(c.backoff_ms_last)},
+              {"window_depth", double(c.window_depth)},
+              {"degraded", c.degraded ? 1.0 : 0.0}};
+        },
+        this);
+    registry_.add_operator(
+        "downlink", &downlink_->metrics(),
+        [s = downlink_] {
+          const stream::TcpServerCounters c = s->counters();
+          return std::vector<std::pair<std::string, double>>{
+              {"delivered", double(c.delivered)},
+              {"duplicates", double(c.duplicates)},
+              {"out_of_order", double(c.out_of_order)},
+              {"crc_rejects", double(c.crc_rejects)},
+              {"payload_rejects", double(c.payload_rejects)},
+              {"protocol_errors", double(c.protocol_errors)},
+              {"acks_sent", double(c.acks_sent)},
+              {"sessions", double(c.sessions)},
+              {"resumes", double(c.resumes)},
+              {"byes", double(c.byes)},
+              {"dead_letters", double(c.dead_letters)},
+              {"dead_letter_overflow", double(c.dead_letter_overflow)}};
+        },
+        this);
+  }
+
+  stream::ChannelPtr<DataTuple> split_in =
+      config.transport.enabled ? transport_out_ : source_out;
   if (config.validate_ingest) {
     validated_out_ = make_named_channel<DataTuple>("chan.validate->split",
                                                    config.channel_capacity);
     dead_letter_channel_ = make_named_channel<stream::DeadLetter>(
         "chan.validate->dlq", config.dead_letter_capacity);
+    // Transport CRC rejects share the ingest quarantine: a frame damaged on
+    // the wire lands in the same dead-letter stream as a tuple damaged at
+    // the telescope.
+    if (downlink_ != nullptr) {
+      downlink_->set_dead_letters(dead_letter_channel_);
+    }
     spectra::ValidationPolicy policy = config.validation;
     if (policy.expected_dim == 0) policy.expected_dim = config.pca.dim;
     validator_ = graph_.add<stream::ValidateOperator>(
-        "validate", source_out, validated_out_, dead_letter_channel_, policy);
+        "validate", split_in, validated_out_, dead_letter_channel_, policy);
     validator_->set_arena(arena_.get());
     registry_.add_operator(
         "validate", &validator_->metrics(),
@@ -365,6 +437,16 @@ void StreamingPcaPipeline::wait() {
   // engine data ports.  Engines keep serving control traffic until the sync
   // subsystem is shut down, so stop it once the data plane has finished.
   source_->join();
+  if (uplink_ != nullptr) {
+    // The sink flushes (waits for the receiver's final cumulative ack, or
+    // counts what a dead receiver never confirmed) before exiting, so after
+    // this join every surviving tuple has been pushed past the server.  The
+    // server normally exits on the sink's kBye; a sink that gave up never
+    // sends one, so nudge it.
+    uplink_->join();
+    downlink_->request_stop();
+    downlink_->join();
+  }
   split_->join();
   if (controller_ != nullptr) {
     controller_->request_stop();
@@ -400,6 +482,7 @@ void StreamingPcaPipeline::stop() {
   // so nothing else would ever wake the source) and the shared outlier
   // stream (its sink likewise exits on the flag alone).
   if (source_out_) source_out_->close();
+  if (transport_out_) transport_out_->close();
   if (validated_out_) validated_out_->close();
   if (outlier_channel_) outlier_channel_->close();
   // The engine data ports too: engines exit on their stop flags *without*

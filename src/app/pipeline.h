@@ -24,6 +24,7 @@
 #include "stream/dead_letter.h"
 #include "stream/fault.h"
 #include "stream/graph.h"
+#include "stream/net.h"
 #include "stream/registry.h"
 #include "stream/sampler.h"
 #include "stream/sink.h"
@@ -128,6 +129,29 @@ struct PipelineConfig {
     double anomaly_threshold = 0.0;
   };
   ServeOptions serve;
+  /// Multi-process data plane (DESIGN.md "Transport").  When enabled, the
+  /// stage boundary between the source and the validate/split stage is
+  /// placed behind the resilient session transport:
+  ///
+  ///   source -> TcpTupleSink ==TCP==> TcpTupleServer -> validate/split
+  ///
+  /// In one process this is a loopback socket pair exercising the real
+  /// wire path (CRC framing, acks, retransmits); the two-process drills
+  /// run the same operators with the server side in a child process.  The
+  /// local (non-transport) data plane is untouched — and stays zero-alloc;
+  /// the transport path necessarily serializes, so the payload arena is
+  /// not engaged when it is on.
+  struct TransportOptions {
+    bool enabled = false;
+    /// Server bind port; 0 picks an ephemeral port automatically.
+    std::uint16_t port = 0;
+    /// Sink-side knobs: retransmit window, retry/backoff budget, deadlines,
+    /// degraded-mode cadence, fault injector.
+    stream::TcpTransportOptions tcp;
+    /// Receiver's cumulative-ack cadence (frames per ack).
+    std::size_t ack_every = 32;
+  };
+  TransportOptions transport;
 };
 
 class StreamingPcaPipeline {
@@ -214,6 +238,16 @@ class StreamingPcaPipeline {
   [[nodiscard]] serve::SnapshotServer* serve_server() const noexcept {
     return serve_server_.get();
   }
+  /// Transport endpoints (nullptr unless config.transport.enabled).  Their
+  /// counters expose the session protocol's full state: reconnects,
+  /// retransmits, CRC rejects, acks, backoff, degraded flag.
+  [[nodiscard]] const stream::TcpTupleSink* transport_uplink() const noexcept {
+    return uplink_;
+  }
+  [[nodiscard]] const stream::TcpTupleServer* transport_downlink()
+      const noexcept {
+    return downlink_;
+  }
   /// The sync controller (nullptr when synchronization is disabled).
   [[nodiscard]] const sync::SyncController* sync_controller() const noexcept {
     return controller_;
@@ -253,6 +287,9 @@ class StreamingPcaPipeline {
   stream::FlowGraph graph_;
   stream::Operator* source_ = nullptr;
   stream::ChannelPtr<stream::DataTuple> source_out_;
+  stream::TcpTupleSink* uplink_ = nullptr;
+  stream::TcpTupleServer* downlink_ = nullptr;
+  stream::ChannelPtr<stream::DataTuple> transport_out_;
   stream::ValidateOperator* validator_ = nullptr;
   stream::DeadLetterSink* dead_letter_sink_ = nullptr;
   stream::ChannelPtr<stream::DataTuple> validated_out_;

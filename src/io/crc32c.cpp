@@ -1,0 +1,62 @@
+#include "io/crc32c.h"
+
+#include <array>
+
+namespace astro::io {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // 0x1EDC6F41 reflected
+
+struct Tables {
+  // tables[k][b]: CRC contribution of byte b seen k positions before the
+  // end of a 4-byte word — the standard slice-by-4 construction.
+  std::array<std::array<std::uint32_t, 256>, 4> t{};
+
+  constexpr Tables() {
+    for (std::uint32_t b = 0; b < 256; ++b) {
+      std::uint32_t crc = b;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      }
+      t[0][b] = crc;
+    }
+    for (std::uint32_t b = 0; b < 256; ++b) {
+      std::uint32_t crc = t[0][b];
+      for (std::size_t k = 1; k < 4; ++k) {
+        crc = t[0][crc & 0xFFu] ^ (crc >> 8);
+        t[k][b] = crc;
+      }
+    }
+  }
+};
+
+constexpr Tables kTables{};
+
+}  // namespace
+
+std::uint32_t crc32c_update(std::uint32_t state, const std::uint8_t* data,
+                            std::size_t n) noexcept {
+  const auto& t = kTables.t;
+  std::uint32_t crc = state;
+  while (n >= 4) {
+    crc ^= std::uint32_t(data[0]) | (std::uint32_t(data[1]) << 8) |
+           (std::uint32_t(data[2]) << 16) | (std::uint32_t(data[3]) << 24);
+    crc = t[3][crc & 0xFFu] ^ t[2][(crc >> 8) & 0xFFu] ^
+          t[1][(crc >> 16) & 0xFFu] ^ t[0][(crc >> 24) & 0xFFu];
+    data += 4;
+    n -= 4;
+  }
+  while (n > 0) {
+    crc = t[0][(crc ^ *data) & 0xFFu] ^ (crc >> 8);
+    ++data;
+    --n;
+  }
+  return crc;
+}
+
+std::uint32_t crc32c(const std::uint8_t* data, std::size_t n) noexcept {
+  return crc32c_finish(crc32c_update(crc32c_init(), data, n));
+}
+
+}  // namespace astro::io

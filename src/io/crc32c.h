@@ -1,0 +1,37 @@
+#pragma once
+
+// CRC32C (Castagnoli) — the frame checksum of the transport wire format
+// (io/frame.h, DESIGN.md "Transport").  Reflected polynomial 0x1EDC6F41,
+// init/xorout 0xFFFFFFFF, i.e. the same parameterization as SSE4.2's
+// `crc32` instruction and RFC 3720 (iSCSI), chosen for its strength on
+// short frames.
+//
+// The implementation is a table-driven slice-by-4 kernel: no hardware
+// dependency, deterministic on every target the repo builds for, and fast
+// enough that framing overhead stays invisible next to the socket calls
+// (a transport frame is a few hundred bytes to a few KiB).
+
+#include <cstddef>
+#include <cstdint>
+
+namespace astro::io {
+
+/// One-shot CRC32C of `data[0, n)`.
+[[nodiscard]] std::uint32_t crc32c(const std::uint8_t* data,
+                                   std::size_t n) noexcept;
+
+/// Incremental form: feed `crc32c_update` the running state (start from
+/// `crc32c_init()`), then finalize.  `crc32c(p, n)` ==
+/// `crc32c_finish(crc32c_update(crc32c_init(), p, n))`.
+[[nodiscard]] constexpr std::uint32_t crc32c_init() noexcept {
+  return 0xFFFFFFFFu;
+}
+[[nodiscard]] std::uint32_t crc32c_update(std::uint32_t state,
+                                          const std::uint8_t* data,
+                                          std::size_t n) noexcept;
+[[nodiscard]] constexpr std::uint32_t crc32c_finish(
+    std::uint32_t state) noexcept {
+  return state ^ 0xFFFFFFFFu;
+}
+
+}  // namespace astro::io

@@ -2,11 +2,14 @@
 
 #include <cstring>
 
+#include "io/crc32c.h"
+
 namespace astro::io {
 
 namespace {
 
 constexpr std::uint32_t kMagic = 0x41535446;  // "ASTF"
+constexpr std::size_t kCrcOffset = 20;        // crc field within the header
 
 template <typename T>
 void append(std::vector<std::uint8_t>& out, T value) {
@@ -22,19 +25,26 @@ bool read(std::span<const std::uint8_t>& in, T* value) {
   return true;
 }
 
-}  // namespace
+bool known_type(std::uint8_t t) noexcept {
+  return t <= std::uint8_t(FrameType::kBye);
+}
 
-std::vector<std::uint8_t> encode_tuple(const stream::DataTuple& t) {
+// CRC over header-with-zeroed-crc-field + payload.
+std::uint32_t frame_crc(const std::uint8_t* header,
+                        std::span<const std::uint8_t> payload) noexcept {
+  std::uint32_t state = crc32c_init();
+  state = crc32c_update(state, header, kCrcOffset);
+  const std::uint8_t zeros[4] = {0, 0, 0, 0};
+  state = crc32c_update(state, zeros, 4);
+  state = crc32c_update(state, payload.data(), payload.size());
+  return crc32c_finish(state);
+}
+
+void append_tuple_payload(std::vector<std::uint8_t>& out,
+                          const stream::DataTuple& t) {
   const std::uint32_t dim = std::uint32_t(t.values.size());
   const std::uint32_t mask_bytes =
       t.mask.empty() ? 0 : std::uint32_t((t.mask.size() + 7) / 8);
-  const std::uint32_t payload =
-      8 + 8 + 4 + 4 + dim * std::uint32_t(sizeof(double)) + mask_bytes;
-
-  std::vector<std::uint8_t> out;
-  out.reserve(kFrameHeaderBytes + payload);
-  append(out, kMagic);
-  append(out, payload);
   append(out, std::uint64_t(t.seq));
   append(out, std::int64_t(t.timestamp_us));
   append(out, dim);
@@ -47,17 +57,84 @@ std::vector<std::uint8_t> encode_tuple(const stream::DataTuple& t) {
     }
     out.insert(out.end(), bits.begin(), bits.end());
   }
+}
+
+std::vector<std::uint8_t> encode_with_payload_inline(
+    FrameType type, std::uint64_t seq,
+    const stream::DataTuple* tuple,
+    std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> out;
+  std::uint32_t payload_bytes;
+  if (tuple != nullptr) {
+    const std::uint32_t mask_bytes =
+        tuple->mask.empty() ? 0
+                            : std::uint32_t((tuple->mask.size() + 7) / 8);
+    payload_bytes = 8 + 8 + 4 + 4 +
+                    std::uint32_t(tuple->values.size() * sizeof(double)) +
+                    mask_bytes;
+  } else {
+    payload_bytes = std::uint32_t(payload.size());
+  }
+  out.reserve(kFrameHeaderBytes + payload_bytes);
+  append(out, kMagic);
+  append(out, kFrameVersion);
+  append(out, std::uint8_t(type));
+  append(out, std::uint16_t(0));  // reserved
+  append(out, payload_bytes);
+  append(out, seq);
+  append(out, std::uint32_t(0));  // crc placeholder
+  if (tuple != nullptr) {
+    append_tuple_payload(out, *tuple);
+  } else {
+    out.insert(out.end(), payload.begin(), payload.end());
+  }
+  const std::uint32_t crc = frame_crc(
+      out.data(), std::span<const std::uint8_t>(out).subspan(kFrameHeaderBytes));
+  std::memcpy(out.data() + kCrcOffset, &crc, 4);
   return out;
 }
 
-std::optional<std::size_t> decode_frame_header(
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(FrameType type, std::uint64_t seq,
+                                       std::span<const std::uint8_t> payload) {
+  return encode_with_payload_inline(type, seq, nullptr, payload);
+}
+
+std::vector<std::uint8_t> encode_control_frame(FrameType type,
+                                               std::uint64_t seq) {
+  return encode_with_payload_inline(type, seq, nullptr, {});
+}
+
+std::vector<std::uint8_t> encode_tuple(const stream::DataTuple& t,
+                                       std::uint64_t transport_seq) {
+  return encode_with_payload_inline(FrameType::kTuple, transport_seq, &t, {});
+}
+
+std::optional<FrameHeader> decode_frame_header(
     std::span<const std::uint8_t> header) {
   if (header.size() != kFrameHeaderBytes) return std::nullopt;
-  std::uint32_t magic = 0, payload = 0;
+  std::uint32_t magic = 0;
   std::memcpy(&magic, header.data(), 4);
-  std::memcpy(&payload, header.data() + 4, 4);
   if (magic != kMagic) return std::nullopt;
-  return std::size_t(payload);
+  FrameHeader h;
+  h.version = header[4];
+  if (h.version != kFrameVersion) return std::nullopt;
+  if (!known_type(header[5])) return std::nullopt;
+  h.type = FrameType(header[5]);
+  std::memcpy(&h.payload_bytes, header.data() + 8, 4);
+  if (std::size_t(h.payload_bytes) > kMaxFramePayload) return std::nullopt;
+  std::memcpy(&h.seq, header.data() + 12, 8);
+  std::memcpy(&h.crc, header.data() + kCrcOffset, 4);
+  return h;
+}
+
+bool verify_frame_crc(std::span<const std::uint8_t> header,
+                      std::span<const std::uint8_t> payload) {
+  if (header.size() != kFrameHeaderBytes) return false;
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, header.data() + kCrcOffset, 4);
+  return frame_crc(header.data(), payload) == stored;
 }
 
 std::optional<stream::DataTuple> decode_tuple_payload(
@@ -70,7 +147,10 @@ std::optional<stream::DataTuple> decode_tuple_payload(
       !read(payload, &mask_bytes)) {
     return std::nullopt;
   }
-  if (payload.size() != dim * sizeof(double) + mask_bytes) return std::nullopt;
+  if (dim > kMaxFramePayload / sizeof(double)) return std::nullopt;
+  if (payload.size() != std::size_t(dim) * sizeof(double) + mask_bytes) {
+    return std::nullopt;
+  }
   t.seq = seq;
   t.timestamp_us = ts;
   t.values = linalg::Vector(dim);
@@ -92,10 +172,17 @@ std::optional<stream::DataTuple> decode_tuple_payload(
 std::optional<stream::DataTuple> decode_tuple(
     std::span<const std::uint8_t> frame) {
   if (frame.size() < kFrameHeaderBytes) return std::nullopt;
-  const auto payload = decode_frame_header(frame.first(kFrameHeaderBytes));
-  if (!payload.has_value()) return std::nullopt;
-  if (frame.size() != kFrameHeaderBytes + *payload) return std::nullopt;
-  return decode_tuple_payload(frame.subspan(kFrameHeaderBytes));
+  const auto header = decode_frame_header(frame.first(kFrameHeaderBytes));
+  if (!header.has_value()) return std::nullopt;
+  if (header->type != FrameType::kTuple) return std::nullopt;
+  if (frame.size() != kFrameHeaderBytes + header->payload_bytes) {
+    return std::nullopt;
+  }
+  const auto payload = frame.subspan(kFrameHeaderBytes);
+  if (!verify_frame_crc(frame.first(kFrameHeaderBytes), payload)) {
+    return std::nullopt;
+  }
+  return decode_tuple_payload(payload);
 }
 
 }  // namespace astro::io

@@ -37,15 +37,18 @@ std::optional<stream::DataTuple> read_one_frame(std::istream& in) {
   if (std::size_t(in.gcount()) != header.size()) {
     throw std::runtime_error("tuple log: truncated frame header");
   }
-  const auto payload_size = decode_frame_header(header);
-  if (!payload_size.has_value() || *payload_size > (1u << 26)) {
+  const auto head = decode_frame_header(header);
+  if (!head.has_value() || head->type != FrameType::kTuple) {
     throw std::runtime_error("tuple log: bad frame header");
   }
-  std::vector<std::uint8_t> payload(*payload_size);
+  std::vector<std::uint8_t> payload(head->payload_bytes);
   in.read(reinterpret_cast<char*>(payload.data()),
           std::streamsize(payload.size()));
   if (std::size_t(in.gcount()) != payload.size()) {
     throw std::runtime_error("tuple log: truncated frame payload");
+  }
+  if (!verify_frame_crc(header, payload)) {
+    throw std::runtime_error("tuple log: frame CRC mismatch");
   }
   auto tuple = decode_tuple_payload(payload);
   if (!tuple.has_value()) throw std::runtime_error("tuple log: bad payload");

@@ -14,6 +14,7 @@ std::string to_string(RejectReason r) {
     case RejectReason::kOutOfRange: return "out_of_range";
     case RejectReason::kZeroFlux: return "zero_flux";
     case RejectReason::kExcessMasked: return "excess_masked";
+    case RejectReason::kCorruptFrame: return "corrupt_frame";
     case RejectReason::kCount: break;
   }
   return "unknown";

@@ -36,6 +36,7 @@ enum class RejectReason : int {
   kOutOfRange,       ///< |observed value| above max_abs_flux
   kZeroFlux,         ///< every observed pixel is zero (unnormalizable)
   kExcessMasked,     ///< masked fraction above the threshold after repair
+  kCorruptFrame,     ///< transport frame failed its CRC (stream/net.h)
   kCount,            ///< sentinel: number of reasons (for counter arrays)
 };
 

@@ -1,0 +1,122 @@
+#include "stream/socket_fault.h"
+
+#include <algorithm>
+
+namespace astro::stream {
+
+void SocketFaultInjector::fail_connect(std::uint64_t first,
+                                       std::uint64_t count) {
+  std::lock_guard lock(mutex_);
+  connect_fail_first_ = first == 0 ? 1 : first;
+  connect_fail_count_ = count;
+}
+
+void SocketFaultInjector::reset_at(std::size_t connection,
+                                   std::uint64_t byte_offset) {
+  std::lock_guard lock(mutex_);
+  resets_.push_back({connection, byte_offset, 0, {}, false});
+}
+
+void SocketFaultInjector::flip_at(std::size_t connection,
+                                  std::uint64_t byte_offset,
+                                  std::uint8_t mask) {
+  std::lock_guard lock(mutex_);
+  flips_.push_back({connection, byte_offset,
+                    mask == 0 ? std::uint8_t(0x01) : mask, {}, false});
+}
+
+void SocketFaultInjector::stall_at(std::size_t connection,
+                                   std::uint64_t byte_offset,
+                                   std::chrono::milliseconds delay) {
+  std::lock_guard lock(mutex_);
+  stalls_.push_back({connection, byte_offset, 0, delay, false});
+}
+
+void SocketFaultInjector::chunk_writes(std::size_t connection,
+                                       std::size_t max_chunk) {
+  std::lock_guard lock(mutex_);
+  chunk_caps_.emplace_back(connection, max_chunk == 0 ? 1 : max_chunk);
+}
+
+bool SocketFaultInjector::on_connect_attempt() {
+  std::lock_guard lock(mutex_);
+  const std::uint64_t attempt = ++connect_attempts_;
+  const bool fail = connect_fail_first_ != 0 &&
+                    attempt >= connect_fail_first_ &&
+                    attempt < connect_fail_first_ + connect_fail_count_;
+  if (fail) connects_failed_.fetch_add(1, std::memory_order_relaxed);
+  return fail;
+}
+
+void SocketFaultInjector::note_connected() {
+  std::lock_guard lock(mutex_);
+  current_connection_ =
+      current_connection_ == std::size_t(-1) ? 0 : current_connection_ + 1;
+  offset_ = 0;
+  connections_.store(current_connection_ + 1, std::memory_order_relaxed);
+}
+
+SocketFaultInjector::SendPlan SocketFaultInjector::plan_send(std::size_t len) {
+  std::lock_guard lock(mutex_);
+  SendPlan plan;
+  plan.len = len;
+  if (current_connection_ == std::size_t(-1) || len == 0) return plan;
+  const std::size_t conn = current_connection_;
+
+  // A reset anywhere in [offset, offset + len) kills this send outright.
+  for (auto& e : resets_) {
+    if (e.fired || e.connection != conn) continue;
+    if (e.offset >= offset_ && e.offset < offset_ + len) {
+      e.fired = true;
+      resets_injected_.fetch_add(1, std::memory_order_relaxed);
+      plan.reset = true;
+      return plan;
+    }
+  }
+  // Stalls fire before the send that covers their offset.
+  for (auto& e : stalls_) {
+    if (e.fired || e.connection != conn) continue;
+    if (e.offset >= offset_ && e.offset < offset_ + len) {
+      e.fired = true;
+      stalls_injected_.fetch_add(1, std::memory_order_relaxed);
+      plan.stall += e.delay;
+    }
+  }
+  // Partial-write cap.
+  for (const auto& [c, cap] : chunk_caps_) {
+    if (c == conn || c == kEveryConnection) {
+      plan.len = std::min(plan.len, cap);
+    }
+  }
+  if (plan.len < len) {
+    partial_sends_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Flips within the (possibly shortened) window.  Not marked fired here:
+  // the kernel may accept fewer bytes than planned, in which case a flip
+  // past the accepted prefix must re-arm for the retry — note_sent() is
+  // the single point that commits them.
+  for (const auto& e : flips_) {
+    if (e.fired || e.connection != conn) continue;
+    if (e.offset >= offset_ && e.offset < offset_ + plan.len) {
+      plan.flips.emplace_back(std::size_t(e.offset - offset_), e.mask);
+    }
+  }
+  return plan;
+}
+
+void SocketFaultInjector::note_sent(std::size_t n) {
+  std::lock_guard lock(mutex_);
+  if (current_connection_ == std::size_t(-1) || n == 0) return;
+  const std::uint64_t lo = offset_;
+  const std::uint64_t hi = offset_ + n;
+  for (auto& e : flips_) {
+    if (e.fired || e.connection != current_connection_) continue;
+    if (e.offset >= lo && e.offset < hi) {
+      e.fired = true;
+      flips_injected_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  offset_ = hi;
+}
+
+}  // namespace astro::stream

@@ -1,0 +1,150 @@
+#pragma once
+
+// Deterministic network fault injection for the TCP transport (DESIGN.md
+// "Transport").
+//
+// A SocketFaultInjector is the socket-layer sibling of stream/fault.h's
+// FaultInjector: a schedule of faults whose triggers are *virtual
+// positions* — connect-attempt indices and byte offsets within a
+// connection's outgoing stream — never wall-clock time.  The TcpTupleSink
+// threads every connect() and send() through the shim, so a given schedule
+// reproduces the same partial writes, stalls, resets, and bit flips at the
+// same stream positions on every run: each transport failure scenario is a
+// deterministic ctest case.
+//
+// Fault kinds:
+//   fail_connect  — connect attempts in a 1-based index window fail (as
+//                   ECONNREFUSED would), exercising retry/backoff.
+//   reset_at      — the send that would cover a byte offset fails instead
+//                   (as ECONNRESET would) and the connection is considered
+//                   dead; the sink must reconnect and resume the session.
+//   flip_at       — the byte at an absolute stream offset is XOR-damaged
+//                   in flight (the receiver's CRC must catch it).
+//   stall_at      — the send covering a byte offset is held for a duration
+//                   first (a stalled peer / congested link; the sink's
+//                   write deadline must bound it).
+//   chunk_writes  — every send on a connection is capped to a maximum
+//                   chunk (forced partial writes, so the sink's
+//                   poll-driven write loop is exercised on every frame).
+//
+// Offsets are per-connection (they restart at 0 after every successful
+// connect); connections are numbered 0, 1, ... in the order they are
+// established.  Thread-safety: the schedule is built before streaming
+// starts; query sites lock a private mutex (the transport is off the
+// in-process hot path by definition).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace astro::stream {
+
+class SocketFaultInjector {
+ public:
+  explicit SocketFaultInjector(std::uint64_t seed = 1) : seed_(seed) {}
+
+  // --- schedule builders (call before streaming starts) -------------------
+
+  /// Fail `count` connect attempts starting at 1-based attempt `first`.
+  void fail_connect(std::uint64_t first, std::uint64_t count);
+
+  /// Kill the send that would cover `byte_offset` of `connection`'s
+  /// outgoing stream (fires once).
+  void reset_at(std::size_t connection, std::uint64_t byte_offset);
+
+  /// XOR the byte at `byte_offset` of `connection`'s outgoing stream with
+  /// `mask` (mask 0 is promoted to 0x01 so a flip always flips).
+  void flip_at(std::size_t connection, std::uint64_t byte_offset,
+               std::uint8_t mask = 0x01);
+
+  /// Hold the send covering `byte_offset` of `connection` for `delay`
+  /// before transmitting (fires once).
+  void stall_at(std::size_t connection, std::uint64_t byte_offset,
+                std::chrono::milliseconds delay);
+
+  /// Cap every send on `connection` to at most `max_chunk` bytes.
+  /// connection == kEveryConnection applies to all connections.
+  static constexpr std::size_t kEveryConnection = std::size_t(-1);
+  void chunk_writes(std::size_t connection, std::size_t max_chunk);
+
+  // --- query sites (used by the sink's socket layer) -----------------------
+
+  /// Claims the next 1-based connect-attempt index; true = this attempt
+  /// must fail.
+  [[nodiscard]] bool on_connect_attempt();
+
+  /// A successful connect: subsequent sends belong to the next connection
+  /// index and the stream offset restarts at 0.
+  void note_connected();
+
+  /// What one send of `len` bytes at the connection's current stream
+  /// offset must do.  `flips` are offsets *relative to the buffer* paired
+  /// with XOR masks, already restricted to the first `len` bytes; they are
+  /// counted as injected when note_sent() advances past them.
+  struct SendPlan {
+    bool reset = false;                    ///< fail the send, connection dead
+    std::chrono::milliseconds stall{0};    ///< sleep before sending
+    std::size_t len = 0;                   ///< bytes to hand to ::send
+    std::vector<std::pair<std::size_t, std::uint8_t>> flips;
+  };
+  [[nodiscard]] SendPlan plan_send(std::size_t len);
+
+  /// Advance the connection's stream offset by the bytes the kernel
+  /// actually accepted; fires (counts) the flip events inside the window.
+  void note_sent(std::size_t n);
+
+  // --- accounting (readable live from any thread) --------------------------
+
+  [[nodiscard]] std::uint64_t connects_failed() const noexcept {
+    return connects_failed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t resets_injected() const noexcept {
+    return resets_injected_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t flips_injected() const noexcept {
+    return flips_injected_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t stalls_injected() const noexcept {
+    return stalls_injected_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t partial_sends() const noexcept {
+    return partial_sends_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t connections() const noexcept {
+    return connections_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  struct ByteEvent {
+    std::size_t connection;
+    std::uint64_t offset;
+    std::uint8_t mask;                  // flips only
+    std::chrono::milliseconds delay{0};  // stalls only
+    bool fired = false;
+  };
+
+  mutable std::mutex mutex_;
+  std::uint64_t seed_;
+  std::uint64_t connect_fail_first_ = 0;  // 1-based; 0 = none scheduled
+  std::uint64_t connect_fail_count_ = 0;
+  std::uint64_t connect_attempts_ = 0;
+  std::vector<ByteEvent> resets_;
+  std::vector<ByteEvent> flips_;
+  std::vector<ByteEvent> stalls_;
+  std::vector<std::pair<std::size_t, std::size_t>> chunk_caps_;
+  std::size_t current_connection_ = std::size_t(-1);  // none until connected
+  std::uint64_t offset_ = 0;  // within current connection's stream
+
+  std::atomic<std::uint64_t> connects_failed_{0};
+  std::atomic<std::uint64_t> resets_injected_{0};
+  std::atomic<std::uint64_t> flips_injected_{0};
+  std::atomic<std::uint64_t> stalls_injected_{0};
+  std::atomic<std::uint64_t> partial_sends_{0};
+  std::atomic<std::size_t> connections_{0};
+};
+
+}  // namespace astro::stream

@@ -10,6 +10,8 @@ std::string to_string(StopReason r) {
       return "upstream-closed";
     case StopReason::kRequested:
       return "requested";
+    case StopReason::kError:
+      return "error";
   }
   return "unknown";
 }

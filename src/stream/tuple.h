@@ -39,7 +39,10 @@ struct ControlTuple {
 
 /// End-of-stream marker semantics are handled by channel close(), not by a
 /// tuple; this enum tags the reason for operator shutdown in metrics.
-enum class StopReason { kNone, kUpstreamClosed, kRequested };
+/// kError marks an operator that exited because of an unrecoverable I/O
+/// failure (e.g. a TcpTupleSink that never established a session) — so
+/// supervisor-style logic can tell "asked to stop" from "could not work".
+enum class StopReason { kNone, kUpstreamClosed, kRequested, kError };
 
 [[nodiscard]] std::string to_string(StopReason r);
 

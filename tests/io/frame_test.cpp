@@ -49,11 +49,52 @@ TEST(Frame, MaskWiderThanByte) {
 }
 
 TEST(Frame, HeaderDescribesPayload) {
-  const auto frame = encode_tuple(sample_tuple());
-  const auto payload = decode_frame_header(
+  const auto frame = encode_tuple(sample_tuple(), /*transport_seq=*/7);
+  const auto header = decode_frame_header(
       std::span<const std::uint8_t>(frame).first(kFrameHeaderBytes));
-  ASSERT_TRUE(payload.has_value());
-  EXPECT_EQ(*payload, frame.size() - kFrameHeaderBytes);
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ(header->version, kFrameVersion);
+  EXPECT_EQ(header->type, FrameType::kTuple);
+  EXPECT_EQ(header->seq, 7u);
+  EXPECT_EQ(header->payload_bytes, frame.size() - kFrameHeaderBytes);
+}
+
+TEST(Frame, WrongVersionRejected) {
+  auto frame = encode_tuple(sample_tuple());
+  frame[4] = kFrameVersion + 1;  // version byte
+  EXPECT_FALSE(decode_frame_header(
+                   std::span<const std::uint8_t>(frame).first(kFrameHeaderBytes))
+                   .has_value());
+  EXPECT_FALSE(decode_tuple(frame).has_value());
+}
+
+TEST(Frame, CrcCatchesAnySingleBitFlip) {
+  const auto clean = encode_tuple(sample_tuple(), 9);
+  for (std::size_t byte = 0; byte < clean.size(); ++byte) {
+    auto frame = clean;
+    frame[byte] ^= 0x10;
+    // Every flip must be rejected — by the header sanity checks for the
+    // length-critical prefix, by the CRC for everything else.
+    EXPECT_FALSE(decode_tuple(frame).has_value()) << "byte " << byte;
+  }
+}
+
+TEST(Frame, ControlFramesRoundTrip) {
+  for (const auto type : {FrameType::kAck, FrameType::kHello,
+                          FrameType::kHelloAck, FrameType::kBye}) {
+    const auto frame = encode_control_frame(type, 123456789u);
+    const auto header = decode_frame_header(
+        std::span<const std::uint8_t>(frame).first(kFrameHeaderBytes));
+    ASSERT_TRUE(header.has_value());
+    EXPECT_EQ(header->type, type);
+    EXPECT_EQ(header->seq, 123456789u);
+    EXPECT_EQ(header->payload_bytes, 0u);
+    EXPECT_TRUE(verify_frame_crc(
+        std::span<const std::uint8_t>(frame).first(kFrameHeaderBytes),
+        std::span<const std::uint8_t>(frame).subspan(kFrameHeaderBytes)));
+    // Control frames are not tuples.
+    EXPECT_FALSE(decode_tuple(frame).has_value());
+  }
 }
 
 TEST(Frame, BadMagicRejected) {
@@ -72,9 +113,18 @@ TEST(Frame, TruncatedRejected) {
 
 TEST(Frame, CorruptSizesRejected) {
   auto frame = encode_tuple(sample_tuple());
-  // Corrupt the dim field (offset: header 8 + seq 8 + ts 8 = 24).
-  frame[24] = 200;
+  // Corrupt the payload's dim field (header 24 + tuple_seq 8 + ts 8 = 40).
+  // The CRC catches the damage before the size checks even run.
+  frame[40] = 200;
   EXPECT_FALSE(decode_tuple(frame).has_value());
+
+  // Size validation must also hold on its own (a CRC-consistent but
+  // malformed payload, as a buggy peer could produce): dim says 200 but
+  // only 3 values follow.
+  std::vector<std::uint8_t> payload(frame.begin() + kFrameHeaderBytes,
+                                    frame.end());
+  payload[16] = 200;  // dim field (after tuple_seq + timestamp)
+  EXPECT_FALSE(decode_tuple_payload(payload).has_value());
 }
 
 TEST(Frame, EmptyVector) {

@@ -78,15 +78,64 @@ TEST(TcpTransport, ServerStopsOnRequest) {
 }
 
 TEST(TcpTransport, SinkGivesUpWhenNoServer) {
-  // Port 1 on loopback: connection refused; the sink retries briefly, then
-  // exits without hanging the graph.
+  // Port 1 on loopback: connection refused; the sink spends its retry
+  // budget, then exits with an *error* stop reason (satellite fix: connect
+  // give-up used to masquerade as kRequested) without hanging the graph.
   auto in = make_channel<DataTuple>(4);
   in->close();
+  TcpTransportOptions opts;
+  opts.connect_attempts = 3;
+  opts.backoff_initial = std::chrono::milliseconds(5);
+  opts.backoff_max = std::chrono::milliseconds(10);
   FlowGraph graph;
-  graph.add<TcpTupleSink>("sink", 1, in);
+  auto* sink = graph.add<TcpTupleSink>("sink", 1, in, opts);
   graph.start();
   graph.wait();  // must terminate
-  SUCCEED();
+  EXPECT_EQ(sink->stop_reason(), StopReason::kError);
+  EXPECT_GE(sink->counters().connect_failures, 3u);
+  EXPECT_EQ(sink->counters().sessions, 0u);
+}
+
+TEST(TcpTransport, FailedWriteNeverLosesTheTuple) {
+  // Satellite fix: a tuple popped before a dead connection used to vanish
+  // without accounting.  Now the sink either delivers it (resume/replay)
+  // or counts it as a lossy-link drop — here the server is gone for good,
+  // so every tuple must end up in lossy_dropped and metrics().dropped.
+  auto in = make_channel<DataTuple>(16);
+  TcpTransportOptions opts;
+  opts.connect_attempts = 2;
+  opts.ack_timeout = std::chrono::milliseconds(200);
+  opts.backoff_initial = std::chrono::milliseconds(5);
+  opts.backoff_max = std::chrono::milliseconds(10);
+  opts.heal_interval = std::chrono::milliseconds(50);
+
+  auto from_server = make_channel<DataTuple>(64);
+  auto server = std::make_unique<TcpTupleServer>("server", 0, from_server, 1);
+  const std::uint16_t port = server->port();
+  // Kill the server before the sink ever runs: its listener closes and the
+  // stream has nowhere to go.
+  server->request_stop();
+  server->start();
+  server->join();
+  server.reset();
+
+  FlowGraph graph;
+  auto* sink = graph.add<TcpTupleSink>("sink", port, in, opts);
+  graph.start();
+  DataTuple t;
+  t.values = linalg::Vector(3, 1.0);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    t.seq = i;
+    ASSERT_TRUE(in->push(t));
+  }
+  in->close();
+  graph.wait();
+
+  const TcpSinkCounters c = sink->counters();
+  EXPECT_EQ(sink->metrics().tuples_in(), 5u);
+  EXPECT_EQ(c.acked + c.lossy_dropped, 5u);
+  EXPECT_EQ(sink->metrics().dropped(), c.lossy_dropped);
+  EXPECT_EQ(sink->stop_reason(), StopReason::kError);
 }
 
 TEST(TcpTransport, EphemeralPortAssigned) {

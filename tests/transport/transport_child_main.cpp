@@ -1,0 +1,108 @@
+// Receiver-side child process for the two-process transport drill
+// (tests/transport/two_process_test.cpp).  Runs a TcpTupleServer feeding a
+// durable append-only log — one line per applied tuple — whose length IS
+// the resume point: when the parent kill -9's this process mid-stream and
+// re-execs it against the same log, the recovered line count tells the
+// sender's HELLO handshake exactly where to resume.  On a clean end of
+// stream (kBye) the server's counters are dumped as JSON so the parent can
+// assert conservation across the crash.
+//
+// Usage: transport_child <port_file> <log_file> <metrics_file> [port]
+//   port_file     written atomically with the bound port (parent reads it)
+//   log_file      append-only: "<tuple_seq>\n" per applied tuple
+//   metrics_file  counters JSON, written on clean exit only
+//   port          fixed bind port (restart); omitted/0 = ephemeral (first run)
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "stream/net.h"
+
+namespace {
+
+std::uint64_t count_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::uint64_t n = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) ++n;
+  }
+  return n;
+}
+
+void write_atomically(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << content;
+  }
+  std::rename(tmp.c_str(), path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: %s <port_file> <log_file> <metrics_file> [port]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string port_file = argv[1];
+  const std::string log_file = argv[2];
+  const std::string metrics_file = argv[3];
+  const std::uint16_t port =
+      argc > 4 ? std::uint16_t(std::atoi(argv[4])) : std::uint16_t(0);
+
+  using namespace astro::stream;
+
+  // Everything already on disk counts as applied: the log is the durable
+  // state a restart recovers.
+  const std::uint64_t recovered = count_lines(log_file);
+  std::atomic<std::uint64_t> applied{recovered};
+
+  auto out = make_channel<DataTuple>(256);
+  TcpServerOptions opts;
+  opts.ack_every = 8;
+  opts.exit_on_bye = true;
+  TcpTupleServer server("downlink", port, out, /*max_connections=*/0, opts);
+  server.set_resume_point([recovered] { return recovered; });
+  // Acks never run ahead of the log: a tuple is acked only once its line
+  // is durably appended, so a kill -9 can never lose an acked tuple.
+  server.set_applied_watermark(
+      [&applied] { return applied.load(std::memory_order_acquire); });
+
+  write_atomically(port_file, std::to_string(server.port()) + "\n");
+  server.start();
+
+  {
+    // stdio buffering is the only volatile stage: flush per line so a
+    // SIGKILL loses at most tuples that were never acked.
+    std::ofstream log(log_file, std::ios::app);
+    DataTuple t;
+    while (out->pop(t)) {
+      log << t.seq << "\n";
+      log.flush();
+      applied.fetch_add(1, std::memory_order_release);
+    }
+  }
+  server.join();
+
+  const TcpServerCounters c = server.counters();
+  std::ostringstream json;
+  json << "{\"delivered\":" << c.delivered
+       << ",\"duplicates\":" << c.duplicates
+       << ",\"out_of_order\":" << c.out_of_order
+       << ",\"crc_rejects\":" << c.crc_rejects
+       << ",\"protocol_errors\":" << c.protocol_errors
+       << ",\"sessions\":" << c.sessions << ",\"resumes\":" << c.resumes
+       << ",\"byes\":" << c.byes << ",\"recovered\":" << recovered
+       << ",\"applied\":" << applied.load() << "}\n";
+  write_atomically(metrics_file, json.str());
+  return 0;
+}
