@@ -14,12 +14,13 @@ that predate the field:
 
   * any fresh row's tuples_per_sec falls more than --tolerance (default
     10%) below the same row in the baseline's "current" measurements, or
-  * any fresh *local-path* row reports allocs_per_tuple > 0 — the
-    steady-state in-process data plane is supposed to be allocation-free,
-    so a single leaked alloc per tuple is a regression regardless of
-    throughput.  Rows behind the TCP transport ("tcp", "wire") serialize
-    every tuple by design and are exempt from the allocation gate (their
-    throughput is still gated).
+  * any fresh *local-path or shm-path* row reports allocs_per_tuple > 0 —
+    the steady-state in-process data plane is supposed to be
+    allocation-free, and the shared-memory ring keeps the tuple arena
+    engaged on both sides of the boundary, so a single leaked alloc per
+    tuple is a regression regardless of throughput on either.  Rows behind
+    the TCP transport ("tcp", "wire") serialize every tuple by design and
+    are exempt from the allocation gate (their throughput is still gated).
 
 Rows present in only one file are reported but don't fail the gate (engine
 counts may be added or dropped deliberately); the throughput check also
@@ -103,7 +104,7 @@ def main():
     for key in sorted(fresh):
         transport = key[0]
         allocs = float(fresh[key].get("allocs_per_tuple", 0.0))
-        if transport == "local" and allocs > 0.0:
+        if transport in ("local", "shm") and allocs > 0.0:
             failures.append(
                 f"{row_label(key)}: allocs_per_tuple = {allocs} > 0"
             )

@@ -1,13 +1,15 @@
 // Transport-stage throughput (DESIGN.md "Transport"): the same pipeline
 // operating point measured with the stage boundary local (direct channel,
-// arena-backed zero-alloc path) and behind the session transport (CRC32C
-// framing + ack protocol over a loopback socket pair), plus the raw wire
-// rate of a bare TcpTupleSink -> TcpTupleServer link with no PCA behind
-// it.  Rows land in BENCH_transport.json, keyed by the "transport" field;
+// arena-backed zero-alloc path), behind the same-host shared-memory ring
+// (CRC32C frames in mapped slots, arena recycled across the boundary),
+// and behind the session transport (CRC32C framing + ack protocol over a
+// loopback socket pair), plus the raw wire rate of a bare TcpTupleSink ->
+// TcpTupleServer link with no PCA behind it.  Rows land in
+// BENCH_transport.json, keyed by the "transport" field;
 // bench/check_regression.py gates a fresh run against the committed
 // baseline — throughput within tolerance for every row, allocs/tuple
-// still zero on the local rows (the transport path necessarily serializes
-// and is exempt from the zero-alloc gate).
+// still zero on the local AND shm rows (the ring keeps the arena engaged
+// end to end; only the TCP path serializes and is exempt).
 //
 // Methodology matches fig6_scaling: tuples_per_sec is the best of kTrials
 // runs (upper envelope vs scheduler noise); allocs_per_tuple is the
@@ -35,8 +37,10 @@ constexpr std::size_t kTuples = 4000;
 constexpr std::size_t kExtraTuples = 8000;  // differential alloc window
 constexpr int kTrials = 3;
 
+enum class Kind { kLocal, kTcp, kShm };
+
 struct Row {
-  std::string transport;  // "local" | "tcp" | "wire"
+  std::string transport;  // "local" | "shm" | "tcp" | "wire"
   std::size_t engines = 0;
   double tuples_per_sec = 0.0;
   double allocs_per_tuple = 0.0;
@@ -47,15 +51,19 @@ struct RunResult {
   std::uint64_t allocs = 0;
 };
 
-RunResult run_pipeline(bool over_tcp, std::size_t engines,
+RunResult run_pipeline(Kind kind, std::size_t engines,
                        const std::vector<astro::linalg::Vector>& data) {
   astro::app::PipelineConfig cfg;
   cfg.pca.dim = kDim;
   cfg.pca.rank = 4;
   cfg.engines = engines;
   cfg.sync_rate_hz = 0.0;  // isolate the data plane
-  cfg.transport.enabled = over_tcp;
+  cfg.transport.enabled = kind != Kind::kLocal;
   cfg.transport.ack_every = 64;
+  if (kind == Kind::kShm) {
+    cfg.transport.kind = astro::app::PipelineConfig::TransportOptions::Kind::kShm;
+    cfg.transport.shm.ring_capacity = 1024;
+  }
   astro::app::StreamingPcaPipeline p(cfg, data);
   astro::perf::AllocWindow window;
   p.run();
@@ -115,17 +123,17 @@ int main(int argc, char** argv) {
               "allocs/tuple");
 
   std::vector<Row> rows;
-  for (const bool over_tcp : {false, true}) {
+  for (const Kind kind : {Kind::kLocal, Kind::kShm, Kind::kTcp}) {
     for (const std::size_t engines : {std::size_t(1), std::size_t(2)}) {
       RunResult best;
       for (int t = 0; t < kTrials; ++t) {
-        const RunResult r = run_pipeline(over_tcp, engines, base);
+        const RunResult r = run_pipeline(kind, engines, base);
         if (r.tps > best.tps) best = r;
       }
-      // Differential allocs: only meaningful (and only gated) on the local
-      // path — the transport path serializes every tuple by design.
-      const RunResult short_run = run_pipeline(over_tcp, engines, base);
-      const RunResult long_run = run_pipeline(over_tcp, engines, data);
+      // Differential allocs: gated on the local and shm paths (both keep
+      // the arena engaged) — the TCP path serializes every tuple by design.
+      const RunResult short_run = run_pipeline(kind, engines, base);
+      const RunResult long_run = run_pipeline(kind, engines, data);
       double allocs_per_tuple =
           long_run.allocs <= short_run.allocs
               ? 0.0
@@ -135,10 +143,12 @@ int main(int argc, char** argv) {
       // amortized one-offs (hash-map rehashes, deque block growth) over
       // the 8000-tuple window is startup residue, not a per-tuple cost.
       if (allocs_per_tuple < 0.01) allocs_per_tuple = 0.0;
-      const char* kind = over_tcp ? "tcp" : "local";
-      std::printf("%10s %8zu %14.0f %14.2f\n", kind, engines, best.tps,
+      const char* label = kind == Kind::kLocal ? "local"
+                          : kind == Kind::kShm ? "shm"
+                                               : "tcp";
+      std::printf("%10s %8zu %14.0f %14.2f\n", label, engines, best.tps,
                   allocs_per_tuple);
-      rows.push_back({kind, engines, best.tps, allocs_per_tuple});
+      rows.push_back({label, engines, best.tps, allocs_per_tuple});
     }
   }
 

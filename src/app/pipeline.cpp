@@ -1,7 +1,11 @@
 #include "app/pipeline.h"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <stdexcept>
 
+#include "io/frame.h"
 #include "pca/merge.h"
 
 namespace astro::app {
@@ -9,6 +13,19 @@ namespace astro::app {
 using stream::ControlTuple;
 using stream::DataTuple;
 using stream::make_channel;
+
+namespace {
+
+/// Process-unique shm segment name for pipelines that did not pick one:
+/// the pid keeps concurrent processes apart, the counter keeps concurrent
+/// pipelines in one process apart.
+std::string auto_shm_segment() {
+  static std::atomic<std::uint64_t> counter{0};
+  return "astro-ring-" + std::to_string(::getpid()) + "-" +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+}  // namespace
 
 StreamingPcaPipeline::StreamingPcaPipeline(
     const PipelineConfig& config, stream::GeneratorSource::Generator generator)
@@ -50,14 +67,21 @@ void StreamingPcaPipeline::build(const PipelineConfig& config) {
   // staging batch, plus slack for tuples held by operator threads — without
   // the pool ever growing.  Overriding via arena_capacity trades memory
   // for growth-count noise, never correctness.
-  // The transport path serializes every tuple onto a socket and decodes a
-  // fresh one on the far side, so the arena's recycle loop cannot close —
-  // skip it and let payloads be plain heap vectors (the local path keeps
-  // its zero-alloc arena).
-  if (config.pca.dim > 0 && !config.transport.enabled) {
+  // The TCP transport path serializes every tuple onto a socket and
+  // decodes a fresh one on the far side, so the arena's recycle loop
+  // cannot close — skip it and let payloads be plain heap vectors.  The
+  // shm leg is different: the sink releases each payload back to the pool
+  // once the frame is staged in its ring slot, and the server decodes into
+  // arena-leased tuples, so both half-loops close and the arena stays on.
+  const bool tcp_transport =
+      config.transport.enabled &&
+      config.transport.kind == PipelineConfig::TransportOptions::Kind::kTcp;
+  if (config.pca.dim > 0 && !tcp_transport) {
     std::size_t slabs = config.arena_capacity;
     if (slabs == 0) {
-      const std::size_t data_channels = 1 +
+      // The shm leg splices one extra data channel (downlink -> ingest)
+      // into the graph; without counting it the pool runs dry under load.
+      const std::size_t data_channels = 1 + (config.transport.enabled ? 1 : 0) +
                                         (config.validate_ingest ? 1 : 0) + n +
                                         (config.collect_outliers ? 1 : 0);
       slabs = data_channels * config.channel_capacity +
@@ -112,7 +136,69 @@ void StreamingPcaPipeline::build(const PipelineConfig& config) {
   // constructed first (it binds in its constructor, so the sink's connect
   // retries always have a listener to find) and serves sessions until the
   // sink's kBye ends the stream.
-  if (config.transport.enabled) {
+  if (config.transport.enabled &&
+      config.transport.kind == PipelineConfig::TransportOptions::Kind::kShm) {
+    // Same-host shared-memory leg: the sink creates the ring segment in
+    // its constructor, the server's run loop polls until it appears.  The
+    // slot geometry is raised to fit a dim-sized tuple frame so the
+    // default options never silently truncate.
+    transport_out_ = make_named_channel<DataTuple>(
+        "chan.downlink->" + ingest_stage, config.channel_capacity);
+    stream::ShmTransportOptions shm_opts = config.transport.shm;
+    if (config.pca.dim > 0) {
+      const std::size_t d = config.pca.dim;
+      const std::size_t frame_need = io::kFrameHeaderBytes +
+                                     io::kTuplePayloadFixed + d * 8 +
+                                     (d + 7) / 8;
+      if (shm_opts.max_frame_bytes < frame_need) {
+        shm_opts.max_frame_bytes = frame_need;
+      }
+    }
+    std::string segment = config.transport.shm_segment;
+    if (segment.empty()) segment = auto_shm_segment();
+    shm_downlink_ = graph_.add<stream::ShmTupleServer>(
+        "downlink", segment, transport_out_, shm_opts);
+    shm_downlink_->set_arena(arena_.get());
+    shm_uplink_ = graph_.add<stream::ShmTupleSink>("uplink", segment,
+                                                   source_out, shm_opts);
+    shm_uplink_->set_arena(arena_.get());
+    registry_.add_operator(
+        "uplink", &shm_uplink_->metrics(),
+        [s = shm_uplink_] {
+          const stream::ShmSinkCounters c = s->counters();
+          return std::vector<std::pair<std::string, double>>{
+              {"accepted", double(c.accepted)},
+              {"acked", double(c.acked)},
+              {"lossy_dropped", double(c.lossy_dropped)},
+              {"frames_committed", double(c.frames_committed)},
+              {"oversize_dropped", double(c.oversize_dropped)},
+              {"ring_depth", double(c.ring_depth)},
+              {"blocked_waits", double(c.blocked_waits)},
+              {"wraps", double(c.wraps)},
+              {"consumer_generations", double(c.consumer_generations)},
+              {"degraded", c.degraded ? 1.0 : 0.0}};
+        },
+        this);
+    registry_.add_operator(
+        "downlink", &shm_downlink_->metrics(),
+        [s = shm_downlink_] {
+          const stream::ShmServerCounters c = s->counters();
+          return std::vector<std::pair<std::string, double>>{
+              {"delivered", double(c.delivered)},
+              {"duplicates", double(c.duplicates)},
+              {"crc_rejects", double(c.crc_rejects)},
+              {"payload_rejects", double(c.payload_rejects)},
+              {"protocol_errors", double(c.protocol_errors)},
+              {"quarantined", double(c.quarantined)},
+              {"sessions", double(c.sessions)},
+              {"resumes", double(c.resumes)},
+              {"byes", double(c.byes)},
+              {"producer_deaths", double(c.producer_deaths)},
+              {"dead_letters", double(c.dead_letters)},
+              {"dead_letter_overflow", double(c.dead_letter_overflow)}};
+        },
+        this);
+  } else if (config.transport.enabled) {
     transport_out_ = make_named_channel<DataTuple>(
         "chan.downlink->" + ingest_stage, config.channel_capacity);
     stream::TcpServerOptions server_opts;
@@ -177,6 +263,9 @@ void StreamingPcaPipeline::build(const PipelineConfig& config) {
     // the telescope.
     if (downlink_ != nullptr) {
       downlink_->set_dead_letters(dead_letter_channel_);
+    }
+    if (shm_downlink_ != nullptr) {
+      shm_downlink_->set_dead_letters(dead_letter_channel_);
     }
     spectra::ValidationPolicy policy = config.validation;
     if (policy.expected_dim == 0) policy.expected_dim = config.pca.dim;
@@ -446,6 +535,15 @@ void StreamingPcaPipeline::wait() {
     uplink_->join();
     downlink_->request_stop();
     downlink_->join();
+  }
+  if (shm_uplink_ != nullptr) {
+    // Same contract over the ring: the sink's flush waits for the durable
+    // tail (or counts the unconfirmed suffix lossy) and marks bye; the
+    // server normally exits on that bye — nudge it in case the sink
+    // crashed before setting it.
+    shm_uplink_->join();
+    shm_downlink_->request_stop();
+    shm_downlink_->join();
   }
   split_->join();
   if (controller_ != nullptr) {

@@ -26,6 +26,7 @@
 #include "stream/graph.h"
 #include "stream/net.h"
 #include "stream/registry.h"
+#include "stream/shm_net.h"
 #include "stream/sampler.h"
 #include "stream/sink.h"
 #include "stream/source.h"
@@ -131,25 +132,39 @@ struct PipelineConfig {
   ServeOptions serve;
   /// Multi-process data plane (DESIGN.md "Transport").  When enabled, the
   /// stage boundary between the source and the validate/split stage is
-  /// placed behind the resilient session transport:
+  /// placed behind the resilient session transport — either leg carries
+  /// the same CRC-framed session protocol:
   ///
-  ///   source -> TcpTupleSink ==TCP==> TcpTupleServer -> validate/split
+  ///   kind = kTcp:  source -> TcpTupleSink ==TCP==> TcpTupleServer -> ...
+  ///   kind = kShm:  source -> ShmTupleSink ==ring==> ShmTupleServer -> ...
   ///
-  /// In one process this is a loopback socket pair exercising the real
-  /// wire path (CRC framing, acks, retransmits); the two-process drills
-  /// run the same operators with the server side in a child process.  The
-  /// local (non-transport) data plane is untouched — and stays zero-alloc;
-  /// the transport path necessarily serializes, so the payload arena is
-  /// not engaged when it is on.
+  /// In one process the TCP leg is a loopback socket pair and the shm leg
+  /// a process-private ring segment, both exercising the real wire path
+  /// (CRC framing, resume/replay, peer-death detection); the two-process
+  /// drills run the same operators with the server side in a child.  The
+  /// local (non-transport) data plane is untouched — and stays zero-alloc.
+  /// The TCP path necessarily serializes onto a socket and decodes fresh
+  /// heap tuples on the far side, so the payload arena is not engaged when
+  /// it is on; the shm path encodes straight into ring slots and decodes
+  /// into arena-leased tuples, so the arena stays on and the steady path
+  /// allocates nothing.
   struct TransportOptions {
+    enum class Kind { kTcp, kShm };
     bool enabled = false;
-    /// Server bind port; 0 picks an ephemeral port automatically.
+    /// Which leg carries the data plane.
+    Kind kind = Kind::kTcp;
+    /// Server bind port; 0 picks an ephemeral port automatically (kTcp).
     std::uint16_t port = 0;
     /// Sink-side knobs: retransmit window, retry/backoff budget, deadlines,
-    /// degraded-mode cadence, fault injector.
+    /// degraded-mode cadence, fault injector (kTcp).
     stream::TcpTransportOptions tcp;
-    /// Receiver's cumulative-ack cadence (frames per ack).
+    /// Receiver's cumulative-ack cadence (frames per ack, kTcp).
     std::size_t ack_every = 32;
+    /// Shared-memory segment name (kShm); "" derives a process-unique one.
+    std::string shm_segment;
+    /// Ring geometry, timeouts, fault injector (kShm).  max_frame_bytes is
+    /// raised automatically to fit pca.dim-sized tuples.
+    stream::ShmTransportOptions shm;
   };
   TransportOptions transport;
 };
@@ -248,6 +263,17 @@ class StreamingPcaPipeline {
       const noexcept {
     return downlink_;
   }
+  /// Shm transport endpoints (nullptr unless transport.enabled with
+  /// kind == kShm).  Counters expose ring depth, blocked waits, wraps,
+  /// quarantines, resume/bye accounting.
+  [[nodiscard]] const stream::ShmTupleSink* transport_shm_uplink()
+      const noexcept {
+    return shm_uplink_;
+  }
+  [[nodiscard]] const stream::ShmTupleServer* transport_shm_downlink()
+      const noexcept {
+    return shm_downlink_;
+  }
   /// The sync controller (nullptr when synchronization is disabled).
   [[nodiscard]] const sync::SyncController* sync_controller() const noexcept {
     return controller_;
@@ -289,6 +315,8 @@ class StreamingPcaPipeline {
   stream::ChannelPtr<stream::DataTuple> source_out_;
   stream::TcpTupleSink* uplink_ = nullptr;
   stream::TcpTupleServer* downlink_ = nullptr;
+  stream::ShmTupleSink* shm_uplink_ = nullptr;
+  stream::ShmTupleServer* shm_downlink_ = nullptr;
   stream::ChannelPtr<stream::DataTuple> transport_out_;
   stream::ValidateOperator* validator_ = nullptr;
   stream::DeadLetterSink* dead_letter_sink_ = nullptr;

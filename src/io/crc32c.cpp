@@ -37,6 +37,10 @@ constexpr Tables kTables{};
 
 std::uint32_t crc32c_update(std::uint32_t state, const std::uint8_t* data,
                             std::size_t n) noexcept {
+  // A zero-length update is an identity — and the only case where callers
+  // may legitimately hand us a null pointer (an empty span's data()), so it
+  // must not reach the pointer arithmetic below (UB even unread).
+  if (n == 0) return state;
   const auto& t = kTables.t;
   std::uint32_t crc = state;
   while (n >= 4) {

@@ -26,6 +26,9 @@ namespace astro::io {
 [[nodiscard]] constexpr std::uint32_t crc32c_init() noexcept {
   return 0xFFFFFFFFu;
 }
+/// `n == 0` is an identity and accepts `data == nullptr` (an empty span's
+/// data()), so feeding an optional/empty payload needs no guard at the
+/// call site.
 [[nodiscard]] std::uint32_t crc32c_update(std::uint32_t state,
                                           const std::uint8_t* data,
                                           std::size_t n) noexcept;

@@ -1,8 +1,7 @@
 #include "io/frame.h"
 
-#include <cstring>
-
 #include "io/crc32c.h"
+#include "io/wire.h"
 
 namespace astro::io {
 
@@ -11,22 +10,56 @@ namespace {
 constexpr std::uint32_t kMagic = 0x41535446;  // "ASTF"
 constexpr std::size_t kCrcOffset = 20;        // crc field within the header
 
-template <typename T>
-void append(std::vector<std::uint8_t>& out, T value) {
-  const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
-  out.insert(out.end(), p, p + sizeof(T));
+// Append helpers: one per wire type, all little-endian regardless of host
+// byte order (io/wire.h).
+void append_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+void append_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  std::uint8_t b[2];
+  store_le16(b, v);
+  out.insert(out.end(), b, b + 2);
+}
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  std::uint8_t b[4];
+  store_le32(b, v);
+  out.insert(out.end(), b, b + 4);
+}
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  std::uint8_t b[8];
+  store_le64(b, v);
+  out.insert(out.end(), b, b + 8);
 }
 
-template <typename T>
-bool read(std::span<const std::uint8_t>& in, T* value) {
-  if (in.size() < sizeof(T)) return false;
-  std::memcpy(value, in.data(), sizeof(T));
-  in = in.subspan(sizeof(T));
+// Checked little-endian reads that consume from the span.
+[[nodiscard]] bool read_u32(std::span<const std::uint8_t>& in,
+                            std::uint32_t* v) {
+  if (in.size() < 4) return false;
+  *v = load_le32(in.data());
+  in = in.subspan(4);
+  return true;
+}
+[[nodiscard]] bool read_u64(std::span<const std::uint8_t>& in,
+                            std::uint64_t* v) {
+  if (in.size() < 8) return false;
+  *v = load_le64(in.data());
+  in = in.subspan(8);
+  return true;
+}
+[[nodiscard]] bool read_f64(std::span<const std::uint8_t>& in, double* v) {
+  if (in.size() < 8) return false;
+  *v = load_le_f64(in.data());
+  in = in.subspan(8);
   return true;
 }
 
 bool known_type(std::uint8_t t) noexcept {
   return t <= std::uint8_t(FrameType::kBye);
+}
+
+[[nodiscard]] std::uint32_t tuple_mask_bytes(
+    const stream::DataTuple& t) noexcept {
+  return t.mask.empty() ? 0 : std::uint32_t((t.mask.size() + 7) / 8);
 }
 
 // CRC over header-with-zeroed-crc-field + payload.
@@ -40,22 +73,39 @@ std::uint32_t frame_crc(const std::uint8_t* header,
   return crc32c_finish(state);
 }
 
+// Header into a raw buffer (dst holds >= kFrameHeaderBytes); the crc field
+// is written as zero and patched after the payload is in place.
+void write_header(std::uint8_t* dst, FrameType type,
+                  std::uint32_t payload_bytes, std::uint64_t seq) noexcept {
+  store_le32(dst, kMagic);
+  dst[4] = kFrameVersion;
+  dst[5] = std::uint8_t(type);
+  store_le16(dst + 6, 0);  // reserved
+  store_le32(dst + 8, payload_bytes);
+  store_le64(dst + 12, seq);
+  store_le32(dst + kCrcOffset, 0);  // crc placeholder
+}
+
 void append_tuple_payload(std::vector<std::uint8_t>& out,
                           const stream::DataTuple& t) {
   const std::uint32_t dim = std::uint32_t(t.values.size());
-  const std::uint32_t mask_bytes =
-      t.mask.empty() ? 0 : std::uint32_t((t.mask.size() + 7) / 8);
-  append(out, std::uint64_t(t.seq));
-  append(out, std::int64_t(t.timestamp_us));
-  append(out, dim);
-  append(out, mask_bytes);
-  for (double v : t.values) append(out, v);
-  if (mask_bytes > 0) {
-    std::vector<std::uint8_t> bits(mask_bytes, 0);
-    for (std::size_t i = 0; i < t.mask.size(); ++i) {
-      if (t.mask[i]) bits[i / 8] |= std::uint8_t(1u << (i % 8));
+  const std::uint32_t mask_bytes = tuple_mask_bytes(t);
+  append_u64(out, std::uint64_t(t.seq));
+  append_u64(out, std::uint64_t(t.timestamp_us));
+  append_u32(out, dim);
+  append_u32(out, mask_bytes);
+  std::uint8_t b[8];
+  for (double v : t.values) {
+    store_le_f64(b, v);
+    out.insert(out.end(), b, b + 8);
+  }
+  for (std::uint32_t byte = 0; byte < mask_bytes; ++byte) {
+    std::uint8_t bits = 0;
+    for (std::uint32_t k = 0; k < 8; ++k) {
+      const std::size_t i = std::size_t(byte) * 8 + k;
+      if (i < t.mask.size() && t.mask[i]) bits |= std::uint8_t(1u << k);
     }
-    out.insert(out.end(), bits.begin(), bits.end());
+    out.push_back(bits);
   }
 }
 
@@ -66,23 +116,20 @@ std::vector<std::uint8_t> encode_with_payload_inline(
   std::vector<std::uint8_t> out;
   std::uint32_t payload_bytes;
   if (tuple != nullptr) {
-    const std::uint32_t mask_bytes =
-        tuple->mask.empty() ? 0
-                            : std::uint32_t((tuple->mask.size() + 7) / 8);
-    payload_bytes = 8 + 8 + 4 + 4 +
-                    std::uint32_t(tuple->values.size() * sizeof(double)) +
-                    mask_bytes;
+    payload_bytes = std::uint32_t(
+        kTuplePayloadFixed + tuple->values.size() * sizeof(double) +
+        tuple_mask_bytes(*tuple));
   } else {
     payload_bytes = std::uint32_t(payload.size());
   }
   out.reserve(kFrameHeaderBytes + payload_bytes);
-  append(out, kMagic);
-  append(out, kFrameVersion);
-  append(out, std::uint8_t(type));
-  append(out, std::uint16_t(0));  // reserved
-  append(out, payload_bytes);
-  append(out, seq);
-  append(out, std::uint32_t(0));  // crc placeholder
+  append_u32(out, kMagic);
+  append_u8(out, kFrameVersion);
+  append_u8(out, std::uint8_t(type));
+  append_u16(out, 0);  // reserved
+  append_u32(out, payload_bytes);
+  append_u64(out, seq);
+  append_u32(out, 0);  // crc placeholder
   if (tuple != nullptr) {
     append_tuple_payload(out, *tuple);
   } else {
@@ -90,7 +137,7 @@ std::vector<std::uint8_t> encode_with_payload_inline(
   }
   const std::uint32_t crc = frame_crc(
       out.data(), std::span<const std::uint8_t>(out).subspan(kFrameHeaderBytes));
-  std::memcpy(out.data() + kCrcOffset, &crc, 4);
+  store_le32(out.data() + kCrcOffset, crc);
   return out;
 }
 
@@ -111,61 +158,107 @@ std::vector<std::uint8_t> encode_tuple(const stream::DataTuple& t,
   return encode_with_payload_inline(FrameType::kTuple, transport_seq, &t, {});
 }
 
+std::size_t encoded_tuple_bytes(const stream::DataTuple& t) {
+  return kFrameHeaderBytes + kTuplePayloadFixed +
+         t.values.size() * sizeof(double) + tuple_mask_bytes(t);
+}
+
+std::size_t encode_tuple_into(std::span<std::uint8_t> dst,
+                              const stream::DataTuple& t,
+                              std::uint64_t transport_seq) {
+  const std::size_t total = encoded_tuple_bytes(t);
+  if (dst.size() < total) return 0;
+  const std::uint32_t dim = std::uint32_t(t.values.size());
+  const std::uint32_t mask_bytes = tuple_mask_bytes(t);
+  std::uint8_t* p = dst.data();
+  write_header(p, FrameType::kTuple,
+               std::uint32_t(total - kFrameHeaderBytes), transport_seq);
+  p += kFrameHeaderBytes;
+  store_le64(p, std::uint64_t(t.seq));
+  store_le64(p + 8, std::uint64_t(t.timestamp_us));
+  store_le32(p + 16, dim);
+  store_le32(p + 20, mask_bytes);
+  p += kTuplePayloadFixed;
+  for (std::uint32_t i = 0; i < dim; ++i) {
+    store_le_f64(p + std::size_t(i) * 8, t.values[i]);
+  }
+  p += std::size_t(dim) * 8;
+  for (std::uint32_t byte = 0; byte < mask_bytes; ++byte) {
+    std::uint8_t bits = 0;
+    for (std::uint32_t k = 0; k < 8; ++k) {
+      const std::size_t i = std::size_t(byte) * 8 + k;
+      if (i < t.mask.size() && t.mask[i]) bits |= std::uint8_t(1u << k);
+    }
+    p[byte] = bits;
+  }
+  const std::uint32_t crc = frame_crc(
+      dst.data(), dst.subspan(kFrameHeaderBytes, total - kFrameHeaderBytes));
+  store_le32(dst.data() + kCrcOffset, crc);
+  return total;
+}
+
 std::optional<FrameHeader> decode_frame_header(
     std::span<const std::uint8_t> header) {
   if (header.size() != kFrameHeaderBytes) return std::nullopt;
-  std::uint32_t magic = 0;
-  std::memcpy(&magic, header.data(), 4);
-  if (magic != kMagic) return std::nullopt;
+  if (load_le32(header.data()) != kMagic) return std::nullopt;
   FrameHeader h;
   h.version = header[4];
   if (h.version != kFrameVersion) return std::nullopt;
   if (!known_type(header[5])) return std::nullopt;
   h.type = FrameType(header[5]);
-  std::memcpy(&h.payload_bytes, header.data() + 8, 4);
+  h.payload_bytes = load_le32(header.data() + 8);
   if (std::size_t(h.payload_bytes) > kMaxFramePayload) return std::nullopt;
-  std::memcpy(&h.seq, header.data() + 12, 8);
-  std::memcpy(&h.crc, header.data() + kCrcOffset, 4);
+  h.seq = load_le64(header.data() + 12);
+  h.crc = load_le32(header.data() + kCrcOffset);
   return h;
 }
 
 bool verify_frame_crc(std::span<const std::uint8_t> header,
                       std::span<const std::uint8_t> payload) {
   if (header.size() != kFrameHeaderBytes) return false;
-  std::uint32_t stored = 0;
-  std::memcpy(&stored, header.data() + kCrcOffset, 4);
+  const std::uint32_t stored = load_le32(header.data() + kCrcOffset);
   return frame_crc(header.data(), payload) == stored;
+}
+
+bool decode_tuple_payload_into(std::span<const std::uint8_t> payload,
+                               stream::DataTuple& t) {
+  std::uint64_t seq = 0, ts = 0;
+  std::uint32_t dim = 0, mask_bytes = 0;
+  if (!read_u64(payload, &seq) || !read_u64(payload, &ts) ||
+      !read_u32(payload, &dim) || !read_u32(payload, &mask_bytes)) {
+    return false;
+  }
+  if (dim > kMaxFramePayload / sizeof(double)) return false;
+  if (payload.size() != std::size_t(dim) * sizeof(double) + mask_bytes) {
+    return false;
+  }
+  t.seq = seq;
+  t.timestamp_us = std::int64_t(ts);
+  t.values.resize_no_shrink(dim);
+  // Every read checked: the size equation above makes a short buffer
+  // impossible today, but a future format change must fail loudly here
+  // instead of decoding garbage doubles.
+  for (std::uint32_t i = 0; i < dim; ++i) {
+    double v = 0;
+    if (!read_f64(payload, &v)) return false;
+    t.values[i] = v;
+  }
+  if (mask_bytes > 0) {
+    if (mask_bytes < (dim + 7) / 8) return false;
+    t.mask.assign(dim, false);
+    for (std::uint32_t i = 0; i < dim; ++i) {
+      t.mask[i] = (payload[i / 8] >> (i % 8)) & 1u;
+    }
+  } else {
+    t.mask.clear();
+  }
+  return true;
 }
 
 std::optional<stream::DataTuple> decode_tuple_payload(
     std::span<const std::uint8_t> payload) {
   stream::DataTuple t;
-  std::uint64_t seq = 0;
-  std::int64_t ts = 0;
-  std::uint32_t dim = 0, mask_bytes = 0;
-  if (!read(payload, &seq) || !read(payload, &ts) || !read(payload, &dim) ||
-      !read(payload, &mask_bytes)) {
-    return std::nullopt;
-  }
-  if (dim > kMaxFramePayload / sizeof(double)) return std::nullopt;
-  if (payload.size() != std::size_t(dim) * sizeof(double) + mask_bytes) {
-    return std::nullopt;
-  }
-  t.seq = seq;
-  t.timestamp_us = ts;
-  t.values = linalg::Vector(dim);
-  for (std::uint32_t i = 0; i < dim; ++i) {
-    double v = 0;
-    read(payload, &v);
-    t.values[i] = v;
-  }
-  if (mask_bytes > 0) {
-    if (mask_bytes < (dim + 7) / 8) return std::nullopt;
-    t.mask.assign(dim, false);
-    for (std::uint32_t i = 0; i < dim; ++i) {
-      t.mask[i] = (payload[i / 8] >> (i % 8)) & 1u;
-    }
-  }
+  if (!decode_tuple_payload_into(payload, t)) return std::nullopt;
   return t;
 }
 

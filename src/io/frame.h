@@ -39,6 +39,10 @@ inline constexpr std::uint8_t kFrameVersion = 2;
 /// Bytes of the fixed header (magic + version/type + length + seq + crc).
 inline constexpr std::size_t kFrameHeaderBytes = 24;
 
+/// Fixed prefix of a kTuple payload: u64 tuple seq | i64 timestamp |
+/// u32 dim | u32 mask_bytes (the values and mask bits follow).
+inline constexpr std::size_t kTuplePayloadFixed = 8 + 8 + 4 + 4;
+
 /// Upper bound a decoder accepts for payload_bytes — anything larger is a
 /// corrupt or hostile length field, rejected before any allocation.
 inline constexpr std::size_t kMaxFramePayload = std::size_t(1) << 26;
@@ -79,6 +83,16 @@ struct FrameHeader {
   return encode_tuple(t, t.seq);
 }
 
+/// Exact frame size (header + payload) encode_tuple would produce for `t`.
+[[nodiscard]] std::size_t encoded_tuple_bytes(const stream::DataTuple& t);
+
+/// Zero-allocation encode: serializes the kTuple frame for `t` directly
+/// into caller-owned storage (e.g. a shared-memory ring slot).  Returns the
+/// bytes written, or 0 when `dst` is smaller than encoded_tuple_bytes(t).
+std::size_t encode_tuple_into(std::span<std::uint8_t> dst,
+                              const stream::DataTuple& t,
+                              std::uint64_t transport_seq);
+
 /// Parses and sanity-checks the fixed header; returns nullopt when the
 /// magic, version, or type is wrong or payload_bytes exceeds
 /// kMaxFramePayload.  A nullopt here means the byte stream is desynced or
@@ -97,6 +111,13 @@ struct FrameHeader {
 /// nullopt on malformed input (inconsistent sizes).
 [[nodiscard]] std::optional<stream::DataTuple> decode_tuple_payload(
     std::span<const std::uint8_t> payload);
+
+/// Zero-allocation decode: fills a recycled tuple in place (values resized
+/// without shrinking, mask reused), so an arena-leased payload survives the
+/// transport hop.  Returns false on malformed input, leaving `t` in an
+/// unspecified but destructible state.
+[[nodiscard]] bool decode_tuple_payload_into(
+    std::span<const std::uint8_t> payload, stream::DataTuple& t);
 
 /// Full round trip over one frame (header + payload): header decode, CRC
 /// verification, payload decode.  Rejects non-kTuple frames.

@@ -1,0 +1,61 @@
+#pragma once
+
+// Endian-explicit wire primitives for the frame codec (io/frame.h).
+//
+// The v2 wire format is *defined* as little-endian, but the original codec
+// serialized integers with raw memcpy of native values — correct on x86,
+// silently wrong the day a big-endian peer (or a persisted replay file
+// crossing hosts) shows up.  Every header and payload field now goes
+// through these helpers, so the byte layout is a property of the format,
+// not of the build host.  The byte-at-a-time form compiles to single
+// mov/bswap instructions on every mainstream compiler at -O1 and above.
+//
+// Doubles travel as the little-endian bytes of their IEEE-754 bit pattern
+// (std::bit_cast through uint64_t — no type punning, UBSan-clean).
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace astro::io {
+
+inline void store_le16(std::uint8_t* p, std::uint16_t v) noexcept {
+  p[0] = std::uint8_t(v);
+  p[1] = std::uint8_t(v >> 8);
+}
+
+inline void store_le32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = std::uint8_t(v);
+  p[1] = std::uint8_t(v >> 8);
+  p[2] = std::uint8_t(v >> 16);
+  p[3] = std::uint8_t(v >> 24);
+}
+
+inline void store_le64(std::uint8_t* p, std::uint64_t v) noexcept {
+  store_le32(p, std::uint32_t(v));
+  store_le32(p + 4, std::uint32_t(v >> 32));
+}
+
+inline void store_le_f64(std::uint8_t* p, double v) noexcept {
+  store_le64(p, std::bit_cast<std::uint64_t>(v));
+}
+
+[[nodiscard]] inline std::uint16_t load_le16(const std::uint8_t* p) noexcept {
+  return std::uint16_t(std::uint16_t(p[0]) | (std::uint16_t(p[1]) << 8));
+}
+
+[[nodiscard]] inline std::uint32_t load_le32(const std::uint8_t* p) noexcept {
+  return std::uint32_t(p[0]) | (std::uint32_t(p[1]) << 8) |
+         (std::uint32_t(p[2]) << 16) | (std::uint32_t(p[3]) << 24);
+}
+
+[[nodiscard]] inline std::uint64_t load_le64(const std::uint8_t* p) noexcept {
+  return std::uint64_t(load_le32(p)) |
+         (std::uint64_t(load_le32(p + 4)) << 32);
+}
+
+[[nodiscard]] inline double load_le_f64(const std::uint8_t* p) noexcept {
+  return std::bit_cast<double>(load_le64(p));
+}
+
+}  // namespace astro::io

@@ -1,0 +1,98 @@
+#include "stream/shm_fault.h"
+
+namespace astro::stream {
+
+namespace {
+
+// splitmix64: the repo's standard seed-expansion step (stats/rng.h uses
+// the same construction) — every derived schedule is a pure function of
+// the injector's seed.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void ShmFaultInjector::corrupt_slot(std::uint64_t seq, std::size_t offset,
+                                    std::uint8_t mask) {
+  std::lock_guard lock(mutex_);
+  SlotEvent e;
+  e.seq = seq;
+  e.offset = offset;
+  e.mask = mask == 0 ? std::uint8_t(0x01) : mask;
+  corruptions_.push_back(e);
+  scheduled_corruptions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ShmFaultInjector::corrupt_random(std::uint64_t count,
+                                      std::uint64_t max_seq,
+                                      std::size_t min_offset,
+                                      std::size_t max_offset) {
+  if (max_seq == 0 || count == 0) return;
+  if (max_offset < min_offset) max_offset = min_offset;
+  std::uint64_t state = seed_;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t seq = splitmix64(state) % max_seq + 1;
+    const std::size_t offset =
+        min_offset + std::size_t(splitmix64(state) %
+                                 std::uint64_t(max_offset - min_offset + 1));
+    std::uint8_t mask = std::uint8_t(splitmix64(state) & 0xFF);
+    if (mask == 0) mask = 0x01;
+    corrupt_slot(seq, offset, mask);
+  }
+}
+
+void ShmFaultInjector::die_at_commit(std::uint64_t seq) {
+  std::lock_guard lock(mutex_);
+  SlotEvent e;
+  e.seq = seq;
+  deaths_.push_back(e);
+}
+
+void ShmFaultInjector::stall_consume(std::uint64_t seq,
+                                     std::chrono::milliseconds delay) {
+  std::lock_guard lock(mutex_);
+  SlotEvent e;
+  e.seq = seq;
+  e.delay = delay;
+  stalls_.push_back(e);
+}
+
+ShmFaultInjector::CommitPlan ShmFaultInjector::plan_commit(
+    std::uint64_t seq, std::size_t frame_bytes) {
+  std::lock_guard lock(mutex_);
+  CommitPlan plan;
+  for (auto& e : corruptions_) {
+    if (e.fired || e.seq != seq) continue;
+    e.fired = true;
+    std::size_t off = e.offset;
+    if (frame_bytes > 0 && off >= frame_bytes) off = frame_bytes - 1;
+    plan.flips.emplace_back(off, e.mask);
+    corruptions_injected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  for (auto& e : deaths_) {
+    if (e.fired || e.seq != seq) continue;
+    e.fired = true;
+    plan.die = true;
+    deaths_injected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return plan;
+}
+
+std::chrono::milliseconds ShmFaultInjector::plan_consume(std::uint64_t seq) {
+  std::lock_guard lock(mutex_);
+  std::chrono::milliseconds total{0};
+  for (auto& e : stalls_) {
+    if (e.fired || e.seq != seq) continue;
+    e.fired = true;
+    total += e.delay;
+    stalls_injected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace astro::stream

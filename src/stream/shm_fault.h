@@ -1,0 +1,111 @@
+#pragma once
+
+// Deterministic fault injection for the shared-memory ring transport
+// (DESIGN.md "Transport", "Shared-memory leg") — the shm sibling of
+// stream/socket_fault.h.  Triggers are *transport seqs*, never wall-clock
+// time, so every schedule replays identically:
+//
+//   corrupt_slot    — XOR-damage a byte of the frame staged for a seq,
+//                     after encode and before commit (the consumer's CRC
+//                     must catch it and route the husk to the DLQ).
+//   corrupt_random  — seeded convenience: derive `count` corrupt_slot
+//                     events from the injector's seed via splitmix64,
+//                     restricted to a payload byte range (so headers stay
+//                     decodable and the damage is CRC territory).
+//   die_at_commit   — the producer writes the slot for a seq but "crashes"
+//                     before the committing head store: the endpoint stops
+//                     beating and exits with StopReason::kError, and the
+//                     consumer's peer-death detection must fire.
+//   stall_consume   — the consumer sleeps before consuming a seq (a wedged
+//                     application; the producer's blocked/ring-full path
+//                     and heartbeat staleness accounting get exercised).
+//
+// Thread-safety: the schedule is built before streaming starts; query
+// sites lock a private mutex, accounting is lock-free readable.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace astro::stream {
+
+class ShmFaultInjector {
+ public:
+  explicit ShmFaultInjector(std::uint64_t seed = 1) : seed_(seed) {}
+
+  // --- schedule builders (call before streaming starts) -------------------
+
+  /// XOR the frame byte at `offset` of the frame carrying transport `seq`
+  /// with `mask` (mask 0 is promoted to 0x01 so a flip always flips).
+  /// Offsets past the frame end are clamped to the last byte.
+  void corrupt_slot(std::uint64_t seq, std::size_t offset,
+                    std::uint8_t mask = 0x01);
+
+  /// Seeded schedule: `count` corruptions at splitmix64-derived seqs in
+  /// [1, max_seq] and offsets in [min_offset, max_offset].
+  void corrupt_random(std::uint64_t count, std::uint64_t max_seq,
+                      std::size_t min_offset, std::size_t max_offset);
+
+  /// Producer death mid-commit: the slot for `seq` is written but head is
+  /// never advanced (fires once).
+  void die_at_commit(std::uint64_t seq);
+
+  /// Hold the consumer for `delay` before it consumes `seq` (fires once).
+  void stall_consume(std::uint64_t seq, std::chrono::milliseconds delay);
+
+  // --- query sites ---------------------------------------------------------
+
+  /// What the commit of `seq` (a frame of `frame_bytes`) must do.  Flip
+  /// offsets are clamped to the frame and counted as injected here.
+  struct CommitPlan {
+    bool die = false;
+    std::vector<std::pair<std::size_t, std::uint8_t>> flips;
+  };
+  [[nodiscard]] CommitPlan plan_commit(std::uint64_t seq,
+                                       std::size_t frame_bytes);
+
+  /// Delay to apply before consuming `seq` (0 = none); counted here.
+  [[nodiscard]] std::chrono::milliseconds plan_consume(std::uint64_t seq);
+
+  // --- accounting (readable live from any thread) --------------------------
+
+  [[nodiscard]] std::uint64_t corruptions_injected() const noexcept {
+    return corruptions_injected_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t deaths_injected() const noexcept {
+    return deaths_injected_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t stalls_injected() const noexcept {
+    return stalls_injected_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t scheduled_corruptions() const noexcept {
+    return scheduled_corruptions_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  struct SlotEvent {
+    std::uint64_t seq = 0;
+    std::size_t offset = 0;
+    std::uint8_t mask = 0x01;
+    std::chrono::milliseconds delay{0};
+    bool fired = false;
+  };
+
+  mutable std::mutex mutex_;
+  std::uint64_t seed_;
+  std::vector<SlotEvent> corruptions_;
+  std::vector<SlotEvent> deaths_;
+  std::vector<SlotEvent> stalls_;
+
+  std::atomic<std::uint64_t> corruptions_injected_{0};
+  std::atomic<std::uint64_t> deaths_injected_{0};
+  std::atomic<std::uint64_t> stalls_injected_{0};
+  std::atomic<std::uint64_t> scheduled_corruptions_{0};
+};
+
+}  // namespace astro::stream

@@ -1,0 +1,450 @@
+#include "stream/shm_net.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "io/frame.h"
+
+namespace astro::stream {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using std::chrono::milliseconds;
+
+constexpr milliseconds kAttachPoll{1};
+
+/// Idle/backpressure backoff: spin a little for the common
+/// consumer-is-right-behind-us case, then yield to the scheduler in
+/// growing slices so a genuinely idle ring costs nothing.
+void backoff(unsigned& spins) {
+  ++spins;
+  if (spins < 64) {
+    // busy-spin: the peer is typically nanoseconds away
+  } else if (spins < 256) {
+    std::this_thread::yield();
+  } else if (spins < 512) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  } else {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ShmTupleSink
+// ---------------------------------------------------------------------------
+
+ShmTupleSink::ShmTupleSink(std::string name, std::string segment,
+                           ChannelPtr<DataTuple> in,
+                           ShmTransportOptions options)
+    : Operator(std::move(name)), in_(std::move(in)), options_(options) {
+  segment_ = ShmRingSegment::create(
+      segment, options_.ring_capacity,
+      kShmSlotPrefixBytes + options_.max_frame_bytes);
+}
+
+ShmTupleSink::~ShmTupleSink() { join(); }
+
+void ShmTupleSink::sample_gauges(const ShmRingProducer& prod) {
+  ring_depth_.store(prod.depth(), std::memory_order_relaxed);
+  acked_.store(prod.tail(), std::memory_order_relaxed);
+  consumer_generations_.store(prod.consumer().generation,
+                              std::memory_order_relaxed);
+}
+
+bool ShmTupleSink::wait_for_room(ShmRingProducer& prod, PeerWatch& watch) {
+  // One wait episode: the ring is full and we park until the consumer's
+  // durable tail frees a slot.  A consumer that is dead (or was never
+  // there) continuously past restart_timeout is not coming back inside
+  // this episode — degrade to counted-lossy rather than wedge the
+  // pipeline.
+  blocked_waits_.fetch_add(1, std::memory_order_relaxed);
+  Clock::time_point dead_since{};
+  unsigned spins = 0;
+  while (prod.full()) {
+    if (stop_requested()) return false;
+    prod.beat();
+    sample_gauges(prod);
+    const PeerWatch::State st =
+        watch.observe(prod.consumer(), options_.peer_timeout);
+    if (st == PeerWatch::State::kAlive) {
+      dead_since = {};
+    } else {
+      const auto now = Clock::now();
+      if (dead_since == Clock::time_point{}) {
+        dead_since = now;
+      } else if (now - dead_since > options_.restart_timeout) {
+        degraded_.store(true, std::memory_order_relaxed);
+        return false;
+      }
+    }
+    backoff(spins);
+  }
+  return true;
+}
+
+void ShmTupleSink::flush(ShmRingProducer& prod, PeerWatch& watch) {
+  // Everything is committed; bye tells the consumer no further seq will
+  // come, then we wait for its durable tail to reach head.  Bounded: no
+  // tail progress for ack_timeout (with a restart grace while the
+  // consumer is dead) counts the unconfirmed suffix as lossy.
+  prod.set_bye();
+  std::uint64_t progress_mark = prod.tail();
+  auto last_progress = Clock::now();
+  Clock::time_point dead_since{};
+  unsigned spins = 0;
+  while (prod.tail() < prod.head() && !stop_requested()) {
+    prod.beat();
+    sample_gauges(prod);
+    const std::uint64_t t = prod.tail();
+    const auto now = Clock::now();
+    if (t > progress_mark) {
+      progress_mark = t;
+      last_progress = now;
+    }
+    const PeerWatch::State st =
+        watch.observe(prod.consumer(), options_.peer_timeout);
+    if (st == PeerWatch::State::kAlive) {
+      dead_since = {};
+      if (now - last_progress > options_.ack_timeout) break;
+    } else {
+      if (dead_since == Clock::time_point{}) dead_since = now;
+      if (now - dead_since > options_.restart_timeout) break;
+      // A restarting consumer resumes at tail; keep the grace window open.
+      last_progress = now;
+    }
+    backoff(spins);
+  }
+  const std::uint64_t unconfirmed = prod.head() - prod.tail();
+  if (unconfirmed > 0) {
+    for (std::uint64_t i = 0; i < unconfirmed; ++i) metrics_.record_dropped();
+    lossy_dropped_.fetch_add(unconfirmed, std::memory_order_relaxed);
+  }
+  sample_gauges(prod);
+  // Conservation closes exactly: whatever the consumer never confirmed
+  // durable is counted lossy, so accepted == acked + lossy_dropped.
+  acked_.store(accepted_.load(std::memory_order_relaxed) -
+                   lossy_dropped_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+}
+
+void ShmTupleSink::run() {
+  using namespace std::chrono_literals;
+  ShmRingProducer prod(*segment_);
+  PeerWatch watch;
+  bool ever_attached = false;
+  DataTuple t;
+  bool have = false;
+
+  while (!stop_requested()) {
+    prod.beat();
+    sample_gauges(prod);
+    if (!ever_attached && prod.consumer().pid != 0) ever_attached = true;
+    if (!have) {
+      if (in_->pop_for(t, 50ms)) {
+        have = true;
+        metrics_.record_in(t.wire_bytes());
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+      } else if (in_->closed() && in_->size() == 0) {
+        break;  // input exhausted: flush below
+      } else {
+        continue;  // idle: keep beating
+      }
+    }
+    if (degraded_.load(std::memory_order_relaxed)) {
+      // Heal when a (new) consumer is alive and made room; until then the
+      // producer flows on and every drop is counted.
+      if (watch.observe(prod.consumer(), options_.peer_timeout) ==
+              PeerWatch::State::kAlive &&
+          !prod.full()) {
+        degraded_.store(false, std::memory_order_relaxed);
+      } else {
+        metrics_.record_dropped();
+        lossy_dropped_.fetch_add(1, std::memory_order_relaxed);
+        if (arena_) arena_->release(t);
+        have = false;
+        continue;
+      }
+    }
+    if (prod.full()) {
+      if (!wait_for_room(prod, watch)) continue;  // stopped or degraded
+    }
+    const std::uint64_t seq = prod.next_seq();
+    const std::span<std::uint8_t> slot = prod.stage(seq);
+    const std::size_t n = io::encode_tuple_into(slot, t, seq);
+    if (arena_) arena_->release(t);  // the frame is the tuple now
+    have = false;
+    if (n == 0) {
+      // Geometry misconfiguration (tuple bigger than a slot): counted,
+      // never silently truncated.
+      oversize_dropped_.fetch_add(1, std::memory_order_relaxed);
+      lossy_dropped_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.record_dropped();
+      continue;
+    }
+    if (options_.fault) {
+      const auto plan = options_.fault->plan_commit(seq, n);
+      for (const auto& [off, mask] : plan.flips) slot[off] ^= mask;
+      if (plan.die) {
+        // Simulated crash mid-commit: the slot is written but head never
+        // advances — no flush, no bye, no further heartbeats.  The
+        // consumer's peer-death detection must fire.
+        crashed_ = true;
+        set_stop_reason(StopReason::kError);
+        return;
+      }
+    }
+    if (prod.commit(seq, n)) wraps_.fetch_add(1, std::memory_order_relaxed);
+    frames_committed_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.record_out(n);
+  }
+
+  flush(prod, watch);
+  if (stop_requested()) {
+    set_stop_reason(StopReason::kRequested);
+  } else if (!ever_attached && prod.consumer().pid == 0) {
+    // No consumer ever attached: the transport never worked.
+    set_stop_reason(StopReason::kError);
+  } else {
+    set_stop_reason(StopReason::kUpstreamClosed);
+  }
+}
+
+ShmSinkCounters ShmTupleSink::counters() const noexcept {
+  ShmSinkCounters c;
+  c.accepted = accepted_.load(std::memory_order_relaxed);
+  c.acked = acked_.load(std::memory_order_relaxed);
+  c.lossy_dropped = lossy_dropped_.load(std::memory_order_relaxed);
+  c.frames_committed = frames_committed_.load(std::memory_order_relaxed);
+  c.oversize_dropped = oversize_dropped_.load(std::memory_order_relaxed);
+  c.blocked_waits = blocked_waits_.load(std::memory_order_relaxed);
+  c.wraps = wraps_.load(std::memory_order_relaxed);
+  c.ring_depth = ring_depth_.load(std::memory_order_relaxed);
+  c.consumer_generations =
+      consumer_generations_.load(std::memory_order_relaxed);
+  c.degraded = degraded_.load(std::memory_order_relaxed);
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// ShmTupleServer
+// ---------------------------------------------------------------------------
+
+ShmTupleServer::ShmTupleServer(std::string name, std::string segment,
+                               ChannelPtr<DataTuple> out,
+                               ShmTransportOptions options)
+    : Operator(std::move(name)),
+      segment_name_(std::move(segment)),
+      out_(std::move(out)),
+      options_(options) {}
+
+ShmTupleServer::~ShmTupleServer() { join(); }
+
+bool ShmTupleServer::attach() {
+  const auto deadline = Clock::now() + options_.attach_timeout;
+  const std::size_t slot_bytes =
+      kShmSlotPrefixBytes + options_.max_frame_bytes;
+  while (!stop_requested() && Clock::now() < deadline) {
+    segment_ = ShmRingSegment::try_attach(segment_name_, options_.ring_capacity,
+                                          slot_bytes);
+    if (segment_) return true;
+    std::this_thread::sleep_for(kAttachPoll);
+  }
+  return false;
+}
+
+void ShmTupleServer::quarantine_slot(std::uint64_t seq) {
+  quarantined_.fetch_add(1, std::memory_order_relaxed);
+  ++quarantined_since_attach_;
+  metrics_.record_dropped();
+  if (!dlq_) return;
+  // The slot failed validation, so nothing in it can be trusted except a
+  // position in the stream: forward a husk carrying the (claimed or
+  // positional) seq so the gap is observable downstream.  Non-blocking —
+  // a full DLQ must not wedge the transport.
+  DeadLetter dl;
+  dl.tuple.seq = seq;
+  dl.reason = spectra::RejectReason::kCorruptFrame;
+  if (dlq_->try_push(dl)) {
+    dead_letters_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    dead_letter_overflow_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t ShmTupleServer::tail_target(const ShmRingConsumer& cons) const {
+  if (!applied_watermark_) return cons.cursor();
+  // Durable gating: the producer may only reclaim slots the application
+  // durably applied.  Quarantined husks never reach the application, so
+  // they are credited on top of the watermark — but duplicates are NOT
+  // (they sit at or below the resume point, which the watermark already
+  // covers; crediting them would let the tail outrun durability).
+  return std::min(cons.cursor(),
+                  applied_watermark_() + quarantined_since_attach_);
+}
+
+ShmTupleServer::SlotOutcome ShmTupleServer::consume_slot(
+    ShmRingConsumer& cons, std::uint64_t resume) {
+  const std::uint64_t position = cons.cursor() + 1;
+  if (options_.fault) {
+    auto delay = options_.fault->plan_consume(position);
+    while (delay.count() > 0 && !stop_requested()) {
+      const auto slice = std::min(delay, milliseconds(10));
+      std::this_thread::sleep_for(slice);
+      cons.beat();
+      delay -= slice;
+    }
+  }
+  const std::span<const std::uint8_t> frame = cons.peek();
+  if (frame.empty()) {
+    // Length prefix outside any valid frame size: positional quarantine.
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    quarantine_slot(position);
+    cons.advance();
+    return SlotOutcome::kQuarantined;
+  }
+  metrics_.record_in(frame.size());
+  const auto header = io::decode_frame_header(frame.first(io::kFrameHeaderBytes));
+  if (!header || header->payload_bytes != frame.size() - io::kFrameHeaderBytes ||
+      header->type != io::FrameType::kTuple) {
+    // Undecodable or non-tuple frame in a data ring: protocol damage.
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    quarantine_slot(position);
+    cons.advance();
+    return SlotOutcome::kQuarantined;
+  }
+  const std::span<const std::uint8_t> payload =
+      frame.subspan(io::kFrameHeaderBytes);
+  if (!io::verify_frame_crc(frame.first(io::kFrameHeaderBytes), payload)) {
+    crc_rejects_.fetch_add(1, std::memory_order_relaxed);
+    quarantine_slot(header->seq);
+    cons.advance();
+    return SlotOutcome::kQuarantined;
+  }
+  if (header->seq <= resume) {
+    // Restart replay of an already durably applied tuple: filtered, never
+    // re-delivered.
+    duplicates_.fetch_add(1, std::memory_order_relaxed);
+    cons.advance();
+    return SlotOutcome::kDuplicate;
+  }
+  if (arena_) arena_->acquire(staging_);
+  if (!io::decode_tuple_payload_into(payload, staging_)) {
+    payload_rejects_.fetch_add(1, std::memory_order_relaxed);
+    quarantine_slot(header->seq);
+    cons.advance();
+    return SlotOutcome::kQuarantined;
+  }
+  const std::size_t bytes = staging_.wire_bytes();
+  if (!out_->push(std::move(staging_))) {
+    return SlotOutcome::kDownstreamClosed;  // pipeline shutting down
+  }
+  delivered_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.record_out(bytes);
+  cons.advance();
+  return SlotOutcome::kDelivered;
+}
+
+void ShmTupleServer::final_drain(ShmRingConsumer& cons) {
+  // Clean end of stream: hold the session open until the application's
+  // durable watermark confirms everything consumed, so the producer's
+  // flush sees tail == head.  Bounded by watermark progress.
+  std::uint64_t progress_mark = cons.tail();
+  auto last_progress = Clock::now();
+  while (!stop_requested() && cons.tail() < cons.cursor()) {
+    cons.publish_tail(tail_target(cons));
+    cons.beat();
+    const std::uint64_t t = cons.tail();
+    const auto now = Clock::now();
+    if (t > progress_mark) {
+      progress_mark = t;
+      last_progress = now;
+    } else if (now - last_progress > options_.ack_timeout) {
+      break;  // the application stopped applying; producer counts the rest
+    }
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+}
+
+void ShmTupleServer::run() {
+  if (!attach()) {
+    out_->close();
+    set_stop_reason(stop_requested() ? StopReason::kRequested
+                                     : StopReason::kError);
+    return;
+  }
+  ShmRingConsumer cons(*segment_);
+  sessions_.fetch_add(1, std::memory_order_relaxed);
+  quarantined_since_attach_ = 0;
+  const std::uint64_t resume = resume_point_ ? resume_point_() : 0;
+  if (resume > 0) resumes_.fetch_add(1, std::memory_order_relaxed);
+
+  PeerWatch watch;
+  unsigned spins = 0;
+  bool clean_bye = false;
+  bool producer_dead = false;
+  bool downstream_closed = false;
+
+  while (!stop_requested()) {
+    cons.beat();
+    if (!cons.empty()) {
+      spins = 0;
+      const SlotOutcome outcome = consume_slot(cons, resume);
+      if (outcome == SlotOutcome::kDownstreamClosed) {
+        downstream_closed = true;
+        break;
+      }
+      cons.publish_tail(tail_target(cons));
+      continue;
+    }
+    if (cons.bye()) {
+      // Producer committed its last frame and will never commit another.
+      final_drain(cons);
+      byes_.store(1, std::memory_order_relaxed);
+      clean_bye = true;
+      break;
+    }
+    if (watch.observe(cons.producer(), options_.peer_timeout) ==
+        PeerWatch::State::kDead) {
+      producer_deaths_.fetch_add(1, std::memory_order_relaxed);
+      producer_dead = true;
+      break;
+    }
+    cons.publish_tail(tail_target(cons));  // idle: keep draining watermark
+    backoff(spins);
+  }
+  if (arena_) arena_->release(staging_);
+  out_->close();  // downstream drains what was delivered, then exits
+
+  if (stop_requested() || downstream_closed) {
+    set_stop_reason(StopReason::kRequested);
+  } else if (producer_dead) {
+    set_stop_reason(StopReason::kError);
+  } else if (clean_bye) {
+    set_stop_reason(StopReason::kUpstreamClosed);
+  } else {
+    set_stop_reason(StopReason::kError);
+  }
+}
+
+ShmServerCounters ShmTupleServer::counters() const noexcept {
+  ShmServerCounters c;
+  c.delivered = delivered_.load(std::memory_order_relaxed);
+  c.duplicates = duplicates_.load(std::memory_order_relaxed);
+  c.crc_rejects = crc_rejects_.load(std::memory_order_relaxed);
+  c.payload_rejects = payload_rejects_.load(std::memory_order_relaxed);
+  c.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  c.quarantined = quarantined_.load(std::memory_order_relaxed);
+  c.sessions = sessions_.load(std::memory_order_relaxed);
+  c.resumes = resumes_.load(std::memory_order_relaxed);
+  c.byes = byes_.load(std::memory_order_relaxed);
+  c.producer_deaths = producer_deaths_.load(std::memory_order_relaxed);
+  c.dead_letters = dead_letters_.load(std::memory_order_relaxed);
+  c.dead_letter_overflow =
+      dead_letter_overflow_.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace astro::stream

@@ -1,0 +1,258 @@
+#include "stream/shm_ring.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <new>
+#include <stdexcept>
+
+#include "io/frame.h"
+#include "io/wire.h"
+
+namespace astro::stream {
+
+namespace {
+
+// shm_open requires a leading slash and no other slashes.
+std::string posix_name(const std::string& name) {
+  if (!name.empty() && name.front() == '/') return name;
+  return "/" + name;
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error("ShmRingSegment: " + what + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+bool shm_pid_alive(std::uint64_t pid) noexcept {
+  if (pid == 0) return false;
+  if (::kill(pid_t(pid), 0) == 0) return true;
+  return errno == EPERM;  // exists, just not ours to signal
+}
+
+std::unique_ptr<ShmRingSegment> ShmRingSegment::create(const std::string& name,
+                                                       std::size_t capacity,
+                                                       std::size_t slot_bytes) {
+  if (capacity == 0) {
+    throw std::runtime_error("ShmRingSegment: capacity must be >= 1");
+  }
+  if (slot_bytes < kShmSlotPrefixBytes + io::kFrameHeaderBytes) {
+    throw std::runtime_error("ShmRingSegment: slot_bytes too small for any frame");
+  }
+  const std::string shm_name = posix_name(name);
+  // A previous run that crashed with the same name leaves a stale segment;
+  // the creator owns the name, so reclaim it.
+  ::shm_unlink(shm_name.c_str());
+  const int fd =
+      ::shm_open(shm_name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd < 0) throw_errno("shm_open(create " + shm_name + ")");
+
+  const std::size_t total = segment_bytes(capacity, slot_bytes);
+  if (::ftruncate(fd, off_t(total)) != 0) {
+    ::close(fd);
+    ::shm_unlink(shm_name.c_str());
+    throw_errno("ftruncate");
+  }
+  void* base =
+      ::mmap(nullptr, total, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (base == MAP_FAILED) {
+    ::close(fd);
+    ::shm_unlink(shm_name.c_str());
+    throw_errno("mmap");
+  }
+
+  auto seg = std::unique_ptr<ShmRingSegment>(new ShmRingSegment());
+  seg->name_ = shm_name;
+  seg->owner_ = true;
+  seg->fd_ = fd;
+  seg->base_ = base;
+  seg->total_bytes_ = total;
+  // The mapping is zero-filled; placement-new value-initializes the
+  // atomics in place (address-free per the lock-free static_assert), then
+  // the release-store of the magic publishes the initialized header to
+  // any concurrently polling attacher.
+  auto* h = new (base) ShmRingHeader{};
+  h->version = kShmRingVersion;
+  h->capacity = capacity;
+  h->slot_bytes = slot_bytes;
+  seg->header_ = h;
+  seg->slots_ = static_cast<std::uint8_t*>(base) + sizeof(ShmRingHeader);
+  seg->capacity_ = capacity;
+  seg->slot_bytes_ = slot_bytes;
+  h->magic.store(kShmRingMagic, std::memory_order_release);
+  return seg;
+}
+
+std::unique_ptr<ShmRingSegment> ShmRingSegment::try_attach(
+    const std::string& name, std::size_t capacity, std::size_t slot_bytes) {
+  const std::string shm_name = posix_name(name);
+  const int fd = ::shm_open(shm_name.c_str(), O_RDWR, 0600);
+  if (fd < 0) {
+    if (errno == ENOENT) return nullptr;  // creator not there yet
+    throw_errno("shm_open(attach " + shm_name + ")");
+  }
+  const std::size_t total = segment_bytes(capacity, slot_bytes);
+  struct stat st {};
+  if (::fstat(fd, &st) != 0 || std::size_t(st.st_size) < total) {
+    ::close(fd);  // creator mid-ftruncate; poll again
+    return nullptr;
+  }
+  void* base =
+      ::mmap(nullptr, total, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (base == MAP_FAILED) {
+    ::close(fd);
+    throw_errno("mmap(attach)");
+  }
+  auto* h = static_cast<ShmRingHeader*>(base);
+  if (h->magic.load(std::memory_order_acquire) != kShmRingMagic) {
+    ::munmap(base, total);  // header not published yet; poll again
+    ::close(fd);
+    return nullptr;
+  }
+  if (h->version != kShmRingVersion || h->capacity != capacity ||
+      h->slot_bytes != slot_bytes) {
+    // Copy the fields before unmapping — the header is gone after munmap.
+    const auto seg_version = h->version;
+    const auto seg_capacity = h->capacity;
+    const auto seg_slot_bytes = h->slot_bytes;
+    ::munmap(base, total);
+    ::close(fd);
+    throw std::runtime_error(
+        "ShmRingSegment: geometry mismatch attaching " + shm_name +
+        " (segment " + std::to_string(seg_capacity) + "x" +
+        std::to_string(seg_slot_bytes) + " v" + std::to_string(seg_version) +
+        ", expected " + std::to_string(capacity) + "x" +
+        std::to_string(slot_bytes) + " v" + std::to_string(kShmRingVersion) +
+        ")");
+  }
+  auto seg = std::unique_ptr<ShmRingSegment>(new ShmRingSegment());
+  seg->name_ = shm_name;
+  seg->owner_ = false;
+  seg->fd_ = fd;
+  seg->base_ = base;
+  seg->total_bytes_ = total;
+  seg->header_ = h;
+  seg->slots_ = static_cast<std::uint8_t*>(base) + sizeof(ShmRingHeader);
+  seg->capacity_ = capacity;
+  seg->slot_bytes_ = slot_bytes;
+  return seg;
+}
+
+ShmRingSegment::~ShmRingSegment() {
+  if (base_ != nullptr) ::munmap(base_, total_bytes_);
+  if (fd_ >= 0) ::close(fd_);
+  // Unlinking removes the name only; an attached consumer keeps its
+  // mapping until it unmaps.
+  if (owner_) ::shm_unlink(name_.c_str());
+}
+
+// --- producer ---------------------------------------------------------------
+
+ShmRingProducer::ShmRingProducer(ShmRingSegment& seg) : seg_(&seg) {
+  seg_->header().producer_pid.store(std::uint64_t(::getpid()),
+                                    std::memory_order_release);
+  beat();
+}
+
+std::uint64_t ShmRingProducer::head() const noexcept {
+  // Producer-owned; relaxed is exact (single writer: us).
+  return seg_->header().head.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ShmRingProducer::tail() const noexcept {
+  return seg_->header().tail.load(std::memory_order_acquire);
+}
+
+std::span<std::uint8_t> ShmRingProducer::stage(std::uint64_t seq) noexcept {
+  std::uint8_t* s = seg_->slot((seq - 1) % seg_->capacity());
+  return {s + kShmSlotPrefixBytes, seg_->max_frame_bytes()};
+}
+
+bool ShmRingProducer::commit(std::uint64_t seq,
+                             std::size_t frame_bytes) noexcept {
+  const std::size_t index = (seq - 1) % seg_->capacity();
+  io::store_le32(seg_->slot(index), std::uint32_t(frame_bytes));
+  seg_->header().head.store(seq, std::memory_order_release);
+  return index == 0 && seq > 1;  // slot-0 reuse: the ring wrapped
+}
+
+void ShmRingProducer::beat() noexcept {
+  seg_->header().producer_beat.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ShmRingProducer::set_bye() noexcept {
+  seg_->header().bye.store(1, std::memory_order_release);
+}
+
+ShmPeer ShmRingProducer::consumer() const noexcept {
+  const ShmRingHeader& h = seg_->header();
+  ShmPeer p;
+  p.pid = h.consumer_pid.load(std::memory_order_acquire);
+  p.beat = h.consumer_beat.load(std::memory_order_relaxed);
+  p.generation = h.consumer_generation.load(std::memory_order_relaxed);
+  return p;
+}
+
+// --- consumer ---------------------------------------------------------------
+
+ShmRingConsumer::ShmRingConsumer(ShmRingSegment& seg) : seg_(&seg) {
+  ShmRingHeader& h = seg_->header();
+  h.consumer_pid.store(std::uint64_t(::getpid()), std::memory_order_release);
+  generation_ =
+      h.consumer_generation.fetch_add(1, std::memory_order_acq_rel) + 1;
+  // Resume exactly where the previous incarnation's durable progress
+  // stopped: everything past the tail is the unconsumed suffix.
+  cursor_ = h.tail.load(std::memory_order_acquire);
+  beat();
+}
+
+std::uint64_t ShmRingConsumer::head() const noexcept {
+  return seg_->header().head.load(std::memory_order_acquire);
+}
+
+std::uint64_t ShmRingConsumer::tail() const noexcept {
+  return seg_->header().tail.load(std::memory_order_relaxed);
+}
+
+bool ShmRingConsumer::bye() const noexcept {
+  return seg_->header().bye.load(std::memory_order_acquire) != 0;
+}
+
+std::span<const std::uint8_t> ShmRingConsumer::peek() const noexcept {
+  const std::uint8_t* s = seg_->slot(cursor_ % seg_->capacity());
+  const std::uint32_t len = io::load_le32(s);
+  if (len < io::kFrameHeaderBytes || len > seg_->max_frame_bytes()) {
+    return {};  // corrupt length prefix; quarantine positionally
+  }
+  return {s + kShmSlotPrefixBytes, len};
+}
+
+void ShmRingConsumer::publish_tail(std::uint64_t seq) noexcept {
+  ShmRingHeader& h = seg_->header();
+  const std::uint64_t target = seq < cursor_ ? seq : cursor_;
+  if (target > h.tail.load(std::memory_order_relaxed)) {
+    h.tail.store(target, std::memory_order_release);
+  }
+}
+
+void ShmRingConsumer::beat() noexcept {
+  seg_->header().consumer_beat.fetch_add(1, std::memory_order_relaxed);
+}
+
+ShmPeer ShmRingConsumer::producer() const noexcept {
+  const ShmRingHeader& h = seg_->header();
+  ShmPeer p;
+  p.pid = h.producer_pid.load(std::memory_order_acquire);
+  p.beat = h.producer_beat.load(std::memory_order_relaxed);
+  p.generation = 0;
+  return p;
+}
+
+}  // namespace astro::stream

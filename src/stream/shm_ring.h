@@ -1,0 +1,266 @@
+#pragma once
+
+// Same-host shared-memory SPSC frame ring (DESIGN.md "Transport",
+// "Shared-memory leg").  The kernel-bypassing sibling of the TCP session
+// transport: a fixed-capacity single-producer/single-consumer ring living
+// in a `shm_open`/`mmap` segment, carrying the same CRC32C-protected v2
+// frames (io/frame.h) so a corrupt slot rides the existing dead-letter /
+// quarantine machinery instead of poisoning the stream.
+//
+// Segment layout (offsets fixed by ShmRingHeader, all integers native —
+// both ends are the same build on the same host by definition; the *frame
+// bytes inside the slots* are the endian-defined wire format):
+//
+//   line 0: identity     magic (stored last, release) | version
+//                        | capacity | slot_bytes
+//   line 1: producer     head | producer_pid | producer_beat | bye
+//   line 2: consumer     tail | consumer_pid | consumer_beat | generation
+//   slots:  capacity x slot_bytes, each  u32 frame_bytes | frame ...
+//
+// Head and tail are *cumulative transport seqs*, not ring indices: head is
+// the highest committed seq, tail the highest reclaimable one, and seq s
+// lives in slot (s-1) % capacity.  The ring IS the retransmit window — the
+// producer may only overwrite slot s once tail >= s, and tail is advanced
+// by the consumer only up to its durable applied watermark, so everything
+// a kill -9'd consumer had not durably applied is still in the segment
+// when its restart re-attaches (ShmRingConsumer resumes at tail).
+//
+// Memory ordering: the producer writes slot bytes, then release-stores
+// head; the consumer acquire-loads head before reading the slot.  The
+// consumer release-stores tail after it is done with a slot; the producer
+// acquire-loads tail before reuse.  Heads/tails sit on separate cache
+// lines so the two sides never false-share.
+//
+// Liveness rides in the header: each side registers its pid and bumps a
+// heartbeat counter from its run loop; the peer combines a kill(pid, 0)
+// existence probe with heartbeat staleness (PeerWatch) — the pid check
+// catches a kill -9'd process instantly, the staleness bound catches a
+// wedged-but-alive one (and is the only signal in single-process tests,
+// where both ends share a pid).
+//
+// Lifecycle: the producer *creates* the segment (unlinking any stale one
+// of the same name first) and unlinks it on destruction; the consumer
+// attaches — try_attach() polls until the creator's release-store of the
+// magic publishes a fully initialized header.  Names must be unique per
+// ring (the pipeline derives them from pid + a process-wide counter).
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <type_traits>
+
+namespace astro::stream {
+
+/// The shared header at offset 0 of the segment.  Standard layout, three
+/// cache lines, all inter-process fields lock-free atomics.
+struct ShmRingHeader {
+  // line 0: identity, written once by the creator (magic last, release).
+  std::atomic<std::uint32_t> magic;
+  std::uint32_t version;
+  std::uint64_t capacity;    ///< slots
+  std::uint64_t slot_bytes;  ///< stride; frame capacity = slot_bytes - 4
+  std::uint8_t pad0[40];
+  // line 1: producer-owned.
+  std::atomic<std::uint64_t> head;  ///< highest committed seq
+  std::atomic<std::uint64_t> producer_pid;
+  std::atomic<std::uint64_t> producer_beat;
+  std::atomic<std::uint64_t> bye;  ///< != 0: no seq beyond head will come
+  std::uint8_t pad1[32];
+  // line 2: consumer-owned.
+  std::atomic<std::uint64_t> tail;  ///< highest reclaimable (durable) seq
+  std::atomic<std::uint64_t> consumer_pid;
+  std::atomic<std::uint64_t> consumer_beat;
+  std::atomic<std::uint64_t> consumer_generation;  ///< attach incarnations
+  std::uint8_t pad2[32];
+};
+static_assert(sizeof(ShmRingHeader) == 192, "three cache lines");
+static_assert(std::is_standard_layout_v<ShmRingHeader>);
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "cross-process atomics must be address-free");
+
+inline constexpr std::uint32_t kShmRingMagic = 0x53485231;  // "SHR1"
+inline constexpr std::uint32_t kShmRingVersion = 1;
+/// Slot overhead: the little-endian u32 frame-length prefix.
+inline constexpr std::size_t kShmSlotPrefixBytes = 4;
+
+/// One side's identity snapshot, read from the header.
+struct ShmPeer {
+  std::uint64_t pid = 0;
+  std::uint64_t beat = 0;
+  std::uint64_t generation = 0;  ///< consumers only; 0 for the producer
+};
+
+/// Does `pid` name a live process?  kill(pid, 0) existence probe; EPERM
+/// still means "exists".  pid 0 = never registered.
+[[nodiscard]] bool shm_pid_alive(std::uint64_t pid) noexcept;
+
+/// Peer-death detector: fuses the pid probe with heartbeat staleness.
+/// observe() is called from the watcher's poll loop; any change in beat or
+/// generation counts as progress.  kDead = the pid is gone OR the beat has
+/// been frozen longer than `staleness`; kAbsent = the peer never
+/// registered at all.
+class PeerWatch {
+ public:
+  enum class State { kAbsent, kAlive, kDead };
+
+  State observe(const ShmPeer& p, std::chrono::milliseconds staleness) {
+    if (p.pid == 0) return State::kAbsent;
+    const auto now = std::chrono::steady_clock::now();
+    if (!seen_ || p.beat != last_beat_ || p.generation != last_generation_ ||
+        p.pid != last_pid_) {
+      seen_ = true;
+      last_beat_ = p.beat;
+      last_generation_ = p.generation;
+      last_pid_ = p.pid;
+      last_progress_ = now;
+      return State::kAlive;
+    }
+    if (!shm_pid_alive(p.pid)) return State::kDead;
+    if (now - last_progress_ > staleness) return State::kDead;
+    return State::kAlive;
+  }
+
+ private:
+  bool seen_ = false;
+  std::uint64_t last_beat_ = 0;
+  std::uint64_t last_generation_ = 0;
+  std::uint64_t last_pid_ = 0;
+  std::chrono::steady_clock::time_point last_progress_{};
+};
+
+class ShmRingSegment {
+ public:
+  /// Creates (producer side): unlinks any stale segment of the same name,
+  /// then shm_open(O_CREAT|O_EXCL) + ftruncate + mmap and initializes the
+  /// header, publishing the magic last with release semantics.  Throws
+  /// std::runtime_error on any syscall failure or degenerate geometry.
+  static std::unique_ptr<ShmRingSegment> create(const std::string& name,
+                                                std::size_t capacity,
+                                                std::size_t slot_bytes);
+
+  /// Attaches (consumer side).  Returns nullptr while the segment does not
+  /// exist or its creator has not finished initializing (callers poll);
+  /// throws std::runtime_error when the segment exists but its geometry or
+  /// version disagrees with the caller's expectation.
+  static std::unique_ptr<ShmRingSegment> try_attach(const std::string& name,
+                                                    std::size_t capacity,
+                                                    std::size_t slot_bytes);
+
+  ~ShmRingSegment();
+  ShmRingSegment(const ShmRingSegment&) = delete;
+  ShmRingSegment& operator=(const ShmRingSegment&) = delete;
+
+  [[nodiscard]] ShmRingHeader& header() noexcept { return *header_; }
+  [[nodiscard]] const ShmRingHeader& header() const noexcept {
+    return *header_;
+  }
+  /// Slot base for ring index `i` (the length prefix; frame bytes follow).
+  [[nodiscard]] std::uint8_t* slot(std::size_t i) noexcept {
+    return slots_ + i * slot_bytes_;
+  }
+  [[nodiscard]] const std::uint8_t* slot(std::size_t i) const noexcept {
+    return slots_ + i * slot_bytes_;
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t slot_bytes() const noexcept { return slot_bytes_; }
+  [[nodiscard]] std::size_t max_frame_bytes() const noexcept {
+    return slot_bytes_ - kShmSlotPrefixBytes;
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] bool owner() const noexcept { return owner_; }
+
+  [[nodiscard]] static std::size_t segment_bytes(std::size_t capacity,
+                                                 std::size_t slot_bytes) {
+    return sizeof(ShmRingHeader) + capacity * slot_bytes;
+  }
+
+ private:
+  ShmRingSegment() = default;
+
+  std::string name_;
+  bool owner_ = false;
+  int fd_ = -1;
+  void* base_ = nullptr;
+  std::size_t total_bytes_ = 0;
+  ShmRingHeader* header_ = nullptr;
+  std::uint8_t* slots_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::size_t slot_bytes_ = 0;
+};
+
+/// Producer half of the protocol.  Construction registers this process's
+/// pid in the header.  Single-threaded by contract (SPSC).
+class ShmRingProducer {
+ public:
+  explicit ShmRingProducer(ShmRingSegment& seg);
+
+  [[nodiscard]] std::uint64_t head() const noexcept;
+  [[nodiscard]] std::uint64_t tail() const noexcept;
+  [[nodiscard]] std::uint64_t next_seq() const noexcept { return head() + 1; }
+  [[nodiscard]] std::uint64_t depth() const noexcept { return head() - tail(); }
+  [[nodiscard]] bool full() const noexcept {
+    return depth() >= seg_->capacity();
+  }
+
+  /// Staging area for the frame of `seq` — the slot's payload region,
+  /// max_frame_bytes() long.  Valid only while !full() and seq ==
+  /// next_seq(); the bytes become visible to the consumer only at
+  /// commit().
+  [[nodiscard]] std::span<std::uint8_t> stage(std::uint64_t seq) noexcept;
+
+  /// Publishes the staged frame: length prefix, then release-store of
+  /// head.  Returns true when this commit reused slot 0 (a ring wrap).
+  bool commit(std::uint64_t seq, std::size_t frame_bytes) noexcept;
+
+  void beat() noexcept;
+  /// Marks the stream complete: no seq beyond the current head will ever
+  /// be committed (the shm analog of the kBye control frame).
+  void set_bye() noexcept;
+  [[nodiscard]] ShmPeer consumer() const noexcept;
+
+ private:
+  ShmRingSegment* seg_;
+};
+
+/// Consumer half.  Construction registers the pid, bumps the attach
+/// generation, and resumes the cursor at the segment's tail — exactly the
+/// unconsumed suffix a previous (possibly kill -9'd) incarnation left.
+class ShmRingConsumer {
+ public:
+  explicit ShmRingConsumer(ShmRingSegment& seg);
+
+  [[nodiscard]] std::uint64_t cursor() const noexcept { return cursor_; }
+  [[nodiscard]] std::uint64_t head() const noexcept;
+  [[nodiscard]] std::uint64_t tail() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return cursor_ >= head(); }
+  [[nodiscard]] bool bye() const noexcept;
+
+  /// The frame occupying slot cursor()+1 (call only when !empty()).
+  /// Returns an empty span when the slot's length prefix is outside
+  /// [kFrameHeaderBytes, max_frame_bytes] — a corrupt slot the caller
+  /// must quarantine positionally.
+  [[nodiscard]] std::span<const std::uint8_t> peek() const noexcept;
+
+  /// Consumes the peeked slot (cursor advances; tail does NOT move).
+  void advance() noexcept { ++cursor_; }
+
+  /// Release-stores tail = min(seq, cursor), monotonically — the producer
+  /// may now reclaim everything up to it.  Callers gate `seq` on their
+  /// durable applied watermark for exactly-once across consumer crashes.
+  void publish_tail(std::uint64_t seq) noexcept;
+
+  void beat() noexcept;
+  [[nodiscard]] ShmPeer producer() const noexcept;
+  [[nodiscard]] std::uint64_t generation() const noexcept { return generation_; }
+
+ private:
+  ShmRingSegment* seg_;
+  std::uint64_t cursor_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace astro::stream

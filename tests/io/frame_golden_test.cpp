@@ -1,0 +1,205 @@
+// Golden-bytes vectors pinning the v2 wire format (DESIGN.md "Transport",
+// "Wire format"): the exact little-endian byte layout a frame must have on
+// the wire, independent of the host's endianness or any refactor of the
+// codec.  Two directions:
+//
+//   encode -> byte-compare   the encoder must reproduce the golden bytes
+//   literal bytes -> decode  the decoder must accept bytes it never wrote
+//
+// The vectors were derived from the format definition (io/frame.h) with an
+// independent CRC32C implementation, so an encoder and decoder that share
+// a sign/endian/offset bug cannot both pass.
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/crc32c.h"
+#include "io/frame.h"
+#include "io/wire.h"
+
+namespace astro::io {
+namespace {
+
+// Transport seq 7 carrying tuple seq 5, ts 1000 us, dim 2, values
+// {1.5, -2.0}, no mask.  24-byte header + 40-byte payload.
+const std::vector<std::uint8_t> kGoldenPlain = {
+    // header: magic 'ASTF' LE | v2 | kTuple | reserved
+    0x46, 0x54, 0x53, 0x41, 0x02, 0x00, 0x00, 0x00,
+    // payload_bytes = 40 | transport seq = 7
+    0x28, 0x00, 0x00, 0x00, 0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    // crc32c(header with crc zeroed + payload)
+    0x6F, 0xCE, 0xBF, 0xF5,
+    // payload: tuple seq = 5 | timestamp = 1000
+    0x05, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0xE8, 0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    // dim = 2 | mask_bytes = 0
+    0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    // 1.5 = 0x3FF8000000000000 | -2.0 = 0xC000000000000000 (both LE)
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xF8, 0x3F,
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xC0};
+
+// Transport seq 9 carrying tuple seq 3, ts -1 us, dim 3, values
+// {1.0, 0.0, -1.0}, mask {observed, missing, observed} -> one mask byte
+// 0b101 (LSB-first).
+const std::vector<std::uint8_t> kGoldenMasked = {
+    0x46, 0x54, 0x53, 0x41, 0x02, 0x00, 0x00, 0x00,
+    0x31, 0x00, 0x00, 0x00, 0x09, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0xA2, 0x4A, 0x8C, 0x86,
+    0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+    0x03, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xF0, 0x3F,
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xF0, 0xBF, 0x05};
+
+stream::DataTuple plain_tuple() {
+  stream::DataTuple t;
+  t.seq = 5;
+  t.timestamp_us = 1000;
+  t.values = linalg::Vector{1.5, -2.0};
+  return t;
+}
+
+stream::DataTuple masked_tuple() {
+  stream::DataTuple t;
+  t.seq = 3;
+  t.timestamp_us = -1;
+  t.values = linalg::Vector{1.0, 0.0, -1.0};
+  t.mask = {true, false, true};
+  return t;
+}
+
+TEST(FrameGolden, EncodeReproducesPlainVector) {
+  const auto frame = encode_tuple(plain_tuple(), /*transport_seq=*/7);
+  EXPECT_EQ(frame, kGoldenPlain);
+}
+
+TEST(FrameGolden, EncodeReproducesMaskedVector) {
+  const auto frame = encode_tuple(masked_tuple(), /*transport_seq=*/9);
+  EXPECT_EQ(frame, kGoldenMasked);
+}
+
+TEST(FrameGolden, DecodeAcceptsLiteralBytes) {
+  const auto t = decode_tuple(kGoldenPlain);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->seq, 5u);
+  EXPECT_EQ(t->timestamp_us, 1000);
+  ASSERT_EQ(t->values.size(), 2u);
+  EXPECT_EQ(t->values[0], 1.5);
+  EXPECT_EQ(t->values[1], -2.0);
+  EXPECT_TRUE(t->mask.empty());
+
+  const auto m = decode_tuple(kGoldenMasked);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->seq, 3u);
+  EXPECT_EQ(m->timestamp_us, -1);
+  ASSERT_EQ(m->values.size(), 3u);
+  EXPECT_EQ(m->values[2], -1.0);
+  ASSERT_EQ(m->mask.size(), 3u);
+  EXPECT_TRUE(m->mask[0]);
+  EXPECT_FALSE(m->mask[1]);
+  EXPECT_TRUE(m->mask[2]);
+}
+
+TEST(FrameGolden, HeaderFieldsDecodeFromLiteralBytes) {
+  const auto h = decode_frame_header(
+      std::span<const std::uint8_t>(kGoldenPlain).first(kFrameHeaderBytes));
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->version, 2);
+  EXPECT_EQ(h->type, FrameType::kTuple);
+  EXPECT_EQ(h->payload_bytes, 40u);
+  EXPECT_EQ(h->seq, 7u);
+  EXPECT_EQ(h->crc, 0xF5BFCE6Fu);
+}
+
+TEST(FrameGolden, MagicIsLittleEndianOnTheWire) {
+  // 0x41535446 ('ASTF') stored LE: 'F' 'T' 'S' 'A'.
+  const auto frame = encode_control_frame(FrameType::kBye, 1);
+  ASSERT_GE(frame.size(), 4u);
+  EXPECT_EQ(frame[0], 0x46);
+  EXPECT_EQ(frame[1], 0x54);
+  EXPECT_EQ(frame[2], 0x53);
+  EXPECT_EQ(frame[3], 0x41);
+}
+
+TEST(FrameGolden, WireHelpersRoundTripExactBytes) {
+  std::uint8_t buf[8];
+  store_le64(buf, 0x0102030405060708ull);
+  EXPECT_EQ(buf[0], 0x08);
+  EXPECT_EQ(buf[7], 0x01);
+  EXPECT_EQ(load_le64(buf), 0x0102030405060708ull);
+
+  store_le_f64(buf, 1.5);
+  const std::uint8_t expect[8] = {0, 0, 0, 0, 0, 0, 0xF8, 0x3F};
+  EXPECT_EQ(std::memcmp(buf, expect, 8), 0);
+  EXPECT_EQ(load_le_f64(buf), 1.5);
+}
+
+TEST(FrameGolden, Crc32cCheckValue) {
+  // The standard Castagnoli check value: crc32c("123456789").
+  const std::uint8_t digits[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32c(digits, sizeof(digits)), 0xE3069283u);
+}
+
+TEST(FrameGolden, Crc32cZeroLengthIsIdentityAndNullSafe) {
+  EXPECT_EQ(crc32c(nullptr, 0), 0x00000000u);
+  // Mid-stream zero-length update must not perturb the state — this is the
+  // empty-payload control-frame path, where span::data() may be null.
+  std::uint32_t state = crc32c_init();
+  state = crc32c_update(state, reinterpret_cast<const std::uint8_t*>("ab"), 2);
+  const std::uint32_t before = state;
+  state = crc32c_update(state, nullptr, 0);
+  EXPECT_EQ(state, before);
+}
+
+TEST(FrameGolden, EncodeIntoMatchesHeapEncoder) {
+  const auto t = masked_tuple();
+  const auto heap = encode_tuple(t, 9);
+  ASSERT_EQ(encoded_tuple_bytes(t), heap.size());
+  std::vector<std::uint8_t> buf(heap.size());
+  EXPECT_EQ(encode_tuple_into(buf, t, 9), heap.size());
+  EXPECT_EQ(buf, heap);
+  // A too-small destination is refused outright, never truncated.
+  std::vector<std::uint8_t> small(heap.size() - 1);
+  EXPECT_EQ(encode_tuple_into(small, t, 9), 0u);
+}
+
+TEST(FrameGolden, DecodeIntoMatchesHeapDecoder) {
+  const std::span<const std::uint8_t> payload =
+      std::span<const std::uint8_t>(kGoldenMasked).subspan(kFrameHeaderBytes);
+  stream::DataTuple recycled;
+  recycled.values = linalg::Vector(16, 9.9);  // stale, larger than needed
+  ASSERT_TRUE(decode_tuple_payload_into(payload, recycled));
+  const auto heap = decode_tuple_payload(payload);
+  ASSERT_TRUE(heap.has_value());
+  EXPECT_EQ(recycled.seq, heap->seq);
+  EXPECT_EQ(recycled.timestamp_us, heap->timestamp_us);
+  ASSERT_EQ(recycled.values.size(), heap->values.size());
+  for (std::size_t i = 0; i < recycled.values.size(); ++i) {
+    EXPECT_EQ(recycled.values[i], heap->values[i]);
+  }
+  ASSERT_EQ(recycled.mask.size(), heap->mask.size());
+  for (std::size_t i = 0; i < recycled.mask.size(); ++i) {
+    EXPECT_EQ(recycled.mask[i], heap->mask[i]);
+  }
+}
+
+TEST(FrameGolden, TruncatedValuesAreRejectedNotRead) {
+  // Satellite fix: the values loop must check every read.  A payload whose
+  // dim promises more doubles than the bytes deliver is malformed, not a
+  // buffer over-read.
+  std::span<const std::uint8_t> payload =
+      std::span<const std::uint8_t>(kGoldenPlain).subspan(kFrameHeaderBytes);
+  stream::DataTuple t;
+  for (std::size_t cut = 1; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(decode_tuple_payload_into(payload.first(cut), t))
+        << "truncation at " << cut << " bytes was accepted";
+  }
+  EXPECT_TRUE(decode_tuple_payload_into(payload, t));
+}
+
+}  // namespace
+}  // namespace astro::io

@@ -120,7 +120,11 @@ TEST(RcuCell, ReadersNeverSeeTornOrReapedGenerationsUnderStress) {
             }
             last_id = p->id;
           }
-          if (done) break;
+          // Only exit after seeing a value: a reader preempted between a
+          // pre-first-store nullptr load and the done check would otherwise
+          // finish read-less.  Seeing done (acquire) pairs with the
+          // writer's release store, so the next load is non-null.
+          if (done && p != nullptr) break;
         }
       });
     }

@@ -1,0 +1,114 @@
+// Consumer-side child process for the two-process shared-memory drill
+// (tests/transport/shm_two_process_test.cpp).  Runs a ShmTupleServer over
+// the parent's ring segment feeding a durable append-only log — one line
+// per applied tuple — whose length IS the resume point: when the parent
+// kill -9's this process mid-stream and re-execs it against the same log,
+// the recovered line count tells the restarted consumer's cursor exactly
+// which ring suffix is still unapplied.  On a clean end of stream (the
+// bye flag) the server's counters are dumped as JSON so the parent can
+// assert conservation across the crash.
+//
+// Usage: shm_child <segment> <capacity> <max_frame_bytes> <log> <metrics>
+//   segment        shm segment name created by the parent's sink
+//   capacity       ring capacity (must match the creator's geometry)
+//   max_frame_bytes  slot payload budget (must match likewise)
+//   log            append-only: "<tuple_seq>\n" per applied tuple
+//   metrics        counters JSON, written on clean exit only
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "stream/shm_net.h"
+
+namespace {
+
+std::uint64_t count_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::uint64_t n = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) ++n;
+  }
+  return n;
+}
+
+void write_atomically(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << content;
+  }
+  std::rename(tmp.c_str(), path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 6) {
+    std::fprintf(
+        stderr,
+        "usage: %s <segment> <capacity> <max_frame_bytes> <log> <metrics>\n",
+        argv[0]);
+    return 2;
+  }
+  const std::string segment = argv[1];
+  const std::size_t capacity = std::strtoull(argv[2], nullptr, 10);
+  const std::size_t max_frame_bytes = std::strtoull(argv[3], nullptr, 10);
+  const std::string log_file = argv[4];
+  const std::string metrics_file = argv[5];
+
+  using namespace astro::stream;
+
+  // Everything already on disk counts as applied: the log is the durable
+  // state a restart recovers.
+  const std::uint64_t recovered = count_lines(log_file);
+  std::atomic<std::uint64_t> applied{recovered};
+
+  ShmTransportOptions opts;
+  opts.ring_capacity = capacity;
+  opts.max_frame_bytes = max_frame_bytes;
+
+  auto out = make_channel<DataTuple>(256);
+  ShmTupleServer server("downlink", segment, out, opts);
+  server.set_resume_point([recovered] { return recovered; });
+  // The ring tail never runs ahead of the log: a slot is released back to
+  // the producer only once its line is durably appended, so a kill -9 can
+  // never lose a released tuple.
+  server.set_applied_watermark(
+      [&applied] { return applied.load(std::memory_order_acquire); });
+  server.start();
+
+  {
+    // stdio buffering is the only volatile stage: flush per line so a
+    // SIGKILL loses at most tuples the tail never covered.
+    std::ofstream log(log_file, std::ios::app);
+    DataTuple t;
+    while (out->pop(t)) {
+      log << t.seq << "\n";
+      log.flush();
+      applied.fetch_add(1, std::memory_order_release);
+    }
+  }
+  server.join();
+
+  const ShmServerCounters c = server.counters();
+  std::ostringstream json;
+  json << "{\"delivered\":" << c.delivered
+       << ",\"duplicates\":" << c.duplicates
+       << ",\"crc_rejects\":" << c.crc_rejects
+       << ",\"payload_rejects\":" << c.payload_rejects
+       << ",\"protocol_errors\":" << c.protocol_errors
+       << ",\"quarantined\":" << c.quarantined
+       << ",\"sessions\":" << c.sessions << ",\"resumes\":" << c.resumes
+       << ",\"byes\":" << c.byes
+       << ",\"producer_deaths\":" << c.producer_deaths
+       << ",\"recovered\":" << recovered << ",\"applied\":" << applied.load()
+       << "}\n";
+  write_atomically(metrics_file, json.str());
+  return 0;
+}

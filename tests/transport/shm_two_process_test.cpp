@@ -1,0 +1,222 @@
+// The real two-process shared-memory drill: the consumer runs in a child
+// process (shm_child, a ShmTupleServer + durable append log), the producer
+// in this process.  Mid-stream the child is SIGKILL'd — no shutdown
+// handlers, the mapping just vanishes — and re-exec'd against the same log
+// and segment.  The sink must detect consumer death via pid liveness, hold
+// the unreleased ring suffix through the outage, and let the restarted
+// consumer resume at the recovered durable watermark and finish the stream
+// with zero loss and zero duplication, asserted from the merged on-disk
+// log and the child's metrics JSON.  This is the same exactly-once
+// conservation drill the TCP leg passes in two_process_test.cpp.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "stream/shm_net.h"
+
+#ifndef TRANSPORT_SHM_CHILD_BIN
+#error "TRANSPORT_SHM_CHILD_BIN must point at the shm_child executable"
+#endif
+
+namespace astro::stream {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+constexpr std::size_t kRingCapacity = 64;
+constexpr std::size_t kMaxFrameBytes = 160;
+
+struct TempPath {
+  std::string path;
+  explicit TempPath(const std::string& suffix) {
+    path = ::testing::TempDir() + "shm_drill_" + std::to_string(::getpid()) +
+           "_" + suffix;
+    std::remove(path.c_str());
+  }
+  ~TempPath() { std::remove(path.c_str()); }
+};
+
+pid_t spawn_child(const std::string& segment, const std::string& log_file,
+                  const std::string& metrics_file) {
+  const std::string cap = std::to_string(kRingCapacity);
+  const std::string frame = std::to_string(kMaxFrameBytes);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    const char* argv[] = {TRANSPORT_SHM_CHILD_BIN, segment.c_str(),
+                          cap.c_str(),             frame.c_str(),
+                          log_file.c_str(),        metrics_file.c_str(),
+                          nullptr};
+    ::execv(TRANSPORT_SHM_CHILD_BIN, const_cast<char* const*>(argv));
+    ::_exit(127);  // exec failed
+  }
+  return pid;
+}
+
+std::vector<std::uint64_t> read_log(const std::string& path) {
+  std::vector<std::uint64_t> out;
+  std::ifstream in(path);
+  std::uint64_t seq = 0;
+  while (in >> seq) out.push_back(seq);
+  return out;
+}
+
+std::uint64_t json_field(const std::string& json, const std::string& key) {
+  const auto pos = json.find("\"" + key + "\":");
+  if (pos == std::string::npos) return std::uint64_t(-1);
+  return std::strtoull(json.c_str() + pos + key.size() + 3, nullptr, 10);
+}
+
+TEST(ShmTwoProcess, KillNineAndRestartLosesAndDuplicatesNothing) {
+  constexpr std::size_t kN = 800;
+  constexpr std::size_t kDim = 6;
+
+  TempPath log_file("log");
+  TempPath metrics_file("metrics");
+  const std::string segment =
+      "astro-2p-" + std::to_string(::getpid()) + "-kill";
+
+  ShmTransportOptions opts;
+  opts.ring_capacity = kRingCapacity;
+  opts.max_frame_bytes = kMaxFrameBytes;
+  // The outage lasts as long as the parent takes to re-exec the child:
+  // give the restart window and the flush watchdog ample room so the sink
+  // holds the suffix instead of degrading.
+  opts.restart_timeout = std::chrono::seconds(10);
+  opts.ack_timeout = std::chrono::seconds(10);
+  opts.peer_timeout = milliseconds(500);
+
+  auto in = make_channel<DataTuple>(64);
+  ShmTupleSink sink("uplink", segment, in, opts);
+  sink.start();
+
+  pid_t child = spawn_child(segment, log_file.path, metrics_file.path);
+  ASSERT_GT(child, 0);
+
+  std::thread feeder([&] {
+    DataTuple t;
+    for (std::uint64_t i = 0; i < kN; ++i) {
+      t.seq = i;
+      t.values = linalg::Vector(kDim, double(i % 97));
+      if (!in->push(t)) return;
+      if (i % 25 == 0) std::this_thread::sleep_for(milliseconds(1));
+    }
+    in->close();
+  });
+
+  // Let a chunk of the stream become durable, then kill -9 the consumer.
+  const auto deadline = steady_clock::now() + std::chrono::seconds(10);
+  while (read_log(log_file.path).size() < kN / 4 &&
+         steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(milliseconds(5));
+  }
+  ASSERT_GE(read_log(log_file.path).size(), kN / 4) << "stream never started";
+  ASSERT_EQ(::kill(child, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  const std::size_t durable_at_kill = read_log(log_file.path).size();
+
+  // Restart it against the same log and segment: a fresh consumer
+  // generation whose cursor resumes at the released tail, with the durable
+  // line count suppressing anything replayed but already applied.
+  child = spawn_child(segment, log_file.path, metrics_file.path);
+  ASSERT_GT(child, 0);
+
+  feeder.join();
+  sink.join();
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+      << "child status " << status;
+
+  // The merged durable log holds every tuple exactly once, in order.
+  const std::vector<std::uint64_t> log = read_log(log_file.path);
+  ASSERT_EQ(log.size(), kN) << "durable at kill: " << durable_at_kill;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(log[i], i) << "at line " << i;
+  }
+
+  // Producer-side conservation: everything released, nothing counted lost.
+  const ShmSinkCounters c = sink.counters();
+  EXPECT_EQ(c.accepted, kN);
+  EXPECT_EQ(c.acked, kN);
+  EXPECT_EQ(c.lossy_dropped, 0u);
+  EXPECT_EQ(c.frames_committed, kN);
+  EXPECT_GE(c.wraps, 1u);
+  EXPECT_GE(c.consumer_generations, 2u);
+  EXPECT_EQ(sink.stop_reason(), StopReason::kUpstreamClosed);
+
+  // Consumer-side: the restarted child resumed (not restarted from zero)
+  // and saw a clean end of stream.
+  std::ifstream metrics_in(metrics_file.path);
+  std::string json((std::istreambuf_iterator<char>(metrics_in)),
+                   std::istreambuf_iterator<char>());
+  ASSERT_FALSE(json.empty()) << "child never wrote metrics";
+  EXPECT_EQ(json_field(json, "recovered"), durable_at_kill);
+  EXPECT_EQ(json_field(json, "applied"), kN);
+  EXPECT_GE(json_field(json, "resumes"), 1u);
+  EXPECT_EQ(json_field(json, "byes"), 1u);
+  EXPECT_EQ(json_field(json, "crc_rejects"), 0u);
+  EXPECT_EQ(json_field(json, "protocol_errors"), 0u);
+  EXPECT_EQ(json_field(json, "producer_deaths"), 0u);
+}
+
+TEST(ShmTwoProcess, CleanSingleIncarnationRoundTrip) {
+  // Baseline (no kill): one child consumes the whole stream and exits zero
+  // on the bye flag, with its applied count matching the sink's releases.
+  constexpr std::size_t kN = 200;
+  TempPath log_file("log2");
+  TempPath metrics_file("metrics2");
+  const std::string segment =
+      "astro-2p-" + std::to_string(::getpid()) + "-clean";
+
+  ShmTransportOptions opts;
+  opts.ring_capacity = kRingCapacity;
+  opts.max_frame_bytes = kMaxFrameBytes;
+
+  auto in = make_channel<DataTuple>(64);
+  ShmTupleSink sink("uplink", segment, in, opts);
+  sink.start();
+  const pid_t child = spawn_child(segment, log_file.path, metrics_file.path);
+  ASSERT_GT(child, 0);
+
+  DataTuple t;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    t.seq = i;
+    t.values = linalg::Vector(4, 1.0);
+    ASSERT_TRUE(in->push(t));
+  }
+  in->close();
+  sink.join();
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+
+  EXPECT_EQ(sink.counters().acked, kN);
+  const std::vector<std::uint64_t> log = read_log(log_file.path);
+  ASSERT_EQ(log.size(), kN);
+  EXPECT_EQ(log.front(), 0u);
+  EXPECT_EQ(log.back(), kN - 1);
+
+  std::ifstream metrics_in(metrics_file.path);
+  std::string json((std::istreambuf_iterator<char>(metrics_in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(json_field(json, "applied"), kN);
+  EXPECT_EQ(json_field(json, "sessions"), 1u);
+  EXPECT_EQ(json_field(json, "resumes"), 0u);
+}
+
+}  // namespace
+}  // namespace astro::stream
